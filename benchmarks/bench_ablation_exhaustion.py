@@ -1,0 +1,118 @@
+"""Ablation — resource-exhaustion policy: panic vs go-back-N.
+
+Section 4.3: "we expect that production-level use will occasionally
+trigger resource exhaustion.  We are currently working on a simple
+go-back-n protocol to resolve resource exhaustion gracefully.  The
+current approach is to panic the node, which results in application
+failure."
+
+We run a many-to-one incast against a receiver with deliberately tiny
+pending pools: under PANIC the node dies; under GO_BACK_N every message
+is eventually delivered, at a quantifiable throughput cost.
+"""
+
+import pytest
+
+from repro.fw.firmware import ExhaustionPolicy
+from repro.hw.config import SeaStarConfig
+from repro.machine.builder import build_pair
+from repro.portals import EventKind, MDOptions, NicPanic
+from repro.sim import US, SimulationError, to_us
+
+from .conftest import print_anchor, run_once
+
+TINY = SeaStarConfig(
+    generic_rx_pendings=2,
+    generic_tx_pendings=32,
+    num_generic_pendings=34,
+    gobackn_backoff=5 * US,
+)
+
+MESSAGES = 40
+NBYTES = 12
+"""Header-inline messages: payload messages self-limit via RX-engine
+backpressure (each waits for its deposit command before the next header
+advances), but inline messages stream headers freely and genuinely
+exhaust the pending pool — the scenario section 4.3 worries about."""
+
+
+def incast(policy):
+    """Burst MESSAGES puts at a stalled receiver; returns a result dict."""
+    machine, na, nb = build_pair(TINY, policy=policy)
+    pa, pb = na.create_process(), nb.create_process()
+    out = {"delivered": 0}
+
+    def receiver(proc):
+        api = proc.api
+        eq = yield from api.PtlEQAlloc(512)
+        from repro.portals import PTL_NID_ANY, PTL_PID_ANY, ProcessId
+
+        me = yield from api.PtlMEAttach(
+            4, ProcessId(PTL_NID_ANY, PTL_PID_ANY), 0x1234
+        )
+        buf = proc.alloc(NBYTES)
+        yield from api.PtlMDAttach(
+            me,
+            buf,
+            options=MDOptions.OP_PUT | MDOptions.TRUNCATE | MDOptions.MANAGE_REMOTE,
+            eq=eq,
+        )
+        yield proc.sim.timeout(50 * US)  # stall so pendings pile up
+        for _ in range(MESSAGES):
+            while True:
+                ev = yield from api.PtlEQWait(eq)
+                if ev.kind is EventKind.PUT_END:
+                    break
+            out["delivered"] += 1
+        out["done_at"] = proc.sim.now
+        return True
+
+    def sender(proc, target):
+        api = proc.api
+        eq = yield from api.PtlEQAlloc(512)
+        md = yield from api.PtlMDBind(proc.alloc(NBYTES), eq=eq)
+        for _ in range(MESSAGES):
+            yield from api.PtlPut(md, target, 4, 0x1234, length=NBYTES)
+        ends = 0
+        while ends < MESSAGES:
+            ev = yield from api.PtlEQWait(eq)
+            if ev.kind is EventKind.SEND_END:
+                ends += 1
+        return True
+
+    hr = pb.spawn(receiver)
+    hs = pa.spawn(sender, pb.id)
+    try:
+        machine.run()
+        out["panicked"] = False
+    except SimulationError as err:
+        out["panicked"] = isinstance(err.__cause__, NicPanic)
+    out["retransmits"] = na.firmware.counters["retransmits"]
+    out["naks"] = nb.firmware.counters["naks_sent"]
+    out["failures"] = na.firmware.counters["gobackn_failures"]
+    return out
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_exhaustion_recovery(benchmark, anchors):
+    panic, gbn = run_once(
+        benchmark,
+        lambda: (incast(ExhaustionPolicy.PANIC), incast(ExhaustionPolicy.GO_BACK_N)),
+    )
+    print("\n=== Ablation: resource exhaustion (section 4.3) ===")
+    print_anchor("PANIC: node panicked", 1.0, float(panic["panicked"]), "bool")
+    print_anchor("PANIC: messages delivered", 0, float(panic["delivered"]), "msgs")
+    print_anchor("GBN: messages delivered", float(MESSAGES), float(gbn["delivered"]), "msgs")
+    print_anchor("GBN: NAKs sent", 0, float(gbn["naks"]), "")
+    print_anchor("GBN: retransmissions", 0, float(gbn["retransmits"]), "")
+    if "done_at" in gbn:
+        print_anchor("GBN: completion time", 0, to_us(gbn["done_at"]), "us")
+
+    # the paper's current behaviour: the node panics, application fails
+    assert panic["panicked"]
+    assert panic["delivered"] < MESSAGES
+    # the in-progress protocol: everything delivered, no failure
+    assert not gbn["panicked"]
+    assert gbn["delivered"] == MESSAGES
+    assert gbn["failures"] == 0
+    assert gbn["naks"] > 0 and gbn["retransmits"] > 0

@@ -1,0 +1,73 @@
+"""Ablation — sensitivity to the host interrupt cost.
+
+Section 6: "A significant amount of the current latency is due to
+interrupt processing by the host processor"; section 3.3: "Interrupts
+... are very costly, requiring at least 2 us of overhead each.  Clearly,
+it will be necessary to eliminate all interrupts from the data path."
+
+This ablation sweeps the modeled interrupt overhead and shows the put
+latency responding with the exact interrupt multiplicity of each path:
+slope 1x for <= 12 B messages (one interrupt) and 2x above (two), while
+accelerated mode stays flat at any interrupt cost — the quantified form
+of the paper's argument for offload.
+"""
+
+import pytest
+
+from repro.analysis import latency_at
+from repro.hw.config import SeaStarConfig
+from repro.netpipe import PortalsPutModule, run_series
+from repro.sim import us
+
+from .conftest import print_anchor, run_once
+
+IRQ_US = [0.5, 1.0, 2.0, 3.0, 4.0]
+
+
+def sweep():
+    rows = []
+    for irq in IRQ_US:
+        cfg = SeaStarConfig(interrupt_overhead=us(irq))
+        generic = run_series(PortalsPutModule(), "pingpong", [1, 1024], config=cfg)
+        accel = run_series(
+            PortalsPutModule(accelerated=True), "pingpong", [1], config=cfg
+        )
+        rows.append(
+            (
+                irq,
+                latency_at(generic, 1),
+                latency_at(generic, 1024),
+                latency_at(accel, 1),
+            )
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_interrupt_cost(benchmark, anchors):
+    rows = run_once(benchmark, sweep)
+    print("\n=== Latency vs interrupt overhead (us) ===")
+    print(f"{'irq cost':>9} | {'put 1B':>7} | {'put 1KB':>8} | {'accel 1B':>9}")
+    for irq, g1, g1k, a1 in rows:
+        print(f"{irq:>9.1f} | {g1:>7.2f} | {g1k:>8.2f} | {a1:>9.2f}")
+
+    irqs = [r[0] for r in rows]
+    g1 = [r[1] for r in rows]
+    g1k = [r[2] for r in rows]
+    a1 = [r[3] for r in rows]
+    span = irqs[-1] - irqs[0]
+    slope_small = (g1[-1] - g1[0]) / span
+    slope_large = (g1k[-1] - g1k[0]) / span
+    slope_accel = (a1[-1] - a1[0]) / span
+    print_anchor("slope, <=12B path (interrupts on path)", 1.0, slope_small, "x")
+    print_anchor("slope, >12B path", 2.0, slope_large, "x")
+    print_anchor("slope, accelerated", 0.0, slope_accel, "x")
+
+    # one interrupt on the small-message path, two on the payload path
+    assert slope_small == pytest.approx(1.0, abs=0.05)
+    assert slope_large == pytest.approx(2.0, abs=0.05)
+    # offload removes the dependence entirely
+    assert abs(slope_accel) < 0.01
+    # at the paper's 2 us the small path reproduces Figure 4's 5.39 us
+    at_2us = dict((r[0], r[1]) for r in rows)[2.0]
+    assert at_2us == pytest.approx(5.39, rel=0.10)

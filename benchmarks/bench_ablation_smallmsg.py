@@ -1,0 +1,57 @@
+"""Ablation — the <=12-byte header-piggyback optimization on/off.
+
+Section 6: "Because 12 bytes of user data will fit in the 64 byte header
+packet, these 12 bytes can be copied to the host along with the header.
+This allows the new message and message completion notification to be
+delivered simultaneously and saves an interrupt."
+
+Disabling the optimization (small_msg_bytes = 0) should push small
+messages onto the two-interrupt path and erase the Figure 4 step.
+"""
+
+import pytest
+
+from repro.analysis import latency_at
+from repro.hw.config import SeaStarConfig
+from repro.netpipe import PortalsPutModule, netpipe_sizes, run_series
+
+from .conftest import print_anchor, print_series_table, run_once
+
+SIZES = netpipe_sizes(1, 256)
+
+
+def sweep():
+    with_opt = run_series(PortalsPutModule(), "pingpong", SIZES)
+    with_opt.module = "put(piggyback)"
+    without = run_series(
+        PortalsPutModule(),
+        "pingpong",
+        SIZES,
+        config=SeaStarConfig(small_msg_bytes=0),
+    )
+    without.module = "put(disabled)"
+    return with_opt, without
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_small_message_optimization(benchmark, anchors):
+    with_opt, without = run_once(benchmark, sweep)
+    print_series_table(
+        "Ablation: header piggyback on/off (latency us)",
+        [with_opt, without],
+        latency=True,
+    )
+    on_1, off_1 = latency_at(with_opt, 1), latency_at(without, 1)
+    print("\nAnchors:")
+    print_anchor("1B latency with optimization", 0, on_1, "us")
+    print_anchor("1B latency without", 0, off_1, "us")
+    print_anchor("interrupt saved", 2.0, off_1 - on_1, "us")
+
+    # the optimization saves roughly one interrupt (>= 2 us)
+    assert off_1 - on_1 > 2.0
+    # with the optimization off, the curve is flat across 12 bytes
+    assert latency_at(without, 13) - latency_at(without, 12) < 0.2
+    # with it on, the step exists
+    assert latency_at(with_opt, 13) - latency_at(with_opt, 12) > 2.0
+    # above 12 bytes the two configurations behave identically
+    assert latency_at(with_opt, 64) == pytest.approx(latency_at(without, 64), rel=0.01)

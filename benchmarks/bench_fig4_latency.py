@@ -1,0 +1,56 @@
+"""Figure 4 — one-way latency vs message size (1 B .. 1 KB).
+
+Paper anchors: 1-byte latencies of 5.39 us (put), 6.60 us (get),
+7.97 us (MPICH-1.2.6), 8.40 us (MPICH2); a visible step right after
+12 bytes where the header-piggyback optimization stops applying.
+"""
+
+import pytest
+
+from repro.analysis import PAPER, latency_at
+from repro.mpi import MPICH1, MPICH2
+from repro.netpipe import (
+    MPIModule,
+    PortalsGetModule,
+    PortalsPutModule,
+    netpipe_sizes,
+    run_series,
+)
+
+from .conftest import print_anchor, print_series_table, run_once
+
+SIZES = netpipe_sizes(1, 1024)
+
+MODULES = [
+    ("put", PortalsPutModule()),
+    ("get", PortalsGetModule()),
+    ("mpich-1.2.6", MPIModule(MPICH1)),
+    ("mpich2", MPIModule(MPICH2)),
+]
+
+PAPER_1B = {
+    "put": PAPER.put_latency_us,
+    "get": PAPER.get_latency_us,
+    "mpich-1.2.6": PAPER.mpich1_latency_us,
+    "mpich2": PAPER.mpich2_latency_us,
+}
+
+
+def sweep_all():
+    return [run_series(module, "pingpong", SIZES) for _, module in MODULES]
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_latency(benchmark, anchors):
+    series = run_once(benchmark, sweep_all)
+    print_series_table("Figure 4: latency (us, one-way)", series, latency=True)
+    print("\nPaper anchors (1-byte latency):")
+    for s in series:
+        print_anchor(f"{s.module} @1B", PAPER_1B[s.module], latency_at(s, 1), "us")
+
+    # Shape assertions
+    at_1b = [latency_at(s, 1) for s in series]
+    assert at_1b == sorted(at_1b), "expected put < get < mpich1 < mpich2"
+    put = series[0]
+    assert latency_at(put, 13) - latency_at(put, 12) > 2.0, "12-byte step missing"
+    assert latency_at(put, 1) == pytest.approx(PAPER.put_latency_us, rel=0.10)

@@ -1,0 +1,63 @@
+"""Figure 5 — uni-directional (ping-pong) bandwidth, 1 B .. 8 MB.
+
+Paper anchors: put peaks at 1108.76 MB/s for an 8 MB message; half
+bandwidth around 7 KB; MPI bandwidth only slightly less, with both MPI
+implementations achieving the same performance.
+"""
+
+import pytest
+
+from repro.analysis import PAPER, half_bandwidth_point, monotone_fraction, peak_bandwidth
+from repro.mpi import MPICH1, MPICH2
+from repro.netpipe import (
+    MPIModule,
+    PortalsGetModule,
+    PortalsPutModule,
+    netpipe_sizes,
+    run_series,
+)
+
+from .conftest import print_anchor, print_series_table, run_once
+
+SIZES = netpipe_sizes(1, 8 * 1024 * 1024, perturbation=3)
+
+MODULES = [
+    ("put", PortalsPutModule()),
+    ("get", PortalsGetModule()),
+    ("mpich-1.2.6", MPIModule(MPICH1)),
+    ("mpich2", MPIModule(MPICH2)),
+]
+
+
+def sweep_all():
+    return [run_series(module, "pingpong", SIZES) for _, module in MODULES]
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_unidirectional_bandwidth(benchmark, anchors):
+    series = run_once(benchmark, sweep_all)
+    print_series_table(
+        "Figure 5: uni-directional bandwidth (MB/s)", series, latency=False
+    )
+    put, get, m1, m2 = series
+    print("\nPaper anchors:")
+    print_anchor("put peak (8 MB)", PAPER.put_peak_mb_s, peak_bandwidth(put), "MB/s")
+    print_anchor(
+        "put half-bandwidth point",
+        float(PAPER.half_bw_pingpong_bytes),
+        float(half_bandwidth_point(put)),
+        "B",
+    )
+    print_anchor("mpich-1.2.6 peak", 0, peak_bandwidth(m1), "MB/s")
+    print_anchor("mpich2 peak", 0, peak_bandwidth(m2), "MB/s")
+
+    # Shape assertions
+    assert peak_bandwidth(put) == pytest.approx(PAPER.put_peak_mb_s, rel=0.03)
+    half = half_bandwidth_point(put)
+    assert PAPER.half_bw_pingpong_bytes / 2 < half < 2 * PAPER.half_bw_pingpong_bytes
+    # "The MPI bandwidth is only slightly less"
+    assert peak_bandwidth(m1) > 0.95 * peak_bandwidth(put)
+    # "with both MPI implementations achieving the same performance"
+    assert peak_bandwidth(m1) == pytest.approx(peak_bandwidth(m2), rel=0.02)
+    # bandwidth curves are fairly steep and near-monotone
+    assert monotone_fraction(put.bandwidths()) > 0.9

@@ -1,0 +1,67 @@
+"""Figure 6 — streaming (uni-directional back-to-back) bandwidth.
+
+Paper anchors: the streaming curve is steeper than ping-pong, reaching
+half bandwidth around 5 KB; streaming has "a much greater impact on the
+performance of the get operation, which is a blocking operation ...
+that cannot be pipelined".
+"""
+
+import pytest
+
+from repro.analysis import PAPER, half_bandwidth_point, peak_bandwidth
+from repro.mpi import MPICH1, MPICH2
+from repro.netpipe import (
+    MPIModule,
+    PortalsGetModule,
+    PortalsPutModule,
+    netpipe_sizes,
+    run_series,
+)
+
+from .conftest import print_anchor, print_series_table, run_once
+
+SIZES = netpipe_sizes(1, 8 * 1024 * 1024, perturbation=3)
+
+MODULES = [
+    ("put", PortalsPutModule()),
+    ("get", PortalsGetModule()),
+    ("mpich-1.2.6", MPIModule(MPICH1)),
+    ("mpich2", MPIModule(MPICH2)),
+]
+
+
+def sweep_all():
+    return [run_series(module, "stream", SIZES) for _, module in MODULES]
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_streaming_bandwidth(benchmark, anchors):
+    series = run_once(benchmark, sweep_all)
+    print_series_table("Figure 6: streaming bandwidth (MB/s)", series, latency=False)
+    put, get, m1, m2 = series
+    print("\nPaper anchors:")
+    print_anchor(
+        "put stream half-bandwidth point",
+        float(PAPER.half_bw_stream_bytes),
+        float(half_bandwidth_point(put)),
+        "B",
+    )
+    print_anchor("put stream peak", PAPER.put_peak_mb_s, peak_bandwidth(put), "MB/s")
+    print_anchor(
+        "get stream half-bandwidth point",
+        0,
+        float(half_bandwidth_point(get)),
+        "B",
+    )
+
+    # Shape assertions
+    # streaming is steeper than ping-pong: its half-bandwidth point is
+    # smaller (compare against the paper's ping-pong 7 KB anchor)
+    assert half_bandwidth_point(put) < PAPER.half_bw_pingpong_bytes
+    # the get curve collapses: it reaches half-bandwidth far later
+    assert half_bandwidth_point(get) > 2 * half_bandwidth_point(put)
+    # at a mid size gets deliver well under puts (serialized round trips)
+    idx = SIZES.index(4096) if 4096 in SIZES else len(SIZES) // 2
+    assert get.points[idx].bandwidth_mb_s < 0.6 * put.points[idx].bandwidth_mb_s
+    # MPI implementations have similar performance
+    assert peak_bandwidth(m1) == pytest.approx(peak_bandwidth(m2), rel=0.02)

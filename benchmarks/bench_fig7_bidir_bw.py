@@ -1,0 +1,56 @@
+"""Figure 7 — bi-directional bandwidth.
+
+Paper anchors: put tops out at 2203.19 MB/s for an 8 MB message — "the
+SeaStar is able to sustain its unidirectional bandwidth performance when
+sending as well as receiving" — with both MPI implementations only
+slightly less.
+"""
+
+import pytest
+
+from repro.analysis import PAPER, peak_bandwidth
+from repro.mpi import MPICH1, MPICH2
+from repro.netpipe import (
+    MPIModule,
+    PortalsGetModule,
+    PortalsPutModule,
+    netpipe_sizes,
+    run_series,
+)
+
+from .conftest import print_anchor, print_series_table, run_once
+
+SIZES = netpipe_sizes(1, 8 * 1024 * 1024, perturbation=3)
+
+MODULES = [
+    ("put", PortalsPutModule()),
+    ("get", PortalsGetModule()),
+    ("mpich-1.2.6", MPIModule(MPICH1)),
+    ("mpich2", MPIModule(MPICH2)),
+]
+
+
+def sweep_all():
+    return [run_series(module, "bidir", SIZES) for _, module in MODULES]
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_bidirectional_bandwidth(benchmark, anchors):
+    series = run_once(benchmark, sweep_all)
+    print_series_table(
+        "Figure 7: bi-directional bandwidth (MB/s)", series, latency=False
+    )
+    put, get, m1, m2 = series
+    print("\nPaper anchors:")
+    print_anchor(
+        "put bi-dir peak (8 MB)", PAPER.put_bidir_peak_mb_s, peak_bandwidth(put), "MB/s"
+    )
+    print_anchor("mpich-1.2.6 peak", 0, peak_bandwidth(m1), "MB/s")
+
+    # Shape assertions
+    assert peak_bandwidth(put) == pytest.approx(PAPER.put_bidir_peak_mb_s, rel=0.03)
+    # bi-dir ~= 2x the uni-dir peak: TX and RX sustained simultaneously
+    assert peak_bandwidth(put) / PAPER.put_peak_mb_s == pytest.approx(2.0, rel=0.05)
+    # MPI only slightly less
+    assert peak_bandwidth(m1) > 0.95 * peak_bandwidth(put)
+    assert peak_bandwidth(m1) == pytest.approx(peak_bandwidth(m2), rel=0.02)

@@ -1,0 +1,70 @@
+"""Section 4.2's SRAM occupancy formula:
+
+    M = S * Ssize + sum_i(P_i * Psize)
+
+Regenerates the paper's accounting — 1,024 sources plus 1,274 generic
+pendings leave room for "several more similarly sized pending pools" —
+by booting firmware instances and reading the allocator, then sweeps
+the number of firmware-level processes N to show where the 384 KB budget
+actually runs out.
+"""
+
+import pytest
+
+from repro.fw.firmware import Firmware
+from repro.hw import SeaStar, SramExhausted
+from repro.hw.config import SeaStarConfig
+from repro.machine.builder import build_pair
+from repro.net import Fabric, Torus3D
+from repro.sim import KB, Simulator
+
+from .conftest import print_anchor, run_once
+
+
+def boot_and_measure():
+    """Boot one node; return (used, free, pools) from its SRAM."""
+    machine, na, nb = build_pair()
+    sram = na.seastar.sram
+    return sram.used_bytes, sram.free_bytes, sram.pools()
+
+
+def max_additional_processes():
+    """How many extra accelerated-process pending pools fit in SRAM."""
+    machine, na, nb = build_pair()
+    count = 0
+    while True:
+        try:
+            na.create_process(accelerated=True)
+            count += 1
+        except SramExhausted:
+            return count
+        if count > 64:  # pragma: no cover - sanity stop
+            return count
+
+
+@pytest.mark.benchmark(group="inline")
+def test_inline_sram_occupancy(benchmark, anchors):
+    (used, free, pools), extra = run_once(
+        benchmark, lambda: (boot_and_measure(), max_additional_processes())
+    )
+    cfg = SeaStarConfig()
+    formula = (
+        cfg.num_sources * cfg.source_struct_bytes
+        + cfg.num_generic_pendings * cfg.pending_struct_bytes
+    )
+    print("\n=== SRAM occupancy (section 4.2) ===")
+    print_anchor("SRAM capacity", 384.0, cfg.sram_bytes / KB, "KB")
+    print_anchor("M (formula: S*Ssize + sum Pi*Psize)", 0, formula / KB, "KB")
+    print_anchor("allocator used at boot", 0, used / KB, "KB")
+    print_anchor("free after generic boot", 0, free / KB, "KB")
+    print_anchor("additional accelerated processes that fit", 0, float(extra), "")
+    for name, pool in sorted(pools.items()):
+        print(f"    pool {name:<28} {pool.count:>6} x {pool.item_bytes:>5} B")
+
+    # the allocator's accounting equals the paper's formula (plus the
+    # control block and firmware-internal pool we also model)
+    overhead = used - formula
+    assert overhead >= 0
+    assert used <= cfg.sram_bytes
+    # "several more similarly sized pending pools can be supported"
+    assert extra >= 3

@@ -1,0 +1,78 @@
+"""Extension — MPI collective scaling over the simulated torus.
+
+The paper's intro motivates the XT3 with large-scale scientific codes;
+their inner loops are collectives.  This bench runs barrier and
+allreduce across growing rank counts on a line of nodes and checks the
+logarithmic scaling that the dissemination/binomial algorithms (and a
+sane network model underneath) must produce.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.machine.builder import Machine
+from repro.mpi import allreduce, barrier, create_world, run_world
+from repro.net import Torus3D
+from repro.sim import to_us
+
+from .conftest import print_anchor, run_once
+
+RANK_COUNTS = [2, 4, 8, 16]
+
+
+def time_collective(nranks, which):
+    machine = Machine(Torus3D((nranks, 1, 1), wrap=(True, False, False)))
+    nodes = [machine.node(i) for i in range(nranks)]
+    world = create_world(machine, nodes)
+    stamps = {}
+
+    def main(mpi, rank):
+        yield from barrier(mpi)  # warm up + align
+        if rank == 0:
+            stamps["t0"] = mpi.sim.now
+        if which == "barrier":
+            yield from barrier(mpi)
+        else:
+            out = np.zeros(8, np.uint8)
+            yield from allreduce(mpi, np.full(8, 1, np.uint8), out)
+        if rank == 0:
+            stamps["t1"] = mpi.sim.now
+        yield from barrier(mpi)
+        return None
+
+    run_world(machine, world, main)
+    return to_us(stamps["t1"] - stamps["t0"])
+
+
+def sweep():
+    return {
+        which: [(n, time_collective(n, which)) for n in RANK_COUNTS]
+        for which in ("barrier", "allreduce")
+    }
+
+
+@pytest.mark.benchmark(group="collectives")
+def test_collective_scaling(benchmark, anchors):
+    results = run_once(benchmark, sweep)
+    print("\n=== MPI collective scaling (us) ===")
+    print(f"{'ranks':>6} | {'barrier':>9} | {'allreduce':>10}")
+    for (n, tb), (_, ta) in zip(results["barrier"], results["allreduce"]):
+        print(f"{n:>6} | {tb:>9.1f} | {ta:>10.1f}")
+    b2 = results["barrier"][0][1]
+    b16 = results["barrier"][-1][1]
+    print_anchor("barrier rounds 2 -> 16 ranks", math.log2(16), b16 / b2, "x")
+
+    # dissemination barrier: ceil(log2 n) rounds -> near-log scaling:
+    # 16 ranks should cost ~4x a 2-rank barrier, certainly not 8x (linear)
+    assert b16 / b2 < 6.0
+    assert b16 > b2
+    # allreduce (reduce+bcast trees) also scales logarithmically
+    a2 = results["allreduce"][0][1]
+    a16 = results["allreduce"][-1][1]
+    assert a16 / a2 < 8.0
+    # larger communicators are never cheaper
+    for series in results.values():
+        times = [t for _, t in series]
+        assert times == sorted(times)

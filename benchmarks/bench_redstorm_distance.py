@@ -1,0 +1,70 @@
+"""Distance sweep across Red Storm: latency vs hop count.
+
+Section 1 states the XT3's requirements: "The one-way MPI latency
+requirement between nearest neighbors is 2 us and is 5 us between the
+two furthest nodes."  That budget only closes if the per-hop cost is
+tens of nanoseconds — the software path must dominate.  This bench
+sweeps a put across 1 .. diameter hops of the Red Storm arrangement
+(27x16x24, torus only in z, diameter 53 hops) in both generic and
+accelerated modes and checks:
+
+* latency grows linearly in hops with the configured per-hop slope;
+* the farthest-to-nearest delta stays within the 3 us the requirement
+  implies (5 - 2 us), in every mode — topology is never the problem.
+"""
+
+import pytest
+
+from repro.analysis import latency_at
+from repro.hw.config import DEFAULT_CONFIG
+from repro.netpipe import PortalsPutModule, run_series
+from repro.sim import to_us
+
+from .conftest import print_anchor, run_once
+
+#: Red Storm's diameter: (27-1) + (16-1) + 24//2
+DIAMETER = 53
+HOP_STEPS = [1, 5, 13, 27, 40, 53]
+
+
+def sweep(accelerated):
+    out = []
+    for hops in HOP_STEPS:
+        series = run_series(
+            PortalsPutModule(accelerated=accelerated),
+            "pingpong",
+            [8],
+            hops=hops,
+        )
+        out.append((hops, latency_at(series, 8)))
+    return out
+
+
+@pytest.mark.benchmark(group="redstorm")
+def test_redstorm_distance_sweep(benchmark, anchors):
+    generic, accel = run_once(
+        benchmark, lambda: (sweep(False), sweep(True))
+    )
+    print("\n=== Latency vs distance (Red Storm diameter = 53 hops) ===")
+    print(f"{'hops':>6} | {'generic us':>11} | {'accel us':>9}")
+    for (h, g), (_, a) in zip(generic, accel):
+        print(f"{h:>6} | {g:>11.3f} | {a:>9.3f}")
+
+    hop_cost_us = to_us(DEFAULT_CONFIG.hop_latency)
+    near_g, far_g = generic[0][1], generic[-1][1]
+    near_a, far_a = accel[0][1], accel[-1][1]
+    print("\nAnchors:")
+    print_anchor("XT3 nearest-neighbor requirement", 2.0, near_a, "us")
+    print_anchor("XT3 farthest-pair requirement", 5.0, far_a, "us")
+    print_anchor("farthest - nearest delta (generic)", 3.0, far_g - near_g, "us")
+    print_anchor("modeled per-hop cost", 0, hop_cost_us * 1000, "ns")
+
+    # linear in hops with the configured slope
+    slope = (far_g - near_g) / (HOP_STEPS[-1] - HOP_STEPS[0])
+    assert slope == pytest.approx(hop_cost_us, rel=0.05)
+    # same slope in accelerated mode — the wire doesn't care about mode
+    slope_a = (far_a - near_a) / (HOP_STEPS[-1] - HOP_STEPS[0])
+    assert slope_a == pytest.approx(slope, rel=0.05)
+    # the requirement's 3 us near-to-far budget holds with huge margin
+    assert far_g - near_g < 3.0
+    assert far_a - near_a < 3.0

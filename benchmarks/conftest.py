@@ -1,0 +1,79 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Every ``bench_fig*.py`` regenerates one figure of the paper: it sweeps
+the same workload, prints the measured series next to the paper's
+published anchors, asserts the *shape* (who wins, by what factor, where
+crossovers fall), and times the sweep under pytest-benchmark.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netpipe.runner import Series
+
+#: every table/anchor line emitted by the benches; flushed into the
+#: pytest terminal summary so it survives output capture and lands in
+#: redirected/teed logs (fd-level capture swallows plain prints).
+_REPORT_LINES: list[str] = []
+
+
+def _emit(line: str) -> None:
+    _REPORT_LINES.append(line)
+    print(line)  # also visible live under `pytest -s`
+
+
+def print_series_table(title: str, series_list: list[Series], *, latency: bool) -> None:
+    """Render measured curves as the rows a NetPIPE run would print."""
+    _emit(f"\n=== {title} ===")
+    names = [s.module for s in series_list]
+    header = f"{'bytes':>10} | " + " | ".join(f"{n:>12}" for n in names)
+    _emit(header)
+    _emit("-" * len(header))
+    sizes = series_list[0].sizes()
+    for i, nbytes in enumerate(sizes):
+        cells = []
+        for s in series_list:
+            p = s.points[i]
+            value = p.latency_us if latency else p.bandwidth_mb_s
+            cells.append(f"{value:12.2f}")
+        _emit(f"{nbytes:>10} | " + " | ".join(cells))
+
+
+def print_anchor(name: str, paper_value, measured_value, unit: str) -> None:
+    """One paper-vs-measured comparison line."""
+    if paper_value:
+        ratio = measured_value / paper_value
+        _emit(
+            f"  {name:<42} paper={paper_value:>10.2f} {unit:<5}"
+            f" measured={measured_value:>10.2f} {unit:<5} (x{ratio:.3f})"
+        )
+    else:
+        _emit(f"  {name:<42} measured={measured_value:>10.2f} {unit}")
+
+
+def run_once(benchmark, fn):
+    """Time a deterministic sweep exactly once (the simulation always
+    produces identical results, so repeated rounds only measure wall
+    clock of the simulator itself)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def anchors():
+    """Marker fixture: the bench emits paper-vs-measured tables (they are
+    collected and replayed in the terminal summary)."""
+    yield
+
+
+def pytest_terminal_summary(terminalreporter):
+    """Replay every regenerated figure/anchor table after the run."""
+    if not _REPORT_LINES:
+        return
+    terminalreporter.section("regenerated paper figures & anchors")
+    for line in _REPORT_LINES:
+        terminalreporter.write_line(line)

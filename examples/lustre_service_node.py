@@ -1,0 +1,143 @@
+#!/usr/bin/env python
+"""A Linux service node running a Lustre-style kernel-level service.
+
+Reproduces the deployment case the bridge architecture exists for
+(paper section 3.1/3.2): a Linux service node where a *kernel-level*
+Portals client (Lustre's transport used exactly this path, via kbridge)
+and an ordinary *user-level* process (ukbridge) share one SeaStar, while
+Catamount compute nodes stream file I/O at the service.
+
+The "object server" exposes a storage region via Portals: compute nodes
+WRITE by putting to the data portal and READ by getting from it —
+one-sided semantics, no server thread per client.
+
+Run:  python examples/lustre_service_node.py
+"""
+
+import numpy as np
+
+from repro.machine.builder import Machine
+from repro.net import Torus3D
+from repro.oskern import OSType
+from repro.portals import (
+    PTL_NID_ANY,
+    PTL_PID_ANY,
+    EventKind,
+    MDOptions,
+    ProcessId,
+)
+from repro.sim import MB, to_us
+
+DATA_PORTAL = 6
+WRITE_BITS = 0x0057_5249  # "WRI"
+OBJECT_SIZE = 256 * 1024
+CLIENTS = 4
+
+
+def object_server(proc, served):
+    """Kernel-level service: expose an object store region."""
+    api = proc.api
+    eq = yield from api.PtlEQAlloc(256)
+    store = proc.alloc(CLIENTS * OBJECT_SIZE)
+    me = yield from api.PtlMEAttach(
+        DATA_PORTAL, ProcessId(PTL_NID_ANY, PTL_PID_ANY), WRITE_BITS
+    )
+    yield from api.PtlMDAttach(
+        me,
+        store,
+        options=(
+            MDOptions.OP_PUT
+            | MDOptions.OP_GET
+            | MDOptions.TRUNCATE
+            | MDOptions.MANAGE_REMOTE
+        ),
+        eq=eq,
+    )
+    writes = 0
+    while writes < CLIENTS:
+        ev = yield from api.PtlEQWait(eq)
+        if ev.kind is EventKind.PUT_END:
+            writes += 1
+            served.append(
+                dict(
+                    initiator=str(ev.initiator),
+                    offset=ev.offset,
+                    nbytes=ev.mlength,
+                    at_us=to_us(proc.sim.now),
+                )
+            )
+    # stay alive while clients read back
+    gets = 0
+    while gets < CLIENTS:
+        ev = yield from api.PtlEQWait(eq)
+        if ev.kind is EventKind.GET_END:
+            gets += 1
+    return store
+
+
+def compute_client(proc, server_id, index):
+    """Catamount compute node: write an object, then read it back."""
+    api = proc.api
+    eq = yield from api.PtlEQAlloc(64)
+    payload = proc.alloc(OBJECT_SIZE)
+    payload[:] = index + 1
+    md = yield from api.PtlMDBind(payload, eq=eq)
+
+    # WRITE: one-sided put into our slice of the object store
+    yield from api.PtlPut(
+        md, server_id, DATA_PORTAL, WRITE_BITS, remote_offset=index * OBJECT_SIZE
+    )
+    while True:
+        ev = yield from api.PtlEQWait(eq)
+        if ev.kind is EventKind.SEND_END:
+            break
+
+    # READ BACK: one-sided get of the same region
+    readback = proc.alloc(OBJECT_SIZE)
+    rmd = yield from api.PtlMDBind(readback, eq=eq)
+    yield from api.PtlGet(
+        rmd, server_id, DATA_PORTAL, WRITE_BITS, remote_offset=index * OBJECT_SIZE
+    )
+    while True:
+        ev = yield from api.PtlEQWait(eq)
+        if ev.kind is EventKind.REPLY_END:
+            break
+    assert np.array_equal(readback, payload), "readback mismatch"
+    return to_us(proc.sim.now)
+
+
+def main():
+    # one Linux service node + CLIENTS Catamount compute nodes on a line
+    machine = Machine(Torus3D((CLIENTS + 1, 1, 1), wrap=(False, False, False)))
+    service = machine.node(0, os_type=OSType.LINUX)
+    computes = [machine.node(i + 1) for i in range(CLIENTS)]
+
+    lustre = service.create_kernel_client()        # kbridge
+    user_tool = service.create_process()           # ukbridge, same SSNAL
+    served: list[dict] = []
+
+    server_handle = lustre.spawn(object_server, served)
+    client_handles = [
+        node.create_process().spawn(compute_client, lustre.id, i)
+        for i, node in enumerate(computes)
+    ]
+    machine.run()
+
+    print("Linux service node (kbridge Lustre service + ukbridge user proc)")
+    print(f"  kernel client crossing cost : "
+          f"{lustre.bridge.crossing_cost()} ps (direct call)")
+    print(f"  user process crossing cost  : "
+          f"{user_tool.bridge.crossing_cost()} ps (syscall)")
+    print(f"  objects written then read back: {len(served)} x "
+          f"{OBJECT_SIZE // 1024} KiB")
+    for entry in served:
+        print(f"    from {entry['initiator']:>6} at offset {entry['offset']:>8}"
+              f" ({entry['nbytes']} B) t={entry['at_us']:.1f} us")
+    finish = max(h.value for h in client_handles)
+    total = 2 * CLIENTS * OBJECT_SIZE / MB
+    print(f"  {total:.0f} MiB moved in {finish:.0f} us "
+          f"({total / (finish / 1e6):.0f} MB/s aggregate)")
+
+
+if __name__ == "__main__":
+    main()

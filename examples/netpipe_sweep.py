@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Regenerate the paper's Figures 4-7 as NetPIPE-style tables.
+
+Sweeps all four transports (Portals put/get, MPICH-1.2.6, MPICH2)
+through the three NetPIPE patterns and prints the curves with the
+paper's published anchor values alongside.
+
+Run:  python examples/netpipe_sweep.py [--fast]
+"""
+
+import argparse
+
+from repro.analysis import PAPER, half_bandwidth_point, latency_at, peak_bandwidth
+from repro.mpi import MPICH1, MPICH2
+from repro.netpipe import (
+    MPIModule,
+    PortalsGetModule,
+    PortalsPutModule,
+    decade_sizes,
+    netpipe_sizes,
+    run_series,
+)
+
+
+def modules():
+    return [
+        PortalsPutModule(),
+        PortalsGetModule(),
+        MPIModule(MPICH1),
+        MPIModule(MPICH2),
+    ]
+
+
+def table(series_list, latency):
+    names = [s.module for s in series_list]
+    print(f"{'bytes':>10} | " + " | ".join(f"{n:>12}" for n in names))
+    for i, nbytes in enumerate(series_list[0].sizes()):
+        row = []
+        for s in series_list:
+            p = s.points[i]
+            row.append(f"{(p.latency_us if latency else p.bandwidth_mb_s):12.2f}")
+        print(f"{nbytes:>10} | " + " | ".join(row))
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--fast", action="store_true",
+        help="power-of-two sizes only (quick run)",
+    )
+    args = parser.parse_args()
+
+    lat_sizes = (
+        decade_sizes(1, 1024) if args.fast else netpipe_sizes(1, 1024)
+    )
+    bw_sizes = (
+        decade_sizes(1, 8 << 20)
+        if args.fast
+        else netpipe_sizes(1, 8 << 20, perturbation=0)
+    )
+
+    print("=" * 70)
+    print("Figure 4: one-way latency (us), 2 nodes, generic mode")
+    print("=" * 70)
+    lat = [run_series(m, "pingpong", lat_sizes) for m in modules()]
+    table(lat, latency=True)
+    print("\n  paper 1-byte anchors: put 5.39, get 6.60, "
+          "mpich-1.2.6 7.97, mpich2 8.40")
+    print("  measured            : " + ", ".join(
+        f"{s.module} {latency_at(s, 1):.2f}" for s in lat))
+
+    print("\n" + "=" * 70)
+    print("Figure 5: uni-directional (ping-pong) bandwidth (MB/s)")
+    print("=" * 70)
+    uni = [run_series(m, "pingpong", bw_sizes) for m in modules()]
+    table(uni, latency=False)
+    put = uni[0]
+    print(f"\n  put peak: {peak_bandwidth(put):.2f} MB/s "
+          f"(paper {PAPER.put_peak_mb_s}); half-bandwidth at "
+          f"{half_bandwidth_point(put)} B (paper ~{PAPER.half_bw_pingpong_bytes})")
+
+    print("\n" + "=" * 70)
+    print("Figure 6: streaming bandwidth (MB/s)")
+    print("=" * 70)
+    stream = [run_series(m, "stream", bw_sizes) for m in modules()]
+    table(stream, latency=False)
+    print(f"\n  put stream half-bandwidth at "
+          f"{half_bandwidth_point(stream[0])} B (paper ~{PAPER.half_bw_stream_bytes}); "
+          f"get cannot pipeline: half-bandwidth at "
+          f"{half_bandwidth_point(stream[1])} B")
+
+    print("\n" + "=" * 70)
+    print("Figure 7: bi-directional bandwidth (MB/s)")
+    print("=" * 70)
+    bidir = [run_series(m, "bidir", bw_sizes) for m in modules()]
+    table(bidir, latency=False)
+    print(f"\n  put bi-dir peak: {peak_bandwidth(bidir[0]):.2f} MB/s "
+          f"(paper {PAPER.put_bidir_peak_mb_s})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""A 4x4x4 block of Red Storm running a 3-D nearest-neighbor exchange.
+
+Boots 64 nodes of the Red Storm arrangement (mesh in x/y, torus in z),
+runs an MPI rank on each, performs a 3-D halo exchange along all six
+directions plus a global allreduce, and prints the machine report —
+showing the full stack operating beyond the two-node micro-benchmarks:
+dimension-ordered routing across real distances, 64 firmware instances,
+and per-node interrupt/DMA accounting.
+
+Run:  python examples/redstorm_block.py
+"""
+
+import numpy as np
+
+from repro.analysis import format_machine_report
+from repro.machine.builder import Machine
+from repro.mpi import allreduce, barrier, create_world, run_world
+from repro.net import Torus3D
+from repro.sim import to_us
+
+DIMS = (4, 4, 4)
+HALO_BYTES = 2048
+TAG = 31
+
+
+def neighbors(topo, rank):
+    """The up-to-six face neighbors of ``rank`` in the block."""
+    return sorted(set(topo.neighbors(rank).values()))
+
+
+def exchange(mpi, topo, rank):
+    """One round of halo exchange with every face neighbor."""
+    peers = neighbors(topo, rank)
+    sendbuf = np.full(HALO_BYTES, rank % 251, np.uint8)
+    recvbufs = {p: np.zeros(HALO_BYTES, np.uint8) for p in peers}
+    reqs = []
+    for p in peers:
+        reqs.append(mpi.irecv(recvbufs[p], source=p, tag=TAG))
+    for p in peers:
+        yield from mpi.send(sendbuf, p, tag=TAG)
+    for req in reqs:
+        yield from req.wait()
+    for p, buf in recvbufs.items():
+        assert int(buf[0]) == p % 251, f"halo from {p} corrupted"
+    return len(peers)
+
+
+def main():
+    topo = Torus3D(DIMS, wrap=(False, False, True))
+    machine = Machine(topo)
+    nodes = [machine.node(i) for i in range(topo.num_nodes)]
+    world = create_world(machine, nodes)
+
+    def body(mpi, rank):
+        yield from barrier(mpi)
+        t0 = mpi.sim.now
+        npeers = yield from exchange(mpi, topo, rank)
+        # global checksum across the block
+        out = np.zeros(8, np.uint8)
+        yield from allreduce(mpi, np.full(8, 1, np.uint8), out)
+        yield from barrier(mpi)
+        return {"rank": rank, "peers": npeers, "sum": int(out[0]),
+                "round_us": to_us(mpi.sim.now - t0)}
+
+    results = run_world(machine, world, body)
+    total = sum(r["peers"] for r in results)
+    print(f"Red Storm block {DIMS}: {topo.num_nodes} nodes, torus in z")
+    print(f"  halo exchange: {total} point-to-point transfers of "
+          f"{HALO_BYTES} B, all verified")
+    print(f"  allreduce result on every rank: {results[0]['sum']} "
+          f"(= 64 mod 256 ranks contributing 1)")
+    print(f"  slowest rank round time: "
+          f"{max(r['round_us'] for r in results):.1f} us")
+    print()
+    report = format_machine_report(machine)
+    # print the summary lines plus the two most interrupted nodes
+    lines = report.splitlines()
+    print("\n".join(lines[:2]))
+    per_node = [
+        (line, int(line.split("irq=")[1].split()[0]))
+        for line in lines
+        if line.startswith("node ")
+    ]
+    per_node.sort(key=lambda kv: -kv[1])
+    print("  busiest nodes by interrupts:")
+    for line, _ in per_node[:3]:
+        print("   ", line.strip())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""repro — a simulation-based reproduction of
+"Implementation and Performance of Portals 3.3 on the Cray XT3"
+(Brightwell, Hudson, Pedretti, Riesen, Underwood — CLUSTER 2005).
+
+The package implements the full stack the paper describes — the SeaStar
+NIC, its firmware, the 3D torus, the Portals 3.3 API with NAL/bridge
+architecture, Catamount/Linux kernels, two MPI implementations and the
+NetPIPE methodology — on a deterministic discrete-event simulator, so the
+paper's figures can be regenerated on a laptop.
+
+Quick start::
+
+    from repro import build_pair
+    from repro.netpipe import PortalsPutModule, pingpong_point
+
+    machine, a, b = build_pair()
+    point = pingpong_point(machine, a, b, PortalsPutModule, nbytes=1)
+    print(point.latency_us)   # ~5.4 us, Figure 4's 1-byte put
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from .hw.config import DEFAULT_CONFIG, SeaStarConfig
+from .machine import Machine, Node, build_pair, build_redstorm
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "SeaStarConfig",
+    "DEFAULT_CONFIG",
+    "Machine",
+    "Node",
+    "build_pair",
+    "build_redstorm",
+    "__version__",
+]

@@ -1,0 +1,35 @@
+"""Result analysis and the paper's reference numbers."""
+
+from .breakdown import (
+    Stage,
+    breakdown_total_us,
+    format_breakdown,
+    put_latency_breakdown,
+)
+from .metrics import (
+    half_bandwidth_point,
+    latency_at,
+    monotone_fraction,
+    peak_bandwidth,
+)
+from .paper import PAPER, PaperNumbers
+from .report import format_machine_report, machine_report, node_report
+from .viz import ascii_chart, plot_series
+
+__all__ = [
+    "Stage",
+    "put_latency_breakdown",
+    "breakdown_total_us",
+    "format_breakdown",
+    "peak_bandwidth",
+    "half_bandwidth_point",
+    "latency_at",
+    "monotone_fraction",
+    "PAPER",
+    "PaperNumbers",
+    "machine_report",
+    "node_report",
+    "format_machine_report",
+    "ascii_chart",
+    "plot_series",
+]

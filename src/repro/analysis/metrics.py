@@ -1,0 +1,71 @@
+"""Series analysis: peak bandwidth, half-bandwidth point, curve checks.
+
+These are the quantities the paper quotes from its figures: peak
+bandwidth at 8 MB, the message size where half of peak is reached (~7 KB
+ping-pong, ~5 KB streaming), and the 1-byte latencies.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..netpipe.runner import Series
+
+__all__ = [
+    "peak_bandwidth",
+    "half_bandwidth_point",
+    "latency_at",
+    "monotone_fraction",
+]
+
+
+def peak_bandwidth(series: Series) -> float:
+    """Largest bandwidth (MB/s) in the sweep."""
+    bw = series.bandwidths()
+    if not bw:
+        raise ValueError("empty series")
+    return max(bw)
+
+
+def half_bandwidth_point(series: Series, *, peak: Optional[float] = None) -> int:
+    """Smallest message size reaching half of peak bandwidth.
+
+    Interpolates linearly (in size) between the bracketing measured
+    points, which is how one reads the number off a NetPIPE curve.
+    """
+    points = series.points
+    if not points:
+        raise ValueError("empty series")
+    target = (peak if peak is not None else peak_bandwidth(series)) / 2.0
+    prev = None
+    for p in points:
+        bw = p.bandwidth_mb_s
+        if bw >= target:
+            if prev is None:
+                return p.nbytes
+            n0, b0 = prev
+            if bw == b0:
+                return p.nbytes
+            frac = (target - b0) / (bw - b0)
+            return round(n0 + frac * (p.nbytes - n0))
+        prev = (p.nbytes, bw)
+    raise ValueError("series never reaches half of peak")
+
+
+def latency_at(series: Series, nbytes: int) -> float:
+    """One-way latency (us) at the smallest measured size >= ``nbytes``."""
+    for p in series.points:
+        if p.nbytes >= nbytes:
+            return p.latency_us
+    raise ValueError(f"no measured size >= {nbytes}")
+
+
+def monotone_fraction(values: Sequence[float]) -> float:
+    """Fraction of consecutive steps that do not decrease.
+
+    Bandwidth curves should be near-monotone; this gives a robust check
+    that tolerates perturbation jitter."""
+    if len(values) < 2:
+        return 1.0
+    good = sum(1 for a, b in zip(values, values[1:]) if b >= a * 0.98)
+    return good / (len(values) - 1)

@@ -1,0 +1,55 @@
+"""The paper's published numbers, as structured data.
+
+One place for every value the reproduction is compared against, so
+EXPERIMENTS.md, the benchmarks and the calibration tests all agree on
+what "the paper says".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PAPER", "PaperNumbers"]
+
+
+@dataclass(frozen=True)
+class PaperNumbers:
+    """Published measurements from CLUSTER'05 Figures 4-7 and the text."""
+
+    # Figure 4: one-byte one-way latencies (us)
+    put_latency_us: float = 5.39
+    get_latency_us: float = 6.60
+    mpich1_latency_us: float = 7.97
+    mpich2_latency_us: float = 8.40
+
+    small_msg_bytes: int = 12
+    """User bytes that ride in the header packet (the Figure 4 step)."""
+
+    # Figure 5: uni-directional ping-pong
+    put_peak_mb_s: float = 1108.76
+    half_bw_pingpong_bytes: int = 7 * 1024
+
+    # Figure 6: streaming
+    half_bw_stream_bytes: int = 5 * 1024
+
+    # Figure 7: bi-directional
+    put_bidir_peak_mb_s: float = 2203.19
+
+    # Section 3.3 overheads
+    trap_ns: float = 75.0
+    interrupt_us: float = 2.0
+
+    # Section 4.2 firmware structures
+    num_sources: int = 1024
+    num_generic_pendings: int = 1274
+    sram_kb: int = 384
+
+    # Section 2 rates
+    link_gb_s: float = 2.5
+    ht_peak_gb_s: float = 2.8
+    mpi_latency_req_nearest_us: float = 2.0
+    mpi_latency_req_farthest_us: float = 5.0
+
+
+PAPER = PaperNumbers()
+"""Singleton with the paper's values."""

@@ -1,0 +1,127 @@
+"""Machine run reports: what every component did during a simulation.
+
+After any run, :func:`machine_report` collects the counters the stack
+keeps everywhere — interrupts and traps per host, firmware message and
+recovery counts, DMA packet counts, pool high-water marks, SRAM
+occupancy, CPU utilization — into one structured dict, and
+:func:`format_machine_report` renders it for humans.  This is the
+observability surface a systems person reaches for when a number looks
+wrong ("how many interrupts did that take?").
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..machine.builder import Machine
+from ..sim.units import to_us
+
+__all__ = ["node_report", "machine_report", "format_machine_report"]
+
+
+def node_report(node) -> dict[str, Any]:
+    """Structured snapshot of one node's counters and utilization."""
+    fw = node.firmware
+    generic = fw.generic
+    report: dict[str, Any] = {
+        "node_id": node.node_id,
+        "os": node.os_type.value,
+        "host": {
+            "interrupts": node.opteron.counters["interrupts"],
+            "interrupts_coalesced": node.opteron.counters["interrupts_coalesced"],
+            "traps": node.opteron.counters["traps"],
+            "syscalls": node.opteron.counters["syscalls"],
+            "busy_us": to_us(node.opteron.busy_time),
+            "utilization": node.opteron.utilization(),
+        },
+        "kernel": dict(node.kernel.counters.snapshot()),
+        "firmware": {
+            "counters": dict(fw.counters.snapshot()),
+            "heartbeat": fw.control.heartbeat,
+            "ppc_busy_us": to_us(node.seastar.ppc.busy_time),
+            "ppc_utilization": node.seastar.ppc.utilization(),
+            "sources_in_use": fw.control.sources.in_use,
+            "sources_high_water": fw.control.sources.high_water,
+        },
+        "dma": {
+            "tx_messages": node.seastar.tx.counters["messages"],
+            "tx_packets": node.seastar.tx.counters["packets"],
+            "rx_headers": (
+                node.seastar.rx.counters["headers"] if node.seastar.rx else 0
+            ),
+            "rx_packets": (
+                node.seastar.rx.counters["packets"] if node.seastar.rx else 0
+            ),
+            "rx_stalls": (
+                node.seastar.rx.counters["stalls"] if node.seastar.rx else 0
+            ),
+        },
+        "sram": {
+            "used": node.seastar.sram.used_bytes,
+            "free": node.seastar.sram.free_bytes,
+        },
+    }
+    if generic is not None:
+        report["firmware"]["rx_pendings_high_water"] = generic.rx_pendings.high_water
+        report["firmware"]["rx_pendings_in_use"] = generic.rx_pendings.in_use
+    return report
+
+
+def machine_report(machine: Machine) -> dict[str, Any]:
+    """Reports for every booted node plus fabric-level totals."""
+    return {
+        "sim_time_us": to_us(machine.now),
+        "fabric": {
+            "chunks_sent": machine.fabric.counters["chunks_sent"],
+            "packets_sent": machine.fabric.counters["packets_sent"],
+            "link_packets": machine.fabric.link.packets_carried,
+            "link_retries": machine.fabric.link.retries,
+        },
+        "nodes": [
+            node_report(node) for _, node in sorted(machine.nodes.items())
+        ],
+    }
+
+
+def format_machine_report(machine: Machine) -> str:
+    """Human-readable rendering of :func:`machine_report`."""
+    data = machine_report(machine)
+    lines = [
+        f"simulated time: {data['sim_time_us']:.1f} us",
+        f"fabric: {data['fabric']['packets_sent']} packets in "
+        f"{data['fabric']['chunks_sent']} chunks"
+        + (
+            f", {data['fabric']['link_retries']} link retries"
+            if data["fabric"]["link_retries"]
+            else ""
+        ),
+    ]
+    for node in data["nodes"]:
+        host = node["host"]
+        fw = node["firmware"]
+        dma = node["dma"]
+        lines.append(
+            f"node {node['node_id']} ({node['os']}): "
+            f"irq={host['interrupts']} (+{host['interrupts_coalesced']} coalesced) "
+            f"traps={host['traps']} host_busy={host['busy_us']:.1f}us "
+            f"({host['utilization']:.0%})"
+        )
+        lines.append(
+            f"  fw: tx_msgs={fw['counters'].get('tx_messages', 0)} "
+            f"rx_hdrs={fw['counters'].get('rx_headers', 0)} "
+            f"heartbeat={fw['heartbeat']} "
+            f"ppc={fw['ppc_busy_us']:.1f}us ({fw['ppc_utilization']:.0%})"
+        )
+        lines.append(
+            f"  dma: tx {dma['tx_packets']} pkts / rx {dma['rx_packets']} pkts"
+            f" (stalls {dma['rx_stalls']}); "
+            f"sram {node['sram']['used']}/{node['sram']['used'] + node['sram']['free']} B"
+        )
+        recovery = {
+            k: v
+            for k, v in fw["counters"].items()
+            if k.startswith(("naks", "retransmits", "gobackn", "exhausted"))
+        }
+        if recovery:
+            lines.append(f"  recovery: {recovery}")
+    return "\n".join(lines)

@@ -1,0 +1,118 @@
+"""Terminal plots for NetPIPE series.
+
+NetPIPE's output is meant to be plotted; this renders the log-x curves
+of Figures 4-7 directly in the terminal so `python -m repro netpipe
+--plot` and the sweep example can show shape, not just tables.  Pure
+text, no dependencies.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+from ..netpipe.runner import Series
+
+__all__ = ["ascii_chart", "plot_series"]
+
+_GLYPHS = "*o+x#@%&"
+
+
+def ascii_chart(
+    xs: Sequence[float],
+    ys_list: Sequence[Sequence[float]],
+    labels: Sequence[str],
+    *,
+    width: int = 72,
+    height: int = 20,
+    logx: bool = True,
+    logy: bool = False,
+    title: str = "",
+    ylabel: str = "",
+) -> str:
+    """Render one or more (x, y) curves as an ASCII scatter chart."""
+    if not xs or not ys_list:
+        raise ValueError("nothing to plot")
+    if any(len(ys) != len(xs) for ys in ys_list):
+        raise ValueError("every series must have one y per x")
+
+    def fx(x: float) -> float:
+        return math.log10(max(x, 1e-12)) if logx else x
+
+    def fy(y: float) -> float:
+        return math.log10(max(y, 1e-12)) if logy else y
+
+    x0, x1 = fx(min(xs)), fx(max(xs))
+    all_y = [y for ys in ys_list for y in ys]
+    y0, y1 = fy(min(all_y)), fy(max(all_y))
+    if x1 == x0:
+        x1 = x0 + 1.0
+    if y1 == y0:
+        y1 = y0 + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for si, ys in enumerate(ys_list):
+        glyph = _GLYPHS[si % len(_GLYPHS)]
+        for x, y in zip(xs, ys):
+            col = round((fx(x) - x0) / (x1 - x0) * (width - 1))
+            row = height - 1 - round((fy(y) - y0) / (y1 - y0) * (height - 1))
+            grid[row][col] = glyph
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{(10 ** y1 if logy else y1):.4g}"
+    bottom_label = f"{(10 ** y0 if logy else y0):.4g}"
+    pad = max(len(top_label), len(bottom_label), len(ylabel)) + 1
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = top_label
+        elif i == height - 1:
+            label = bottom_label
+        elif i == height // 2 and ylabel:
+            label = ylabel
+        else:
+            label = ""
+        lines.append(f"{label:>{pad}} |" + "".join(row))
+    left = f"{(10 ** x0 if logx else x0):.4g}"
+    right = f"{(10 ** x1 if logx else x1):.4g}"
+    axis = " " * pad + " +" + "-" * width
+    lines.append(axis)
+    lines.append(
+        " " * pad + f"  {left}" + " " * max(1, width - len(left) - len(right)) + right
+    )
+    legend = "   ".join(
+        f"{_GLYPHS[i % len(_GLYPHS)]} {label}" for i, label in enumerate(labels)
+    )
+    lines.append(" " * pad + "  " + legend)
+    return "\n".join(lines)
+
+
+def plot_series(
+    series_list: Sequence[Series],
+    *,
+    latency: bool = False,
+    title: Optional[str] = None,
+    **chart_kw,
+) -> str:
+    """Chart NetPIPE series (bandwidth by default, latency on request)."""
+    xs = series_list[0].sizes()
+    for s in series_list:
+        if s.sizes() != list(xs):
+            raise ValueError("series were measured over different sizes")
+    ys_list = [
+        s.latencies_us() if latency else s.bandwidths() for s in series_list
+    ]
+    labels = [s.module for s in series_list]
+    default_title = (
+        f"{series_list[0].pattern}: "
+        + ("one-way latency (us)" if latency else "bandwidth (MB/s)")
+    )
+    return ascii_chart(
+        xs,
+        ys_list,
+        labels,
+        title=title if title is not None else default_title,
+        ylabel="us" if latency else "MB/s",
+        **chart_kw,
+    )

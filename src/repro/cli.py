@@ -1,0 +1,170 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands:
+
+* ``netpipe``  — run one NetPIPE sweep (module x pattern) and print the
+  NetPIPE-style table;
+* ``latency``  — quick 1-byte latency for all four transports vs the
+  paper's Figure 4 anchors;
+* ``sram``     — the firmware SRAM occupancy report (section 4.2);
+* ``topology`` — inspect a machine topology (dims, diameter, a route).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .analysis import PAPER, half_bandwidth_point, latency_at, peak_bandwidth
+from .machine.builder import build_pair, build_redstorm
+from .mpi import MPICH1, MPICH2
+from .netpipe import (
+    MPIModule,
+    PortalsGetModule,
+    PortalsPutModule,
+    decade_sizes,
+    netpipe_sizes,
+    run_series,
+)
+
+__all__ = ["main"]
+
+
+def _module(name: str, accelerated: bool):
+    if name == "put":
+        return PortalsPutModule(accelerated=accelerated)
+    if name == "get":
+        return PortalsGetModule(accelerated=accelerated)
+    if accelerated:
+        raise SystemExit("--accelerated applies to the Portals modules only")
+    if name == "mpich1":
+        return MPIModule(MPICH1)
+    if name == "mpich2":
+        return MPIModule(MPICH2)
+    raise SystemExit(f"unknown module {name!r}")
+
+
+def cmd_netpipe(args) -> int:
+    module = _module(args.module, args.accelerated)
+    sizes = (
+        decade_sizes(args.min_bytes, args.max_bytes)
+        if args.fast
+        else netpipe_sizes(args.min_bytes, args.max_bytes)
+    )
+    series = run_series(module, args.pattern, sizes, hops=args.hops)
+    print(f"# module={series.module} pattern={series.pattern} hops={args.hops}")
+    print(f"{'bytes':>10} {'latency_us':>12} {'MB/s':>10}")
+    for p in series.points:
+        print(f"{p.nbytes:>10} {p.latency_us:>12.3f} {p.bandwidth_mb_s:>10.2f}")
+    if args.plot:
+        from .analysis.viz import plot_series
+
+        print()
+        print(plot_series([series], latency=args.pattern == "pingpong"
+                          and max(sizes) <= 4096))
+    if args.pattern != "pingpong" or max(sizes) >= 1 << 20:
+        print(f"# peak {peak_bandwidth(series):.2f} MB/s, "
+              f"half-bandwidth at {half_bandwidth_point(series)} B")
+    return 0
+
+
+def cmd_latency(args) -> int:
+    anchors = {
+        "put": PAPER.put_latency_us,
+        "get": PAPER.get_latency_us,
+        "mpich1": PAPER.mpich1_latency_us,
+        "mpich2": PAPER.mpich2_latency_us,
+    }
+    print(f"{'module':<10} {'paper_us':>9} {'measured_us':>12}")
+    worst = 0.0
+    for name, anchor in anchors.items():
+        series = run_series(
+            _module(name, False), "pingpong", [1], hops=args.hops
+        )
+        measured = latency_at(series, 1)
+        worst = max(worst, abs(measured - anchor) / anchor)
+        print(f"{name:<10} {anchor:>9.2f} {measured:>12.2f}")
+    print(f"# worst relative deviation: {worst * 100:.1f}%")
+    return 0
+
+
+def cmd_sram(args) -> int:
+    machine, node, _ = build_pair()
+    if args.accelerated_processes:
+        for _ in range(args.accelerated_processes):
+            node.create_process(accelerated=True)
+    print(node.seastar.sram.occupancy_report())
+    return 0
+
+
+def cmd_topology(args) -> int:
+    machine = build_redstorm(tuple(args.dims))
+    topo = machine.topology
+    print(f"dims={topo.dims} wrap={topo.wrap} nodes={topo.num_nodes}")
+    print(f"diameter={topo.diameter()} hops")
+    if args.route:
+        src, dst = args.route
+        path = machine.fabric.router.path(src, dst)
+        print(f"route {src} -> {dst}: {len(path) - 1} hops via {path}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Portals 3.3 / Cray XT3 reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    np_cmd = sub.add_parser("netpipe", help="run one NetPIPE sweep")
+    np_cmd.add_argument(
+        "--module", default="put", choices=["put", "get", "mpich1", "mpich2"]
+    )
+    np_cmd.add_argument(
+        "--pattern", default="pingpong", choices=["pingpong", "stream", "bidir"]
+    )
+    np_cmd.add_argument("--min-bytes", type=int, default=1)
+    np_cmd.add_argument("--max-bytes", type=int, default=1 << 20)
+    np_cmd.add_argument("--hops", type=int, default=1)
+    np_cmd.add_argument("--fast", action="store_true",
+                        help="powers of two only")
+    np_cmd.add_argument("--accelerated", action="store_true",
+                        help="run the Portals module in accelerated mode")
+    np_cmd.add_argument("--plot", action="store_true",
+                        help="render an ASCII chart of the series")
+    np_cmd.set_defaults(func=cmd_netpipe)
+
+    lat_cmd = sub.add_parser("latency", help="1-byte latency vs Figure 4")
+    lat_cmd.add_argument("--hops", type=int, default=1)
+    lat_cmd.set_defaults(func=cmd_latency)
+
+    sram_cmd = sub.add_parser("sram", help="firmware SRAM occupancy report")
+    sram_cmd.add_argument(
+        "--accelerated-processes", type=int, default=0,
+        help="also boot N accelerated processes",
+    )
+    sram_cmd.set_defaults(func=cmd_sram)
+
+    topo_cmd = sub.add_parser("topology", help="inspect a machine topology")
+    topo_cmd.add_argument(
+        "--dims", type=int, nargs=3, default=[27, 16, 24],
+        metavar=("X", "Y", "Z"),
+    )
+    topo_cmd.add_argument(
+        "--route", type=int, nargs=2, metavar=("SRC", "DST"),
+        help="print the fixed route between two node ids",
+    )
+    topo_cmd.set_defaults(func=cmd_topology)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

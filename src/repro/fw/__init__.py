@@ -1,0 +1,51 @@
+"""The SeaStar firmware model (sections 4.1-4.3 of the paper)."""
+
+from .commands import (
+    FwEvent,
+    FwEventKind,
+    InitProcessCmd,
+    NicStatsCmd,
+    ReleasePendingCmd,
+    RxDepositCmd,
+    TxAckCmd,
+    TxGetCmd,
+    TxPutCmd,
+    TxReplyCmd,
+)
+from .firmware import ExhaustionPolicy, Firmware, RetxRecord
+from .mailbox import CommandFifo, Mailbox, ResultFifo
+from .structs import (
+    FreeList,
+    FwProcess,
+    LowerPending,
+    NicControlBlock,
+    PendingKind,
+    Source,
+    UpperPending,
+)
+
+__all__ = [
+    "Firmware",
+    "ExhaustionPolicy",
+    "RetxRecord",
+    "Mailbox",
+    "CommandFifo",
+    "ResultFifo",
+    "FreeList",
+    "FwProcess",
+    "LowerPending",
+    "UpperPending",
+    "NicControlBlock",
+    "PendingKind",
+    "Source",
+    "FwEvent",
+    "FwEventKind",
+    "TxPutCmd",
+    "TxGetCmd",
+    "TxReplyCmd",
+    "TxAckCmd",
+    "RxDepositCmd",
+    "ReleasePendingCmd",
+    "InitProcessCmd",
+    "NicStatsCmd",
+]

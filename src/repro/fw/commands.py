@@ -1,0 +1,168 @@
+"""Host -> firmware commands and firmware -> host events.
+
+Commands mirror section 4.3: transmit commands name a pending id, target
+node, payload location and length (plus pre-computed per-page DMA
+commands for non-contiguous Linux buffers); receive commands name the
+pending, the deposit address and how many bytes to accept (the rest
+implicitly discarded); release-pending returns an RX pending to the
+firmware's free list.
+
+Firmware events are what the host's interrupt handler (generic) or the
+user-level library's poll (accelerated) consumes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+import numpy as np
+
+from ..portals.header import PortalsHeader, ProcessId
+
+__all__ = [
+    "TxPutCmd",
+    "TxGetCmd",
+    "TxReplyCmd",
+    "TxAckCmd",
+    "RxDepositCmd",
+    "ReleasePendingCmd",
+    "InitProcessCmd",
+    "NicStatsCmd",
+    "FwEventKind",
+    "FwEvent",
+]
+
+
+@dataclass(eq=False)
+class TxPutCmd:
+    """Transmit a PUT.  Streamed (no immediate result)."""
+
+    pending_id: int
+    target: ProcessId
+    ptl_index: int
+    match_bits: int
+    payload: Optional[np.ndarray]
+    length: int
+    remote_offset: int = 0
+    hdr_data: int = 0
+    ack_req: bool = False
+    host_ctx: Any = None
+    dma_commands: int = 1
+    """Pre-computed DMA command count (pages for Linux buffers; 1 for
+    physically contiguous Catamount memory)."""
+
+
+@dataclass(eq=False)
+class TxGetCmd:
+    """Transmit a GET request; ``reply_buffer`` is where the reply lands."""
+
+    pending_id: int
+    target: ProcessId
+    ptl_index: int
+    match_bits: int
+    length: int
+    reply_buffer: Optional[np.ndarray]
+    remote_offset: int = 0
+    host_ctx: Any = None
+    dma_commands: int = 1
+    direct_eq: Any = None
+    """User EQ for firmware-direct REPLY_END delivery (no initiator-side
+    interrupt on the reply)."""
+
+    md_ref: Any = None
+    """Initiating MD, for the completion event's md fields."""
+
+
+@dataclass(eq=False)
+class TxReplyCmd:
+    """Transmit a GET reply (target side, generic mode: issued by the
+    kernel after matching)."""
+
+    pending_id: int
+    target: ProcessId
+    initiator_ctx: int
+    payload: Optional[np.ndarray]
+    length: int
+    host_ctx: Any = None
+    dma_commands: int = 1
+    failed: bool = False
+    """Set when the GET did not match: the initiator receives a
+    zero-length reply flagged as dropped."""
+
+    direct_eq: Any = None
+    """Target-side user EQ for firmware-direct GET_END delivery when the
+    reply finishes transmitting (saves the completion interrupt)."""
+
+    direct_event: Any = None
+    """Pre-built GET_END event the firmware posts into ``direct_eq``."""
+
+
+@dataclass(eq=False)
+class TxAckCmd:
+    """Transmit a PUT acknowledgement."""
+
+    pending_id: int
+    target: ProcessId
+    initiator_ctx: int
+    mlength: int
+    offset: int
+    host_ctx: Any = None
+
+
+@dataclass(eq=False)
+class RxDepositCmd:
+    """Program the deposit of a received message's payload.
+
+    ``dest=None`` discards everything (unmatched/dropped messages still
+    have to drain off the wire)."""
+
+    pending_id: int
+    dest: Optional[np.ndarray]
+    accept_bytes: int
+    dma_commands: int = 1
+
+
+@dataclass(eq=False)
+class ReleasePendingCmd:
+    """Host is done with an RX upper pending; recycle the pair."""
+
+    pending_id: int
+
+
+@dataclass(eq=False)
+class InitProcessCmd:
+    """Administrative: (re)announce a host process (returns a result)."""
+
+    host_pid: int
+
+
+@dataclass(eq=False)
+class NicStatsCmd:
+    """Administrative: fetch firmware counters (returns a result)."""
+
+
+class FwEventKind(enum.Enum):
+    """Firmware event types posted to host event queues."""
+
+    TX_COMPLETE = "tx_complete"
+    RX_HEADER = "rx_header"
+    RX_COMPLETE = "rx_complete"
+    REPLY_COMPLETE = "reply_complete"
+    ACK_RECEIVED = "ack_received"
+    SEND_FAILED = "send_failed"
+    """Go-back-N gave up after max retries."""
+
+
+@dataclass(eq=False)
+class FwEvent:
+    """One firmware event (small enough to post atomically, section 4.1)."""
+
+    kind: FwEventKind
+    pending_id: int = -1
+    header: Optional[PortalsHeader] = None
+    host_ctx: Any = None
+    mlength: int = 0
+    offset: int = 0
+    meta: dict = field(default_factory=dict)

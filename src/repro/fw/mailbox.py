@@ -1,0 +1,90 @@
+"""Firmware mailboxes: command and result FIFOs.
+
+Each firmware-level process (the kernel's generic Portals implementation,
+and every accelerated process) owns one mailbox containing a command FIFO
+and a result FIFO (Figure 2).  The host posts a command by writing it and
+bumping the tail index — one posted HT write; the firmware consumes at the
+head.  Commands that return a value make the host busy-wait on the result
+FIFO; commands that don't (e.g. transmit) can be streamed back-to-back,
+which is exactly why transmit returns no immediate result (footnote 1 of
+the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from ..sim import Channel, Counters, Event, Simulator
+
+__all__ = ["CommandFifo", "ResultFifo", "Mailbox"]
+
+
+class CommandFifo:
+    """Host -> firmware command ring.
+
+    Modeled as an unbounded channel with head/tail accounting; the real
+    ring's bound shows up as the pending-pool limits instead (a command
+    cannot be issued without a pending to name).
+    """
+
+    def __init__(self, sim: Simulator, name: str = ""):
+        self._chan = Channel(sim, name=name)
+        self.head = 0
+        self.tail = 0
+
+    def post(self, command: Any) -> None:
+        """Host side: append ``command`` and bump the tail index."""
+        self.tail += 1
+        self._chan.put(command)
+
+    def get(self) -> Event:
+        """Firmware side: event yielding the next command in order."""
+        return self._chan.get()
+
+    def consumed(self) -> None:
+        """Firmware side: advance the head index after handling."""
+        self.head += 1
+
+    @property
+    def depth(self) -> int:
+        """Commands posted but not yet consumed."""
+        return self.tail - self.head
+
+
+class ResultFifo:
+    """Firmware -> host result ring (host busy-waits on it)."""
+
+    def __init__(self, sim: Simulator, name: str = ""):
+        self._chan = Channel(sim, name=name)
+
+    def post(self, result: Any) -> None:
+        """Firmware side: deliver a result."""
+        self._chan.put(result)
+
+    def wait(self) -> Event:
+        """Host side: event yielding the next result (busy-wait)."""
+        return self._chan.get()
+
+
+class Mailbox:
+    """One process's command + result FIFO pair."""
+
+    def __init__(self, sim: Simulator, name: str = ""):
+        self.sim = sim
+        self.name = name
+        self.commands = CommandFifo(sim, name=f"{name}:cmd")
+        self.results = ResultFifo(sim, name=f"{name}:res")
+        self.stats = Counters()
+
+    def post_command(self, command: Any) -> None:
+        """Host side: stream one command (no result expected)."""
+        self.stats.incr("commands")
+        self.commands.post(command)
+
+    def post_command_await_result(self, command: Any) -> Generator:
+        """Host side coroutine: post and busy-wait for the result."""
+        self.stats.incr("commands")
+        self.stats.incr("synchronous_commands")
+        self.commands.post(command)
+        result = yield self.results.wait()
+        return result

@@ -1,0 +1,24 @@
+"""SeaStar and node hardware models (Figure 1 of the paper)."""
+
+from .config import DEFAULT_CONFIG, SeaStarConfig
+from .dma import DepositPlan, RxDmaEngine, Transmission, TxDmaEngine
+from .hypertransport import HyperTransport
+from .processors import Opteron, PowerPC440
+from .seastar import SeaStar
+from .sram import SramAllocator, SramExhausted, SramPool
+
+__all__ = [
+    "SeaStarConfig",
+    "DEFAULT_CONFIG",
+    "SeaStar",
+    "TxDmaEngine",
+    "RxDmaEngine",
+    "Transmission",
+    "DepositPlan",
+    "HyperTransport",
+    "PowerPC440",
+    "Opteron",
+    "SramAllocator",
+    "SramPool",
+    "SramExhausted",
+]

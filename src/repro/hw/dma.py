@@ -1,0 +1,212 @@
+"""TX and RX DMA engine models.
+
+The engines are the SeaStar's workhorses: the TX engine reads message data
+from host memory over HT and packetizes it onto the wire; the RX engine
+de-multiplexes arriving packets into host buffers *according to commands
+programmed by the firmware* (section 4.3).  Both are modeled as single
+processes with an effective per-64-byte-packet processing cost that was
+derived from the paper's measured peak bandwidth (see
+``SeaStarConfig.tx_dma_per_packet``) — that one number subsumes the HT
+transfer, engine occupancy and link serialization of the steady-state
+pipeline, which is why per-chunk HT time is *not* charged separately (it
+would double count the bottleneck).  One HT round-trip latency is charged
+per message for the initial descriptor/data fetch.
+
+Key behavioural points reproduced:
+
+* All transmits serialize through a single TX FIFO regardless of
+  destination (paper: section 4.3) — the engine is one process.
+* A transmit yields when the wire backs up (the fabric window models the
+  TX FIFO filling).
+* The RX engine can only deposit a message once the firmware has
+  programmed a :class:`DepositPlan` for it; payload chunks of an
+  unprogrammed message stall the engine (head-of-line), which is the
+  mechanism behind both the generic-mode latency shape and the resource-
+  exhaustion scenarios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from ..net.fabric import Fabric, NetworkPort
+from ..net.packet import WireChunk
+from ..sim import Channel, Counters, Event, Simulator
+from .config import SeaStarConfig
+
+__all__ = ["Transmission", "DepositPlan", "TxDmaEngine", "RxDmaEngine"]
+
+
+@dataclass(eq=False)
+class Transmission:
+    """One message queued on the TX engine."""
+
+    chunks: list[WireChunk]
+    on_sent: Callable[["Transmission"], None]
+    """Invoked when the last chunk has been handed to the wire — the point
+    at which the firmware unlinks the TX pending and posts completion."""
+
+    tag: Any = None
+    """Opaque firmware context (the lower pending)."""
+
+    started_at: Optional[int] = None
+    finished_at: Optional[int] = None
+
+    @property
+    def total_bytes(self) -> int:
+        """Payload bytes (including any inline header payload)."""
+        return sum(c.nbytes for c in self.chunks)
+
+
+@dataclass(eq=False)
+class DepositPlan:
+    """Firmware-programmed instructions for depositing one message.
+
+    ``dest`` is a writable NumPy byte view (or None to discard);
+    ``accept_bytes`` bounds how much of the body is stored (truncation —
+    the rest is discarded, "implicitly the number of bytes to discard" in
+    the paper's receive-command description).
+    """
+
+    msg_id: int
+    dest: Optional[np.ndarray]
+    accept_bytes: int
+    on_complete: Callable[["DepositPlan"], None]
+    tag: Any = None
+    deposited_bytes: int = 0
+    discarded_bytes: int = 0
+    meta: dict = field(default_factory=dict)
+
+
+class TxDmaEngine:
+    """Transmit side: streams queued transmissions onto the fabric."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: SeaStarConfig,
+        fabric: Fabric,
+        node_id: int,
+    ):
+        self.sim = sim
+        self.config = config
+        self.fabric = fabric
+        self.node_id = node_id
+        self.queue: Channel = Channel(sim, name=f"txq:{node_id}")
+        self.counters = Counters()
+        self.busy_time = 0
+        sim.process(self._run(), name=f"txdma:{node_id}")
+
+    def submit(self, tx: Transmission) -> None:
+        """Enqueue a message for transmission (firmware-side call)."""
+        if not tx.chunks:
+            raise ValueError("transmission has no chunks")
+        self.queue.put(tx)
+        self.counters.incr("submitted")
+
+    def _run(self):
+        cfg = self.config
+        while True:
+            tx: Transmission = yield self.queue.get()
+            tx.started_at = self.sim.now
+            # Initial fetch of header/descriptor from host memory.
+            yield self.sim.timeout(cfg.ht_read_latency)
+            for chunk in tx.chunks:
+                cost = chunk.npackets * cfg.tx_dma_per_packet
+                yield self.sim.timeout(cost)
+                self.busy_time += cost
+                # Blocks when the wire window (TX FIFO) is full: the
+                # transmit state machine "yields ... until there is more
+                # room in the FIFO".
+                yield self.fabric.send(chunk)
+                self.counters.incr("packets", chunk.npackets)
+            tx.finished_at = self.sim.now
+            self.counters.incr("messages")
+            tx.on_sent(tx)
+
+
+class RxDmaEngine:
+    """Receive side: consumes arriving chunks from the node's port.
+
+    Header chunks are handed to ``on_header`` (the firmware's new-message
+    handler).  Payload chunks wait for their :class:`DepositPlan`, then are
+    copied into the destination buffer with per-packet cost.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: SeaStarConfig,
+        port: NetworkPort,
+        on_header: Callable[[WireChunk], None],
+    ):
+        self.sim = sim
+        self.config = config
+        self.port = port
+        self.on_header = on_header
+        self.counters = Counters()
+        self.busy_time = 0
+        self._plans: dict[int, DepositPlan] = {}
+        self._plan_waiter: Optional[tuple[int, Event]] = None
+        sim.process(self._run(), name=f"rxdma:{port.node_id}")
+
+    # -- firmware interface ---------------------------------------------------
+    def program(self, plan: DepositPlan) -> None:
+        """Install the deposit plan for ``plan.msg_id`` (firmware call)."""
+        if plan.msg_id in self._plans:
+            raise ValueError(f"message {plan.msg_id} already programmed")
+        self._plans[plan.msg_id] = plan
+        if self._plan_waiter is not None and self._plan_waiter[0] == plan.msg_id:
+            _, event = self._plan_waiter
+            self._plan_waiter = None
+            event.succeed(plan)
+
+    def pending_plans(self) -> int:
+        """Number of installed-but-unfinished plans."""
+        return len(self._plans)
+
+    # -- engine ----------------------------------------------------------------
+    def _run(self):
+        cfg = self.config
+        while True:
+            chunk: WireChunk = yield self.port.rx.get()
+            if chunk.is_header:
+                cost = chunk.npackets * cfg.rx_dma_per_packet
+                yield self.sim.timeout(cost)
+                self.busy_time += cost
+                self.counters.incr("headers")
+                self.on_header(chunk)
+                continue
+            plan = self._plans.get(chunk.msg_id)
+            if plan is None:
+                # Head-of-line stall until the firmware programs the engine
+                # for this message (generic mode: after the host interrupt
+                # and match).  Subsequent traffic backs up behind us,
+                # backpressuring the wire.
+                waiter = Event(self.sim)
+                self._plan_waiter = (chunk.msg_id, waiter)
+                self.counters.incr("stalls")
+                plan = yield waiter
+            cost = chunk.npackets * cfg.rx_dma_per_packet
+            yield self.sim.timeout(cost)
+            self.busy_time += cost
+            self.counters.incr("packets", chunk.npackets)
+            self._deposit(plan, chunk)
+            if chunk.is_last:
+                del self._plans[chunk.msg_id]
+                self.counters.incr("messages")
+                plan.on_complete(plan)
+
+    def _deposit(self, plan: DepositPlan, chunk: WireChunk) -> None:
+        """Copy the accepted portion of a payload chunk to host memory."""
+        start = chunk.payload_offset
+        end = start + chunk.nbytes
+        take_end = min(end, plan.accept_bytes)
+        take = max(0, take_end - start)
+        if take > 0 and plan.dest is not None and chunk.payload is not None:
+            plan.dest[start : start + take] = chunk.payload[:take]
+        plan.deposited_bytes += take
+        plan.discarded_bytes += chunk.nbytes - take

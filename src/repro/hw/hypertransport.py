@@ -1,0 +1,57 @@
+"""HyperTransport cave model.
+
+The SeaStar talks to the Opteron over 800 MHz HyperTransport: 3.2 GB/s
+theoretical per direction, ~2.8 GB/s peak payload (section 2).  Crossing HT
+is the reason for two design rules the paper calls out:
+
+* the firmware **never reads host memory** on the normal path (a read is a
+  high-latency round trip, ``ht_read_latency``), it only writes; and
+* the host must program the DMA engines *indirectly* via mailbox commands,
+  because "transactions across the HyperTransport bus require too much time
+  to allow the host processor to program these engines".
+
+This module provides those cost calculators plus byte-rate transfer times.
+Each direction of HT is its own capacity-1 resource so sustained DMA reads
+(TX) and writes (RX) are serialized within a direction but independent
+across directions — which is what lets Figure 7's bi-directional test reach
+2x the uni-directional rate.
+"""
+
+from __future__ import annotations
+
+from ..sim import Resource, Simulator
+from ..sim.units import transfer_time
+from .config import SeaStarConfig
+
+__all__ = ["HyperTransport"]
+
+
+class HyperTransport:
+    """Timing model for one node's HT link between Opteron and SeaStar."""
+
+    def __init__(self, sim: Simulator, config: SeaStarConfig):
+        self.sim = sim
+        self.config = config
+        self.to_nic = Resource(sim, capacity=1, name="ht:to_nic")
+        self.to_host = Resource(sim, capacity=1, name="ht:to_host")
+
+    def write_latency(self) -> int:
+        """Posted-write latency (host->NIC command, NIC->host event), ps."""
+        return self.config.ht_write_latency
+
+    def read_latency(self) -> int:
+        """Round-trip read latency (the expensive operation the firmware
+        avoids), ps."""
+        return self.config.ht_read_latency
+
+    def payload_time(self, nbytes: int) -> int:
+        """Pure transfer time for ``nbytes`` at HT payload rate, ps."""
+        return transfer_time(nbytes, self.config.ht_bytes_per_s)
+
+    def dma_read(self, nbytes: int):
+        """Coroutine: NIC reads ``nbytes`` from host memory (TX path)."""
+        yield from self.to_nic.use(self.read_latency() + self.payload_time(nbytes))
+
+    def dma_write(self, nbytes: int):
+        """Coroutine: NIC writes ``nbytes`` to host memory (RX path)."""
+        yield from self.to_host.use(self.write_latency() + self.payload_time(nbytes))

@@ -1,0 +1,56 @@
+"""SeaStar ASIC assembly.
+
+Bundles the blocks of Figure 1 — TX/RX DMA engines, the embedded PowerPC,
+local SRAM and the HyperTransport cave — behind one object per node.  The
+router itself lives in :mod:`repro.net` (it is shared fabric state); the
+SeaStar holds this node's attachment port.
+
+The RX engine needs the firmware's new-header entry point, so construction
+is two-phase: build the SeaStar, then :meth:`attach_firmware`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..net.fabric import Fabric, NetworkPort
+from ..net.packet import WireChunk
+from ..sim import Simulator
+from .config import SeaStarConfig
+from .dma import RxDmaEngine, TxDmaEngine
+from .hypertransport import HyperTransport
+from .processors import PowerPC440
+from .sram import SramAllocator
+
+__all__ = ["SeaStar"]
+
+
+class SeaStar:
+    """One node's network interface chip."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: SeaStarConfig,
+        fabric: Fabric,
+        node_id: int,
+    ):
+        self.sim = sim
+        self.config = config
+        self.node_id = node_id
+        self.port: NetworkPort = fabric.attach(node_id)
+        self.ppc = PowerPC440(sim, config, name=f"ppc:{node_id}")
+        self.sram = SramAllocator(config.sram_bytes)
+        self.ht = HyperTransport(sim, config)
+        self.tx = TxDmaEngine(sim, config, fabric, node_id)
+        self.rx: RxDmaEngine | None = None
+
+    def attach_firmware(self, on_header: Callable[[WireChunk], None]) -> RxDmaEngine:
+        """Wire the firmware's new-message handler into the RX engine.
+
+        Must be called exactly once before any traffic arrives.
+        """
+        if self.rx is not None:
+            raise RuntimeError("firmware already attached to this SeaStar")
+        self.rx = RxDmaEngine(self.sim, self.config, self.port, on_header)
+        return self.rx

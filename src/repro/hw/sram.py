@@ -1,0 +1,94 @@
+"""SeaStar local SRAM accounting.
+
+The SeaStar has 384 KB of on-chip scratch SRAM (section 2) and the firmware
+does **no dynamic allocation**: every structure is carved out of named pools
+at initialization (section 4.2).  :class:`SramAllocator` reproduces that
+discipline — pools are reserved once, reservation beyond capacity fails,
+and occupancy follows the paper's formula
+
+    M = S * Ssize + sum_i(P_i * Psize)
+
+which `tests` and `benchmarks/bench_inline_sram.py` check directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SramAllocator", "SramExhausted", "SramPool"]
+
+
+class SramExhausted(RuntimeError):
+    """A pool reservation exceeded the 384 KB of local SRAM."""
+
+
+@dataclass(frozen=True)
+class SramPool:
+    """One named, fixed-size reservation."""
+
+    name: str
+    count: int
+    item_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes this pool occupies."""
+        return self.count * self.item_bytes
+
+
+class SramAllocator:
+    """Tracks named pool reservations against a fixed capacity."""
+
+    def __init__(self, capacity_bytes: int):
+        if capacity_bytes <= 0:
+            raise ValueError("SRAM capacity must be positive")
+        self.capacity_bytes = capacity_bytes
+        self._pools: dict[str, SramPool] = {}
+
+    @property
+    def used_bytes(self) -> int:
+        """Total bytes reserved across all pools."""
+        return sum(p.total_bytes for p in self._pools.values())
+
+    @property
+    def free_bytes(self) -> int:
+        """Unreserved capacity."""
+        return self.capacity_bytes - self.used_bytes
+
+    def reserve(self, name: str, count: int, item_bytes: int) -> SramPool:
+        """Reserve ``count`` items of ``item_bytes`` each under ``name``.
+
+        Raises :class:`SramExhausted` if the reservation does not fit and
+        :class:`ValueError` on a duplicate pool name — the firmware never
+        resizes a pool at runtime.
+        """
+        if name in self._pools:
+            raise ValueError(f"pool {name!r} already reserved")
+        if count < 0 or item_bytes < 0:
+            raise ValueError("pool sizes must be non-negative")
+        pool = SramPool(name, count, item_bytes)
+        if pool.total_bytes > self.free_bytes:
+            raise SramExhausted(
+                f"pool {name!r} needs {pool.total_bytes} B but only "
+                f"{self.free_bytes} B of {self.capacity_bytes} B remain"
+            )
+        self._pools[name] = pool
+        return pool
+
+    def pool(self, name: str) -> SramPool:
+        """Look up a reservation by name."""
+        return self._pools[name]
+
+    def pools(self) -> dict[str, SramPool]:
+        """Snapshot of all reservations."""
+        return dict(self._pools)
+
+    def occupancy_report(self) -> str:
+        """Multi-line human-readable occupancy summary."""
+        lines = [f"SeaStar SRAM: {self.used_bytes}/{self.capacity_bytes} bytes"]
+        for pool in sorted(self._pools.values(), key=lambda p: -p.total_bytes):
+            lines.append(
+                f"  {pool.name:<24} {pool.count:>6} x {pool.item_bytes:>5} B"
+                f" = {pool.total_bytes:>8} B"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,6 @@
+"""Machine assembly: nodes and whole-system builders."""
+
+from .builder import Machine, build_pair, build_redstorm
+from .node import Node
+
+__all__ = ["Machine", "Node", "build_pair", "build_redstorm"]

@@ -1,0 +1,104 @@
+"""Machine builders: from a two-node benchmark pair to Red Storm.
+
+:class:`Machine` owns the simulator, the fabric and the nodes.  Nodes are
+created lazily (`node(i)`), so a Red Storm-shaped topology (10k+ slots)
+costs nothing until nodes are actually booted.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..fw.firmware import ExhaustionPolicy
+from ..hw.config import DEFAULT_CONFIG, SeaStarConfig
+from ..net.fabric import Fabric
+from ..net.topology import Torus3D
+from ..oskern.kernel import OSType
+from ..sim import Simulator
+from .node import Node
+
+__all__ = ["Machine", "build_pair", "build_redstorm"]
+
+
+class Machine:
+    """A simulated XT3 installation."""
+
+    def __init__(
+        self,
+        topology: Torus3D,
+        config: SeaStarConfig = DEFAULT_CONFIG,
+        *,
+        os_type: OSType = OSType.CATAMOUNT,
+        policy: ExhaustionPolicy = ExhaustionPolicy.PANIC,
+        seed: int = 0,
+        trace: bool = False,
+    ):
+        self.sim = Simulator()
+        self.config = config
+        self.topology = topology
+        self.os_type = os_type
+        self.policy = policy
+        self.fabric = Fabric(self.sim, topology, config, seed=seed)
+        self.nodes: dict[int, Node] = {}
+        from ..sim import Tracer
+
+        self.tracer: Tracer | None = Tracer(self.sim) if trace else None
+
+    def node(self, node_id: int, *, os_type: Optional[OSType] = None) -> Node:
+        """Boot (or fetch) the node at ``node_id``."""
+        existing = self.nodes.get(node_id)
+        if existing is not None:
+            return existing
+        node = Node(
+            self.sim,
+            self.config,
+            self.fabric,
+            node_id,
+            os_type=os_type or self.os_type,
+            policy=self.policy,
+            tracer=self.tracer,
+        )
+        self.nodes[node_id] = node
+        return node
+
+    def run(self, until: Optional[int] = None) -> int:
+        """Advance the simulation."""
+        return self.sim.run(until=until)
+
+    @property
+    def now(self) -> int:
+        """Current simulation time (ps)."""
+        return self.sim.now
+
+
+def build_pair(
+    config: SeaStarConfig = DEFAULT_CONFIG,
+    *,
+    os_type: OSType = OSType.CATAMOUNT,
+    policy: ExhaustionPolicy = ExhaustionPolicy.PANIC,
+    hops: int = 1,
+    trace: bool = False,
+) -> tuple[Machine, Node, Node]:
+    """Two nodes ``hops`` apart on a line — the NetPIPE configuration.
+
+    ``hops=1`` is the nearest-neighbor placement of the paper's tests.
+    """
+    if hops < 0:
+        raise ValueError("hops must be >= 0")
+    length = max(2, hops + 1)
+    topo = Torus3D((length, 1, 1), wrap=(False, False, False))
+    machine = Machine(topo, config, os_type=os_type, policy=policy, trace=trace)
+    a = machine.node(0)
+    b = machine.node(hops if hops > 0 else 1)
+    return machine, a, b
+
+
+def build_redstorm(
+    dims: tuple[int, int, int] = (27, 16, 24),
+    config: SeaStarConfig = DEFAULT_CONFIG,
+    **kw,
+) -> Machine:
+    """A Red Storm-shaped machine: mesh in x/y, torus only in z
+    (section 5.1), 27x16x24 = 10,368 node slots by default."""
+    topo = Torus3D(dims, wrap=(False, False, True))
+    return Machine(topo, config, **kw)

@@ -1,0 +1,136 @@
+"""One XT3 node: Opteron + SeaStar + firmware + OS kernel + bridges.
+
+:class:`Node` performs the full assembly for one of the paper's four
+deployment cases (section 3.1):
+
+* Catamount compute node, generic applications — ``os_type=CATAMOUNT``,
+  ``create_process()``;
+* Catamount compute node, accelerated application — ``create_process(
+  accelerated=True)``;
+* Linux service node, user services + kernel Lustre — ``os_type=LINUX``,
+  ``create_process()`` (ukbridge) and ``create_kernel_client()``
+  (kbridge), simultaneously;
+* Linux compute node, single user application — ``os_type=LINUX``.
+
+The firmware image is the same object regardless, as on the real machine.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from ..fw.firmware import ExhaustionPolicy, Firmware
+from ..hw.config import SeaStarConfig
+from ..hw.processors import Opteron
+from ..hw.seastar import SeaStar
+from ..nal.accel import AcceleratedBridge
+from ..nal.bridges import KBridge, QKBridge, UKBridge
+from ..nal.ssnal import SSNAL
+from ..net.fabric import Fabric
+from ..oskern.kernel import Kernel, OSType
+from ..oskern.process import HostProcess
+from ..portals.header import ProcessId
+from ..portals.ni import NetworkInterface, NILimits
+from ..sim import Simulator
+
+__all__ = ["Node"]
+
+
+class Node:
+    """A fully assembled Red Storm / XT3 node."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: SeaStarConfig,
+        fabric: Fabric,
+        node_id: int,
+        *,
+        os_type: OSType = OSType.CATAMOUNT,
+        policy: ExhaustionPolicy = ExhaustionPolicy.PANIC,
+        tracer=None,
+    ):
+        self.sim = sim
+        self.config = config
+        self.node_id = node_id
+        self.os_type = os_type
+        self.opteron = Opteron(sim, config, name=f"host:{node_id}")
+        self.seastar = SeaStar(sim, config, fabric, node_id)
+        self.firmware = Firmware(sim, config, self.seastar, policy=policy)
+        self.firmware.tracer = tracer
+        self.kernel = Kernel(sim, config, self.opteron, self.firmware, os_type)
+        self.kernel.tracer = tracer
+        self.ssnal = SSNAL(self.kernel)
+        self._pids = itertools.count(1)
+        self.processes: dict[int, HostProcess] = {}
+
+    def create_process(
+        self,
+        *,
+        pid: Optional[int] = None,
+        accelerated: bool = False,
+        limits: Optional[NILimits] = None,
+    ) -> HostProcess:
+        """Start an application process on this node.
+
+        Generic processes get the OS-appropriate bridge (qkbridge on
+        Catamount, ukbridge on Linux); ``accelerated=True`` wires the
+        process straight to a dedicated firmware mailbox.
+        """
+        pid = next(self._pids) if pid is None else pid
+        if accelerated:
+            ni = NetworkInterface(
+                id=ProcessId(self.node_id, pid),
+                limits=limits or NILimits(),
+                accelerated=True,
+            )
+            bridge = AcceleratedBridge(
+                self.sim, self.firmware, self.kernel, self.opteron, pid, ni
+            )
+            proc = HostProcess(
+                self.sim,
+                self.node_id,
+                pid,
+                bridge,
+                self.kernel.memory,
+                accelerated=True,
+                limits=limits,
+            )
+            # The bridge built the NI first (the firmware needs it); keep
+            # the process's API bound to that same NI.
+            proc.ni = ni
+            proc.api.ni = ni
+        else:
+            bridge_cls = QKBridge if self.os_type is OSType.CATAMOUNT else UKBridge
+            bridge = bridge_cls(self.sim, self.ssnal, self.opteron, pid)
+            proc = HostProcess(
+                self.sim,
+                self.node_id,
+                pid,
+                bridge,
+                self.kernel.memory,
+                limits=limits,
+            )
+            self.kernel.register_user(pid, proc.ni)
+        self.processes[pid] = proc
+        return proc
+
+    def create_kernel_client(
+        self, *, pid: Optional[int] = None, limits: Optional[NILimits] = None
+    ) -> HostProcess:
+        """Start a kernel-level Portals client (the Lustre case, kbridge).
+
+        Only meaningful on Linux nodes; coexists with user-level
+        processes on the same SSNAL.
+        """
+        if self.os_type is not OSType.LINUX:
+            raise RuntimeError("kernel-level clients (kbridge) are a Linux case")
+        pid = next(self._pids) if pid is None else pid
+        bridge = KBridge(self.sim, self.ssnal, self.opteron, pid)
+        proc = HostProcess(
+            self.sim, self.node_id, pid, bridge, self.kernel.memory, limits=limits
+        )
+        self.kernel.register_user(pid, proc.ni)
+        self.processes[pid] = proc
+        return proc

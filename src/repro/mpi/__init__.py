@@ -1,0 +1,47 @@
+"""MPI over Portals: MPICH-1.2.6 and MPICH2 models (paper section 5.1)."""
+
+from .collectives import allreduce, barrier, bcast, gather, reduce
+from .collectives2 import allgather, alltoall, scatter
+from .envelope import (
+    MPI_ANY_SOURCE,
+    MPI_ANY_TAG,
+    PT_P2P,
+    PT_RNDV,
+    Envelope,
+    decode_envelope,
+    decode_rts,
+    encode_envelope,
+    encode_rts,
+    recv_match,
+)
+from .pt2pt import MPICH1, MPICH2, MPIFlavor, MPIProcess, Request, Status
+from .world import create_world, run_world
+
+__all__ = [
+    "MPIProcess",
+    "MPIFlavor",
+    "MPICH1",
+    "MPICH2",
+    "Request",
+    "Status",
+    "MPI_ANY_SOURCE",
+    "MPI_ANY_TAG",
+    "PT_P2P",
+    "PT_RNDV",
+    "Envelope",
+    "encode_envelope",
+    "decode_envelope",
+    "encode_rts",
+    "decode_rts",
+    "recv_match",
+    "create_world",
+    "run_world",
+    "barrier",
+    "bcast",
+    "reduce",
+    "allreduce",
+    "gather",
+    "scatter",
+    "allgather",
+    "alltoall",
+]

@@ -1,0 +1,145 @@
+"""Collective operations built on the point-to-point layer.
+
+Small, classical algorithms (the kind the era's MPICH used):
+
+* barrier — dissemination;
+* bcast — binomial tree;
+* reduce / allreduce — binomial tree combine + bcast;
+* gather — linear to root.
+
+All are coroutines over :class:`~repro.mpi.pt2pt.MPIProcess` and use a
+reserved high tag space so they never collide with application traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Optional
+
+import numpy as np
+
+from .pt2pt import MPIProcess
+
+__all__ = ["barrier", "bcast", "reduce", "allreduce", "gather"]
+
+_COLL_TAG_BASE = 0x7FFF0000
+
+
+def barrier(mpi: MPIProcess, *, tag: int = _COLL_TAG_BASE) -> Generator:
+    """Dissemination barrier: ceil(log2(n)) rounds of exchanges."""
+    size = mpi.size
+    if size == 1:
+        return
+    rank = mpi.rank
+    token = np.zeros(1, dtype=np.uint8)
+    scratch = np.zeros(1, dtype=np.uint8)
+    round_no = 0
+    distance = 1
+    while distance < size:
+        dest = (rank + distance) % size
+        src = (rank - distance) % size
+        status = yield from mpi.sendrecv(
+            token, dest, scratch, source=src, tag=tag + round_no
+        )
+        assert status.count == 1
+        distance *= 2
+        round_no += 1
+
+
+def bcast(
+    mpi: MPIProcess, buf: np.ndarray, root: int = 0, *, tag: int = _COLL_TAG_BASE + 64
+) -> Generator:
+    """Binomial-tree broadcast of ``buf`` from ``root``."""
+    size = mpi.size
+    if size == 1:
+        return
+    vrank = (mpi.rank - root) % size
+    # Receive phase: find our parent.
+    mask = 1
+    while mask < size:
+        if vrank & mask:
+            parent = ((vrank - mask) + root) % size
+            yield from mpi.recv(buf, source=parent, tag=tag)
+            break
+        mask <<= 1
+    # Send phase: forward to children below our bit.
+    mask >>= 1
+    while mask > 0:
+        if vrank + mask < size:
+            child = ((vrank + mask) + root) % size
+            yield from mpi.send(buf, child, tag=tag)
+        mask >>= 1
+
+
+def reduce(
+    mpi: MPIProcess,
+    sendbuf: np.ndarray,
+    recvbuf: Optional[np.ndarray],
+    op: Callable[[np.ndarray, np.ndarray], np.ndarray] = np.add,
+    root: int = 0,
+    *,
+    tag: int = _COLL_TAG_BASE + 128,
+) -> Generator:
+    """Binomial-tree reduction to ``root``.
+
+    ``op`` combines two byte arrays elementwise (e.g. ``np.add``,
+    ``np.maximum``).  Buffers are uint8 views of whatever the caller is
+    reducing; for numeric reductions, view your data as bytes.
+    """
+    size = mpi.size
+    rank = mpi.rank
+    acc = np.array(sendbuf, copy=True)
+    scratch = np.empty_like(acc)
+    vrank = (rank - root) % size
+    mask = 1
+    while mask < size:
+        if vrank & mask:
+            parent = ((vrank - mask) + root) % size
+            yield from mpi.send(acc, parent, tag=tag)
+            break
+        peer_v = vrank + mask
+        if peer_v < size:
+            peer = (peer_v + root) % size
+            yield from mpi.recv(scratch, source=peer, tag=tag)
+            acc = op(acc, scratch)
+        mask <<= 1
+    if rank == root and recvbuf is not None:
+        recvbuf[:] = acc
+    return acc if rank == root else None
+
+
+def allreduce(
+    mpi: MPIProcess,
+    sendbuf: np.ndarray,
+    recvbuf: np.ndarray,
+    op: Callable[[np.ndarray, np.ndarray], np.ndarray] = np.add,
+    *,
+    tag: int = _COLL_TAG_BASE + 192,
+) -> Generator:
+    """Reduce to rank 0 then broadcast (simple two-phase allreduce)."""
+    yield from reduce(mpi, sendbuf, recvbuf, op, root=0, tag=tag)
+    yield from bcast(mpi, recvbuf, root=0, tag=tag + 32)
+
+
+def gather(
+    mpi: MPIProcess,
+    sendbuf: np.ndarray,
+    recvbuf: Optional[np.ndarray],
+    root: int = 0,
+    *,
+    tag: int = _COLL_TAG_BASE + 256,
+) -> Generator:
+    """Linear gather of equal-sized contributions to ``root``."""
+    n = len(sendbuf)
+    if mpi.rank == root:
+        if recvbuf is None or len(recvbuf) < n * mpi.size:
+            raise ValueError("root needs recvbuf of size n * comm size")
+        recvbuf[root * n : (root + 1) * n] = sendbuf
+        for src in range(mpi.size):
+            if src == root:
+                continue
+            status = yield from mpi.recv(
+                recvbuf[src * n : (src + 1) * n], source=src, tag=tag
+            )
+            assert status.count == n
+    else:
+        yield from mpi.send(sendbuf, root, tag=tag)

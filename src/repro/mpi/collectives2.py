@@ -1,0 +1,116 @@
+"""Additional collectives: scatter, allgather, alltoall.
+
+Classical linear/ring algorithms layered on the point-to-point engine,
+completing the collective set scientific codes of the Red Storm era
+actually used (FFT transposes are alltoall; domain loading is scatter).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+import numpy as np
+
+from .pt2pt import MPIProcess
+
+__all__ = ["scatter", "allgather", "alltoall"]
+
+_TAG_BASE = 0x7FFE0000
+
+
+def scatter(
+    mpi: MPIProcess,
+    sendbuf: Optional[np.ndarray],
+    recvbuf: np.ndarray,
+    root: int = 0,
+    *,
+    tag: int = _TAG_BASE,
+) -> Generator:
+    """Root distributes equal slices of ``sendbuf``; each rank receives
+    its slice into ``recvbuf``."""
+    n = len(recvbuf)
+    if mpi.rank == root:
+        if sendbuf is None or len(sendbuf) < n * mpi.size:
+            raise ValueError("root needs sendbuf of size n * comm size")
+        recvbuf[:] = sendbuf[root * n : (root + 1) * n]
+        for dst in range(mpi.size):
+            if dst == root:
+                continue
+            yield from mpi.send(sendbuf[dst * n : (dst + 1) * n], dst, tag=tag)
+    else:
+        status = yield from mpi.recv(recvbuf, source=root, tag=tag)
+        if status.count != n:
+            raise RuntimeError(
+                f"scatter short read: {status.count} != {n}"
+            )
+
+
+def allgather(
+    mpi: MPIProcess,
+    sendbuf: np.ndarray,
+    recvbuf: np.ndarray,
+    *,
+    tag: int = _TAG_BASE + 64,
+) -> Generator:
+    """Ring allgather: after ``size - 1`` steps every rank holds every
+    contribution, ordered by rank."""
+    n = len(sendbuf)
+    size = mpi.size
+    if len(recvbuf) < n * size:
+        raise ValueError("recvbuf must hold n * comm size bytes")
+    recvbuf[mpi.rank * n : (mpi.rank + 1) * n] = sendbuf
+    if size == 1:
+        return
+    right = (mpi.rank + 1) % size
+    left = (mpi.rank - 1) % size
+    # pass blocks around the ring; at step s we forward the block that
+    # originated at (rank - s) mod size
+    for step in range(size - 1):
+        src_block = (mpi.rank - step) % size
+        incoming_block = (mpi.rank - step - 1) % size
+        outgoing = recvbuf[src_block * n : (src_block + 1) * n].copy()
+        incoming = recvbuf[incoming_block * n : (incoming_block + 1) * n]
+        yield from mpi.sendrecv(
+            outgoing, right, incoming, source=left, tag=tag + step
+        )
+
+
+def alltoall(
+    mpi: MPIProcess,
+    sendbuf: np.ndarray,
+    recvbuf: np.ndarray,
+    *,
+    tag: int = _TAG_BASE + 256,
+) -> Generator:
+    """Personalized all-to-all: rank i's block j goes to rank j's slot i.
+
+    Pairwise-exchange schedule: ``size`` rounds, partner = rank XOR round
+    when size is a power of two, otherwise a shifted ring — both
+    contention-friendly classics.
+    """
+    size = mpi.size
+    n = len(recvbuf) // size
+    if len(sendbuf) < n * size or len(recvbuf) < n * size:
+        raise ValueError("buffers must hold n * comm size bytes")
+    recvbuf[mpi.rank * n : (mpi.rank + 1) * n] = sendbuf[
+        mpi.rank * n : (mpi.rank + 1) * n
+    ]
+    power_of_two = size & (size - 1) == 0
+    for step in range(1, size):
+        if power_of_two:
+            partner = mpi.rank ^ step
+        else:
+            partner = (mpi.rank + step) % size
+        out = sendbuf[partner * n : (partner + 1) * n]
+        into = recvbuf[partner * n : (partner + 1) * n]
+        if power_of_two or partner != mpi.rank:
+            if power_of_two:
+                yield from mpi.sendrecv(
+                    out, partner, into, source=partner, tag=tag + step
+                )
+            else:
+                recv_from = (mpi.rank - step) % size
+                incoming = recvbuf[recv_from * n : (recv_from + 1) * n]
+                yield from mpi.sendrecv(
+                    out, partner, incoming, source=recv_from, tag=tag + step
+                )

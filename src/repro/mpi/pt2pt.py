@@ -1,0 +1,741 @@
+"""MPI point-to-point over Portals.
+
+Two implementations are modeled, matching the paper's section 5.1:
+
+* **MPICH-1.2.6** — Sandia's port for Portals 3.3;
+* **MPICH2** — the Cray-supported implementation.
+
+Both use the same protocol structure (the structure is dictated by
+Portals); they differ in per-operation library overhead and are selected
+by :class:`MPIFlavor`.
+
+Protocol
+--------
+*Eager* (length <= eager limit): one ``PtlPut`` to the receiver's
+point-to-point portal.  Posted receives are match entries inserted ahead
+of the *unexpected* entries; anything unmatched lands in a rotating set
+of unexpected buffers and is copied out when the receive is posted.
+
+*Rendezvous* (long messages): the sender exposes its buffer under a
+cookie on the rendezvous portal and sends a zero-byte RTS put carrying
+``(cookie, length)`` in hdr_data; the receiver ``PtlGet``s the data
+straight into the posted buffer (zero intermediate copies) and the
+sender's ``GET_END`` completes the send.
+
+The posted-receive race (message arriving while the receive is being
+posted) is closed the way the real implementations do: post first, then
+drain the event queue and prefer any matching unexpected message that
+*arrived before the post* — swapping out an early posted-match if
+necessary — so envelope ordering is preserved.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Generator, Optional
+
+import numpy as np
+
+from ..hw.config import SeaStarConfig
+from ..oskern.process import HostProcess
+from ..portals.constants import (
+    PTL_NID_ANY,
+    PTL_PID_ANY,
+    EventKind,
+    MDOptions,
+)
+from ..portals.events import PortalsEvent
+from ..portals.header import ProcessId
+from ..sim import transfer_time
+from .envelope import (
+    MPI_ANY_SOURCE,
+    MPI_ANY_TAG,
+    PT_P2P,
+    PT_RNDV,
+    Envelope,
+    decode_envelope,
+    decode_rts,
+    encode_envelope,
+    encode_rts,
+    recv_match,
+)
+
+__all__ = ["MPIFlavor", "MPICH1", "MPICH2", "MPIProcess", "Request", "Status"]
+
+
+@dataclass(frozen=True)
+class MPIFlavor:
+    """Distinguishes the two measured MPI implementations."""
+
+    name: str
+    overhead_attr: str
+    """SeaStarConfig attribute holding the per-op library overhead."""
+
+    def overhead(self, config: SeaStarConfig) -> int:
+        """Per-operation overhead in ps."""
+        return getattr(config, self.overhead_attr)
+
+
+MPICH1 = MPIFlavor(name="mpich-1.2.6", overhead_attr="mpich1_overhead")
+MPICH2 = MPIFlavor(name="mpich2", overhead_attr="mpich2_overhead")
+
+
+@dataclass(frozen=True)
+class Status:
+    """Result of a completed receive."""
+
+    source: int
+    tag: int
+    count: int
+
+
+@dataclass(eq=False)
+class Request:
+    """Handle for a non-blocking operation."""
+
+    process: object  # sim Process
+    result: Optional[Status] = None
+
+    def wait(self) -> Generator:
+        """Block until the operation completes; returns its Status (for
+        receives) or None (for sends).  Re-raises the operation's failure
+        if it crashed."""
+        if not self.process.triggered:
+            yield self.process
+        if not self.process.ok:
+            raise self.process.value
+        value = self.process.value
+        self.result = value
+        return value
+
+    @property
+    def complete(self) -> bool:
+        """True once the operation has finished."""
+        return self.process.triggered
+
+
+@dataclass(eq=False)
+class _Unexpected:
+    """One message sitting in the unexpected queue.
+
+    Records are created at PUT_START (Portals *match* order — the order
+    MPI must respect) and marked ``complete`` at PUT_END when the data
+    has actually landed; a receive that selects an incomplete record
+    waits for its completion.  Ordering by completion instead would let
+    a small inline message overtake a larger one still being deposited.
+    """
+
+    envelope: Envelope
+    match_bits: int
+    hdr_data: int
+    buffer: Optional[np.ndarray]
+    offset: int
+    mlength: int
+    arrived_at: int
+    src: ProcessId
+    consumed: bool = False
+    complete: bool = True
+
+
+@dataclass(eq=False)
+class _PostedRecv:
+    """Library record of one posted receive."""
+
+    me: object
+    md: object
+    buf: np.ndarray
+    completed: bool = False
+    event: Optional[PortalsEvent] = None
+    started: bool = False
+    """A message has *matched* this entry (PUT_START seen); its deposit
+    may still be in flight."""
+
+    matched_at: int = 0
+    """Simulation time of the match (for ordering against unexpected
+    arrivals of the same envelope)."""
+
+    orphaned: bool = False
+    """The receive was satisfied from the unexpected queue instead; if a
+    message lands in this entry anyway (it was mid-deposit during the
+    swap), stash it back as an unexpected arrival."""
+
+
+class MPIProcess:
+    """One MPI rank, layered over a :class:`HostProcess`'s Portals API.
+
+    Construct, then run :meth:`init` inside the simulation before any
+    communication.  All communication methods are coroutines.
+    """
+
+    #: unexpected buffers: count and per-op threshold.  Sized so a burst
+    #: of back-to-back eager messages (e.g. a NetPIPE stream window)
+    #: never runs out of coverage between unlink and repost.
+    UNEXPECTED_MES = 4
+    UNEXPECTED_OPS = 32
+
+    def __init__(
+        self,
+        proc: HostProcess,
+        rank: int,
+        ranks: list[ProcessId],
+        *,
+        flavor: MPIFlavor = MPICH1,
+        config: SeaStarConfig,
+        context: int = 1,
+        eager_limit: Optional[int] = None,
+    ):
+        self.proc = proc
+        self.api = proc.api
+        self.sim = proc.sim
+        self.rank = rank
+        self.ranks = ranks
+        self.flavor = flavor
+        self.config = config
+        self.context = context
+        self.eager_limit = (
+            config.mpi_eager_limit if eager_limit is None else eager_limit
+        )
+        self._overhead = flavor.overhead(config)
+        self._cookie = itertools.count(1)
+        self.rx_eq = None
+        self.tx_eq = None
+        self._unexpected: list[_Unexpected] = []
+        self._pending_unexpected: dict = {}  # (md id, offset) -> record
+        self._unexpected_mes: list = []
+        self._unexpected_mds: dict = {}  # md -> me
+        self._posted: dict = {}  # md -> _PostedRecv
+        self._tx_state: dict = {}  # md -> set of EventKind seen
+        self.initialized = False
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Communicator size."""
+        return len(self.ranks)
+
+    def target(self, rank: int) -> ProcessId:
+        """Portals identity of ``rank``."""
+        return self.ranks[rank]
+
+    def init(self) -> Generator:
+        """Allocate EQs and the unexpected-message machinery."""
+        if self.initialized:
+            return
+        api = self.api
+        self.rx_eq = yield from api.PtlEQAlloc(256)
+        self.tx_eq = yield from api.PtlEQAlloc(256)
+        for _ in range(self.UNEXPECTED_MES):
+            yield from self._post_unexpected()
+        self.initialized = True
+
+    def _post_unexpected(self) -> Generator:
+        api = self.api
+        me = yield from api.PtlMEAttach(
+            PT_P2P, ProcessId(PTL_NID_ANY, PTL_PID_ANY), 0, (1 << 64) - 1
+        )
+        buf = self.proc.alloc(self.UNEXPECTED_OPS * self.eager_limit)
+        md = yield from api.PtlMDAttach(
+            me,
+            buf,
+            threshold=self.UNEXPECTED_OPS,
+            options=MDOptions.OP_PUT | MDOptions.TRUNCATE,
+            eq=self.rx_eq,
+            unlink=True,
+            user_ptr="unexpected",
+        )
+        self._unexpected_mes.append(me)
+        self._unexpected_mds[md] = me
+
+    def _anchor_me(self):
+        for me in self._unexpected_mes:
+            if me.linked:
+                return me
+        raise RuntimeError("no unexpected match entry is linked")
+
+    # ------------------------------------------------------------------
+    # Progress engine
+    # ------------------------------------------------------------------
+    def _drain(self) -> Generator:
+        """Consume every pending event on both EQs into library state."""
+        yield from self.proc.bridge.eq_poll()
+        for eq in (self.rx_eq, self.tx_eq):
+            while True:
+                ev = eq.try_get()
+                if ev is None:
+                    break
+                self._consume_event(ev)
+
+    def _consume_event(self, ev: PortalsEvent) -> None:
+        md = ev.md_handle
+        if ev.kind is EventKind.PUT_START:
+            if md in self._posted:
+                rec = self._posted[md]
+                rec.started = True
+                rec.matched_at = ev.sim_time
+                return
+            if md in self._unexpected_mds:
+                # record at match time (envelope order); data lands later
+                rec = _Unexpected(
+                    envelope=decode_envelope(ev.match_bits),
+                    match_bits=ev.match_bits,
+                    hdr_data=ev.hdr_data,
+                    buffer=md.buffer,
+                    offset=ev.offset,
+                    mlength=ev.mlength,
+                    arrived_at=ev.sim_time,
+                    src=ev.initiator,
+                    complete=False,
+                )
+                self._unexpected.append(rec)
+                self._pending_unexpected[(id(md), ev.offset)] = rec
+            return
+        if ev.kind is EventKind.PUT_END:
+            if md in self._unexpected_mds or (id(md), ev.offset) in self._pending_unexpected:
+                rec = self._pending_unexpected.pop((id(md), ev.offset), None)
+                if rec is not None:
+                    rec.mlength = ev.mlength
+                    rec.complete = True
+                else:
+                    # START was not observed (e.g. events disabled):
+                    # fall back to completion-order recording
+                    self._unexpected.append(
+                        _Unexpected(
+                            envelope=decode_envelope(ev.match_bits),
+                            match_bits=ev.match_bits,
+                            hdr_data=ev.hdr_data,
+                            buffer=md.buffer,
+                            offset=ev.offset,
+                            mlength=ev.mlength,
+                            arrived_at=ev.sim_time,
+                            src=ev.initiator,
+                        )
+                    )
+            elif md in self._posted:
+                rec = self._posted[md]
+                rec.completed = True
+                rec.event = ev
+                if rec.orphaned:
+                    self._stash_posted_as_unexpected(rec)
+                    del self._posted[md]
+        elif ev.kind is EventKind.UNLINK:
+            me = self._unexpected_mds.pop(md, None)
+            if me is not None and me in self._unexpected_mes:
+                self._unexpected_mes.remove(me)
+                # Repost immediately (not at the next drain): coverage
+                # gaps here turn into dropped eager messages.
+                self.sim.process(
+                    self._post_unexpected(), name=f"repost:{self.rank}"
+                )
+        elif ev.kind in (
+            EventKind.SEND_END,
+            EventKind.GET_END,
+            EventKind.REPLY_END,
+            EventKind.ACK,
+        ):
+            self._tx_state.setdefault(md, []).append(ev)
+        # START events are informational; the library ignores them.
+
+    def _wait_for(self, cond: Callable[[], bool]) -> Generator:
+        """Drive progress until ``cond()`` holds."""
+        while True:
+            yield from self._drain()
+            if cond():
+                return
+            signals = [self.rx_eq.wait_signal(), self.tx_eq.wait_signal()]
+            yield self.sim.any_of(signals)
+
+    def _take_tx_event(self, md, kinds) -> Optional[PortalsEvent]:
+        events = self._tx_state.get(md)
+        if not events:
+            return None
+        for i, ev in enumerate(events):
+            if ev.kind in kinds:
+                return events.pop(i)
+        return None
+
+    # ------------------------------------------------------------------
+    # Send
+    # ------------------------------------------------------------------
+    def send(self, buf: np.ndarray, dest: int, tag: int = 0) -> Generator:
+        """Blocking standard send (returns when the buffer is reusable)."""
+        yield from self._send_body(buf, dest, tag)
+
+    def isend(self, buf: np.ndarray, dest: int, tag: int = 0) -> Request:
+        """Non-blocking send; completes via :meth:`Request.wait`."""
+        return Request(self.sim.process(self._send_body(buf, dest, tag)))
+
+    def _send_body(self, buf: np.ndarray, dest: int, tag: int) -> Generator:
+        if not self.initialized:
+            raise RuntimeError("MPIProcess.init() has not run")
+        cpu = self.proc.bridge.cpu
+        yield from cpu.execute(self._overhead // 2)
+        nbytes = len(buf)
+        if nbytes <= self.eager_limit:
+            yield from self._send_eager(buf, dest, tag, nbytes)
+        else:
+            yield from self._send_rendezvous(buf, dest, tag, nbytes)
+        yield from cpu.execute(self._overhead - self._overhead // 2)
+
+    def _send_eager(self, buf, dest, tag, nbytes) -> Generator:
+        api = self.api
+        bits = encode_envelope(self.context, self.rank, tag)
+        md = yield from api.PtlMDBind(buf, eq=self.tx_eq)
+        yield from api.PtlPut(
+            md, self.target(dest), PT_P2P, bits, length=nbytes
+        )
+        result: dict = {}
+
+        def done() -> bool:
+            ev = self._take_tx_event(md, (EventKind.SEND_END,))
+            if ev is not None:
+                result["ev"] = ev
+                return True
+            return False
+
+        yield from self._wait_for(done)
+        yield from api.PtlMDUnlink(md)
+
+    def _send_rendezvous(self, buf, dest, tag, nbytes) -> Generator:
+        api = self.api
+        cookie = next(self._cookie) & ((1 << 23) - 1)
+        me = yield from api.PtlMEAttach(
+            PT_RNDV, self.target(dest), cookie, 0, unlink=True, position_head=True
+        )
+        src_md = yield from api.PtlMDAttach(
+            me,
+            buf,
+            threshold=1,
+            options=MDOptions.OP_GET,
+            eq=self.tx_eq,
+            unlink=True,
+            user_ptr="rndv-src",
+        )
+        bits = encode_envelope(self.context, self.rank, tag, rendezvous=True)
+        rts_md = yield from api.PtlMDBind(buf[:0], eq=None)
+        yield from api.PtlPut(
+            self._rts_md(rts_md),
+            self.target(dest),
+            PT_P2P,
+            bits,
+            hdr_data=encode_rts(cookie, nbytes),
+            length=0,
+        )
+
+        def got() -> bool:
+            return self._take_tx_event(src_md, (EventKind.GET_END,)) is not None
+
+        yield from self._wait_for(got)
+        yield from api.PtlMDUnlink(rts_md)
+
+    @staticmethod
+    def _rts_md(md):
+        # zero-length MD bound for the RTS put; no events wanted.
+        return md
+
+    # ------------------------------------------------------------------
+    # Receive
+    # ------------------------------------------------------------------
+    def recv(
+        self, buf: np.ndarray, source: int = MPI_ANY_SOURCE, tag: int = MPI_ANY_TAG
+    ) -> Generator:
+        """Blocking receive into ``buf``; returns a :class:`Status`."""
+        status = yield from self._recv_body(buf, source, tag)
+        return status
+
+    def irecv(
+        self, buf: np.ndarray, source: int = MPI_ANY_SOURCE, tag: int = MPI_ANY_TAG
+    ) -> Request:
+        """Non-blocking receive."""
+        return Request(self.sim.process(self._recv_body(buf, source, tag)))
+
+    def _recv_body(self, buf, source, tag) -> Generator:
+        if not self.initialized:
+            raise RuntimeError("MPIProcess.init() has not run")
+        cpu = self.proc.bridge.cpu
+        yield from cpu.execute(self._overhead // 2)
+
+        # Fast path: already unexpectedly received.
+        yield from self._drain()
+        hit = self._match_unexpected(source, tag)
+        if hit is not None:
+            status = yield from self._consume_unexpected(hit, buf)
+            yield from cpu.execute(self._overhead - self._overhead // 2)
+            return status
+
+        # Post the receive, then close the race window.
+        api = self.api
+        bits, ignore = recv_match(self.context, source, tag)
+        anchor = self._anchor_me()
+        match_id = (
+            ProcessId(PTL_NID_ANY, PTL_PID_ANY)
+            if source == MPI_ANY_SOURCE
+            else self.target(source)
+        )
+        me = yield from api.PtlMEInsert(anchor, match_id, bits, ignore, unlink=True)
+        md = yield from api.PtlMDAttach(
+            me,
+            buf,
+            threshold=1,
+            options=MDOptions.OP_PUT | MDOptions.TRUNCATE,
+            eq=self.rx_eq,
+            unlink=True,
+            user_ptr="posted-recv",
+        )
+        posted = _PostedRecv(me=me, md=md, buf=buf)
+        self._posted[md] = posted
+        posted_at = self.sim.now
+
+        del posted_at  # superseded by per-event match times below
+
+        def outcome_known() -> bool:
+            return (
+                posted.started
+                or posted.completed
+                or self._match_unexpected(source, tag) is not None
+            )
+
+        yield from self._wait_for(outcome_known)
+        hit = self._match_unexpected(source, tag)
+        # Envelope order is the *match* order.  Prefer the posted entry
+        # when it matched first (or is the only match); prefer the
+        # unexpected record when it matched earlier — e.g. its message
+        # arrived while this receive was being posted, or consumed the
+        # posted entry's predecessor slot.
+        if hit is not None and (
+            not posted.started or hit.arrived_at < posted.matched_at
+        ):
+            if posted.completed:
+                # the posted entry swallowed a later message: stash it
+                self._stash_posted_as_unexpected(posted)
+                del self._posted[md]
+            elif posted.started:
+                # a later message is mid-deposit into it: stash at END
+                posted.orphaned = True
+            else:
+                # nothing matched it: remove it atomically so it cannot
+                # swallow (and truncate!) a future same-envelope message
+                self._cancel_posted_now(posted)
+                del self._posted[md]
+                yield from self.proc.bridge.admin()
+            status = yield from self._consume_unexpected(hit, buf)
+            yield from cpu.execute(self._overhead - self._overhead // 2)
+            return status
+        yield from self._wait_for(lambda: posted.completed)
+        del self._posted[md]
+        ev = posted.event
+        env = decode_envelope(ev.match_bits)
+        if env.rendezvous:
+            status = yield from self._fetch_rendezvous(
+                buf, ev.hdr_data, ev.initiator, env
+            )
+        else:
+            status = Status(source=env.src_rank, tag=env.tag, count=ev.mlength)
+        yield from cpu.execute(self._overhead - self._overhead // 2)
+        return status
+
+    def _match_unexpected(
+        self, source, tag, before: Optional[int] = None
+    ) -> Optional[_Unexpected]:
+        for rec in self._unexpected:
+            if rec.consumed:
+                continue
+            if before is not None and rec.arrived_at > before:
+                continue
+            if rec.envelope.context != self.context:
+                continue
+            if source != MPI_ANY_SOURCE and rec.envelope.src_rank != source:
+                continue
+            if tag != MPI_ANY_TAG and rec.envelope.tag != tag:
+                continue
+            return rec
+        return None
+
+    def _consume_unexpected(self, rec: _Unexpected, buf) -> Generator:
+        rec.consumed = True
+        self._unexpected.remove(rec)
+        if not rec.complete:
+            # selected in match order; the deposit is still in flight
+            yield from self._wait_for(lambda: rec.complete)
+        if rec.envelope.rendezvous:
+            status = yield from self._fetch_rendezvous(
+                buf, rec.hdr_data, rec.src, rec.envelope
+            )
+            return status
+        n = min(rec.mlength, len(buf))
+        if n > 0 and rec.buffer is not None:
+            buf[:n] = rec.buffer[rec.offset : rec.offset + n]
+            yield from self.proc.bridge.cpu.execute(
+                transfer_time(n, self.config.host_copy_bytes_per_s)
+            )
+        return Status(source=rec.envelope.src_rank, tag=rec.envelope.tag, count=n)
+
+    def _stash_posted_as_unexpected(self, posted: _PostedRecv) -> None:
+        ev = posted.event
+        stash = np.array(posted.buf[: ev.mlength], copy=True)
+        self._unexpected.append(
+            _Unexpected(
+                envelope=decode_envelope(ev.match_bits),
+                match_bits=ev.match_bits,
+                hdr_data=ev.hdr_data,
+                buffer=stash,
+                offset=0,
+                mlength=ev.mlength,
+                arrived_at=posted.matched_at or ev.sim_time,
+                src=ev.initiator,
+            )
+        )
+        self._unexpected.sort(key=lambda r: r.arrived_at)
+
+    def _cancel_posted_now(self, posted: _PostedRecv) -> None:
+        """Synchronously unlink a posted entry (PtlMDUpdate-style atomic
+        removal: no yield, so no message can slip in mid-cancel; the
+        caller charges the admin cost afterwards)."""
+        me = posted.me
+        if me is None or not me.linked:
+            return
+        mlist = self.api.ni.table.match_list(me.ptl_index)
+        mlist.unlink(me)
+        if me.on_unlink is not None:
+            callback, me.on_unlink = me.on_unlink, None
+            callback()
+        md = me.md
+        if md is not None and md.active:
+            md.active = False
+            if md.on_unlink is not None:
+                callback, md.on_unlink = md.on_unlink, None
+                callback()
+        me.md = None
+
+    def _fetch_rendezvous(self, buf, hdr_data, initiator, env) -> Generator:
+        api = self.api
+        cookie, total = decode_rts(hdr_data)
+        n = min(total, len(buf))
+        md = yield from api.PtlMDBind(buf[:n], eq=self.rx_eq)
+        self._posted[md] = _PostedRecv(me=None, md=md, buf=buf)  # track replies
+        yield from api.PtlGet(md, initiator, PT_RNDV, cookie, length=n)
+        result: dict = {}
+
+        def got() -> bool:
+            ev = self._take_tx_event(md, (EventKind.REPLY_END,))
+            if ev is not None:
+                result["ev"] = ev
+                return True
+            return False
+
+        yield from self._wait_for(got)
+        del self._posted[md]
+        yield from api.PtlMDUnlink(md)
+        return Status(source=env.src_rank, tag=env.tag, count=result["ev"].mlength)
+
+    # ------------------------------------------------------------------
+    # Probe
+    # ------------------------------------------------------------------
+    def iprobe(
+        self, source: int = MPI_ANY_SOURCE, tag: int = MPI_ANY_TAG
+    ) -> Generator:
+        """Non-blocking probe: Status of the first matching unexpected
+        message without consuming it, or None.
+
+        Like the real implementations, probing can only see messages that
+        have *arrived* (the unexpected queue); a matching posted receive
+        would have consumed the message already.
+        """
+        yield from self._drain()
+        rec = self._match_unexpected(source, tag)
+        if rec is None:
+            return None
+        count = rec.mlength
+        if rec.envelope.rendezvous:
+            _, count = decode_rts(rec.hdr_data)
+        return Status(
+            source=rec.envelope.src_rank, tag=rec.envelope.tag, count=count
+        )
+
+    def probe(
+        self, source: int = MPI_ANY_SOURCE, tag: int = MPI_ANY_TAG
+    ) -> Generator:
+        """Blocking probe: wait until a matching message has arrived."""
+        result: dict = {}
+
+        def seen() -> bool:
+            rec = self._match_unexpected(source, tag)
+            if rec is not None:
+                result["rec"] = rec
+                return True
+            return False
+
+        yield from self._wait_for(seen)
+        rec = result["rec"]
+        count = rec.mlength
+        if rec.envelope.rendezvous:
+            _, count = decode_rts(rec.hdr_data)
+        return Status(
+            source=rec.envelope.src_rank, tag=rec.envelope.tag, count=count
+        )
+
+    # ------------------------------------------------------------------
+    # Synchronous send
+    # ------------------------------------------------------------------
+    def ssend(self, buf: np.ndarray, dest: int, tag: int = 0) -> Generator:
+        """Synchronous send: completes only once the receiver has
+        *matched* the message.
+
+        Rendezvous sends are inherently synchronous (the receiver's get
+        completes them); eager sends request a Portals ACK — the ACK
+        fires when the target MD accepted the data, i.e. after matching.
+        """
+        cpu = self.proc.bridge.cpu
+        yield from cpu.execute(self._overhead // 2)
+        nbytes = len(buf)
+        if nbytes > self.eager_limit:
+            yield from self._send_rendezvous(buf, dest, tag, nbytes)
+        else:
+            yield from self._ssend_eager(buf, dest, tag, nbytes)
+        yield from cpu.execute(self._overhead - self._overhead // 2)
+
+    def _ssend_eager(self, buf, dest, tag, nbytes) -> Generator:
+        from ..portals.constants import PTL_ACK_REQ
+
+        api = self.api
+        bits = encode_envelope(self.context, self.rank, tag)
+        md = yield from api.PtlMDBind(buf, eq=self.tx_eq)
+        yield from api.PtlPut(
+            md,
+            self.target(dest),
+            PT_P2P,
+            bits,
+            length=nbytes,
+            ack_req=PTL_ACK_REQ,
+        )
+
+        def acked() -> bool:
+            return self._take_tx_event(md, (EventKind.ACK,)) is not None
+
+        yield from self._wait_for(acked)
+        # drain the SEND_END too so unlink is clean
+        def sent() -> bool:
+            return self._take_tx_event(md, (EventKind.SEND_END,)) is not None
+
+        yield from self._wait_for(sent)
+        yield from api.PtlMDUnlink(md)
+
+    # ------------------------------------------------------------------
+    # Combined / convenience
+    # ------------------------------------------------------------------
+    def sendrecv(
+        self,
+        sendbuf: np.ndarray,
+        dest: int,
+        recvbuf: np.ndarray,
+        source: int = MPI_ANY_SOURCE,
+        tag: int = 0,
+    ) -> Generator:
+        """Concurrent send + receive (deadlock-free exchange)."""
+        sreq = self.isend(sendbuf, dest, tag)
+        rreq = self.irecv(recvbuf, source, tag)
+        yield from sreq.wait()
+        status = yield from rreq.wait()
+        return status

@@ -1,0 +1,83 @@
+"""MPI world construction helpers.
+
+``create_world`` boots processes across a machine's nodes and wires them
+into a communicator; ``run_world`` runs one coroutine per rank (each gets
+``(mpi, rank)``) to completion, handling init.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Optional, Sequence
+
+from ..machine.builder import Machine
+from ..machine.node import Node
+from ..portals.header import ProcessId
+from .pt2pt import MPICH1, MPIFlavor, MPIProcess
+
+__all__ = ["create_world", "run_world"]
+
+
+def create_world(
+    machine: Machine,
+    nodes: Sequence[Node],
+    *,
+    ranks_per_node: int = 1,
+    flavor: MPIFlavor = MPICH1,
+    accelerated: bool = False,
+    eager_limit: Optional[int] = None,
+) -> list[MPIProcess]:
+    """Create ``len(nodes) * ranks_per_node`` MPI ranks.
+
+    Ranks are laid out node-major (rank r lives on nodes[r //
+    ranks_per_node]), the standard XT3 placement.
+    """
+    procs = []
+    for node in nodes:
+        for _ in range(ranks_per_node):
+            procs.append(node.create_process(accelerated=accelerated))
+    ids: list[ProcessId] = [p.id for p in procs]
+    world = [
+        MPIProcess(
+            proc,
+            rank,
+            ids,
+            flavor=flavor,
+            config=machine.config,
+            eager_limit=eager_limit,
+        )
+        for rank, proc in enumerate(procs)
+    ]
+    return world
+
+
+def run_world(
+    machine: Machine,
+    world: Sequence[MPIProcess],
+    main: Callable[[MPIProcess, int], Generator],
+    *,
+    until: Optional[int] = None,
+) -> list:
+    """Run ``main(mpi, rank)`` on every rank; returns per-rank results.
+
+    Handles ``mpi.init()`` before the user body.  The machine is advanced
+    until all rank processes finish (or ``until``).
+    """
+
+    def body(mpi: MPIProcess, rank: int):
+        yield from mpi.init()
+        result = yield from main(mpi, rank)
+        return result
+
+    handles = [
+        machine.sim.process(body(mpi, rank), name=f"mpi-rank{rank}")
+        for rank, mpi in enumerate(world)
+    ]
+    machine.run(until=until)
+    results = []
+    for rank, handle in enumerate(handles):
+        if not handle.triggered:
+            raise RuntimeError(f"rank {rank} did not finish (deadlock?)")
+        if not handle.ok:
+            raise handle.value
+        results.append(handle.value)
+    return results

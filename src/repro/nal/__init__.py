@@ -1,0 +1,15 @@
+"""NAL and bridge layer (sections 3.1-3.3 of the paper)."""
+
+from .accel import AcceleratedBridge
+from .base import Bridge
+from .bridges import KBridge, QKBridge, UKBridge
+from .ssnal import SSNAL
+
+__all__ = [
+    "Bridge",
+    "SSNAL",
+    "QKBridge",
+    "UKBridge",
+    "KBridge",
+    "AcceleratedBridge",
+]

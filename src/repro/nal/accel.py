@@ -1,0 +1,231 @@
+"""The accelerated-mode bridge (sections 3.3 / 4.1 "future work",
+implemented here as an extension).
+
+An accelerated process owns a dedicated firmware mailbox and posts its
+data-movement commands **directly to the firmware, without any system
+call**.  Portals matching for incoming messages runs on the NIC, and
+completions are written straight into the process's event queues, which
+the user-level library polls — no interrupts anywhere on the data path.
+
+Administrative calls ("commands ... related to process initialization
+cannot be offloaded") still route through the OS kernel.
+
+Accelerated mode requires physically contiguous message buffers, so it is
+only constructible over Catamount's contiguous memory model — the same
+restriction the paper states for Linux nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+from ..fw.commands import FwEvent, FwEventKind, TxGetCmd, TxPutCmd
+from ..fw.firmware import Firmware
+from ..hw.processors import Opteron
+from ..oskern.kernel import Kernel, OSType
+from ..portals.constants import EventKind, NIFailType
+from ..portals.events import PortalsEvent
+from ..portals.header import ProcessId
+from ..portals.md import MemoryDescriptor
+from ..portals.ni import NetworkInterface
+from ..sim import Channel, Simulator
+from .base import Bridge
+
+__all__ = ["AcceleratedBridge"]
+
+
+@dataclass(eq=False)
+class _AccelCtx:
+    """User-library record of one in-flight accelerated operation."""
+
+    kind: str
+    md: MemoryDescriptor
+    src_pid: int
+    pending: object
+    length: int = 0
+
+
+class AcceleratedBridge(Bridge):
+    """Direct-to-firmware bridge for one accelerated process."""
+
+    crossing_kind = "accelerated-mailbox"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        firmware: Firmware,
+        kernel: Kernel,
+        cpu: Opteron,
+        src_pid: int,
+        ni: NetworkInterface,
+    ):
+        if kernel.os_type is not OSType.CATAMOUNT:
+            raise RuntimeError(
+                "accelerated mode requires physically contiguous buffers; "
+                "Linux nodes must use generic mode (paper, section 4.1)"
+            )
+        self.sim = sim
+        self.firmware = firmware
+        self.kernel = kernel
+        self.cpu = cpu
+        self.src_pid = src_pid
+        self.ni = ni
+        self.config = kernel.config
+        self.proc, tx_pool = firmware.register_accelerated(
+            src_pid, self._event_sink, ni
+        )
+        self.tx_free: Channel = Channel(sim, name=f"acctx:{src_pid}")
+        for lower in tx_pool:
+            self.tx_free.put(lower)
+
+    # ------------------------------------------------------------------
+    # Bridge protocol
+    # ------------------------------------------------------------------
+    def admin(self) -> Generator:
+        """Administrative calls are forwarded to the OS kernel."""
+        yield from self.cpu.execute(
+            self.config.host_api_overhead + self.kernel.crossing_cost()
+        )
+
+    def eq_poll(self) -> Generator:
+        yield from self.cpu.execute(self.config.host_eq_poll)
+
+    def distance(self, target) -> int:
+        fabric = self.firmware.seastar.tx.fabric
+        return fabric.hops(self.firmware.node_id, target.nid)
+
+    def send_put(
+        self,
+        *,
+        md,
+        target: ProcessId,
+        ptl_index: int,
+        match_bits: int,
+        ack_req: bool,
+        remote_offset: int,
+        hdr_data: int,
+        local_offset: int,
+        length: int,
+    ) -> Generator:
+        yield from self.cpu.execute(
+            self.config.host_api_overhead + self.config.ht_write_latency
+        )
+        pending = yield self.tx_free.get()
+        ctx = _AccelCtx(
+            kind="put", md=md, src_pid=self.src_pid, pending=pending, length=length
+        )
+        payload = md.buffer[local_offset : local_offset + length] if length else None
+        self.proc.mailbox.post_command(
+            TxPutCmd(
+                pending_id=pending.pending_id,
+                target=target,
+                ptl_index=ptl_index,
+                match_bits=match_bits,
+                payload=payload,
+                length=length,
+                remote_offset=remote_offset,
+                hdr_data=hdr_data,
+                ack_req=ack_req,
+                host_ctx=ctx,
+            )
+        )
+
+    def send_get(
+        self,
+        *,
+        md,
+        target: ProcessId,
+        ptl_index: int,
+        match_bits: int,
+        remote_offset: int,
+        local_offset: int,
+        length: int,
+    ) -> Generator:
+        yield from self.cpu.execute(
+            self.config.host_api_overhead + self.config.ht_write_latency
+        )
+        pending = yield self.tx_free.get()
+        ctx = _AccelCtx(
+            kind="get", md=md, src_pid=self.src_pid, pending=pending, length=length
+        )
+        reply_view = md.buffer[local_offset : local_offset + length]
+        self.proc.mailbox.post_command(
+            TxGetCmd(
+                pending_id=pending.pending_id,
+                target=target,
+                ptl_index=ptl_index,
+                match_bits=match_bits,
+                length=length,
+                reply_buffer=reply_view,
+                remote_offset=remote_offset,
+                host_ctx=ctx,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Completion sink (runs in firmware context; events go straight to
+    # the user EQ — the polled, interrupt-free path)
+    # ------------------------------------------------------------------
+    def _event_sink(self, event: FwEvent) -> None:
+        ctx: Optional[_AccelCtx] = event.host_ctx
+        if ctx is None:
+            return
+        md = ctx.md
+        if event.kind is FwEventKind.TX_COMPLETE:
+            md.pending_ops -= 1
+            if md.events_enabled(start=False):
+                md.eq.post(
+                    PortalsEvent(
+                        kind=EventKind.SEND_END,
+                        mlength=ctx.length,
+                        rlength=ctx.length,
+                        md_user_ptr=md.user_ptr,
+                        md_handle=md,
+                    )
+                )
+            self.tx_free.put(ctx.pending)
+        elif event.kind is FwEventKind.REPLY_COMPLETE:
+            md.pending_ops -= 1
+            failed = bool(event.meta.get("failed"))
+            if md.events_enabled(start=False):
+                md.eq.post(
+                    PortalsEvent(
+                        kind=EventKind.REPLY_END,
+                        initiator=event.header.src if event.header else None,
+                        mlength=event.mlength,
+                        rlength=ctx.length,
+                        md_user_ptr=md.user_ptr,
+                        md_handle=md,
+                        ni_fail_type=(
+                            NIFailType.DROPPED if failed else NIFailType.OK
+                        ),
+                    )
+                )
+            self.tx_free.put(ctx.pending)
+        elif event.kind is FwEventKind.ACK_RECEIVED:
+            if md.eq is not None:
+                md.eq.post(
+                    PortalsEvent(
+                        kind=EventKind.ACK,
+                        initiator=event.header.src if event.header else None,
+                        mlength=event.mlength,
+                        offset=event.offset,
+                        md_user_ptr=md.user_ptr,
+                        md_handle=md,
+                    )
+                )
+        elif event.kind is FwEventKind.SEND_FAILED:
+            md.pending_ops -= 1
+            if md.eq is not None:
+                md.eq.post(
+                    PortalsEvent(
+                        kind=EventKind.SEND_END,
+                        mlength=0,
+                        rlength=ctx.length,
+                        md_user_ptr=md.user_ptr,
+                        md_handle=md,
+                        ni_fail_type=NIFailType.FAIL,
+                    )
+                )
+            self.tx_free.put(ctx.pending)

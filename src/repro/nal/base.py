@@ -1,0 +1,77 @@
+"""The NAL / bridge abstraction (sections 3.1-3.2).
+
+The reference implementation's Network Abstraction Layer (NAL) splits the
+Portals stack into an *API-to-library* path and a *library-to-network*
+path.  Cray's contribution — reproduced here — was the **bridge**: a layer
+atop the NAL that overrides only the API-to-library data movement and
+address validation, so every process type shares the same
+library-to-network code (:class:`~repro.nal.ssnal.SSNAL`).
+
+A bridge implements the small protocol below; the API object calls it and
+never knows whether it is trapping into Catamount, syscalling into Linux,
+calling a kernel function directly, or posting straight to the firmware.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Generator
+
+from ..portals.header import ProcessId
+from ..portals.md import MemoryDescriptor
+
+__all__ = ["Bridge"]
+
+
+class Bridge(abc.ABC):
+    """Protocol between :class:`~repro.portals.api.PortalsAPI` and the
+    Portals library."""
+
+    @abc.abstractmethod
+    def admin(self) -> Generator:
+        """Charge one administrative API call's crossing + processing."""
+
+    @abc.abstractmethod
+    def eq_poll(self) -> Generator:
+        """Charge one user-space event-queue poll."""
+
+    @abc.abstractmethod
+    def send_put(
+        self,
+        *,
+        md: MemoryDescriptor,
+        target: ProcessId,
+        ptl_index: int,
+        match_bits: int,
+        ack_req: bool,
+        remote_offset: int,
+        hdr_data: int,
+        local_offset: int,
+        length: int,
+    ) -> Generator:
+        """Issue a put transmit command; returns once streamed."""
+
+    @abc.abstractmethod
+    def send_get(
+        self,
+        *,
+        md: MemoryDescriptor,
+        target: ProcessId,
+        ptl_index: int,
+        match_bits: int,
+        remote_offset: int,
+        local_offset: int,
+        length: int,
+    ) -> Generator:
+        """Issue a get transmit command; returns once streamed."""
+
+    def prepare_md(self, md: MemoryDescriptor) -> None:
+        """Hook for address validation/translation at MD creation.
+
+        The bridge layer owns address validation and translation (section
+        3.2); the default accepts any well-formed MD."""
+
+    def distance(self, target: ProcessId) -> int:
+        """Hops to ``target`` (PtlNIDist); bridges with fabric access
+        override this."""
+        raise NotImplementedError

@@ -1,0 +1,108 @@
+"""The three Cray bridges (section 3.2).
+
+* :class:`QKBridge` — Catamount compute-node applications.  Crossing into
+  the quintessential-kernel library is a ~75 ns trap.
+* :class:`UKBridge` — Linux user-level applications.  Crossing is a full
+  syscall; MDs over paged memory incur per-page pin/translate work on the
+  send paths (accounted inside the kernel via its memory model).
+* :class:`KBridge` — Linux kernel-level clients (Lustre service).  The
+  "crossing" is a direct function call: zero boundary cost.
+
+ukbridge and kbridge can run simultaneously on one node because they
+share the same SSNAL underneath — constructing both against one
+:class:`~repro.nal.ssnal.SSNAL` reproduces that.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..hw.processors import Opteron
+from ..sim import CPU, Simulator
+from .base import Bridge
+from .ssnal import SSNAL
+
+__all__ = ["QKBridge", "UKBridge", "KBridge"]
+
+
+class _KernelBridge(Bridge):
+    """Shared machinery for the three kernel-library bridges."""
+
+    #: boundary-crossing kind, for introspection/tests
+    crossing_kind = "abstract"
+
+    #: host counter ticked per kernel crossing ("traps"/"syscalls"/None)
+    crossing_counter: str | None = None
+
+    def _count_crossing(self) -> None:
+        if self.crossing_counter:
+            self.cpu.counters.incr(self.crossing_counter)
+
+    def __init__(self, sim: Simulator, ssnal: SSNAL, cpu: Opteron, src_pid: int):
+        self.sim = sim
+        self.ssnal = ssnal
+        self.cpu = cpu
+        self.src_pid = src_pid
+        self.config = ssnal.kernel.config
+
+    def crossing_cost(self) -> int:
+        """Cost of entering the kernel-resident library."""
+        raise NotImplementedError
+
+    def admin(self) -> Generator:
+        self._count_crossing()
+        yield from self.cpu.execute(
+            self.config.host_api_overhead + self.crossing_cost(),
+            priority=CPU.PRIO_KERNEL,
+        )
+
+    def eq_poll(self) -> Generator:
+        # EQs live in process-visible memory: polling never crosses.
+        yield from self.cpu.execute(self.config.host_eq_poll)
+
+    def send_put(self, **kw) -> Generator:
+        self._count_crossing()
+        yield from self.cpu.execute(self.config.host_api_overhead)
+        yield from self.ssnal.send_put(
+            crossing=self.crossing_cost(), src_pid=self.src_pid, **kw
+        )
+
+    def send_get(self, **kw) -> Generator:
+        self._count_crossing()
+        yield from self.cpu.execute(self.config.host_api_overhead)
+        yield from self.ssnal.send_get(
+            crossing=self.crossing_cost(), src_pid=self.src_pid, **kw
+        )
+
+    def distance(self, target) -> int:
+        fabric = self.ssnal.kernel.firmware.seastar.tx.fabric
+        return fabric.hops(self.ssnal.node_id, target.nid)
+
+
+class QKBridge(_KernelBridge):
+    """Catamount application bridge (trap into the QK)."""
+
+    crossing_kind = "catamount-trap"
+    crossing_counter = "traps"
+
+    def crossing_cost(self) -> int:
+        return self.config.trap_overhead
+
+
+class UKBridge(_KernelBridge):
+    """Linux user-level application bridge (full syscall)."""
+
+    crossing_kind = "linux-syscall"
+    crossing_counter = "syscalls"
+
+    def crossing_cost(self) -> int:
+        return self.config.linux_syscall_overhead
+
+
+class KBridge(_KernelBridge):
+    """Linux kernel-level client bridge (direct function call)."""
+
+    crossing_kind = "kernel-direct"
+
+    def crossing_cost(self) -> int:
+        return 0

@@ -1,0 +1,44 @@
+"""SSNAL: the SeaStar NAL (section 3.3).
+
+The library-to-network half shared by every bridge on a node.  It owns
+the binding to the generic Portals library in the kernel and forwards the
+entry points a NAL must provide — sending messages and (via the kernel's
+interrupt handler) receiving asynchronous events from the SeaStar.
+
+Because all bridges share this object, kernel-level clients (kbridge) and
+user-level clients (uk/qkbridge) "cleanly share the network interface" —
+the property the paper credits the bridge design for.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..oskern.kernel import Kernel
+
+__all__ = ["SSNAL"]
+
+
+class SSNAL:
+    """The SeaStar network abstraction layer instance for one node."""
+
+    def __init__(self, kernel: Kernel):
+        self.kernel = kernel
+
+    @property
+    def node_id(self) -> int:
+        """The node this NAL serves."""
+        return self.kernel.node_id
+
+    def send_put(self, *, crossing: int, src_pid: int, **kw) -> Generator:
+        """Forward a put to the kernel library with the bridge's crossing
+        cost applied."""
+        yield from self.kernel.send_put(crossing=crossing, src_pid=src_pid, **kw)
+
+    def send_get(self, *, crossing: int, src_pid: int, **kw) -> Generator:
+        """Forward a get to the kernel library."""
+        yield from self.kernel.send_get(crossing=crossing, src_pid=src_pid, **kw)
+
+    def admin_cost(self, crossing: int) -> int:
+        """Total cost of an administrative call over this NAL."""
+        return crossing + self.kernel.config.host_api_overhead

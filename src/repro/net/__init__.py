@@ -1,0 +1,22 @@
+"""The XT3 interconnect substrate: topology, routing, links, fabric."""
+
+from .fabric import Fabric, NetworkPort
+from .link import LinkModel
+from .packet import WireChunk, chunk_message, next_message_id
+from .routing import Router, RouteTable, build_route_tables, route_path
+from .topology import Coord, Torus3D
+
+__all__ = [
+    "Torus3D",
+    "Coord",
+    "Router",
+    "RouteTable",
+    "build_route_tables",
+    "route_path",
+    "LinkModel",
+    "WireChunk",
+    "chunk_message",
+    "next_message_id",
+    "Fabric",
+    "NetworkPort",
+]

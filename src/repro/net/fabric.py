@@ -1,0 +1,182 @@
+"""The interconnect fabric: ports, in-flight windows, ordered delivery.
+
+Model
+-----
+* Every node attaches one :class:`NetworkPort`.  Its ``rx`` store is the
+  NIC-side receive buffering; when it fills, delivery blocks, which
+  backpressures the sender's TX DMA engine — the coarse equivalent of
+  wormhole/link-level flow control.
+* Injection is already serialized by the sender's single TX DMA engine
+  (the paper: "all transmits ... are serialized through a single TX
+  FIFO"), so the fabric only adds wire time: chunk serialization at link
+  rate plus per-hop fall-through latency along the fixed table-routed
+  path.
+* Per (src, dst) pair an in-flight window (a bounded store) caps how many
+  chunks the wire holds; ``send`` returns an event that fires when the
+  chunk was accepted into the window, and a per-pair delivery process
+  moves chunks to the destination port strictly in order — reproducing the
+  in-order delivery the fixed-path routers guarantee.
+
+Interior-link contention is not modeled (documented in DESIGN.md): the
+paper's experiments are node pairs, where injection/ejection — which we do
+model — dominate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..hw.config import SeaStarConfig
+from ..sim import Channel, Counters, Event, Simulator, Store
+from .link import LinkModel
+from .packet import WireChunk
+from .routing import Router
+from .topology import Torus3D
+
+__all__ = ["Fabric", "NetworkPort"]
+
+
+@dataclass
+class NetworkPort:
+    """A node's attachment point to the fabric."""
+
+    node_id: int
+    rx: Store
+    """Arriving chunks, in order; consumed by the node's RX DMA engine."""
+
+    stats: Counters = field(default_factory=Counters)
+
+
+class _Pipe:
+    """Ordered, windowed conduit for one (src, dst) pair.
+
+    Two pipelined stages, as on real wormhole-routed links:
+
+    * *serialization* — each chunk occupies the injection link for its
+      packets' worth of link time (plus any CRC retry penalty); this is
+      the stage that rate-limits the wire;
+    * *flight* — the per-hop fall-through latency is pure delay: chunks
+      overlap in flight, so hop latency costs latency but never
+      throughput (per-packet and chunked runs agree because of this).
+
+    Arrival stays strictly in order (fixed path, constant delay) and the
+    destination's bounded rx store backpressures through both stages.
+    """
+
+    __slots__ = ("fabric", "src", "dst", "window", "hops", "_in_flight")
+
+    def __init__(self, fabric: "Fabric", src: int, dst: int):
+        self.fabric = fabric
+        self.src = src
+        self.dst = dst
+        self.hops = fabric.router.hops(src, dst)
+        self.window = Store(
+            fabric.sim, capacity=fabric.window_chunks, name=f"wire:{src}->{dst}"
+        )
+        # bounded: the wire holds only a window's worth of chunks in
+        # flight, so destination backpressure reaches the serializer and
+        # from there the TX engine
+        self._in_flight = Store(
+            fabric.sim, capacity=fabric.window_chunks, name=f"flight:{src}->{dst}"
+        )
+        fabric.sim.process(self._serialize(), name=f"pipe:{src}->{dst}")
+        fabric.sim.process(self._arrive(), name=f"arrive:{src}->{dst}")
+
+    def _serialize(self):
+        sim = self.fabric.sim
+        link = self.fabric.link
+        flight_delay = self.hops * self.fabric.config.hop_latency
+        while True:
+            chunk: WireChunk = yield self.window.get()
+            busy = link.serialization_time(chunk.npackets) + link.retry_penalty(
+                chunk.npackets
+            )
+            link.packets_carried += chunk.npackets
+            yield sim.timeout(busy)
+            yield self._in_flight.put((sim.now + flight_delay, chunk))
+
+    def _arrive(self):
+        sim = self.fabric.sim
+        port = self.fabric.ports[self.dst]
+        while True:
+            due, chunk = yield self._in_flight.get()
+            if sim.now < due:
+                yield sim.timeout(due - sim.now)
+            yield port.rx.put(chunk)
+            port.stats.incr("chunks_received")
+            port.stats.incr("packets_received", chunk.npackets)
+            self.fabric.counters.incr("chunks_delivered")
+
+
+class Fabric:
+    """The whole interconnect: topology + routing + live transport state."""
+
+    #: default wire-side buffering budgets, in bytes — chosen to match
+    #: the SeaStar's FIFO depth scale.  Expressed in bytes (not chunks!)
+    #: so the simulation granularity (``chunk_bytes``) does not change
+    #: the physical buffering, keeping per-packet and chunked runs
+    #: equivalent (tests/test_chunking_fidelity.py).
+    WINDOW_BYTES = 16 * 1024
+    RX_BUFFER_BYTES = 16 * 1024
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Torus3D,
+        config: SeaStarConfig,
+        *,
+        window_chunks: int | None = None,
+        rx_buffer_chunks: int | None = None,
+        seed: int = 0,
+    ):
+        self.sim = sim
+        self.topology = topology
+        self.config = config
+        self.router = Router(topology)
+        self.link = LinkModel(config, seed=seed)
+        if window_chunks is None:
+            window_chunks = max(2, self.WINDOW_BYTES // config.chunk_bytes)
+        if rx_buffer_chunks is None:
+            rx_buffer_chunks = max(2, self.RX_BUFFER_BYTES // config.chunk_bytes)
+        if window_chunks < 1 or rx_buffer_chunks < 1:
+            raise ValueError("window and buffer depths must be >= 1")
+        self.window_chunks = window_chunks
+        self.rx_buffer_chunks = rx_buffer_chunks
+        self.ports: dict[int, NetworkPort] = {}
+        self._pipes: dict[tuple[int, int], _Pipe] = {}
+        self.counters = Counters()
+
+    def attach(self, node_id: int) -> NetworkPort:
+        """Create (or return) the port for ``node_id``."""
+        if node_id in self.ports:
+            return self.ports[node_id]
+        if not 0 <= node_id < self.topology.num_nodes:
+            raise ValueError(f"node id {node_id} outside topology")
+        port = NetworkPort(
+            node_id=node_id,
+            rx=Store(self.sim, capacity=self.rx_buffer_chunks, name=f"rx:{node_id}"),
+        )
+        self.ports[node_id] = port
+        return port
+
+    def send(self, chunk: WireChunk) -> Event:
+        """Hand ``chunk`` to the wire.
+
+        Returns an event that fires once the chunk is accepted into the
+        (src, dst) in-flight window; the sender's TX engine must wait on it
+        so that receiver backpressure propagates to the transmit side.
+        """
+        if chunk.dst not in self.ports:
+            raise KeyError(f"destination node {chunk.dst} is not attached")
+        key = (chunk.src, chunk.dst)
+        pipe = self._pipes.get(key)
+        if pipe is None:
+            pipe = _Pipe(self, chunk.src, chunk.dst)
+            self._pipes[key] = pipe
+        self.counters.incr("chunks_sent")
+        self.counters.incr("packets_sent", chunk.npackets)
+        return pipe.window.put(chunk)
+
+    def hops(self, src: int, dst: int) -> int:
+        """Hop count of the fixed path between two attached nodes."""
+        return self.router.hops(src, dst)

@@ -1,0 +1,62 @@
+"""Link timing and reliability model.
+
+Each SeaStar link carries 2.5 GB/s of payload per direction in 64-byte
+packets and runs a 16-bit CRC with retry per packet (section 2).  The
+:class:`LinkModel` turns a chunk (a run of packets) into a wire duration:
+serialization at the link payload rate plus, optionally, stochastic CRC
+retry penalties for fault-injection experiments.
+
+Because the router's fixed paths pipeline packets (wormhole-style), a chunk
+pays serialization once and per-hop fall-through latency per hop; that
+composition happens in :mod:`repro.net.fabric`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..hw.config import SeaStarConfig
+
+__all__ = ["LinkModel"]
+
+
+class LinkModel:
+    """Timing/reliability calculator for one direction of a link class.
+
+    A single instance is shared by the whole fabric since all XT3 links are
+    identical; it is stateless except for the fault-injection RNG.
+    """
+
+    def __init__(self, config: SeaStarConfig, seed: Optional[int] = 0):
+        self.config = config
+        self._rng = random.Random(seed)
+        self.packets_carried = 0
+        self.retries = 0
+
+    def serialization_time(self, npackets: int) -> int:
+        """Time (ps) to clock ``npackets`` onto the wire at link rate."""
+        return npackets * self.config.link_packet_time()
+
+    def retry_penalty(self, npackets: int) -> int:
+        """Stochastic extra delay from link-level CRC retries.
+
+        Zero unless ``link_crc_retry_prob`` is set.  Retries are invisible
+        above the link (the 16-bit CRC + retry protocol is reliable); they
+        only add latency, which is exactly how the paper treats them.
+        """
+        prob = self.config.link_crc_retry_prob
+        if prob <= 0.0:
+            return 0
+        nretries = sum(1 for _ in range(npackets) if self._rng.random() < prob)
+        self.retries += nretries
+        return nretries * self.config.link_retry_penalty
+
+    def chunk_wire_time(self, npackets: int, hops: int) -> int:
+        """Total wire time for a chunk: serialization + per-hop latency."""
+        self.packets_carried += npackets
+        return (
+            self.serialization_time(npackets)
+            + hops * self.config.hop_latency
+            + self.retry_penalty(npackets)
+        )

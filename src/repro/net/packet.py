@@ -1,0 +1,137 @@
+"""Wire-level message representation.
+
+The SeaStar router moves fixed 64-byte packets; simulating 8 MB transfers
+packet-by-packet would cost ~131k events per message, so the fabric moves
+**chunks** — runs of consecutive packets belonging to one message — whose
+durations are computed from per-packet costs (see
+``SeaStarConfig.chunk_bytes``).  A chunk with ``seq == 0`` carries the
+message header (and any piggybacked small payload); subsequent chunks carry
+payload ranges as zero-copy references into the sender's buffer.
+
+In-order, fixed-path delivery means a message's chunks always arrive in
+``seq`` order, which the receive logic asserts.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = ["WireChunk", "chunk_message", "next_message_id"]
+
+_msg_counter = itertools.count(1)
+
+
+def next_message_id() -> int:
+    """Globally unique wire message id (monotonic)."""
+    return next(_msg_counter)
+
+
+@dataclass(eq=False)
+class WireChunk:
+    """A contiguous run of packets of one message on the wire.
+
+    Attributes
+    ----------
+    msg_id:
+        Wire message identifier; all chunks of one message share it.
+    src, dst:
+        Source and destination node ids.
+    seq:
+        Chunk sequence number within the message; 0 is the header chunk.
+    npackets:
+        Number of 64-byte packets this chunk represents (>= 1).
+    nbytes:
+        Payload bytes carried (0 for a bare header chunk).
+    is_header / is_last:
+        Message framing flags.  A single-chunk message has both set.
+    header:
+        The Portals wire header object (header chunks only).
+    payload:
+        Zero-copy reference (e.g. a NumPy view) to this chunk's payload
+        range in the sender's buffer, or None.
+    payload_offset:
+        Offset of this chunk's payload within the message body.
+    """
+
+    msg_id: int
+    src: int
+    dst: int
+    seq: int
+    npackets: int
+    nbytes: int
+    is_header: bool
+    is_last: bool
+    header: Any = None
+    payload: Any = None
+    payload_offset: int = 0
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.npackets < 1:
+            raise ValueError("a chunk carries at least one packet")
+        if self.seq == 0 and not self.is_header:
+            raise ValueError("chunk 0 must be the header chunk")
+
+
+def chunk_message(
+    *,
+    src: int,
+    dst: int,
+    header: Any,
+    body_bytes: int,
+    payload: Any = None,
+    packet_bytes: int,
+    chunk_bytes: int,
+    inline_bytes: int = 0,
+    msg_id: Optional[int] = None,
+) -> list[WireChunk]:
+    """Split one message into wire chunks.
+
+    ``body_bytes`` is the payload carried in dedicated payload packets
+    (i.e. excluding any bytes piggybacked in the header packet, which the
+    caller accounts for via ``inline_bytes`` purely for bookkeeping).
+    ``payload`` must support slicing if ``body_bytes > 0``.
+    """
+    if body_bytes < 0:
+        raise ValueError("body_bytes must be >= 0")
+    if chunk_bytes < packet_bytes or chunk_bytes % packet_bytes:
+        raise ValueError("chunk_bytes must be a positive multiple of packet_bytes")
+    mid = next_message_id() if msg_id is None else msg_id
+    chunks: list[WireChunk] = [
+        WireChunk(
+            msg_id=mid,
+            src=src,
+            dst=dst,
+            seq=0,
+            npackets=1,
+            nbytes=inline_bytes,
+            is_header=True,
+            is_last=body_bytes == 0,
+            header=header,
+        )
+    ]
+    offset = 0
+    seq = 1
+    while offset < body_bytes:
+        take = min(chunk_bytes, body_bytes - offset)
+        npk = -(-take // packet_bytes)
+        view = payload[offset : offset + take] if payload is not None else None
+        chunks.append(
+            WireChunk(
+                msg_id=mid,
+                src=src,
+                dst=dst,
+                seq=seq,
+                npackets=npk,
+                nbytes=take,
+                is_header=False,
+                is_last=offset + take >= body_bytes,
+                payload=view,
+                payload_offset=offset,
+            )
+        )
+        offset += take
+        seq += 1
+    return chunks

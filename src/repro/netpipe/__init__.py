@@ -1,0 +1,25 @@
+"""NetPIPE harness: the measurement methodology of the paper's section 5.2."""
+
+from .modules import (
+    NETPIPE_PORTAL,
+    MPIModule,
+    PortalsEndpoint,
+    PortalsGetModule,
+    PortalsPutModule,
+)
+from .runner import Measurement, NetPipeRunner, Series, run_series
+from .sizes import decade_sizes, netpipe_sizes
+
+__all__ = [
+    "netpipe_sizes",
+    "decade_sizes",
+    "PortalsPutModule",
+    "PortalsGetModule",
+    "MPIModule",
+    "PortalsEndpoint",
+    "NETPIPE_PORTAL",
+    "Measurement",
+    "Series",
+    "NetPipeRunner",
+    "run_series",
+]

@@ -1,0 +1,323 @@
+"""NetPIPE transport modules.
+
+We developed a Portals-level module for NetPIPE (exactly as the paper's
+authors did for NetPIPE 3.6.2) plus an MPI module, so all four curves of
+Figures 4-7 come from the same measurement harness:
+
+* :class:`PortalsPutModule` — one-sided puts ("put" curve);
+* :class:`PortalsGetModule` — one-sided gets ("get" curve);
+* :class:`MPIModule` — MPI send/recv over either MPICH flavor.
+
+Each module builds a symmetric pair of *endpoints*.  An endpoint exposes
+``setup`` / ``begin_round(n)`` / ``send(n)`` / ``recv(n)`` /
+``exchange(n)`` / ``end_round`` coroutines; the runner drives them in the
+ping-pong, streaming and bi-directional patterns.
+
+Per the paper: "This module creates a memory descriptor for receiving
+messages on a Portal with a single match entry attached.  The memory
+descriptor is created once for each round of messages ... so the setup
+overhead ... is not included in the measurement."  ``begin_round`` is
+that per-round MD creation point.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+import numpy as np
+
+from ..machine.builder import Machine
+from ..machine.node import Node
+from ..mpi.pt2pt import MPICH1, MPIFlavor, MPIProcess
+from ..oskern.process import HostProcess
+from ..portals.constants import (
+    PTL_NID_ANY,
+    PTL_PID_ANY,
+    EventKind,
+    MDOptions,
+)
+from ..portals.header import ProcessId
+
+__all__ = [
+    "NETPIPE_PORTAL",
+    "PortalsEndpoint",
+    "PortalsPutModule",
+    "PortalsGetModule",
+    "MPIModule",
+]
+
+#: Portal-table index the NetPIPE Portals module claims for itself.
+NETPIPE_PORTAL = 4
+
+_MATCH_BITS = 0x4E455450  # "NETP"
+
+
+class PortalsEndpoint:
+    """Shared machinery for the put and get Portals endpoints."""
+
+    def __init__(self, proc: HostProcess, peer: ProcessId, max_bytes: int):
+        self.proc = proc
+        self.api = proc.api
+        self.sim = proc.sim
+        self.peer = peer
+        self.max_bytes = max_bytes
+        self.eq = None
+        self.rx_buf: Optional[np.ndarray] = None
+        self.tx_buf: Optional[np.ndarray] = None
+        self.tx_md = None
+        self._counts: dict[EventKind, int] = {}
+        self._waiting: dict[EventKind, int] = {}
+
+    # -- event plumbing ----------------------------------------------------
+    def _note(self, kind: EventKind) -> None:
+        self._counts[kind] = self._counts.get(kind, 0) + 1
+
+    def _await_kind(self, kind: EventKind) -> Generator:
+        """Consume one event of ``kind`` (draining others into counters).
+
+        Each endpoint is driven by a single process, so plain counter
+        consumption is race-free."""
+        while self._counts.get(kind, 0) == 0:
+            ev = yield from self.api.PtlEQWait(self.eq)
+            self._note(ev.kind)
+        self._counts[kind] -= 1
+
+    def end_round(self) -> Generator:
+        """Tear down the per-round transmit MD.
+
+        Outstanding completions (e.g. SEND_ENDs the ping-pong loop never
+        waits for) are drained first so the unlink is legal."""
+        if self.tx_md is not None and self.tx_md.active:
+            while self.tx_md.pending_ops > 0:
+                ev = yield from self.api.PtlEQWait(self.eq)
+                self._note(ev.kind)
+            yield from self.api.PtlMDUnlink(self.tx_md)
+        self.tx_md = None
+
+
+class _PutEndpoint(PortalsEndpoint):
+    """Ping-pong/stream endpoint exchanging PtlPut messages."""
+
+    def setup(self) -> Generator:
+        api = self.api
+        self.eq = yield from api.PtlEQAlloc(512)
+        self.rx_buf = self.proc.alloc(self.max_bytes)
+        self.tx_buf = self.proc.alloc(self.max_bytes)
+        me = yield from api.PtlMEAttach(
+            NETPIPE_PORTAL, ProcessId(PTL_NID_ANY, PTL_PID_ANY), _MATCH_BITS
+        )
+        yield from api.PtlMDAttach(
+            me,
+            self.rx_buf,
+            options=(
+                MDOptions.OP_PUT
+                | MDOptions.TRUNCATE
+                | MDOptions.MANAGE_REMOTE
+                | MDOptions.EVENT_START_DISABLE
+            ),
+            eq=self.eq,
+        )
+
+    def begin_round(self, nbytes: int) -> Generator:
+        self.tx_md = yield from self.api.PtlMDBind(
+            self.tx_buf[:nbytes],
+            options=MDOptions.EVENT_START_DISABLE,
+            eq=self.eq,
+        )
+
+    def send(self, nbytes: int) -> Generator:
+        yield from self.api.PtlPut(
+            self.tx_md,
+            self.peer,
+            NETPIPE_PORTAL,
+            _MATCH_BITS,
+            length=nbytes,
+            remote_offset=0,
+        )
+
+    def recv(self, nbytes: int) -> Generator:
+        yield from self._await_kind(EventKind.PUT_END)
+
+    def exchange(self, nbytes: int) -> Generator:
+        """Bi-directional step: fire our put, then absorb the peer's."""
+        yield from self.send(nbytes)
+        yield from self.recv(nbytes)
+
+    def flush_sends(self, count: int) -> Generator:
+        """Stream mode: wait until ``count`` SEND_END events have landed
+        (all transmit pendings retired)."""
+        for _ in range(count):
+            yield from self._await_kind(EventKind.SEND_END)
+
+
+class _GetEndpoint(PortalsEndpoint):
+    """Endpoint where data moves via PtlGet (receiver-initiated).
+
+    ``send`` waits for the peer to *take* our data (GET_END on the
+    exposed buffer); ``recv`` performs the get.  A get is inherently a
+    blocking round trip, which is why the streaming curve for gets
+    collapses (Figure 6) — nothing pipelines.
+    """
+
+    def setup(self) -> Generator:
+        api = self.api
+        self.eq = yield from api.PtlEQAlloc(512)
+        self.rx_buf = self.proc.alloc(self.max_bytes)
+        self.tx_buf = self.proc.alloc(self.max_bytes)
+        me = yield from api.PtlMEAttach(
+            NETPIPE_PORTAL, ProcessId(PTL_NID_ANY, PTL_PID_ANY), _MATCH_BITS
+        )
+        yield from api.PtlMDAttach(
+            me,
+            self.tx_buf,
+            options=(
+                MDOptions.OP_GET
+                | MDOptions.MANAGE_REMOTE
+                | MDOptions.EVENT_START_DISABLE
+            ),
+            eq=self.eq,
+        )
+
+    def begin_round(self, nbytes: int) -> Generator:
+        self.tx_md = yield from self.api.PtlMDBind(
+            self.rx_buf[:nbytes],
+            options=MDOptions.EVENT_START_DISABLE,
+            eq=self.eq,
+        )
+
+    def send(self, nbytes: int) -> Generator:
+        yield from self._await_kind(EventKind.GET_END)
+
+    def recv(self, nbytes: int) -> Generator:
+        yield from self.api.PtlGet(
+            self.tx_md,
+            self.peer,
+            NETPIPE_PORTAL,
+            _MATCH_BITS,
+            length=nbytes,
+            remote_offset=0,
+        )
+        yield from self._await_kind(EventKind.REPLY_END)
+
+    def exchange(self, nbytes: int) -> Generator:
+        yield from self.recv(nbytes)
+        yield from self.send(nbytes)
+
+    def flush_sends(self, count: int) -> Generator:
+        if False:  # gets complete synchronously in recv
+            yield
+
+
+class _MPIEndpoint:
+    """NetPIPE endpoint speaking MPI send/recv."""
+
+    STREAM_WINDOW = 16
+    TAG = 1001
+
+    def __init__(self, mpi: MPIProcess, peer_rank: int, max_bytes: int):
+        self.mpi = mpi
+        self.peer_rank = peer_rank
+        self.max_bytes = max_bytes
+        self.tx_buf: Optional[np.ndarray] = None
+        self.rx_buf: Optional[np.ndarray] = None
+        self._window: list = []
+
+    def setup(self) -> Generator:
+        yield from self.mpi.init()
+        self.tx_buf = self.mpi.proc.alloc(self.max_bytes)
+        self.rx_buf = self.mpi.proc.alloc(self.max_bytes)
+
+    def begin_round(self, nbytes: int) -> Generator:
+        if False:
+            yield
+
+    def send(self, nbytes: int) -> Generator:
+        yield from self.mpi.send(self.tx_buf[:nbytes], self.peer_rank, tag=self.TAG)
+
+    def recv(self, nbytes: int) -> Generator:
+        yield from self.mpi.recv(
+            self.rx_buf[:nbytes], source=self.peer_rank, tag=self.TAG
+        )
+
+    def exchange(self, nbytes: int) -> Generator:
+        yield from self.mpi.sendrecv(
+            self.tx_buf[:nbytes],
+            self.peer_rank,
+            self.rx_buf[:nbytes],
+            source=self.peer_rank,
+            tag=self.TAG,
+        )
+
+    def stream_recv(self, nbytes: int, remaining: int) -> Generator:
+        """Windowed receive for streaming: keep a prepost window so eager
+        floods never outrun the unexpected buffers."""
+        while len(self._window) < min(self.STREAM_WINDOW, remaining):
+            self._window.append(
+                self.mpi.irecv(
+                    self.rx_buf[:nbytes], source=self.peer_rank, tag=self.TAG
+                )
+            )
+        req = self._window.pop(0)
+        yield from req.wait()
+
+    def flush_sends(self, count: int) -> Generator:
+        if False:
+            yield
+
+    def end_round(self) -> Generator:
+        for req in self._window:
+            yield from req.wait()
+        self._window.clear()
+
+
+class PortalsPutModule:
+    """Factory for the "put" curve endpoints."""
+
+    name = "put"
+
+    def __init__(self, *, accelerated: bool = False):
+        self.accelerated = accelerated
+
+    def make_endpoints(self, machine: Machine, a: Node, b: Node, max_bytes: int):
+        pa = a.create_process(accelerated=self.accelerated)
+        pb = b.create_process(accelerated=self.accelerated)
+        return (
+            _PutEndpoint(pa, pb.id, max_bytes),
+            _PutEndpoint(pb, pa.id, max_bytes),
+        )
+
+
+class PortalsGetModule:
+    """Factory for the "get" curve endpoints."""
+
+    name = "get"
+
+    def __init__(self, *, accelerated: bool = False):
+        self.accelerated = accelerated
+
+    def make_endpoints(self, machine: Machine, a: Node, b: Node, max_bytes: int):
+        pa = a.create_process(accelerated=self.accelerated)
+        pb = b.create_process(accelerated=self.accelerated)
+        return (
+            _GetEndpoint(pa, pb.id, max_bytes),
+            _GetEndpoint(pb, pa.id, max_bytes),
+        )
+
+
+class MPIModule:
+    """Factory for the MPI curves (pick the flavor)."""
+
+    def __init__(self, flavor: MPIFlavor = MPICH1):
+        self.flavor = flavor
+        self.name = flavor.name
+
+    def make_endpoints(self, machine: Machine, a: Node, b: Node, max_bytes: int):
+        pa = a.create_process()
+        pb = b.create_process()
+        ids = [pa.id, pb.id]
+        m0 = MPIProcess(pa, 0, ids, flavor=self.flavor, config=machine.config)
+        m1 = MPIProcess(pb, 1, ids, flavor=self.flavor, config=machine.config)
+        return (
+            _MPIEndpoint(m0, 1, max_bytes),
+            _MPIEndpoint(m1, 0, max_bytes),
+        )

@@ -1,0 +1,59 @@
+"""NetPIPE message-size schedule.
+
+NetPIPE does not sweep a fixed interval: it visits powers of two and the
+midpoints between them, and *perturbs* each base size by a few bytes to
+probe buffer-alignment effects (section 5.2: "NetPIPE varies the message
+size interval ... to cover a disparate set of features, such as buffer
+alignment").
+"""
+
+from __future__ import annotations
+
+__all__ = ["netpipe_sizes", "decade_sizes"]
+
+
+def netpipe_sizes(
+    min_bytes: int = 1,
+    max_bytes: int = 8 * 1024 * 1024,
+    *,
+    perturbation: int = 3,
+) -> list[int]:
+    """The classic NetPIPE schedule.
+
+    Bases are powers of two and 1.5x powers of two; each base ``b``
+    contributes ``b - p``, ``b`` and ``b + p``.  Results are clipped to
+    ``[min_bytes, max_bytes]``, deduplicated and sorted.
+    """
+    if min_bytes < 1 or max_bytes < min_bytes:
+        raise ValueError("need 1 <= min_bytes <= max_bytes")
+    bases: set[int] = set()
+    power = 1
+    while power <= max_bytes:
+        bases.add(power)
+        mid = power + power // 2
+        if mid <= max_bytes:
+            bases.add(mid)
+        power *= 2
+    sizes: set[int] = set()
+    for base in bases:
+        for cand in (base - perturbation, base, base + perturbation):
+            if min_bytes <= cand <= max_bytes:
+                sizes.add(cand)
+    sizes.add(min_bytes)
+    sizes.add(max_bytes)
+    return sorted(sizes)
+
+
+def decade_sizes(
+    min_bytes: int = 1, max_bytes: int = 8 * 1024 * 1024
+) -> list[int]:
+    """A coarse power-of-two-only schedule (fast benchmark runs)."""
+    sizes = []
+    n = 1
+    while n <= max_bytes:
+        if n >= min_bytes:
+            sizes.append(n)
+        n *= 2
+    if sizes and sizes[-1] != max_bytes and min_bytes <= max_bytes:
+        sizes.append(max_bytes)
+    return sizes

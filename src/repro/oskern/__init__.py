@@ -1,0 +1,15 @@
+"""Operating-system models: Catamount and Linux kernels, processes, memory."""
+
+from .kernel import Kernel, KernelTxCtx, OSType
+from .memory import ContiguousMemory, MemoryModel, PagedMemory
+from .process import HostProcess
+
+__all__ = [
+    "Kernel",
+    "KernelTxCtx",
+    "OSType",
+    "MemoryModel",
+    "ContiguousMemory",
+    "PagedMemory",
+    "HostProcess",
+]

@@ -1,0 +1,643 @@
+"""The generic-mode Portals implementation in the OS kernel.
+
+This is the paper's measured configuration: Portals matching runs on the
+host, driven by firmware interrupts.  One instance exists per node and
+serves every non-accelerated process on it ("the OS kernel ... multiplexes
+them to a single firmware mailbox", Figure 2).
+
+Responsibilities:
+
+* the send paths invoked (through a bridge) by ``PtlPut``/``PtlGet`` —
+  allocate a host-managed TX pending, build the wire header, stream the
+  transmit command to the firmware mailbox;
+* the interrupt handler — drains **all** new firmware events per
+  invocation (section 4.1), performing Portals matching for new headers,
+  issuing receive/deposit commands, and posting Portals events into user
+  event queues;
+* host-side pending bookkeeping and ACK generation.
+
+All host time is charged to the node's Opteron: the 2 us interrupt
+overhead plus per-event costs in interrupt context, trap/syscall plus
+processing costs in the send paths.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+import numpy as np
+
+from ..fw.commands import (
+    FwEvent,
+    FwEventKind,
+    ReleasePendingCmd,
+    RxDepositCmd,
+    TxAckCmd,
+    TxGetCmd,
+    TxPutCmd,
+    TxReplyCmd,
+)
+from ..fw.firmware import Firmware
+from ..fw.structs import LowerPending
+from ..hw.config import SeaStarConfig
+from ..hw.processors import Opteron
+from ..portals.constants import EventKind, MDOptions, MsgType, NIFailType
+from ..portals.events import PortalsEvent
+from ..portals.header import PortalsHeader, ProcessId
+from ..portals.matching import MatchStatus, commit_operation, match_request
+from ..portals.md import MemoryDescriptor
+from ..portals.ni import NetworkInterface
+from ..sim import CPU, Channel, Counters, Simulator
+from .memory import ContiguousMemory, MemoryModel, PagedMemory
+
+__all__ = ["OSType", "Kernel", "KernelTxCtx"]
+
+
+class OSType(enum.Enum):
+    """Which operating system this node boots (section 3.1's cases)."""
+
+    CATAMOUNT = "catamount"
+    LINUX = "linux"
+
+
+@dataclass(eq=False)
+class KernelTxCtx:
+    """Host-side record of one in-flight transmit operation."""
+
+    kind: str  # "put" | "get" | "reply"
+    src_pid: int
+    pending: LowerPending
+    md: Optional[MemoryDescriptor] = None
+    ack_req: bool = False
+    length: int = 0
+    # reply contexts carry the target-side match to commit at completion:
+    commit: Any = None  # (mlist, result, hdr)
+    completed: bool = False
+    """Local completion (TX_COMPLETE) already processed; a later
+    SEND_FAILED is then informational only."""
+
+    direct_get_end: bool = False
+    """GET_END was delivered by the firmware; the kernel's commit must
+    not post it again."""
+
+
+class Kernel:
+    """One node's OS kernel with the generic Portals library inside."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: SeaStarConfig,
+        opteron: Opteron,
+        firmware: Firmware,
+        os_type: OSType = OSType.CATAMOUNT,
+    ):
+        self.sim = sim
+        self.config = config
+        self.cpu = opteron
+        self.firmware = firmware
+        self.os_type = os_type
+        self.node_id = firmware.node_id
+        self.counters = Counters()
+        self.memory: MemoryModel = (
+            ContiguousMemory(config)
+            if os_type is OSType.CATAMOUNT
+            else PagedMemory(config)
+        )
+
+        self.fw_events: deque[FwEvent] = deque()
+        self._draining = False
+        self.proc, tx_pool = firmware.register_generic(self._fw_event_sink)
+        self.tx_free: Channel = Channel(sim, name=f"ktx:{self.node_id}")
+        for lower in tx_pool:
+            self.tx_free.put(lower)
+
+        self._user_nis: dict[int, NetworkInterface] = {}
+        self._rx_inflight: dict[int, tuple] = {}
+        self.tracer = None
+        """Optional machine-wide tracer (set by the Node assembly)."""
+
+    def _trace(self, category: str, **detail) -> None:
+        if self.tracer is not None:
+            detail["node"] = self.node_id
+            self.tracer.emit(category, detail)
+
+    # ------------------------------------------------------------------
+    # Process registry
+    # ------------------------------------------------------------------
+    def register_user(self, pid: int, ni: NetworkInterface) -> None:
+        """Announce a generic user process's Portals state to the kernel."""
+        if pid in self._user_nis:
+            raise ValueError(f"pid {pid} already registered on node {self.node_id}")
+        self._user_nis[pid] = ni
+
+    def crossing_cost(self) -> int:
+        """User->kernel boundary cost for this OS."""
+        if self.os_type is OSType.CATAMOUNT:
+            return self.config.trap_overhead
+        return self.config.linux_syscall_overhead
+
+    # ------------------------------------------------------------------
+    # Send paths (app process context, via bridges)
+    # ------------------------------------------------------------------
+    def send_put(
+        self,
+        *,
+        src_pid: int,
+        md: MemoryDescriptor,
+        target: ProcessId,
+        ptl_index: int,
+        match_bits: int,
+        ack_req: bool,
+        remote_offset: int,
+        hdr_data: int,
+        local_offset: int,
+        length: int,
+        crossing: Optional[int] = None,
+    ):
+        """Kernel half of PtlPut: allocate a pending, command the firmware."""
+        cfg = self.config
+        cost = (
+            (self.crossing_cost() if crossing is None else crossing)
+            + cfg.host_tx_overhead
+            + self.memory.command_prep_cost(length)
+            + cfg.ht_write_latency
+        )
+        yield from self.cpu.execute(cost, priority=CPU.PRIO_KERNEL)
+        if len(self.tx_free) == 0:
+            # Pool dry: reclaim lazily-completed pendings now instead of
+            # waiting for an interrupt that might never come.
+            self._request_interrupt()
+        pending: LowerPending = yield self.tx_free.get()
+        ctx = KernelTxCtx(
+            kind="put",
+            src_pid=src_pid,
+            pending=pending,
+            md=md,
+            ack_req=ack_req,
+            length=length,
+        )
+        payload = md.buffer[local_offset : local_offset + length] if length else None
+        self.counters.incr("puts")
+        self.proc.mailbox.post_command(
+            TxPutCmd(
+                pending_id=pending.pending_id,
+                target=target,
+                ptl_index=ptl_index,
+                match_bits=match_bits,
+                payload=payload,
+                length=length,
+                remote_offset=remote_offset,
+                hdr_data=hdr_data,
+                ack_req=ack_req,
+                host_ctx=ctx,
+                dma_commands=self.memory.dma_commands(length),
+            )
+        )
+
+    def send_get(
+        self,
+        *,
+        src_pid: int,
+        md: MemoryDescriptor,
+        target: ProcessId,
+        ptl_index: int,
+        match_bits: int,
+        remote_offset: int,
+        local_offset: int,
+        length: int,
+        crossing: Optional[int] = None,
+    ):
+        """Kernel half of PtlGet."""
+        cfg = self.config
+        cost = (
+            (self.crossing_cost() if crossing is None else crossing)
+            + cfg.host_tx_overhead
+            + self.memory.command_prep_cost(length)
+            + cfg.ht_write_latency
+        )
+        yield from self.cpu.execute(cost, priority=CPU.PRIO_KERNEL)
+        if len(self.tx_free) == 0:
+            self._request_interrupt()
+        pending: LowerPending = yield self.tx_free.get()
+        ctx = KernelTxCtx(
+            kind="get", src_pid=src_pid, pending=pending, md=md, length=length
+        )
+        reply_view = md.buffer[local_offset : local_offset + length]
+        self.counters.incr("gets")
+        self.proc.mailbox.post_command(
+            TxGetCmd(
+                pending_id=pending.pending_id,
+                target=target,
+                ptl_index=ptl_index,
+                match_bits=match_bits,
+                length=length,
+                reply_buffer=reply_view,
+                remote_offset=remote_offset,
+                host_ctx=ctx,
+                dma_commands=self.memory.dma_commands(length),
+                direct_eq=md.eq if md.events_enabled(start=False) else None,
+                md_ref=md,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Firmware event plumbing
+    # ------------------------------------------------------------------
+    #: lazy (no-interrupt) bookkeeping events force an interrupt once
+    #: this many accumulate, bounding deferred pending reclamation.
+    LAZY_EVENT_LIMIT = 64
+
+    def _fw_event_sink(self, event: FwEvent) -> None:
+        self.fw_events.append(event)
+        if event.meta.get("lazy") and len(self.fw_events) < self.LAZY_EVENT_LIMIT:
+            # Completion was already written to the user EQ by the
+            # firmware; the kernel only needs this for pending-pool
+            # bookkeeping, which can wait for the next interrupt.
+            self.counters.incr("lazy_events_deferred")
+            return
+        self._request_interrupt()
+
+    def _request_interrupt(self) -> None:
+        if self._draining:
+            # The running handler will observe the new event in its drain
+            # loop — this is the interrupt-reduction behaviour of 4.1.
+            self.cpu.counters.incr("interrupts_suppressed")
+            return
+        self.cpu.raise_interrupt(self._irq_drain)
+
+    def _irq_drain(self):
+        """Interrupt handler: process ALL new events in the generic EQ."""
+        self._trace("kernel.irq", pending_events=len(self.fw_events))
+        self._draining = True
+        try:
+            while self.fw_events:
+                event = self.fw_events.popleft()
+                yield from self.cpu.charge(self.config.host_interrupt_event)
+                yield from self._dispatch(event)
+        finally:
+            self._draining = False
+
+    # ------------------------------------------------------------------
+    # Event dispatch (interrupt context: use cpu.charge, never execute)
+    # ------------------------------------------------------------------
+    def _dispatch(self, event: FwEvent):
+        kind = event.kind
+        if kind is FwEventKind.RX_HEADER:
+            yield from self._on_rx_header(event)
+        elif kind is FwEventKind.RX_COMPLETE:
+            yield from self._on_rx_complete(event)
+        elif kind is FwEventKind.TX_COMPLETE:
+            yield from self._on_tx_complete(event)
+        elif kind is FwEventKind.REPLY_COMPLETE:
+            yield from self._on_reply_complete(event)
+        elif kind is FwEventKind.ACK_RECEIVED:
+            yield from self._on_ack(event)
+        elif kind is FwEventKind.SEND_FAILED:
+            yield from self._on_send_failed(event)
+        else:  # pragma: no cover - defensive
+            raise RuntimeError(f"unexpected firmware event {kind}")
+
+    # -- receive side -------------------------------------------------------
+    def _on_rx_header(self, event: FwEvent):
+        cfg = self.config
+        hdr = event.header
+        assert hdr is not None
+        ni = self._user_nis.get(hdr.dst.pid)
+        yield from self.cpu.charge(cfg.host_match_overhead)
+        if ni is None:
+            self.counters.incr("drops_unknown_pid")
+            yield from self._discard(event, hdr)
+            return
+        result = match_request(ni.table, hdr)
+        self._trace(
+            "kernel.match",
+            op=hdr.op.value,
+            status=result.status.value,
+            mlength=result.mlength,
+        )
+        mlist = ni.table.match_list(hdr.ptl_index)
+        if not result.matched:
+            ni.counters.incr("drops")
+            self.counters.incr(
+                "drops_no_match"
+                if result.status is MatchStatus.DROPPED_NO_MATCH
+                else "drops_no_space"
+            )
+            if hdr.op is MsgType.GET:
+                yield from self._send_failed_reply(hdr)
+                yield from self._release(event.pending_id)
+            else:
+                yield from self._discard(event, hdr)
+            return
+
+        start_events = commit_operation(mlist, result, hdr, started=True)
+        yield from self._post_events(result.md.eq, start_events)
+
+        if hdr.op is MsgType.GET:
+            yield from self._reply_to_get(event, hdr, mlist, result)
+            return
+
+        # PUT delivered entirely in the header packet (inline payload or
+        # a zero-length message): complete right here.
+        if hdr.inline_data is not None or hdr.length == 0:
+            if result.mlength > 0:
+                dest = result.md.region(result.offset, result.mlength)
+                dest[:] = hdr.inline_data[: result.mlength]
+            yield from self.cpu.charge(cfg.host_event_overhead)
+            end_events = commit_operation(mlist, result, hdr, started=False)
+            yield from self._post_events(result.md.eq, end_events)
+            yield from self._maybe_ack(hdr, result)
+            yield from self._release(event.pending_id)
+            return
+
+        # Payload PUT: command the deposit; finish at RX_COMPLETE.  Even a
+        # fully-truncated match (mlength == 0) must program the engine so
+        # the payload drains off the wire.
+        dest = (
+            result.md.region(result.offset, result.mlength)
+            if result.mlength > 0
+            else None
+        )
+        yield from self.cpu.charge(
+            cfg.host_rx_cmd_overhead
+            + self.memory.command_prep_cost(result.mlength)
+            + cfg.ht_write_latency
+        )
+        self._rx_inflight[event.pending_id] = (mlist, result, hdr, ni)
+        self.proc.mailbox.post_command(
+            RxDepositCmd(
+                pending_id=event.pending_id,
+                dest=dest,
+                accept_bytes=result.mlength,
+                dma_commands=self.memory.dma_commands(result.mlength),
+            )
+        )
+
+    def _on_rx_complete(self, event: FwEvent):
+        cfg = self.config
+        entry = self._rx_inflight.pop(event.pending_id, None)
+        if entry is None:  # pragma: no cover - defensive
+            self.counters.incr("orphan_rx_complete")
+            return
+        if entry == ("discard",):
+            yield from self._release(event.pending_id)
+            return
+        mlist, result, hdr, _ni = entry
+        yield from self.cpu.charge(cfg.host_event_overhead)
+        end_events = commit_operation(mlist, result, hdr, started=False)
+        yield from self._post_events(result.md.eq, end_events)
+        yield from self._maybe_ack(hdr, result)
+        yield from self._release(event.pending_id)
+
+    def _reply_to_get(self, event: FwEvent, hdr, mlist, result):
+        cfg = self.config
+        yield from self.cpu.charge(cfg.host_get_reply_setup + cfg.ht_write_latency)
+        pending = self._alloc_tx_nowait()
+        md = result.md
+        # Pre-build GET_END so the firmware can deliver it straight to
+        # the target process's EQ when the reply finishes (section 3.1:
+        # the firmware writes notifications to user-level event queues).
+        direct_eq = md.eq if md.events_enabled(start=False) else None
+        direct_event = None
+        if direct_eq is not None:
+            direct_event = PortalsEvent(
+                kind=EventKind.GET_END,
+                initiator=hdr.src,
+                ptl_index=hdr.ptl_index,
+                match_bits=hdr.match_bits,
+                rlength=result.rlength,
+                mlength=result.mlength,
+                offset=result.offset,
+                md_user_ptr=md.user_ptr,
+                md_handle=md,
+            )
+        ctx = KernelTxCtx(
+            kind="reply",
+            src_pid=hdr.dst.pid,
+            pending=pending,
+            md=md,
+            length=result.mlength,
+            commit=(mlist, result, hdr),
+            direct_get_end=direct_event is not None,
+        )
+        payload = md.region(result.offset, result.mlength) if result.mlength else None
+        self.counters.incr("replies")
+        self.proc.mailbox.post_command(
+            TxReplyCmd(
+                pending_id=pending.pending_id,
+                target=hdr.src,
+                initiator_ctx=hdr.initiator_ctx,
+                payload=payload,
+                length=result.mlength,
+                host_ctx=ctx,
+                dma_commands=self.memory.dma_commands(result.mlength),
+                direct_eq=direct_eq,
+                direct_event=direct_event,
+            )
+        )
+        yield from self._release(event.pending_id)
+
+    def _send_failed_reply(self, hdr: PortalsHeader):
+        cfg = self.config
+        yield from self.cpu.charge(cfg.host_get_reply_setup + cfg.ht_write_latency)
+        pending = self._alloc_tx_nowait()
+        ctx = KernelTxCtx(
+            kind="reply", src_pid=hdr.dst.pid, pending=pending, length=0
+        )
+        self.proc.mailbox.post_command(
+            TxReplyCmd(
+                pending_id=pending.pending_id,
+                target=hdr.src,
+                initiator_ctx=hdr.initiator_ctx,
+                payload=None,
+                length=0,
+                host_ctx=ctx,
+                failed=True,
+            )
+        )
+
+    # -- initiator completions ---------------------------------------------------
+    def _on_tx_complete(self, event: FwEvent):
+        cfg = self.config
+        ctx: KernelTxCtx = event.host_ctx
+        if ctx is None:  # pragma: no cover - defensive
+            self.counters.incr("orphan_tx_complete")
+            return
+        ctx.completed = True
+        if ctx.kind == "put":
+            md = ctx.md
+            md.pending_ops -= 1
+            if md.events_enabled(start=False):
+                yield from self._post_events(
+                    md.eq,
+                    [
+                        PortalsEvent(
+                            kind=EventKind.SEND_END,
+                            initiator=ProcessId(self.node_id, ctx.src_pid),
+                            mlength=ctx.length,
+                            rlength=ctx.length,
+                            md_user_ptr=md.user_ptr,
+                            md_handle=md,
+                        )
+                    ],
+                )
+        elif ctx.kind == "reply":
+            if ctx.commit is not None:
+                mlist, result, hdr = ctx.commit
+                yield from self.cpu.charge(cfg.host_event_overhead)
+                end_events = commit_operation(mlist, result, hdr, started=False)
+                if ctx.direct_get_end:
+                    end_events = [
+                        ev for ev in end_events if ev.kind is not EventKind.GET_END
+                    ]
+                yield from self._post_events(result.md.eq, end_events)
+        self._free_tx(ctx.pending)
+
+    def _on_reply_complete(self, event: FwEvent):
+        ctx: KernelTxCtx = event.host_ctx
+        if ctx is None or ctx.kind != "get":  # pragma: no cover - defensive
+            self.counters.incr("orphan_reply_complete")
+            return
+        if event.meta.get("direct_done"):
+            # The firmware already delivered REPLY_END to the user EQ and
+            # reconciled the MD; just recycle the pending.
+            self._free_tx(ctx.pending)
+            return
+        md = ctx.md
+        md.pending_ops -= 1
+        failed = bool(event.meta.get("failed"))
+        if md.events_enabled(start=False):
+            yield from self._post_events(
+                md.eq,
+                [
+                    PortalsEvent(
+                        kind=EventKind.REPLY_END,
+                        initiator=event.header.src if event.header else None,
+                        mlength=event.mlength,
+                        rlength=ctx.length,
+                        md_user_ptr=md.user_ptr,
+                        md_handle=md,
+                        ni_fail_type=(
+                            NIFailType.DROPPED if failed else NIFailType.OK
+                        ),
+                    )
+                ],
+            )
+        self._free_tx(ctx.pending)
+
+    def _on_ack(self, event: FwEvent):
+        ctx: KernelTxCtx = event.host_ctx
+        if ctx is None or ctx.md is None:  # pragma: no cover - defensive
+            self.counters.incr("orphan_ack")
+            return
+        md = ctx.md
+        if md.eq is not None:
+            yield from self._post_events(
+                md.eq,
+                [
+                    PortalsEvent(
+                        kind=EventKind.ACK,
+                        initiator=event.header.src if event.header else None,
+                        mlength=event.mlength,
+                        offset=event.offset,
+                        md_user_ptr=md.user_ptr,
+                        md_handle=md,
+                    )
+                ],
+            )
+
+    def _on_send_failed(self, event: FwEvent):
+        """Go-back-N gave up on a message.
+
+        Portals SEND_END means *local* completion (buffer reusable) and
+        was already delivered at TX_COMPLETE for puts that made it onto
+        the wire; the terminal failure is reported as an additional
+        SEND_END flagged PTL_NI_FAIL.  Bookkeeping (pending recycle, op
+        count) only happens here if local completion never did."""
+        ctx: KernelTxCtx = event.host_ctx
+        if ctx is None or ctx.md is None:
+            return
+        md = ctx.md
+        if not ctx.completed:
+            md.pending_ops -= 1
+        if md.eq is not None:
+            yield from self._post_events(
+                md.eq,
+                [
+                    PortalsEvent(
+                        kind=EventKind.SEND_END,
+                        mlength=0,
+                        rlength=ctx.length,
+                        md_user_ptr=md.user_ptr,
+                        md_handle=md,
+                        ni_fail_type=NIFailType.FAIL,
+                    )
+                ],
+            )
+        if not ctx.completed:
+            ctx.completed = True
+            self._free_tx(ctx.pending)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _post_events(self, eq, events):
+        for ev in events:
+            yield from self.cpu.charge(self.config.host_event_overhead)
+            if eq is not None:
+                eq.post(ev)
+
+    def _maybe_ack(self, hdr: PortalsHeader, result):
+        if not hdr.ack_req:
+            return
+        md = result.md
+        if md.options & MDOptions.ACK_DISABLE:
+            return
+        yield from self.cpu.charge(self.config.ht_write_latency)
+        self.counters.incr("acks_sent")
+        self.proc.mailbox.post_command(
+            TxAckCmd(
+                pending_id=-1,
+                target=hdr.src,
+                initiator_ctx=hdr.initiator_ctx,
+                mlength=result.mlength,
+                offset=result.offset,
+            )
+        )
+
+    def _discard(self, event: FwEvent, hdr: PortalsHeader):
+        """Drop an unmatched/undeliverable message: drain its payload."""
+        cfg = self.config
+        if hdr.inline_data is None and hdr.length > 0:
+            yield from self.cpu.charge(cfg.host_rx_cmd_overhead + cfg.ht_write_latency)
+            self._rx_inflight[event.pending_id] = ("discard",)
+            self.proc.mailbox.post_command(
+                RxDepositCmd(
+                    pending_id=event.pending_id, dest=None, accept_bytes=0
+                )
+            )
+        else:
+            yield from self._release(event.pending_id)
+
+    def _release(self, pending_id: int):
+        yield from self.cpu.charge(self.config.ht_write_latency)
+        self.proc.mailbox.post_command(ReleasePendingCmd(pending_id=pending_id))
+
+    def _alloc_tx_nowait(self) -> LowerPending:
+        if len(self.tx_free) == 0:
+            raise RuntimeError(
+                f"node {self.node_id}: kernel TX pending pool exhausted in "
+                "interrupt context — increase generic_tx_pendings"
+            )
+        event = self.tx_free.get()
+        assert event.triggered
+        return event.value
+
+    def _free_tx(self, pending: LowerPending) -> None:
+        if pending is None:  # pragma: no cover - defensive
+            return
+        self.tx_free.put(pending)

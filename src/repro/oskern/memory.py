@@ -1,0 +1,84 @@
+"""Host memory models.
+
+The two XT3 operating systems manage application memory very differently,
+and the firmware command format depends on it (section 3.3):
+
+* **Catamount** maps virtually contiguous pages to *physically contiguous*
+  pages — one DMA command covers any buffer.
+* **Linux** uses small (4 KB) pages: the host must pin each page, find its
+  virtual-to-physical mapping, and push one DMA command per page.
+
+Both models hand out real NumPy byte buffers, so data movement in the
+simulation is genuine copying that tests can verify end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..hw.config import SeaStarConfig
+
+__all__ = ["MemoryModel", "ContiguousMemory", "PagedMemory"]
+
+
+class MemoryModel:
+    """Base: allocation plus DMA-command accounting."""
+
+    name = "abstract"
+
+    def __init__(self, config: SeaStarConfig):
+        self.config = config
+        self.allocated_bytes = 0
+        self.pinned_pages = 0
+
+    def allocate(self, nbytes: int) -> np.ndarray:
+        """Allocate ``nbytes`` of zeroed process memory."""
+        if nbytes < 0:
+            raise ValueError("cannot allocate a negative size")
+        self.allocated_bytes += nbytes
+        return np.zeros(nbytes, dtype=np.uint8)
+
+    def dma_commands(self, nbytes: int) -> int:
+        """DMA commands needed to describe an ``nbytes`` transfer."""
+        raise NotImplementedError
+
+    def command_prep_cost(self, nbytes: int) -> int:
+        """Host time (ps) to prepare the mapping commands for a transfer."""
+        raise NotImplementedError
+
+
+class ContiguousMemory(MemoryModel):
+    """Catamount: physically contiguous — a single command suffices."""
+
+    name = "catamount-contiguous"
+
+    def dma_commands(self, nbytes: int) -> int:
+        """Always one (firmware generates the packet commands itself)."""
+        return 1
+
+    def command_prep_cost(self, nbytes: int) -> int:
+        """No per-page work."""
+        return 0
+
+
+class PagedMemory(MemoryModel):
+    """Linux: 4 KB pages; the host pre-computes per-page DMA commands."""
+
+    name = "linux-paged"
+
+    def pages(self, nbytes: int) -> int:
+        """Pages an ``nbytes`` transfer can straddle (worst-case aligned)."""
+        if nbytes <= 0:
+            return 1
+        page = self.config.page_bytes
+        return (nbytes + page - 1) // page + 1
+
+    def dma_commands(self, nbytes: int) -> int:
+        """One command per (possibly straddled) page."""
+        return self.pages(nbytes)
+
+    def command_prep_cost(self, nbytes: int) -> int:
+        """Pin + translate + push one mapping per page."""
+        npages = self.pages(nbytes)
+        self.pinned_pages += npages
+        return npages * self.config.host_page_cmd_overhead

@@ -1,0 +1,69 @@
+"""Host application process model.
+
+A :class:`HostProcess` bundles what one application sees: its Portals
+identity (NI), its API object (wired through the right bridge for the
+OS/mode), and its memory allocator.  Application code is written as
+simulation coroutines that receive the process::
+
+    def app(proc):
+        eq = yield from proc.api.PtlEQAlloc(64)
+        ...
+
+    node.spawn(app)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator
+
+import numpy as np
+
+from ..portals.api import PortalsAPI
+from ..portals.header import ProcessId
+from ..portals.ni import NetworkInterface, NILimits
+from ..sim import Process, Simulator
+
+__all__ = ["HostProcess"]
+
+
+class HostProcess:
+    """One application process on a node."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        pid: int,
+        bridge: Any,
+        memory: Any,
+        *,
+        accelerated: bool = False,
+        limits: NILimits | None = None,
+    ):
+        self.sim = sim
+        self.pid = pid
+        self.node_id = node_id
+        self.accelerated = accelerated
+        self.ni = NetworkInterface(
+            id=ProcessId(node_id, pid),
+            limits=limits or NILimits(),
+            accelerated=accelerated,
+        )
+        self.bridge = bridge
+        self.api = PortalsAPI(sim, self.ni, bridge)
+        self.memory = memory
+
+    def alloc(self, nbytes: int) -> np.ndarray:
+        """Allocate process memory (real bytes; DMA copies are genuine)."""
+        return self.memory.allocate(nbytes)
+
+    def spawn(self, fn: Callable[..., Generator], *args, name: str = "") -> Process:
+        """Run ``fn(self, *args)`` as a simulation process."""
+        return self.sim.process(
+            fn(self, *args), name=name or f"app:{self.node_id}:{self.pid}"
+        )
+
+    @property
+    def id(self) -> ProcessId:
+        """This process's Portals identity."""
+        return self.ni.id

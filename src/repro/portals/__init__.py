@@ -1,0 +1,92 @@
+"""Portals 3.3 — the paper's primary contribution.
+
+Data structures (MDs, MEs, EQs, the portal table), matching semantics,
+the wire header, and the functional API applications call.
+"""
+
+from .api import PortalsAPI
+from .constants import (
+    PTL_ACK_REQ,
+    PTL_IFACE_DEFAULT,
+    PTL_INS_AFTER,
+    PTL_INS_BEFORE,
+    PTL_MD_THRESH_INF,
+    PTL_NID_ANY,
+    PTL_NOACK_REQ,
+    PTL_PID_ANY,
+    PTL_RETAIN,
+    PTL_UNLINK,
+    EventKind,
+    MDOptions,
+    MsgType,
+    NIFailType,
+)
+from .eq import EventQueue
+from .errors import (
+    NicPanic,
+    PortalsError,
+    PtlEQDropped,
+    PtlEQEmpty,
+    PtlHandleInvalid,
+    PtlMDIllegal,
+    PtlMDInUse,
+    PtlNoInit,
+    PtlNoSpace,
+    PtlProcessInvalid,
+    PtlPtIndexInvalid,
+    PtlSegvError,
+)
+from .events import PortalsEvent
+from .header import PortalsHeader, ProcessId
+from .matching import MatchResult, MatchStatus, commit_operation, match_request
+from .md import MemoryDescriptor, md_from_buffer
+from .me import MatchEntry, MatchList, bits_match, source_match
+from .ni import NetworkInterface, NILimits
+from .table import PortalTable
+
+__all__ = [
+    "PortalsAPI",
+    "ProcessId",
+    "PortalsHeader",
+    "PortalsEvent",
+    "EventQueue",
+    "MemoryDescriptor",
+    "md_from_buffer",
+    "MatchEntry",
+    "MatchList",
+    "bits_match",
+    "source_match",
+    "PortalTable",
+    "NetworkInterface",
+    "NILimits",
+    "MatchResult",
+    "MatchStatus",
+    "match_request",
+    "commit_operation",
+    "EventKind",
+    "MDOptions",
+    "MsgType",
+    "NIFailType",
+    "PTL_ACK_REQ",
+    "PTL_NOACK_REQ",
+    "PTL_NID_ANY",
+    "PTL_PID_ANY",
+    "PTL_MD_THRESH_INF",
+    "PTL_UNLINK",
+    "PTL_RETAIN",
+    "PTL_INS_BEFORE",
+    "PTL_INS_AFTER",
+    "PTL_IFACE_DEFAULT",
+    "PortalsError",
+    "PtlNoInit",
+    "PtlNoSpace",
+    "PtlHandleInvalid",
+    "PtlMDInUse",
+    "PtlMDIllegal",
+    "PtlEQEmpty",
+    "PtlEQDropped",
+    "PtlPtIndexInvalid",
+    "PtlProcessInvalid",
+    "PtlSegvError",
+    "NicPanic",
+]

@@ -1,0 +1,399 @@
+"""The functional Portals 3.3 API.
+
+This is the interface applications program against — the modeled
+equivalent of ``portals3.h``.  Every method is a simulation coroutine
+(``yield from api.PtlPut(...)``) because even user-space bookkeeping costs
+time; the heavy lifting and its timing live behind the *bridge*, the Cray
+abstraction (section 3.2) that routes API calls to the Portals library
+over the path appropriate for the process type:
+
+* ``qkbridge`` — Catamount application, 75 ns trap into the QK;
+* ``ukbridge`` — Linux user process, syscall into the kernel library;
+* ``kbridge``  — Linux kernel client (Lustre), direct function call;
+* accelerated — commands posted straight to the firmware mailbox.
+
+The API object performs user-space validation and state bookkeeping, then
+defers to the bridge.  Data-movement calls return as soon as the command
+is issued (Portals is asynchronous); completion arrives via event queues.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+import numpy as np
+
+from ..sim import Simulator
+from .constants import (
+    PTL_ACK_REQ,
+    PTL_MD_THRESH_INF,
+    MDOptions,
+)
+from .eq import EventQueue
+from .errors import (
+    PtlHandleInvalid,
+    PtlMDIllegal,
+    PtlMDInUse,
+    PtlProcessInvalid,
+)
+from .events import PortalsEvent
+from .header import ProcessId
+from .md import MemoryDescriptor
+from .me import MatchEntry
+from .ni import NetworkInterface
+
+__all__ = ["PortalsAPI"]
+
+
+class PortalsAPI:
+    """Portals 3.3 operations bound to one process's NI and bridge."""
+
+    def __init__(self, sim: Simulator, ni: NetworkInterface, bridge: Any):
+        self.sim = sim
+        self.ni = ni
+        self.bridge = bridge
+
+    # ------------------------------------------------------------------
+    # Identity and interface status
+    # ------------------------------------------------------------------
+    def PtlGetId(self) -> Generator:
+        """Return this process's (nid, pid)."""
+        yield from self.bridge.admin()
+        return self.ni.id
+
+    def PtlNIStatus(self, register: str = "drops") -> Generator:
+        """Read one NI status register (spec: ptl_sr_index_t).
+
+        Registers: ``drops`` (messages dropped at this NI) and any other
+        counter the stack maintains on the NI.
+        """
+        yield from self.bridge.admin()
+        return self.ni.counters[register]
+
+    def PtlNIDist(self, target: ProcessId) -> Generator:
+        """Network distance (hops) to ``target``'s node.
+
+        The spec exposes this so upper layers can make locality-aware
+        decisions; we answer from the routing tables via the bridge.
+        """
+        yield from self.bridge.admin()
+        return self.bridge.distance(target)
+
+    # ------------------------------------------------------------------
+    # Event queues
+    # ------------------------------------------------------------------
+    def PtlEQAlloc(self, count: int) -> Generator:
+        """Allocate an event queue of ``count`` entries."""
+        yield from self.bridge.admin()
+        self.ni.register_eq()
+        return EventQueue(self.sim, count)
+
+    def PtlEQFree(self, eq: EventQueue) -> Generator:
+        """Release an event queue."""
+        yield from self.bridge.admin()
+        if eq.freed:
+            raise PtlHandleInvalid("EQ already freed")
+        eq.freed = True
+        self.ni.unregister_eq()
+
+    def PtlEQGet(self, eq: EventQueue) -> Generator:
+        """Non-blocking event read; raises PtlEQEmpty when none.
+
+        Charges one user-space poll (reading the next slot — events post
+        atomically, so no lock or trap is needed)."""
+        yield from self.bridge.eq_poll()
+        self._check_eq(eq)
+        return eq.get()
+
+    def PtlEQWait(self, eq: EventQueue) -> Generator:
+        """Block until an event is available, then return it."""
+        self._check_eq(eq)
+        while True:
+            yield from self.bridge.eq_poll()
+            event = eq.try_get()
+            if event is not None:
+                return event
+            yield eq.wait_signal()
+
+    def PtlEQPoll(self, eqs: list[EventQueue], timeout: Optional[int] = None) -> Generator:
+        """Wait on several EQs; returns ``(eq, event)`` or ``None`` on
+        timeout (``timeout`` in ps)."""
+        for eq in eqs:
+            self._check_eq(eq)
+        deadline = None if timeout is None else self.sim.now + timeout
+        while True:
+            yield from self.bridge.eq_poll()
+            for eq in eqs:
+                event = eq.try_get()
+                if event is not None:
+                    return eq, event
+            signals = [eq.wait_signal() for eq in eqs]
+            if deadline is not None:
+                remaining = deadline - self.sim.now
+                if remaining <= 0:
+                    return None
+                signals.append(self.sim.timeout(remaining))
+            yield self.sim.any_of(signals)
+
+    @staticmethod
+    def _check_eq(eq: EventQueue) -> None:
+        if eq.freed:
+            raise PtlHandleInvalid("operation on freed EQ")
+
+    # ------------------------------------------------------------------
+    # Match entries
+    # ------------------------------------------------------------------
+    def PtlMEAttach(
+        self,
+        ptl_index: int,
+        match_id: ProcessId,
+        match_bits: int,
+        ignore_bits: int = 0,
+        *,
+        unlink: bool = False,
+        position_head: bool = False,
+    ) -> Generator:
+        """Create a match entry on portal ``ptl_index``.
+
+        ``position_head`` selects PTL_INS at the head of the list; the
+        default appends at the tail (spec: PTL_INS_AFTER existing
+        entries), which is what overflow/unexpected entries want.
+        """
+        yield from self.bridge.admin()
+        self.ni.register_me()
+        me = MatchEntry(
+            match_id=match_id,
+            match_bits=match_bits,
+            ignore_bits=ignore_bits,
+            unlink_on_use=unlink,
+            on_unlink=self.ni.unregister_me,
+        )
+        mlist = self.ni.table.match_list(ptl_index)
+        if position_head:
+            mlist.attach_head(me)
+        else:
+            mlist.attach_tail(me)
+        me.ptl_index = ptl_index
+        return me
+
+    def PtlMEInsert(
+        self,
+        base: MatchEntry,
+        match_id: ProcessId,
+        match_bits: int,
+        ignore_bits: int = 0,
+        *,
+        unlink: bool = False,
+        after: bool = False,
+    ) -> Generator:
+        """Insert a new entry relative to an existing one."""
+        yield from self.bridge.admin()
+        if not base.linked:
+            raise PtlHandleInvalid("reference match entry is unlinked")
+        self.ni.register_me()
+        me = MatchEntry(
+            match_id=match_id,
+            match_bits=match_bits,
+            ignore_bits=ignore_bits,
+            unlink_on_use=unlink,
+            on_unlink=self.ni.unregister_me,
+        )
+        mlist = self.ni.table.match_list(base.ptl_index)
+        mlist.insert(base, me, after=after)
+        me.ptl_index = base.ptl_index
+        return me
+
+    def PtlMEUnlink(self, me: MatchEntry) -> Generator:
+        """Remove a match entry (and detach its MD)."""
+        yield from self.bridge.admin()
+        if not me.linked:
+            raise PtlHandleInvalid("match entry already unlinked")
+        mlist = self.ni.table.match_list(me.ptl_index)
+        mlist.unlink(me)
+        if me.on_unlink is not None:
+            callback, me.on_unlink = me.on_unlink, None
+            callback()
+        md = me.md
+        if md is not None and md.active:
+            md.active = False
+            if md.on_unlink is not None:
+                callback, md.on_unlink = md.on_unlink, None
+                callback()
+        me.md = None
+
+    # ------------------------------------------------------------------
+    # Memory descriptors
+    # ------------------------------------------------------------------
+    def PtlMDAttach(
+        self,
+        me: MatchEntry,
+        buffer: Optional[np.ndarray],
+        *,
+        threshold: int = PTL_MD_THRESH_INF,
+        options: MDOptions = MDOptions.OP_PUT,
+        user_ptr: Any = None,
+        eq: Optional[EventQueue] = None,
+        unlink: bool = False,
+    ) -> Generator:
+        """Attach an MD to a match entry, making its memory a target."""
+        yield from self.bridge.admin()
+        if not me.linked:
+            raise PtlHandleInvalid("cannot attach MD to unlinked ME")
+        if me.md is not None and me.md.active:
+            raise PtlMDInUse("match entry already has an active MD")
+        self.ni.register_md()
+        md = MemoryDescriptor(
+            buffer=buffer,
+            threshold=threshold,
+            options=options,
+            user_ptr=user_ptr,
+            eq=eq,
+            unlink_when_exhausted=unlink,
+            on_unlink=self.ni.unregister_md,
+        )
+        self.bridge.prepare_md(md)
+        me.md = md
+        return md
+
+    def PtlMDBind(
+        self,
+        buffer: Optional[np.ndarray],
+        *,
+        threshold: int = PTL_MD_THRESH_INF,
+        options: MDOptions = MDOptions(0),
+        user_ptr: Any = None,
+        eq: Optional[EventQueue] = None,
+    ) -> Generator:
+        """Create a free-floating MD (initiator side of put/get)."""
+        yield from self.bridge.admin()
+        self.ni.register_md()
+        md = MemoryDescriptor(
+            buffer=buffer,
+            threshold=threshold,
+            options=options,
+            user_ptr=user_ptr,
+            eq=eq,
+            on_unlink=self.ni.unregister_md,
+        )
+        self.bridge.prepare_md(md)
+        return md
+
+    def PtlMDUnlink(self, md: MemoryDescriptor) -> Generator:
+        """Release an MD; fails if operations are still in flight."""
+        yield from self.bridge.admin()
+        if not md.active:
+            raise PtlHandleInvalid("MD already unlinked")
+        if md.pending_ops > 0:
+            raise PtlMDInUse(f"{md.pending_ops} operations outstanding")
+        md.active = False
+        if md.on_unlink is not None:
+            callback, md.on_unlink = md.on_unlink, None
+            callback()
+
+    def PtlMDUpdate(
+        self,
+        md: MemoryDescriptor,
+        *,
+        new_threshold: Optional[int] = None,
+        test_eq: Optional[EventQueue] = None,
+    ) -> Generator:
+        """Conditionally update an MD.
+
+        If ``test_eq`` is given and non-empty the update is refused
+        (returns False), mirroring the spec's atomic test-and-update used
+        to close races between posting receives and draining events.
+        """
+        yield from self.bridge.admin()
+        if not md.active:
+            raise PtlHandleInvalid("MD is unlinked")
+        if test_eq is not None and test_eq.pending > 0:
+            return False
+        if new_threshold is not None:
+            md.threshold = new_threshold
+        return True
+
+    # ------------------------------------------------------------------
+    # Data movement
+    # ------------------------------------------------------------------
+    def PtlPut(
+        self,
+        md: MemoryDescriptor,
+        target: ProcessId,
+        ptl_index: int,
+        match_bits: int = 0,
+        *,
+        ack_req: int = 0,
+        remote_offset: int = 0,
+        hdr_data: int = 0,
+        local_offset: int = 0,
+        length: Optional[int] = None,
+    ) -> Generator:
+        """Initiate a put from ``md`` to the matched memory at ``target``.
+
+        Asynchronous: returns once the transmit command is issued.  A
+        SEND_END event (and an ACK event, if ``ack_req=PTL_ACK_REQ`` and
+        the target cooperates) arrives on ``md.eq``.
+        """
+        self._check_md_source(md, local_offset, length)
+        nbytes = md.length - local_offset if length is None else length
+        if target.nid < 0 or target.pid < 0:
+            raise PtlProcessInvalid(f"bad target {target}")
+        md.consume_threshold()
+        md.pending_ops += 1
+        yield from self.bridge.send_put(
+            md=md,
+            target=target,
+            ptl_index=ptl_index,
+            match_bits=match_bits,
+            ack_req=ack_req == PTL_ACK_REQ,
+            remote_offset=remote_offset,
+            hdr_data=hdr_data,
+            local_offset=local_offset,
+            length=nbytes,
+        )
+
+    def PtlGet(
+        self,
+        md: MemoryDescriptor,
+        target: ProcessId,
+        ptl_index: int,
+        match_bits: int = 0,
+        *,
+        remote_offset: int = 0,
+        local_offset: int = 0,
+        length: Optional[int] = None,
+    ) -> Generator:
+        """Initiate a get: fetch matched data at ``target`` into ``md``.
+
+        Asynchronous: a REPLY_END event on ``md.eq`` signals the data has
+        landed.
+        """
+        self._check_md_source(md, local_offset, length)
+        nbytes = md.length - local_offset if length is None else length
+        if target.nid < 0 or target.pid < 0:
+            raise PtlProcessInvalid(f"bad target {target}")
+        md.consume_threshold()
+        md.pending_ops += 1
+        yield from self.bridge.send_get(
+            md=md,
+            target=target,
+            ptl_index=ptl_index,
+            match_bits=match_bits,
+            remote_offset=remote_offset,
+            local_offset=local_offset,
+            length=nbytes,
+        )
+
+    @staticmethod
+    def _check_md_source(
+        md: MemoryDescriptor, local_offset: int, length: Optional[int]
+    ) -> None:
+        if not md.active:
+            raise PtlHandleInvalid("initiating on unlinked MD")
+        if md.exhausted:
+            raise PtlMDIllegal("MD threshold exhausted")
+        end = md.length if length is None else local_offset + length
+        if local_offset < 0 or end > md.length:
+            raise PtlMDIllegal(
+                f"local region [{local_offset}, {end}) outside MD length {md.length}"
+            )

@@ -1,0 +1,126 @@
+"""Portals 3.3 constants.
+
+Names follow the Portals 3.3 specification (SAND99-2959 and the 2002 CAC
+paper, refs [5] and [6] of the reproduced paper) so code written against
+this module reads like code written against the C API.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = [
+    "PTL_NID_ANY",
+    "PTL_PID_ANY",
+    "PTL_IFACE_DEFAULT",
+    "PTL_MD_THRESH_INF",
+    "PTL_ACK_REQ",
+    "PTL_NOACK_REQ",
+    "PTL_UNLINK",
+    "PTL_RETAIN",
+    "PTL_INS_BEFORE",
+    "PTL_INS_AFTER",
+    "MDOptions",
+    "EventKind",
+    "MsgType",
+    "NIFailType",
+    "PTL_PT_INDEX_ANY",
+]
+
+# -- wildcards ---------------------------------------------------------------
+PTL_NID_ANY: int = -1
+"""Matches any node id in a match entry's source criterion."""
+
+PTL_PID_ANY: int = -1
+"""Matches any process id in a match entry's source criterion."""
+
+PTL_PT_INDEX_ANY: int = -1
+"""Any portal-table index (administrative interfaces only)."""
+
+PTL_IFACE_DEFAULT: int = 0
+"""The default network interface number."""
+
+PTL_MD_THRESH_INF: int = -1
+"""Infinite memory-descriptor threshold (never exhausts)."""
+
+# -- acknowledgement requests ---------------------------------------------------
+PTL_ACK_REQ: int = 1
+"""Request an acknowledgement for a put."""
+
+PTL_NOACK_REQ: int = 0
+"""No acknowledgement requested."""
+
+# -- unlink behaviour ------------------------------------------------------------
+PTL_UNLINK: int = 1
+"""Unlink the ME/MD automatically once exhausted."""
+
+PTL_RETAIN: int = 0
+"""Keep the ME/MD linked when exhausted."""
+
+# -- match-list insertion position ---------------------------------------------
+PTL_INS_BEFORE: int = 0
+"""Insert the new match entry before the reference entry."""
+
+PTL_INS_AFTER: int = 1
+"""Insert the new match entry after the reference entry."""
+
+
+class MDOptions(enum.IntFlag):
+    """Memory-descriptor option flags (PTL_MD_*)."""
+
+    OP_PUT = 0x01
+    """The MD may be the target of put operations."""
+
+    OP_GET = 0x02
+    """The MD may be the target of get operations."""
+
+    TRUNCATE = 0x04
+    """Accept messages longer than the available space, truncated."""
+
+    MANAGE_REMOTE = 0x08
+    """Use the initiator-supplied offset instead of the locally managed
+    (auto-incrementing) offset."""
+
+    EVENT_START_DISABLE = 0x10
+    """Suppress *_START events for this MD."""
+
+    EVENT_END_DISABLE = 0x20
+    """Suppress *_END events for this MD."""
+
+    ACK_DISABLE = 0x40
+    """Never send acknowledgements for operations on this MD."""
+
+
+class EventKind(enum.Enum):
+    """Portals event types delivered to event queues."""
+
+    GET_START = "PTL_EVENT_GET_START"
+    GET_END = "PTL_EVENT_GET_END"
+    PUT_START = "PTL_EVENT_PUT_START"
+    PUT_END = "PTL_EVENT_PUT_END"
+    REPLY_START = "PTL_EVENT_REPLY_START"
+    REPLY_END = "PTL_EVENT_REPLY_END"
+    SEND_START = "PTL_EVENT_SEND_START"
+    SEND_END = "PTL_EVENT_SEND_END"
+    ACK = "PTL_EVENT_ACK"
+    UNLINK = "PTL_EVENT_UNLINK"
+
+
+class MsgType(enum.Enum):
+    """Wire-level message kinds."""
+
+    PUT = "put"
+    GET = "get"
+    REPLY = "reply"
+    ACK = "ack"
+    NAK = "nak"
+    """Go-back-N negative acknowledgement (resource-exhaustion recovery —
+    the protocol the paper describes as in progress)."""
+
+
+class NIFailType(enum.Enum):
+    """Failure annotations on events (ni_fail_type)."""
+
+    OK = "PTL_NI_OK"
+    DROPPED = "PTL_NI_DROPPED"
+    FAIL = "PTL_NI_FAIL"

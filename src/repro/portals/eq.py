@@ -1,0 +1,112 @@
+"""Event queues.
+
+An EQ is a fixed-size circular buffer in the owning process's memory.
+Producers (the kernel in generic mode, the firmware in accelerated mode)
+write entries; the consumer reads them in order.  Events are "small enough
+that they can be posted atomically" (section 4.1), so a reader can simply
+inspect the next slot — modeled by :meth:`get` / :meth:`wait_signal`.
+
+Overflow follows the spec: when the writer laps the reader, subsequently
+read events report the loss via :class:`PtlEQDropped`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from ..sim import Event as SimEvent
+from ..sim import Simulator
+from .errors import PtlEQDropped, PtlEQEmpty
+from .events import PortalsEvent
+
+__all__ = ["EventQueue"]
+
+_eq_ids = itertools.count(1)
+
+
+class EventQueue:
+    """A Portals event queue of fixed ``size`` entries."""
+
+    def __init__(self, sim: Simulator, size: int, name: str = ""):
+        if size < 1:
+            raise ValueError("EQ size must be >= 1")
+        self.sim = sim
+        self.size = size
+        self.name = name or f"eq{next(_eq_ids)}"
+        self._buffer: list[Optional[PortalsEvent]] = [None] * size
+        self._write = 0
+        self._read = 0
+        self._dropped = 0
+        self._sequence = itertools.count(1)
+        self._signal: Optional[SimEvent] = None
+        self.freed = False
+
+    # -- producer side -------------------------------------------------------
+    def post(self, event: PortalsEvent) -> None:
+        """Append ``event``; overwrites the oldest unread slot on overflow."""
+        if self.freed:
+            raise PtlEQDropped(f"post to freed EQ {self.name}")
+        event.sequence = next(self._sequence)
+        event.sim_time = self.sim.now
+        if self._write - self._read >= self.size:
+            # Lapped the reader: the oldest unread event is lost.
+            self._read += 1
+            self._dropped += 1
+        self._buffer[self._write % self.size] = event
+        self._write += 1
+        if self._signal is not None:
+            signal, self._signal = self._signal, None
+            signal.succeed()
+
+    # -- consumer side --------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Unread event count."""
+        return self._write - self._read
+
+    @property
+    def dropped(self) -> int:
+        """Total events lost to overflow so far."""
+        return self._dropped
+
+    def get(self) -> PortalsEvent:
+        """Remove and return the next event.
+
+        Raises :class:`PtlEQEmpty` when none is available and
+        :class:`PtlEQDropped` (after delivering the backlog marker) when
+        overflow occurred before this read.
+        """
+        if self._dropped:
+            self._dropped = 0
+            raise PtlEQDropped(
+                f"EQ {self.name} overflowed; events were lost before this read"
+            )
+        if self._read == self._write:
+            raise PtlEQEmpty(f"EQ {self.name} is empty")
+        event = self._buffer[self._read % self.size]
+        self._buffer[self._read % self.size] = None
+        self._read += 1
+        assert event is not None
+        return event
+
+    def try_get(self) -> Optional[PortalsEvent]:
+        """Like :meth:`get` but returns None when empty."""
+        try:
+            return self.get()
+        except PtlEQEmpty:
+            return None
+
+    def wait_signal(self) -> SimEvent:
+        """Simulation event that fires when the next post arrives.
+
+        Used by blocking waiters (PtlEQWait); the caller is responsible
+        for charging its own polling costs.
+        """
+        if self.pending:
+            ready = SimEvent(self.sim)
+            ready.succeed()
+            return ready
+        if self._signal is None:
+            self._signal = SimEvent(self.sim)
+        return self._signal

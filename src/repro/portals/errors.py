@@ -1,0 +1,76 @@
+"""Portals error conditions.
+
+The C API returns ``PTL_*`` status codes; idiomatic Python raises.  Every
+exception here corresponds to a spec return code (noted in the docstring)
+so tests can assert precise failure modes.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "PortalsError",
+    "PtlHandleInvalid",
+    "PtlNoInit",
+    "PtlNoSpace",
+    "PtlMDInUse",
+    "PtlMDIllegal",
+    "PtlEQEmpty",
+    "PtlEQDropped",
+    "PtlPtIndexInvalid",
+    "PtlProcessInvalid",
+    "PtlSegvError",
+    "NicPanic",
+]
+
+
+class PortalsError(RuntimeError):
+    """Base class for all Portals failures (generic PTL_FAIL)."""
+
+
+class PtlNoInit(PortalsError):
+    """PTL_NO_INIT: the interface was used before PtlNIInit."""
+
+
+class PtlHandleInvalid(PortalsError):
+    """PTL_HANDLE_INVALID: a stale or foreign object handle was used."""
+
+
+class PtlNoSpace(PortalsError):
+    """PTL_NO_SPACE: a resource limit (MEs, MDs, EQs, pendings) was hit."""
+
+
+class PtlMDInUse(PortalsError):
+    """PTL_MD_IN_USE: unlink attempted while operations are outstanding."""
+
+
+class PtlMDIllegal(PortalsError):
+    """PTL_MD_ILLEGAL: malformed memory descriptor."""
+
+
+class PtlEQEmpty(PortalsError):
+    """PTL_EQ_EMPTY: non-blocking get on an empty event queue."""
+
+
+class PtlEQDropped(PortalsError):
+    """PTL_EQ_DROPPED: events were lost to EQ overflow before this get."""
+
+
+class PtlPtIndexInvalid(PortalsError):
+    """PTL_PT_INDEX_INVALID: portal table index out of range."""
+
+
+class PtlProcessInvalid(PortalsError):
+    """PTL_PROCESS_INVALID: malformed or unknown target process id."""
+
+
+class PtlSegvError(PortalsError):
+    """PTL_SEGV: an MD referenced memory outside the process's region."""
+
+
+class NicPanic(RuntimeError):
+    """Firmware resource exhaustion with recovery disabled.
+
+    The paper (section 4.3): "The current approach is to panic the node,
+    which results in application failure."  Raised by the firmware model
+    when a free list empties in ``panic`` mode.
+    """

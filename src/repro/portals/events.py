@@ -1,0 +1,55 @@
+"""Portals events as delivered to event queues."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from .constants import EventKind, NIFailType
+from .header import ProcessId
+
+__all__ = ["PortalsEvent"]
+
+
+@dataclass(eq=False)
+class PortalsEvent:
+    """One entry in a Portals event queue.
+
+    Field names follow the ``ptl_event_t`` of the spec:
+
+    * ``rlength`` — the length requested by the initiator;
+    * ``mlength`` — the length actually manipulated (post-truncation);
+    * ``offset`` — the offset within the MD at which data landed;
+    * ``md_user_ptr`` — the user pointer of the MD involved;
+    * ``hdr_data`` — the initiator's out-of-band header data;
+    * ``ni_fail_type`` — OK, or why the operation failed.
+    """
+
+    kind: EventKind
+    initiator: Optional[ProcessId] = None
+    ptl_index: int = 0
+    match_bits: int = 0
+    rlength: int = 0
+    mlength: int = 0
+    offset: int = 0
+    hdr_data: int = 0
+    md_user_ptr: Any = None
+    md_handle: Any = None
+    ni_fail_type: NIFailType = NIFailType.OK
+    sequence: int = 0
+    """EQ-assigned monotonic sequence number."""
+
+    sim_time: int = 0
+    """Simulation timestamp (ps) at which the event was posted."""
+
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def is_end(self) -> bool:
+        """True for *_END completion events."""
+        return self.kind in (
+            EventKind.PUT_END,
+            EventKind.GET_END,
+            EventKind.REPLY_END,
+            EventKind.SEND_END,
+        )

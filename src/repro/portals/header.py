@@ -1,0 +1,84 @@
+"""The Portals wire header.
+
+One 64-byte header packet precedes every message (section 4.3: "The header
+is first DMA'ed out of the upper pending, followed by the payload").  The
+header carries everything the target needs for matching; crucially, unlike
+other one-sided interfaces, **the target of an operation is not a virtual
+address** — the destination is resolved by matching these fields against
+Portals structures at the receiver (section 3).
+
+Up to 12 bytes of user payload ride along in the header packet
+(``inline_data``), the small-message optimization responsible for the step
+at 12 bytes in Figure 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+import numpy as np
+
+from .constants import MsgType
+
+__all__ = ["ProcessId", "PortalsHeader"]
+
+
+@dataclass(frozen=True, order=True)
+class ProcessId:
+    """A Portals process identity: (node id, process id)."""
+
+    nid: int
+    pid: int
+
+    def __str__(self) -> str:
+        return f"{self.nid}:{self.pid}"
+
+
+@dataclass(eq=False)
+class PortalsHeader:
+    """Fields of the 64-byte wire header.
+
+    ``initiator_ctx`` is the initiator-side pending id echoed back in
+    REPLY/ACK/NAK messages so the initiating NIC can complete the
+    operation without a lookup by match bits.
+    """
+
+    op: MsgType
+    src: ProcessId
+    dst: ProcessId
+    ptl_index: int = 0
+    match_bits: int = 0
+    length: int = 0
+    """Payload length requested/carried (rlength at the target)."""
+
+    offset: int = 0
+    """Remote offset (honored only when the target MD manages the remote
+    offset, PTL_MD_MANAGE_REMOTE)."""
+
+    hdr_data: int = 0
+    """64 bits of out-of-band user data carried on puts (MPI builds its
+    envelope from this plus the match bits)."""
+
+    ack_req: bool = False
+    initiator_ctx: Optional[int] = None
+    inline_data: Optional[np.ndarray] = None
+    """Up to 12 bytes of payload piggybacked in the header packet."""
+
+    wire_seq: int = 0
+    """Per-(src,dst) firmware sequence number (go-back-N ordering)."""
+
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.length < 0:
+            raise ValueError("message length must be >= 0")
+        if self.offset < 0:
+            raise ValueError("remote offset must be >= 0")
+        if self.inline_data is not None and len(self.inline_data) > 12:
+            raise ValueError("inline header payload is limited to 12 bytes")
+
+    @property
+    def is_request(self) -> bool:
+        """True for initiator-originated operations (PUT/GET)."""
+        return self.op in (MsgType.PUT, MsgType.GET)

@@ -1,0 +1,186 @@
+"""Platform-independent Portals matching and commit logic.
+
+This module is the modeled equivalent of the paper's "platform-independent
+Portals library code": the exact same functions are invoked by the host
+kernel in *generic* mode (under a 2 us interrupt) and by the firmware in
+*accelerated* mode (on the PowerPC, saving the interrupt).  It is pure
+logic — callers charge the appropriate processor for the time it takes.
+
+The flow for an incoming request header:
+
+1. :func:`match_request` walks the match list and resolves offset/length
+   (truncation) against the matched MD — no state is modified.
+2. The caller arranges the deposit/read (DMA program, or inline copy).
+3. :func:`commit_operation` burns MD threshold, advances the locally
+   managed offset, and performs auto-unlink, returning the events to post.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from .constants import EventKind, MDOptions, MsgType, NIFailType
+from .events import PortalsEvent
+from .header import PortalsHeader
+from .md import MemoryDescriptor
+from .me import MatchEntry, MatchList
+from .table import PortalTable
+
+__all__ = ["MatchStatus", "MatchResult", "match_request", "commit_operation"]
+
+
+class MatchStatus(enum.Enum):
+    """Outcome of matching one incoming request."""
+
+    MATCHED = "matched"
+    DROPPED_NO_MATCH = "dropped_no_match"
+    """No match entry accepted the header."""
+
+    DROPPED_NO_SPACE = "dropped_no_space"
+    """An entry matched but couldn't hold the data and truncation was
+    disabled."""
+
+
+@dataclass
+class MatchResult:
+    """Resolved target of an incoming request."""
+
+    status: MatchStatus
+    me: Optional[MatchEntry] = None
+    md: Optional[MemoryDescriptor] = None
+    offset: int = 0
+    mlength: int = 0
+    rlength: int = 0
+
+    @property
+    def matched(self) -> bool:
+        """True when data may be moved."""
+        return self.status is MatchStatus.MATCHED
+
+
+def match_request(table: PortalTable, hdr: PortalsHeader) -> MatchResult:
+    """Resolve an incoming PUT/GET header against a portal table.
+
+    Pure: modifies nothing.  The caller must later call
+    :func:`commit_operation` exactly once if it proceeds with the
+    operation.
+    """
+    if hdr.op not in (MsgType.PUT, MsgType.GET):
+        raise ValueError(f"match_request only handles requests, got {hdr.op}")
+    is_put = hdr.op is MsgType.PUT
+    mlist = table.match_list(hdr.ptl_index)
+    me = mlist.first_match(hdr.src, hdr.match_bits, is_put=is_put)
+    if me is None:
+        return MatchResult(MatchStatus.DROPPED_NO_MATCH, rlength=hdr.length)
+    md = me.md
+    assert md is not None  # first_match guarantees an accepting MD
+    if md.options & MDOptions.MANAGE_REMOTE:
+        offset = hdr.offset
+    else:
+        offset = md.local_offset
+    available = max(0, md.length - offset)
+    if hdr.length <= available:
+        mlength = hdr.length
+    elif md.options & MDOptions.TRUNCATE:
+        mlength = available
+    else:
+        return MatchResult(
+            MatchStatus.DROPPED_NO_SPACE, me=me, md=md, rlength=hdr.length
+        )
+    return MatchResult(
+        MatchStatus.MATCHED,
+        me=me,
+        md=md,
+        offset=offset,
+        mlength=mlength,
+        rlength=hdr.length,
+    )
+
+
+def commit_operation(
+    mlist: MatchList,
+    result: MatchResult,
+    hdr: PortalsHeader,
+    *,
+    started: bool,
+) -> list[PortalsEvent]:
+    """Apply the state effects of a matched operation and build its events.
+
+    ``started`` selects the phase: the START event is built when the
+    header has been processed (before data movement completes), the END
+    event belongs to completion — callers invoke this twice for a normal
+    two-phase flow, with threshold/offset effects applied only on the
+    START phase so a subsequent message matches against updated state.
+
+    Returns the events to post to the MD's event queue (possibly empty if
+    the MD has no EQ or has the relevant events disabled).
+    """
+    assert result.matched
+    md = result.md
+    me = result.me
+    assert md is not None and me is not None
+    events: list[PortalsEvent] = []
+    is_put = hdr.op is MsgType.PUT
+
+    if started:
+        md.consume_threshold()
+        if not (md.options & MDOptions.MANAGE_REMOTE):
+            md.local_offset = result.offset + result.mlength
+        md.pending_ops += 1
+        kind = EventKind.PUT_START if is_put else EventKind.GET_START
+        if md.events_enabled(start=True):
+            events.append(_build_event(kind, hdr, result, md))
+        return events
+
+    # Completion phase.
+    md.pending_ops -= 1
+    kind = EventKind.PUT_END if is_put else EventKind.GET_END
+    if md.events_enabled(start=False):
+        events.append(_build_event(kind, hdr, result, md))
+    # Auto-unlink: an exhausted MD with unlink semantics retires, and an
+    # unlink-on-use ME follows its MD off the list.
+    if md.exhausted and md.unlink_when_exhausted and md.active:
+        md.active = False
+        if md.on_unlink is not None:
+            callback, md.on_unlink = md.on_unlink, None
+            callback()
+        if md.eq is not None:
+            events.append(
+                PortalsEvent(
+                    kind=EventKind.UNLINK,
+                    initiator=hdr.src,
+                    ptl_index=hdr.ptl_index,
+                    match_bits=hdr.match_bits,
+                    md_user_ptr=md.user_ptr,
+                    md_handle=md,
+                )
+            )
+        if me.linked and me.unlink_on_use:
+            mlist.unlink(me)
+            if me.on_unlink is not None:
+                callback, me.on_unlink = me.on_unlink, None
+                callback()
+    return events
+
+
+def _build_event(
+    kind: EventKind,
+    hdr: PortalsHeader,
+    result: MatchResult,
+    md: MemoryDescriptor,
+) -> PortalsEvent:
+    return PortalsEvent(
+        kind=kind,
+        initiator=hdr.src,
+        ptl_index=hdr.ptl_index,
+        match_bits=hdr.match_bits,
+        rlength=result.rlength,
+        mlength=result.mlength,
+        offset=result.offset,
+        hdr_data=hdr.hdr_data,
+        md_user_ptr=md.user_ptr,
+        md_handle=md,
+        ni_fail_type=NIFailType.OK,
+    )

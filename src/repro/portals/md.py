@@ -1,0 +1,121 @@
+"""Memory descriptors.
+
+An MD describes a region of a process's memory plus the rules for using
+it: which operations may land in it, how offsets are managed, when it
+expires (threshold), and which event queue hears about activity.  MDs are
+either *attached* to a match entry (making the memory a target) or *bound*
+free-floating (making it a source for put/get initiations).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Optional
+
+import numpy as np
+
+from .constants import PTL_MD_THRESH_INF, MDOptions
+from .errors import PtlMDIllegal
+
+__all__ = ["MemoryDescriptor", "md_from_buffer"]
+
+_md_ids = itertools.count(1)
+
+
+@dataclass(eq=False)
+class MemoryDescriptor:
+    """One memory descriptor.
+
+    ``buffer`` must be a 1-D uint8 NumPy array (a view into the owning
+    process's memory).  ``threshold`` counts remaining permitted
+    operations; ``PTL_MD_THRESH_INF`` never exhausts.
+    """
+
+    buffer: Optional[np.ndarray]
+    threshold: int = PTL_MD_THRESH_INF
+    options: MDOptions = MDOptions(0)
+    user_ptr: Any = None
+    eq: Any = None  # EventQueue | None
+    md_id: int = 0
+    local_offset: int = 0
+    active: bool = True
+    unlink_when_exhausted: bool = False
+    pending_ops: int = 0
+    """Operations in flight against this MD (guards PtlMDUnlink)."""
+
+    on_unlink: Any = None
+    """Callback fired exactly once when the MD retires (explicit or
+    auto-unlink) — the API layer uses it to release the NI's MD slot."""
+
+    def __post_init__(self) -> None:
+        if self.buffer is not None:
+            if self.buffer.dtype != np.uint8 or self.buffer.ndim != 1:
+                raise PtlMDIllegal("MD buffer must be a 1-D uint8 array")
+        if self.threshold != PTL_MD_THRESH_INF and self.threshold < 0:
+            raise PtlMDIllegal(f"negative MD threshold: {self.threshold}")
+        if self.md_id == 0:
+            self.md_id = next(_md_ids)
+
+    @property
+    def length(self) -> int:
+        """Bytes the MD spans."""
+        return 0 if self.buffer is None else int(self.buffer.shape[0])
+
+    @property
+    def exhausted(self) -> bool:
+        """True once the threshold has been consumed."""
+        return self.threshold == 0
+
+    def accepts(self, *, is_put: bool) -> bool:
+        """Can this MD be the target of the given operation kind now?"""
+        if not self.active or self.exhausted:
+            return False
+        needed = MDOptions.OP_PUT if is_put else MDOptions.OP_GET
+        return bool(self.options & needed)
+
+    def consume_threshold(self) -> None:
+        """Spend one threshold unit (no-op when infinite)."""
+        if self.threshold == PTL_MD_THRESH_INF:
+            return
+        if self.threshold <= 0:
+            raise PtlMDIllegal("threshold consumed below zero")
+        self.threshold -= 1
+
+    def region(self, offset: int, nbytes: int) -> np.ndarray:
+        """Writable/readable view of ``nbytes`` at ``offset``."""
+        if offset < 0 or offset + nbytes > self.length:
+            raise PtlMDIllegal(
+                f"region [{offset}, {offset + nbytes}) outside MD of "
+                f"length {self.length}"
+            )
+        return self.buffer[offset : offset + nbytes]
+
+    def events_enabled(self, *, start: bool) -> bool:
+        """Should a START (or END) event be generated for this MD?"""
+        if self.eq is None:
+            return False
+        flag = (
+            MDOptions.EVENT_START_DISABLE if start else MDOptions.EVENT_END_DISABLE
+        )
+        return not (self.options & flag)
+
+
+def md_from_buffer(
+    buffer: Optional[np.ndarray],
+    *,
+    threshold: int = PTL_MD_THRESH_INF,
+    options: MDOptions = MDOptions.OP_PUT,
+    user_ptr: Any = None,
+    eq: Any = None,
+    unlink: bool = False,
+) -> MemoryDescriptor:
+    """Convenience constructor mirroring filling in a ``ptl_md_t``."""
+    return MemoryDescriptor(
+        buffer=buffer,
+        threshold=threshold,
+        options=options,
+        user_ptr=user_ptr,
+        eq=eq,
+        unlink_when_exhausted=unlink,
+    )

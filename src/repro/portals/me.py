@@ -1,0 +1,140 @@
+"""Match entries and match lists.
+
+A match entry holds the three-part matching criterion — source process
+(with wildcards), 64 match bits, 64 ignore bits — plus the attached MD.
+Match entries form an ordered list per portal-table entry; incoming
+headers walk the list head to tail (section 3: the destination of a
+message is determined by comparing the header with these structures).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from .constants import PTL_NID_ANY, PTL_PID_ANY
+from .header import ProcessId
+from .md import MemoryDescriptor
+
+__all__ = ["MatchEntry", "MatchList", "bits_match", "source_match"]
+
+_me_ids = itertools.count(1)
+
+MATCH_BITS_MASK = (1 << 64) - 1
+
+
+def bits_match(incoming: int, match_bits: int, ignore_bits: int) -> bool:
+    """The Portals match-bit test.
+
+    Accept iff every bit not covered by ``ignore_bits`` agrees::
+
+        (incoming ^ match_bits) & ~ignore_bits == 0
+    """
+    return ((incoming ^ match_bits) & ~ignore_bits & MATCH_BITS_MASK) == 0
+
+
+def source_match(incoming: ProcessId, criterion: ProcessId) -> bool:
+    """Source test with PTL_NID_ANY / PTL_PID_ANY wildcards."""
+    nid_ok = criterion.nid == PTL_NID_ANY or criterion.nid == incoming.nid
+    pid_ok = criterion.pid == PTL_PID_ANY or criterion.pid == incoming.pid
+    return nid_ok and pid_ok
+
+
+@dataclass(eq=False)
+class MatchEntry:
+    """One entry of a match list."""
+
+    match_id: ProcessId
+    match_bits: int
+    ignore_bits: int = 0
+    md: Optional[MemoryDescriptor] = None
+    unlink_on_use: bool = False
+    """PTL_UNLINK: remove this entry after its MD exhausts (or first use
+    for single-use entries)."""
+
+    me_id: int = field(default=0)
+    linked: bool = False
+    ptl_index: int = -1
+    """Portal-table index this entry is linked on (set at attach)."""
+
+    on_unlink: object = None
+    """Callback fired exactly once when the entry leaves its list —
+    the API layer uses it to release the NI's ME slot."""
+
+    def __post_init__(self) -> None:
+        if self.me_id == 0:
+            self.me_id = next(_me_ids)
+        self.match_bits &= MATCH_BITS_MASK
+        self.ignore_bits &= MATCH_BITS_MASK
+
+    def matches(self, src: ProcessId, incoming_bits: int) -> bool:
+        """Does an incoming header's (source, match bits) satisfy this
+        entry's criterion?  (MD acceptance is checked separately.)"""
+        return source_match(src, self.match_id) and bits_match(
+            incoming_bits, self.match_bits, self.ignore_bits
+        )
+
+
+class MatchList:
+    """The ordered match list hanging off one portal-table entry."""
+
+    __slots__ = ("_entries",)
+
+    def __init__(self) -> None:
+        self._entries: list[MatchEntry] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[MatchEntry]:
+        return iter(self._entries)
+
+    def attach_head(self, me: MatchEntry) -> None:
+        """Insert at the head (PtlMEAttach default position FIRST)."""
+        me.linked = True
+        self._entries.insert(0, me)
+
+    def attach_tail(self, me: MatchEntry) -> None:
+        """Insert at the tail (position LAST — e.g. MPI's overflow/
+        unexpected entries live behind all posted receives)."""
+        me.linked = True
+        self._entries.append(me)
+
+    def insert(self, reference: MatchEntry, me: MatchEntry, *, after: bool) -> None:
+        """PtlMEInsert: place ``me`` before/after ``reference``."""
+        idx = self._index_of(reference)
+        me.linked = True
+        self._entries.insert(idx + (1 if after else 0), me)
+
+    def unlink(self, me: MatchEntry) -> None:
+        """Remove an entry from the list."""
+        idx = self._index_of(me)
+        del self._entries[idx]
+        me.linked = False
+
+    def _index_of(self, me: MatchEntry) -> int:
+        for idx, entry in enumerate(self._entries):
+            if entry is me:
+                return idx
+        raise ValueError(f"match entry {me.me_id} is not on this list")
+
+    def first_match(
+        self, src: ProcessId, incoming_bits: int, *, is_put: bool
+    ) -> Optional[MatchEntry]:
+        """Walk head->tail for the first entry whose criterion matches and
+        whose MD currently accepts the operation.
+
+        Entries that match on bits but whose MD is missing, inactive or
+        exhausted are skipped (their memory is gone); an entry with an
+        active MD that merely lacks space does *not* stop the walk here —
+        space/truncation is resolved by the caller against the entry this
+        returns.
+        """
+        for entry in self._entries:
+            if not entry.matches(src, incoming_bits):
+                continue
+            if entry.md is None or not entry.md.accepts(is_put=is_put):
+                continue
+            return entry
+        return None

@@ -1,0 +1,74 @@
+"""Deterministic discrete-event simulation kernel.
+
+Everything in the reproduction runs on this engine: the SeaStar hardware
+models, the firmware, the OS kernels, Portals, MPI and NetPIPE are all
+processes exchanging events on a single integer-picosecond clock.
+"""
+
+from .channel import Channel, Store
+from .core import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+from .monitor import Counters, TimeSeries, TraceRecord, Tracer
+from .resource import CPU, Request, Resource
+from .units import (
+    GB,
+    KB,
+    MB,
+    MS,
+    NS,
+    PS,
+    SEC,
+    US,
+    fmt_bytes,
+    fmt_time,
+    ns,
+    rate_mb_s,
+    to_ns,
+    to_us,
+    transfer_time,
+    us,
+)
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Timeout",
+    "Process",
+    "AnyOf",
+    "AllOf",
+    "Interrupt",
+    "SimulationError",
+    "Channel",
+    "Store",
+    "Resource",
+    "Request",
+    "CPU",
+    "Tracer",
+    "TraceRecord",
+    "Counters",
+    "TimeSeries",
+    "PS",
+    "NS",
+    "US",
+    "MS",
+    "SEC",
+    "KB",
+    "MB",
+    "GB",
+    "ns",
+    "us",
+    "to_ns",
+    "to_us",
+    "transfer_time",
+    "rate_mb_s",
+    "fmt_time",
+    "fmt_bytes",
+]

@@ -1,0 +1,123 @@
+"""Message-passing primitives built on the DES kernel.
+
+:class:`Channel` is an unbounded FIFO of items with blocking ``get``;
+:class:`Store` adds a capacity bound so ``put`` can also block.  Both keep
+strict FIFO ordering of waiters, which the firmware model relies on (the
+SeaStar serializes all transmits through a single TX FIFO).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from .core import Event, Simulator
+
+__all__ = ["Channel", "Store"]
+
+
+class Channel:
+    """Unbounded FIFO channel.
+
+    ``put`` never blocks; ``get`` returns an event that fires with the next
+    item (immediately if one is queued, otherwise when one arrives).
+    """
+
+    __slots__ = ("sim", "_items", "_getters", "name")
+
+    def __init__(self, sim: Simulator, name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def waiting(self) -> int:
+        """Number of blocked getters."""
+        return len(self._getters)
+
+    def put(self, item: Any) -> None:
+        """Deposit ``item``; wakes the oldest blocked getter if any."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Event that fires with the next item in FIFO order."""
+        event = Event(self.sim)
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def peek(self) -> Any:
+        """Look at the head item without removing it.
+
+        Raises :class:`IndexError` when empty.
+        """
+        return self._items[0]
+
+    def drain(self) -> list[Any]:
+        """Remove and return all queued items (non-blocking)."""
+        items = list(self._items)
+        self._items.clear()
+        return items
+
+
+class Store(Channel):
+    """A channel with finite ``capacity``: ``put`` blocks when full.
+
+    ``put`` returns an event the producer must wait on.  Items are accepted
+    in producer FIFO order.
+    """
+
+    __slots__ = ("capacity", "_putters")
+
+    def __init__(self, sim: Simulator, capacity: int, name: str = ""):
+        if capacity < 1:
+            raise ValueError("Store capacity must be >= 1")
+        super().__init__(sim, name=name)
+        self.capacity = capacity
+        self._putters: Deque[tuple[Event, Any]] = deque()
+
+    def put(self, item: Any) -> Event:  # type: ignore[override]
+        """Event that fires once ``item`` has been accepted."""
+        event = Event(self.sim)
+        if self._getters:
+            self._getters.popleft().succeed(item)
+            event.succeed(None)
+        elif len(self._items) < self.capacity:
+            self._items.append(item)
+            event.succeed(None)
+        else:
+            self._putters.append((event, item))
+        return event
+
+    def get(self) -> Event:
+        event = Event(self.sim)
+        if self._items:
+            event.succeed(self._items.popleft())
+            if self._putters:
+                put_event, item = self._putters.popleft()
+                self._items.append(item)
+                put_event.succeed(None)
+        elif self._putters:
+            # capacity could be saturated with zero queued items only if
+            # capacity==0, which __init__ forbids; this branch handles a
+            # direct producer->consumer handoff after a drain().
+            put_event, item = self._putters.popleft()
+            event.succeed(item)
+            put_event.succeed(None)
+        else:
+            self._getters.append(event)
+        return event
+
+    @property
+    def full(self) -> bool:
+        """True when the buffer has reached capacity."""
+        return len(self._items) >= self.capacity

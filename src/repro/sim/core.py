@@ -1,0 +1,412 @@
+"""Discrete-event simulation kernel.
+
+A small, deterministic, generator-based DES engine in the style of SimPy,
+written from scratch so the whole stack has no dependencies outside the
+standard library and NumPy.
+
+Model
+-----
+* :class:`Simulator` owns an event heap keyed by ``(time, seq)``; ``seq`` is
+  a monotonically increasing tie-breaker so simultaneous events always fire
+  in scheduling order — runs are bit-for-bit reproducible.
+* :class:`Event` is a one-shot occurrence.  It is *triggered* when given a
+  value (or failure) and scheduled, and *processed* once its callbacks have
+  run.
+* :class:`Process` wraps a Python generator.  The generator ``yield``\\ s
+  events; the process resumes when the yielded event fires.  A process is
+  itself an event that succeeds with the generator's return value, so
+  processes can wait on each other (fork/join).
+* :class:`Timeout` fires after a fixed delay.
+* :class:`AnyOf` / :class:`AllOf` compose events.
+
+Failures propagate: a failed event *thrown* into a waiting generator raises
+there; an unhandled failure escapes :meth:`Simulator.run` as
+:class:`SimulationError`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Timeout",
+    "Process",
+    "AnyOf",
+    "AllOf",
+    "SimulationError",
+    "Interrupt",
+]
+
+
+class SimulationError(RuntimeError):
+    """An event failure that no process handled."""
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another process interrupted.
+
+    The interrupting party supplies ``cause`` which is carried to the
+    interrupted generator.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+# Sentinels for event state
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence on the simulation timeline.
+
+    An event starts *pending*.  Calling :meth:`succeed` or :meth:`fail`
+    triggers it: the event is placed on the simulator heap and, when the
+    clock reaches it, every registered callback runs exactly once.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: Optional[bool] = None
+
+    # -- state ------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value and is scheduled to fire."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only meaningful once triggered."""
+        return bool(self._ok)
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or failure exception) once triggered."""
+        if self._value is _PENDING:
+            raise RuntimeError("event value is not yet available")
+        return self._value
+
+    # -- triggering ---------------------------------------------------------
+    def succeed(self, value: Any = None, delay: int = 0) -> "Event":
+        """Trigger the event successfully with ``value`` after ``delay`` ps."""
+        if self._value is not _PENDING:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.sim._schedule(self, delay)
+        return self
+
+    def fail(self, exception: BaseException, delay: int = 0) -> "Event":
+        """Trigger the event as failed with ``exception`` after ``delay`` ps."""
+        if self._value is not _PENDING:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self.sim._schedule(self, delay)
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Run ``callback(event)`` when the event fires.
+
+        If the event has already been processed the callback runs
+        immediately (same-timestep semantics).
+        """
+        if self.callbacks is None:
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = (
+            "processed" if self.processed else "triggered" if self.triggered else "pending"
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` picoseconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: int, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        sim._schedule(self, delay)
+
+
+class Process(Event):
+    """A running generator; also an event that fires when it returns.
+
+    The generator yields :class:`Event` instances.  When a yielded event
+    succeeds, the generator resumes with the event's value; when it fails,
+    the exception is thrown into the generator.
+    """
+
+    __slots__ = ("_gen", "_waiting_on", "name")
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
+        if not hasattr(gen, "send"):
+            raise TypeError(f"Process requires a generator, got {type(gen).__name__}")
+        super().__init__(sim)
+        self._gen = gen
+        self._waiting_on: Optional[Event] = None
+        self.name = name or getattr(gen, "__name__", "process")
+        # Kick off at the current time.
+        start = Event(sim)
+        start._ok = True
+        start._value = None
+        sim._schedule(start, 0)
+        start.add_callback(self._start)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return self._value is _PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        The event the process was waiting on is abandoned (its callback is
+        disarmed); the process resumes immediately with the exception.
+        """
+        if not self.is_alive:
+            raise RuntimeError(f"cannot interrupt finished process {self.name!r}")
+        target = self._waiting_on
+        if target is None:
+            raise RuntimeError(
+                f"process {self.name!r} is not waiting and cannot be interrupted"
+            )
+        self._waiting_on = None
+        # Deliver via a fresh failed event so ordering goes through the heap.
+        poke = Event(self.sim)
+        poke._ok = False
+        poke._value = Interrupt(cause)
+        self.sim._schedule(poke, 0)
+        poke.add_callback(self._resume_interrupt)
+
+    # -- internal ----------------------------------------------------------
+    def _resume_interrupt(self, poke: Event) -> None:
+        if not self.is_alive:
+            return
+        self._step(throw=poke._value)
+
+    def _start(self, _event: Event) -> None:
+        self._step(send=None)
+
+    def _step(self, send: Any = None, throw: Optional[BaseException] = None) -> None:
+        try:
+            if throw is not None:
+                target = self._gen.throw(throw)
+            else:
+                target = self._gen.send(send)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate as failure
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            err = TypeError(
+                f"process {self.name!r} yielded {target!r}; processes must yield Events"
+            )
+            self._gen.close()
+            self.fail(err)
+            return
+        if target.sim is not self.sim:
+            self._gen.close()
+            self.fail(RuntimeError("yielded an event from a different simulator"))
+            return
+        self._waiting_on = target
+        target.add_callback(self._process_waited)
+
+    def _process_waited(self, event: Event) -> None:
+        if self._waiting_on is not event:
+            # Abandoned (interrupt); swallow failures of abandoned events.
+            return
+        self._waiting_on = None
+        if event._ok:
+            self._step(send=event._value)
+        else:
+            self._step(throw=event._value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Process {self.name!r} alive={self.is_alive}>"
+
+
+class _Condition(Event):
+    """Base for AnyOf/AllOf composition events."""
+
+    __slots__ = ("events", "_count")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = tuple(events)
+        if any(e.sim is not sim for e in self.events):
+            raise RuntimeError("all composed events must share one simulator")
+        self._count = 0
+        if not self.events:
+            self.succeed(self._collect())
+        else:
+            for event in self.events:
+                event.add_callback(self._check)
+
+    def _collect(self) -> dict[Event, Any]:
+        # Only events whose callbacks have run count as "happened";
+        # Timeouts are value-bearing from creation, so `triggered` alone
+        # would wrongly include the future.
+        return {e: e._value for e in self.events if e.processed and e._ok}
+
+    def _check(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AnyOf(_Condition):
+    """Fires when the first of its events fires.
+
+    Succeeds with a dict ``{event: value}`` of all events triggered so far;
+    fails if the first event to fire failed.
+    """
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+        else:
+            self.succeed(self._collect())
+
+
+class AllOf(_Condition):
+    """Fires when all of its events have fired (or any fails)."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self._count += 1
+        if self._count == len(self.events):
+            self.succeed(self._collect())
+
+
+class Simulator:
+    """The simulation clock and event loop.
+
+    Typical use::
+
+        sim = Simulator()
+
+        def worker(sim):
+            yield sim.timeout(5 * NS)
+            return "done"
+
+        proc = sim.process(worker(sim))
+        sim.run()
+        assert proc.value == "done"
+    """
+
+    __slots__ = ("now", "_heap", "_seq", "_active")
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._heap: list[tuple[int, int, Event]] = []
+        self._seq: int = 0
+        self._active: bool = False
+
+    # -- factories ----------------------------------------------------------
+    def event(self) -> Event:
+        """Create an un-triggered event."""
+        return Event(self)
+
+    def timeout(self, delay: int, value: Any = None) -> Timeout:
+        """Create an event firing ``delay`` ps from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, gen: Generator, name: str = "") -> Process:
+        """Start running ``gen`` as a process."""
+        return Process(self, gen, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event combinator: first of ``events``."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event combinator: all of ``events``."""
+        return AllOf(self, events)
+
+    # -- engine -------------------------------------------------------------
+    def _schedule(self, event: Event, delay: int = 0) -> None:
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+        self._seq += 1
+
+    def step(self) -> None:
+        """Process the single next event on the heap."""
+        when, _, event = heapq.heappop(self._heap)
+        if when < self.now:  # pragma: no cover - defensive
+            raise RuntimeError("event heap time went backwards")
+        self.now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not getattr(event, "_defused", False):
+            exc = event._value
+            if isinstance(exc, BaseException) and not callbacks:
+                raise SimulationError(f"unhandled event failure: {exc!r}") from exc
+
+    def run(self, until: Optional[int] = None) -> int:
+        """Run until the heap is empty or the clock passes ``until``.
+
+        Returns the simulation time at exit.  ``until`` is an absolute time
+        in picoseconds; the clock is left at ``until`` if the horizon was
+        reached with events still outstanding.
+        """
+        if self._active:
+            raise RuntimeError("simulator is already running")
+        self._active = True
+        try:
+            while self._heap:
+                when = self._heap[0][0]
+                if until is not None and when > until:
+                    self.now = until
+                    break
+                self.step()
+            else:
+                if until is not None and until > self.now:
+                    self.now = until
+        finally:
+            self._active = False
+        return self.now
+
+    def peek(self) -> Optional[int]:
+        """Time of the next scheduled event, or None if the heap is empty."""
+        return self._heap[0][0] if self._heap else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Simulator t={self.now}ps queued={len(self._heap)}>"

@@ -1,0 +1,118 @@
+"""Measurement and tracing utilities for the simulation stack.
+
+These are deliberately lightweight: the benchmark harness derives all of its
+numbers from explicit timestamps, but counters and traces are invaluable for
+validating *why* a latency number is what it is (e.g. asserting exactly how
+many interrupts fired for a 1-byte put versus a 1-KB put).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional
+
+from .core import Simulator
+
+__all__ = ["TraceRecord", "Tracer", "Counters", "TimeSeries"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced occurrence: time, category, and free-form detail."""
+
+    time: int
+    category: str
+    detail: Any = None
+
+
+class Tracer:
+    """Append-only trace of categorized records with query helpers."""
+
+    __slots__ = ("sim", "records", "enabled")
+
+    def __init__(self, sim: Simulator, enabled: bool = True):
+        self.sim = sim
+        self.records: list[TraceRecord] = []
+        self.enabled = enabled
+
+    def emit(self, category: str, detail: Any = None) -> None:
+        """Record ``category`` at the current simulation time."""
+        if self.enabled:
+            self.records.append(TraceRecord(self.sim.now, category, detail))
+
+    def by_category(self, category: str) -> list[TraceRecord]:
+        """All records for one category, in time order."""
+        return [r for r in self.records if r.category == category]
+
+    def count(self, category: str) -> int:
+        """Number of records for ``category``."""
+        return sum(1 for r in self.records if r.category == category)
+
+    def between(self, start: int, end: int) -> list[TraceRecord]:
+        """Records with ``start <= time < end``."""
+        return [r for r in self.records if start <= r.time < end]
+
+    def clear(self) -> None:
+        """Drop all records."""
+        self.records.clear()
+
+
+class Counters:
+    """Named integer counters (interrupts raised, packets sent, ...)."""
+
+    __slots__ = ("_counts",)
+
+    def __init__(self) -> None:
+        self._counts: Counter[str] = Counter()
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to counter ``name``."""
+        self._counts[name] += amount
+
+    def __getitem__(self, name: str) -> int:
+        return self._counts[name]
+
+    def snapshot(self) -> dict[str, int]:
+        """Copy of all counters."""
+        return dict(self._counts)
+
+    def reset(self, names: Optional[Iterable[str]] = None) -> None:
+        """Zero the given counters (or all of them)."""
+        if names is None:
+            self._counts.clear()
+        else:
+            for name in names:
+                self._counts[name] = 0
+
+
+@dataclass
+class TimeSeries:
+    """(time, value) samples with summary statistics."""
+
+    name: str = ""
+    times: list[int] = field(default_factory=list)
+    values: list[float] = field(default_factory=list)
+
+    def sample(self, time: int, value: float) -> None:
+        """Append one observation."""
+        self.times.append(time)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the values (0.0 when empty)."""
+        return sum(self.values) / len(self.values) if self.values else 0.0
+
+    @property
+    def max(self) -> float:
+        """Largest value (0.0 when empty)."""
+        return max(self.values) if self.values else 0.0
+
+    @property
+    def min(self) -> float:
+        """Smallest value (0.0 when empty)."""
+        return min(self.values) if self.values else 0.0

@@ -1,0 +1,157 @@
+"""Shared-resource primitives: mutual exclusion and modeled CPUs.
+
+:class:`Resource` is a counted semaphore with FIFO (optionally prioritized)
+queueing.  :class:`CPU` layers a convenient ``execute`` coroutine on top for
+modeling serialized processors — the SeaStar's embedded PowerPC 440 and the
+host Opteron are both single execution resources whose handlers run to
+completion, exactly as the paper describes the firmware's single-threaded
+dispatch loop.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, Optional
+
+from .core import Event, Simulator
+
+__all__ = ["Resource", "Request", "CPU"]
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource`.
+
+    Fires when the resource is granted.  Must be released via
+    :meth:`Resource.release` exactly once after being granted.
+    """
+
+    __slots__ = ("resource", "priority", "_key")
+
+    def __init__(self, resource: "Resource", priority: int):
+        super().__init__(resource.sim)
+        self.resource = resource
+        self.priority = priority
+
+
+class Resource:
+    """Counted resource with priority + FIFO queueing.
+
+    ``capacity`` concurrent holders are allowed.  Waiters are granted in
+    ``(priority, arrival)`` order — lower priority value first, ties broken
+    by arrival.  The default priority is 0 for every request, which gives
+    plain FIFO behaviour.
+    """
+
+    __slots__ = ("sim", "capacity", "name", "_in_use", "_queue", "_seq")
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise ValueError("Resource capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._queue: list[tuple[int, int, Request]] = []
+        self._seq = 0
+
+    @property
+    def in_use(self) -> int:
+        """Number of currently granted requests."""
+        return self._in_use
+
+    @property
+    def queued(self) -> int:
+        """Number of waiting requests."""
+        return len(self._queue)
+
+    def request(self, priority: int = 0) -> Request:
+        """Claim the resource; returned event fires when granted."""
+        req = Request(self, priority)
+        if self._in_use < self.capacity and not self._queue:
+            self._in_use += 1
+            req.succeed(req)
+        else:
+            heapq.heappush(self._queue, (priority, self._seq, req))
+            self._seq += 1
+        return req
+
+    def release(self, request: Request) -> None:
+        """Return a granted claim; wakes the best-priority waiter."""
+        if request.resource is not self:
+            raise ValueError("request does not belong to this resource")
+        if not request.triggered:
+            # Cancel a still-queued request.
+            self._queue = [(p, s, r) for (p, s, r) in self._queue if r is not request]
+            heapq.heapify(self._queue)
+            return
+        if self._in_use <= 0:
+            raise RuntimeError(f"release() on idle resource {self.name!r}")
+        self._in_use -= 1
+        if self._queue and self._in_use < self.capacity:
+            _, _, nxt = heapq.heappop(self._queue)
+            self._in_use += 1
+            nxt.succeed(nxt)
+
+    def use(self, duration: int, priority: int = 0) -> Generator[Event, Any, None]:
+        """Coroutine: hold the resource for ``duration`` ps."""
+        req = self.request(priority)
+        yield req
+        try:
+            yield self.sim.timeout(duration)
+        finally:
+            self.release(req)
+
+
+class CPU(Resource):
+    """A serialized processor with an accounting of busy time.
+
+    ``execute(cost)`` models running a handler of ``cost`` picoseconds to
+    completion.  ``priority`` lets interrupt-context work jump ahead of
+    queued application work (lower value = more urgent); a running handler
+    is never preempted, matching run-to-completion firmware/kernel handlers.
+    """
+
+    __slots__ = ("busy_time", "_last_grant", "clock_hz")
+
+    #: Priority levels used across the stack.
+    PRIO_INTERRUPT = -10
+    PRIO_KERNEL = -5
+    PRIO_APP = 0
+
+    def __init__(self, sim: Simulator, name: str = "", clock_hz: float = 1.0e9):
+        super().__init__(sim, capacity=1, name=name)
+        self.clock_hz = clock_hz
+        self.busy_time = 0
+
+    def execute(self, cost: int, priority: int = 0) -> Generator[Event, Any, None]:
+        """Coroutine: acquire the CPU, burn ``cost`` ps, release."""
+        req = self.request(priority)
+        yield req
+        try:
+            if cost > 0:
+                yield self.sim.timeout(cost)
+                self.busy_time += cost
+        finally:
+            self.release(req)
+
+    def charge(self, cost: int) -> Generator[Event, Any, None]:
+        """Coroutine: burn ``cost`` ps *while already holding* this CPU.
+
+        For use inside a handler body that acquired the CPU via
+        :meth:`execute`/:meth:`request` — re-acquiring would deadlock a
+        capacity-1 resource.
+        """
+        if cost > 0:
+            yield self.sim.timeout(cost)
+            self.busy_time += cost
+
+    def cycles(self, n: int) -> int:
+        """Duration in ps of ``n`` clock cycles at this CPU's frequency."""
+        return max(1, round(n * 1e12 / self.clock_hz))
+
+    def utilization(self, elapsed: Optional[int] = None) -> float:
+        """Fraction of ``elapsed`` (default: sim.now) spent executing."""
+        total = self.sim.now if elapsed is None else elapsed
+        if total <= 0:
+            return 0.0
+        return self.busy_time / total

@@ -1,0 +1,100 @@
+"""Shared test fixtures and helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hw.config import SeaStarConfig
+from repro.machine.builder import build_pair
+from repro.portals import (
+    PTL_NID_ANY,
+    PTL_PID_ANY,
+    MDOptions,
+    ProcessId,
+)
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    """A fresh simulator."""
+    return Simulator()
+
+
+@pytest.fixture
+def config():
+    """The default calibrated configuration."""
+    return SeaStarConfig()
+
+
+@pytest.fixture
+def pair():
+    """(machine, node_a, node_b) one hop apart — the NetPIPE setup."""
+    return build_pair()
+
+
+def run_to_completion(machine, *procs):
+    """Run the machine; assert every given sim process finished cleanly."""
+    machine.run()
+    for proc in procs:
+        assert proc.triggered, f"process {proc.name} did not finish"
+        if not proc.ok:
+            raise proc.value
+    return [p.value for p in procs]
+
+
+def make_target(proc, *, portal=4, match_bits=0x1234, size=4096,
+                options=None, eq_size=64, threshold=None):
+    """Coroutine: set up a standard receive target on ``proc``.
+
+    Returns (eq, me, md, buffer).
+    """
+    from repro.portals import PTL_MD_THRESH_INF
+
+    api = proc.api
+    eq = yield from api.PtlEQAlloc(eq_size)
+    me = yield from api.PtlMEAttach(
+        portal, ProcessId(PTL_NID_ANY, PTL_PID_ANY), match_bits
+    )
+    buf = proc.alloc(size)
+    opts = (
+        options
+        if options is not None
+        else MDOptions.OP_PUT | MDOptions.OP_GET | MDOptions.TRUNCATE
+    )
+    md = yield from api.PtlMDAttach(
+        me,
+        buf,
+        options=opts,
+        eq=eq,
+        threshold=PTL_MD_THRESH_INF if threshold is None else threshold,
+    )
+    return eq, me, md, buf
+
+
+def drain_events(api, eq, *, want=None, limit=64):
+    """Coroutine: wait for events until ``want`` kinds seen (in order).
+
+    Returns the list of all events consumed.
+    """
+    seen = []
+    kinds_needed = list(want or [])
+    while kinds_needed and limit > 0:
+        ev = yield from api.PtlEQWait(eq)
+        seen.append(ev)
+        if ev.kind == kinds_needed[0]:
+            kinds_needed.pop(0)
+        limit -= 1
+    return seen
+
+
+def fill_pattern(buf: np.ndarray, seed: int = 1) -> None:
+    """Deterministic recognizable fill."""
+    n = len(buf)
+    buf[:] = (np.arange(seed, seed + n) * 31 + 7).astype(np.uint8)
+
+
+def pattern(n: int, seed: int = 1) -> np.ndarray:
+    """The array fill_pattern would produce."""
+    return ((np.arange(seed, seed + n) * 31 + 7) % 256).astype(np.uint8)

@@ -1,0 +1,221 @@
+"""Accelerated mode: full data-movement parity with generic mode.
+
+The accelerated implementation must preserve Portals semantics exactly —
+matching, truncation, offsets, acks, gets, drops — while eliminating
+host interrupts.  These tests run the same scenarios as the generic
+data-movement suite on accelerated processes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.machine.builder import build_pair
+from repro.mpi import MPICH1, create_world, run_world
+from repro.portals import (
+    PTL_ACK_REQ,
+    EventKind,
+    MDOptions,
+    NIFailType,
+)
+
+from .conftest import drain_events, fill_pattern, make_target, pattern, run_to_completion
+
+PT = 4
+BITS = 0x1234
+
+
+def run_accel_pair(receiver_body, sender_body):
+    machine, na, nb = build_pair()
+    pa = na.create_process(accelerated=True)
+    pb = nb.create_process(accelerated=True)
+    hr = pb.spawn(receiver_body)
+    hs = pa.spawn(sender_body, pb.id)
+    values = run_to_completion(machine, hr, hs)
+    return values, (na, nb)
+
+
+class TestAcceleratedPut:
+    @pytest.mark.parametrize("nbytes", [0, 1, 12, 13, 4096, 100_000])
+    def test_payload_intact(self, nbytes):
+        def receiver(proc):
+            eq, me, md, buf = yield from make_target(proc, size=max(nbytes, 1))
+            evs = yield from drain_events(proc.api, eq, want=[EventKind.PUT_END])
+            return evs[-1].mlength, bytes(buf[:nbytes])
+
+        def sender(proc, target):
+            api = proc.api
+            buf = proc.alloc(max(nbytes, 1))
+            fill_pattern(buf)
+            eq = yield from api.PtlEQAlloc(16)
+            md = yield from api.PtlMDBind(buf, eq=eq)
+            yield from api.PtlPut(md, target, PT, BITS, length=nbytes)
+            yield from drain_events(api, eq, want=[EventKind.SEND_END])
+            return True
+
+        values, _nodes = run_accel_pair(receiver, sender)
+        mlength, data = values[0]
+        assert mlength == nbytes
+        assert data == bytes(pattern(max(nbytes, 1))[:nbytes])
+
+    def test_no_interrupts_anywhere(self):
+        def receiver(proc):
+            eq, me, md, buf = yield from make_target(proc, size=64)
+            yield from drain_events(proc.api, eq, want=[EventKind.PUT_END])
+            return True
+
+        def sender(proc, target):
+            api = proc.api
+            eq = yield from api.PtlEQAlloc(16)
+            md = yield from api.PtlMDBind(proc.alloc(64), eq=eq)
+            yield from api.PtlPut(md, target, PT, BITS)
+            yield from drain_events(api, eq, want=[EventKind.SEND_END])
+            return True
+
+        _, (na, nb) = run_accel_pair(receiver, sender)
+        assert na.opteron.counters["interrupts"] == 0
+        assert nb.opteron.counters["interrupts"] == 0
+
+    def test_truncation(self):
+        def receiver(proc):
+            eq, me, md, buf = yield from make_target(proc, size=10)
+            evs = yield from drain_events(proc.api, eq, want=[EventKind.PUT_END])
+            return evs[-1].mlength, evs[-1].rlength
+
+        def sender(proc, target):
+            api = proc.api
+            md = yield from api.PtlMDBind(proc.alloc(1000))
+            yield from api.PtlPut(md, target, PT, BITS)
+            yield proc.sim.timeout(100_000_000)
+            return True
+
+        values, _nodes = run_accel_pair(receiver, sender)
+        mlength, rlength = values[0]
+        assert mlength == 10 and rlength == 1000
+
+    def test_unmatched_drops_counted_by_firmware(self):
+        def receiver(proc):
+            eq, me, md, buf = yield from make_target(proc, match_bits=0x777)
+            yield proc.sim.timeout(100_000_000)
+            return True
+
+        def sender(proc, target):
+            api = proc.api
+            md = yield from api.PtlMDBind(proc.alloc(100))
+            yield from api.PtlPut(md, target, PT, 0x888)
+            yield proc.sim.timeout(100_000_000)
+            return True
+
+        _, (na, nb) = run_accel_pair(receiver, sender)
+        assert nb.firmware.counters["accel_drops"] == 1
+
+    def test_ack_round_trip(self):
+        def receiver(proc):
+            eq, me, md, buf = yield from make_target(proc, size=32)
+            yield from drain_events(proc.api, eq, want=[EventKind.PUT_END])
+            return True
+
+        def sender(proc, target):
+            api = proc.api
+            eq = yield from api.PtlEQAlloc(16)
+            md = yield from api.PtlMDBind(proc.alloc(8), eq=eq)
+            yield from api.PtlPut(md, target, PT, BITS, ack_req=PTL_ACK_REQ)
+            evs = yield from drain_events(api, eq, want=[EventKind.ACK])
+            ack = [e for e in evs if e.kind is EventKind.ACK][0]
+            return ack.mlength
+
+        values, (na, nb) = run_accel_pair(receiver, sender)
+        assert values[1] == 8
+        # ack delivery never interrupted anyone
+        assert na.opteron.counters["interrupts"] == 0
+
+
+class TestAcceleratedGet:
+    @pytest.mark.parametrize("nbytes", [1, 12, 4096, 60_000])
+    def test_get_fetches(self, nbytes):
+        def target_side(proc):
+            eq, me, md, buf = yield from make_target(
+                proc, size=nbytes,
+                options=MDOptions.OP_GET | MDOptions.MANAGE_REMOTE,
+            )
+            fill_pattern(buf)
+            yield from drain_events(proc.api, eq, want=[EventKind.GET_END])
+            return True
+
+        def initiator(proc, target):
+            api = proc.api
+            eq = yield from api.PtlEQAlloc(16)
+            buf = proc.alloc(nbytes)
+            md = yield from api.PtlMDBind(buf, eq=eq)
+            yield from api.PtlGet(md, target, PT, BITS)
+            yield from drain_events(api, eq, want=[EventKind.REPLY_END])
+            return bytes(buf)
+
+        values, _nodes = run_accel_pair(target_side, initiator)
+        data = values[1]
+        assert data == bytes(pattern(nbytes))
+
+    def test_failed_get_reports_dropped(self):
+        def target_side(proc):
+            yield proc.sim.timeout(100_000_000)
+            return True
+
+        def initiator(proc, target):
+            api = proc.api
+            eq = yield from api.PtlEQAlloc(16)
+            md = yield from api.PtlMDBind(proc.alloc(64), eq=eq)
+            yield from api.PtlGet(md, target, PT, BITS)
+            evs = yield from drain_events(api, eq, want=[EventKind.REPLY_END])
+            end = [e for e in evs if e.kind is EventKind.REPLY_END][0]
+            return end.ni_fail_type
+
+        values, _nodes = run_accel_pair(target_side, initiator)
+        assert values[1] is NIFailType.DROPPED
+
+
+class TestAcceleratedMPI:
+    def test_mpi_over_accelerated_processes(self):
+        machine, a, b = build_pair()
+        world = create_world(machine, [a, b], flavor=MPICH1, accelerated=True)
+
+        def main(mpi, rank):
+            n = 512
+            if rank == 0:
+                yield from mpi.send(pattern(n).copy(), 1, tag=5)
+                return None
+            buf = np.zeros(n, np.uint8)
+            status = yield from mpi.recv(buf, source=0, tag=5)
+            return status.count, bytes(buf)
+
+        _, (count, data) = run_world(machine, world, main)
+        assert count == 512 and data == bytes(pattern(512))
+        assert a.opteron.counters["interrupts"] == 0
+        assert b.opteron.counters["interrupts"] == 0
+
+    def test_accelerated_mpi_latency_near_xt3_target(self):
+        """With offload, MPI small-message latency approaches the XT3's
+        2 us nearest-neighbor requirement (paper section 1/3.3)."""
+
+        def mpi_latency(accelerated):
+            machine, a, b = build_pair()
+            world = create_world(machine, [a, b], accelerated=accelerated)
+            stamps = {}
+
+            def main(mpi, rank):
+                buf = np.zeros(1, np.uint8)
+                if rank == 0:
+                    stamps["t0"] = mpi.sim.now
+                    yield from mpi.send(buf, 1)
+                    yield from mpi.recv(buf, source=1)
+                    stamps["t1"] = mpi.sim.now
+                else:
+                    yield from mpi.recv(buf, source=0)
+                    yield from mpi.send(buf, 0)
+                return None
+
+            run_world(machine, world, main)
+            return (stamps["t1"] - stamps["t0"]) / 2 / 1_000_000  # us
+
+        accel = mpi_latency(True)
+        generic = mpi_latency(False)
+        assert accel < generic / 1.5
+        assert accel < 6.0  # library costs dominate once interrupts go

@@ -1,0 +1,104 @@
+"""Analysis helpers: peaks, half-bandwidth interpolation, paper numbers."""
+
+import pytest
+
+from repro.analysis import (
+    PAPER,
+    half_bandwidth_point,
+    latency_at,
+    monotone_fraction,
+    peak_bandwidth,
+)
+from repro.netpipe.runner import Measurement, Series
+from repro.sim import SEC, US
+
+
+def series_from(points):
+    """points: list of (nbytes, bandwidth MB/s) -> synthetic stream series."""
+    ms = []
+    for nbytes, bw in points:
+        # bandwidth = bytes_moved / total; bytes = nbytes, solve total
+        total = round(nbytes / (bw * 1024 * 1024) * SEC)
+        ms.append(
+            Measurement("stream", nbytes, total_ps=total, repeats=1, bytes_moved=nbytes)
+        )
+    return Series(module="x", pattern="stream", points=ms)
+
+
+class TestPeak:
+    def test_peak_found(self):
+        s = series_from([(1, 10), (100, 500), (1000, 900)])
+        assert peak_bandwidth(s) == pytest.approx(900, rel=0.01)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            peak_bandwidth(Series("x", "stream", []))
+
+
+class TestHalfBandwidth:
+    def test_exact_hit(self):
+        s = series_from([(100, 100), (200, 500), (400, 1000)])
+        assert half_bandwidth_point(s) == pytest.approx(200, rel=0.05)
+
+    def test_interpolation_between_points(self):
+        s = series_from([(100, 0.001), (300, 1000)])
+        point = half_bandwidth_point(s)
+        assert 100 < point <= 300
+
+    def test_first_point_already_half(self):
+        s = series_from([(64, 600), (128, 1000)])
+        assert half_bandwidth_point(s) == 64
+
+    def test_explicit_peak(self):
+        s = series_from([(100, 100), (200, 400)])
+        assert half_bandwidth_point(s, peak=600) != half_bandwidth_point(s)
+
+    def test_never_reaching_half_raises(self):
+        s = series_from([(100, 100), (200, 150)])
+        with pytest.raises(ValueError):
+            half_bandwidth_point(s, peak=1000)
+
+
+class TestLatencyAt:
+    def test_picks_first_size_at_least(self):
+        ms = [
+            Measurement("pingpong", n, total_ps=2 * n * US, repeats=1, bytes_moved=n)
+            for n in (1, 8, 64)
+        ]
+        s = Series("x", "pingpong", ms)
+        assert latency_at(s, 1) == pytest.approx(1.0)
+        assert latency_at(s, 5) == pytest.approx(8.0)
+        with pytest.raises(ValueError):
+            latency_at(s, 1000)
+
+
+class TestMonotone:
+    def test_perfectly_monotone(self):
+        assert monotone_fraction([1, 2, 3, 4]) == 1.0
+
+    def test_tolerates_tiny_jitter(self):
+        assert monotone_fraction([100, 99.5, 101]) == 1.0
+
+    def test_counts_big_drops(self):
+        assert monotone_fraction([100, 50, 100]) == pytest.approx(0.5)
+
+    def test_short_series(self):
+        assert monotone_fraction([5]) == 1.0
+
+
+class TestPaperNumbers:
+    def test_figure4_ordering(self):
+        assert (
+            PAPER.put_latency_us
+            < PAPER.get_latency_us
+            < PAPER.mpich1_latency_us
+            < PAPER.mpich2_latency_us
+        )
+
+    def test_bidir_roughly_double_unidir(self):
+        assert PAPER.put_bidir_peak_mb_s / PAPER.put_peak_mb_s == pytest.approx(
+            2.0, rel=0.01
+        )
+
+    def test_half_bandwidth_points(self):
+        assert PAPER.half_bw_stream_bytes < PAPER.half_bw_pingpong_bytes

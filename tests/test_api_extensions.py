@@ -1,0 +1,141 @@
+"""PtlNIStatus / PtlNIDist and go-back-N terminal failure (SEND_FAILED)."""
+
+import pytest
+
+from repro.fw.firmware import ExhaustionPolicy
+from repro.hw.config import SeaStarConfig
+from repro.machine.builder import build_pair
+from repro.portals import EventKind, NIFailType
+from repro.sim import US
+
+from .conftest import drain_events, make_target, run_to_completion
+
+
+class TestNIStatus:
+    def test_drop_counter_visible_via_api(self):
+        machine, na, nb = build_pair()
+        pa, pb = na.create_process(), nb.create_process()
+
+        def receiver(proc):
+            eq, me, md, buf = yield from make_target(proc, match_bits=0x111)
+            yield proc.sim.timeout(100_000_000)
+            drops = yield from proc.api.PtlNIStatus("drops")
+            return drops
+
+        def sender(proc, target):
+            api = proc.api
+            md = yield from api.PtlMDBind(proc.alloc(8))
+            yield from api.PtlPut(md, target, 4, 0x999)  # no match
+            yield proc.sim.timeout(100_000_000)
+            return True
+
+        hr = pb.spawn(receiver)
+        hs = pa.spawn(sender, pb.id)
+        drops, _ = run_to_completion(machine, hr, hs)
+        assert drops == 1
+
+    def test_missing_register_reads_zero(self):
+        machine, na, nb = build_pair()
+        pa = na.create_process()
+
+        def body(proc):
+            value = yield from proc.api.PtlNIStatus("nonexistent")
+            return value
+
+        handle = pa.spawn(body)
+        (value,) = run_to_completion(machine, handle)
+        assert value == 0
+
+
+class TestNIDist:
+    @pytest.mark.parametrize("hops", [1, 4, 12])
+    def test_distance_equals_route_hops(self, hops):
+        machine, na, nb = build_pair(hops=hops)
+        pa, pb = na.create_process(), nb.create_process()
+
+        def body(proc, target):
+            dist = yield from proc.api.PtlNIDist(target)
+            return dist
+
+        handle = pa.spawn(body, pb.id)
+        (dist,) = run_to_completion(machine, handle)
+        assert dist == hops
+
+    def test_distance_to_self_is_zero(self):
+        machine, na, nb = build_pair()
+        pa = na.create_process()
+
+        def body(proc):
+            dist = yield from proc.api.PtlNIDist(proc.id)
+            return dist
+
+        handle = pa.spawn(body)
+        (dist,) = run_to_completion(machine, handle)
+        assert dist == 0
+
+    def test_accelerated_bridge_also_answers(self):
+        machine, na, nb = build_pair(hops=3)
+        pa = na.create_process(accelerated=True)
+        pb = nb.create_process()
+
+        def body(proc, target):
+            dist = yield from proc.api.PtlNIDist(target)
+            return dist
+
+        handle = pa.spawn(body, pb.id)
+        (dist,) = run_to_completion(machine, handle)
+        assert dist == 3
+
+
+class TestGoBackNTerminalFailure:
+    def test_send_failed_surfaces_as_ni_fail(self):
+        """When retransmission gives up (max retries), the initiator gets
+        SEND_END with PTL_NI_FAIL instead of hanging forever."""
+        cfg = SeaStarConfig(
+            # a receiver with NO receive pendings at all: every incoming
+            # request is refused, so retransmission must eventually give
+            # up and report failure to the sender
+            generic_rx_pendings=0,
+            generic_tx_pendings=34,
+            num_generic_pendings=34,
+            gobackn_backoff=2 * US,
+            gobackn_max_retries=3,
+        )
+        machine, na, nb = build_pair(cfg, policy=ExhaustionPolicy.GO_BACK_N)
+        pa, pb = na.create_process(), nb.create_process()
+
+        def receiver(proc):
+            eq, me, md, buf = yield from make_target(proc, size=16, eq_size=512)
+            while True:
+                yield from proc.api.PtlEQWait(eq)
+
+        def sender(proc, target):
+            api = proc.api
+            eq = yield from api.PtlEQAlloc(512)
+            md = yield from api.PtlMDBind(proc.alloc(8), eq=eq)
+            fails = 0
+            local = 0
+            for _ in range(20):
+                yield from api.PtlPut(md, target, 4, 0x1234, length=8)
+            # local completions arrive first; terminal failures follow
+            # once the retransmission budget is exhausted
+            while fails < 20:
+                ev = yield from api.PtlEQWait(eq)
+                if ev.kind is not EventKind.SEND_END:
+                    continue
+                if ev.ni_fail_type is NIFailType.FAIL:
+                    fails += 1
+                else:
+                    local += 1
+            return fails, local
+
+        pb.spawn(receiver)
+        hs = pa.spawn(sender, pb.id)
+        machine.run(until=50_000 * US)
+        assert hs.triggered and hs.ok
+        fails, local = hs.value
+        assert fails == 20, "every message must eventually fail"
+        assert local == 20, "local completion (buffer reusable) still fires"
+        assert na.firmware.counters["gobackn_failures"] == 20
+        # nothing was ever delivered
+        assert nb.firmware.generic.rx_pendings.capacity == 0

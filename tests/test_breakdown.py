@@ -1,0 +1,82 @@
+"""Analytic latency decomposition vs the simulated stack.
+
+If the analytic budget and the simulation drift apart, a path stage was
+silently added or dropped somewhere — this is the model's
+self-consistency gate.
+"""
+
+import pytest
+
+from repro.analysis import (
+    breakdown_total_us,
+    format_breakdown,
+    latency_at,
+    put_latency_breakdown,
+)
+from repro.hw.config import DEFAULT_CONFIG, SeaStarConfig
+from repro.netpipe import PortalsPutModule, run_series
+
+
+class TestStructure:
+    def test_inline_has_one_interrupt(self):
+        stages = put_latency_breakdown(nbytes=1)
+        interrupts = [s for s in stages if "INTERRUPT" in s.name]
+        assert len(interrupts) == 1
+
+    def test_payload_has_two_interrupts(self):
+        stages = put_latency_breakdown(nbytes=1024)
+        interrupts = [s for s in stages if "INTERRUPT" in s.name]
+        assert len(interrupts) == 2
+
+    def test_interrupts_dominate(self):
+        """The paper: 'A significant amount of the current latency is due
+        to interrupt processing by the host processor.'"""
+        stages = put_latency_breakdown(nbytes=1)
+        total = sum(s.cost_ps for s in stages)
+        irq = sum(s.cost_ps for s in stages if "INTERRUPT" in s.name)
+        assert irq / total > 0.3
+
+    def test_wire_time_is_negligible(self):
+        stages = put_latency_breakdown(nbytes=1)
+        total = sum(s.cost_ps for s in stages)
+        wire = sum(s.cost_ps for s in stages if s.where == "wire")
+        assert wire / total < 0.05
+
+    def test_hops_scale_only_the_wire(self):
+        near = put_latency_breakdown(nbytes=1, hops=1)
+        far = put_latency_breakdown(nbytes=1, hops=50)
+        delta = sum(s.cost_ps for s in far) - sum(s.cost_ps for s in near)
+        assert delta == 49 * DEFAULT_CONFIG.hop_latency
+
+    def test_format_contains_subtotals(self):
+        text = format_breakdown(nbytes=1)
+        assert "TOTAL" in text and "host" in text and "subtotal" in text
+
+
+class TestAgreementWithSimulation:
+    @pytest.fixture(scope="class")
+    def simulated(self):
+        return run_series(PortalsPutModule(), "pingpong", [1, 12, 1024, 2048, 8192])
+
+    @pytest.mark.parametrize("nbytes", [1, 12, 1024, 2048])
+    def test_analytic_matches_simulated(self, simulated, nbytes):
+        analytic = breakdown_total_us(nbytes=nbytes)
+        measured = latency_at(simulated, nbytes)
+        assert analytic == pytest.approx(measured, rel=0.05)
+
+    def test_larger_messages_only_loosely_bounded(self, simulated):
+        """Above ~2 KB, payload streaming overlaps the host path in ways
+        the serial budget does not model; the analytic number becomes a
+        lower bound rather than an estimate."""
+        analytic = breakdown_total_us(nbytes=8192)
+        measured = latency_at(simulated, 8192)
+        assert analytic < measured < analytic * 2
+
+    def test_tracks_config_changes(self):
+        """A perturbed config moves the analytic and simulated numbers
+        together."""
+        perturbed = SeaStarConfig(interrupt_overhead=4_000_000)
+        analytic = breakdown_total_us(perturbed, nbytes=1)
+        series = run_series(PortalsPutModule(), "pingpong", [1], config=perturbed)
+        assert analytic == pytest.approx(latency_at(series, 1), rel=0.05)
+        assert analytic > breakdown_total_us(nbytes=1) + 1.9

@@ -1,0 +1,148 @@
+"""Calibration gate: the reproduction's headline numbers vs the paper.
+
+These tests pin the shape results of Figures 4-7.  If a change to the
+stack shifts the simulated physics, it shows up here first.
+
+Tolerances: latencies within 10% (put/MPI are calibrated much tighter;
+get carries a documented structural deviation, see EXPERIMENTS.md),
+bandwidth peaks within 3%, half-bandwidth points within ~2x (they are
+read off curves in the paper: "around 7 KB").
+"""
+
+import pytest
+
+from repro.analysis import PAPER, half_bandwidth_point, latency_at, peak_bandwidth
+from repro.mpi import MPICH1, MPICH2
+from repro.netpipe import (
+    MPIModule,
+    PortalsGetModule,
+    PortalsPutModule,
+    decade_sizes,
+    run_series,
+)
+
+LAT_SIZES = [1, 2, 4, 8, 12, 13, 16, 32, 64, 1024]
+BW_SIZES = decade_sizes(1, 8 * 1024 * 1024)
+
+
+@pytest.fixture(scope="module")
+def latency_series():
+    return {
+        "put": run_series(PortalsPutModule(), "pingpong", LAT_SIZES),
+        "get": run_series(PortalsGetModule(), "pingpong", LAT_SIZES),
+        "mpich1": run_series(MPIModule(MPICH1), "pingpong", LAT_SIZES),
+        "mpich2": run_series(MPIModule(MPICH2), "pingpong", LAT_SIZES),
+    }
+
+
+@pytest.fixture(scope="module")
+def put_pingpong_bw():
+    return run_series(PortalsPutModule(), "pingpong", BW_SIZES)
+
+
+class TestFigure4Latency:
+    def test_put_one_byte(self, latency_series):
+        assert latency_at(latency_series["put"], 1) == pytest.approx(
+            PAPER.put_latency_us, rel=0.10
+        )
+
+    def test_mpich1_one_byte(self, latency_series):
+        assert latency_at(latency_series["mpich1"], 1) == pytest.approx(
+            PAPER.mpich1_latency_us, rel=0.10
+        )
+
+    def test_mpich2_one_byte(self, latency_series):
+        assert latency_at(latency_series["mpich2"], 1) == pytest.approx(
+            PAPER.mpich2_latency_us, rel=0.10
+        )
+
+    def test_get_one_byte(self, latency_series):
+        # get carries the largest deviation (see EXPERIMENTS.md); keep a
+        # looser band but still anchored to the paper's 6.60 us.
+        assert latency_at(latency_series["get"], 1) == pytest.approx(
+            PAPER.get_latency_us, rel=0.15
+        )
+
+    def test_curve_ordering_put_get_mpich1_mpich2(self, latency_series):
+        at_1b = [
+            latency_at(latency_series[k], 1)
+            for k in ("put", "get", "mpich1", "mpich2")
+        ]
+        assert at_1b == sorted(at_1b)
+
+    def test_small_message_step_after_12_bytes(self, latency_series):
+        """The Figure 4 step: 12 B rides the header packet (1 interrupt),
+        13 B needs the two-interrupt payload path."""
+        put = latency_series["put"]
+        at_12 = latency_at(put, 12)
+        at_13 = latency_at(put, 13)
+        assert at_13 - at_12 > 2.0  # at least the extra interrupt
+        assert latency_at(put, 1) == pytest.approx(at_12, rel=0.01)
+
+    def test_flat_below_12_bytes(self, latency_series):
+        put = latency_series["put"]
+        lats = [latency_at(put, n) for n in (1, 2, 4, 8, 12)]
+        assert max(lats) - min(lats) < 0.05
+
+
+class TestFigure5UniDirectional:
+    def test_peak_bandwidth(self, put_pingpong_bw):
+        assert peak_bandwidth(put_pingpong_bw) == pytest.approx(
+            PAPER.put_peak_mb_s, rel=0.03
+        )
+
+    def test_half_bandwidth_point(self, put_pingpong_bw):
+        point = half_bandwidth_point(put_pingpong_bw)
+        assert PAPER.half_bw_pingpong_bytes / 2 < point < PAPER.half_bw_pingpong_bytes * 2
+
+    def test_mpi_only_slightly_less(self):
+        mpi = run_series(MPIModule(MPICH1), "pingpong", [8 * 1024 * 1024])
+        assert peak_bandwidth(mpi) > 0.97 * PAPER.put_peak_mb_s
+
+    def test_both_mpi_implementations_equal_bandwidth(self):
+        m1 = run_series(MPIModule(MPICH1), "pingpong", [8 * 1024 * 1024])
+        m2 = run_series(MPIModule(MPICH2), "pingpong", [8 * 1024 * 1024])
+        assert peak_bandwidth(m1) == pytest.approx(peak_bandwidth(m2), rel=0.01)
+
+
+class TestFigure6Streaming:
+    def test_stream_half_bandwidth_below_pingpong(self, put_pingpong_bw):
+        stream = run_series(PortalsPutModule(), "stream", BW_SIZES)
+        assert half_bandwidth_point(stream) < half_bandwidth_point(put_pingpong_bw)
+
+    def test_streaming_hurts_get_most(self):
+        """Gets block (a full round trip each) and cannot pipeline."""
+        sizes = [4096]
+        put_stream = run_series(PortalsPutModule(), "stream", sizes)
+        get_stream = run_series(PortalsGetModule(), "stream", sizes)
+        # at small/mid sizes the get curve sits far below the put curve
+        assert (
+            get_stream.points[0].bandwidth_mb_s
+            < 0.6 * put_stream.points[0].bandwidth_mb_s
+        )
+
+
+class TestFigure7BiDirectional:
+    def test_bidir_peak(self):
+        bidir = run_series(PortalsPutModule(), "bidir", [4 * 1024 * 1024, 8 * 1024 * 1024])
+        assert peak_bandwidth(bidir) == pytest.approx(
+            PAPER.put_bidir_peak_mb_s, rel=0.03
+        )
+
+    def test_seastar_sustains_both_directions(self, put_pingpong_bw):
+        """Figure 7's point: bi-directional ~= 2x uni-directional."""
+        bidir = run_series(PortalsPutModule(), "bidir", [8 * 1024 * 1024])
+        ratio = peak_bandwidth(bidir) / peak_bandwidth(put_pingpong_bw)
+        assert ratio == pytest.approx(2.0, rel=0.05)
+
+
+class TestInlineOverheads:
+    def test_trap_cost(self, config):
+        assert config.trap_overhead == pytest.approx(PAPER.trap_ns * 1000, rel=0.01)
+
+    def test_interrupt_cost(self, config):
+        assert config.interrupt_overhead >= PAPER.interrupt_us * 1_000_000
+
+    def test_structure_counts(self, config):
+        assert config.num_sources == PAPER.num_sources
+        assert config.num_generic_pendings == PAPER.num_generic_pendings

@@ -1,0 +1,94 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_netpipe_defaults(self):
+        args = build_parser().parse_args(["netpipe"])
+        assert args.module == "put" and args.pattern == "pingpong"
+
+    def test_bad_module_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["netpipe", "--module", "smoke"])
+
+
+class TestCommands:
+    def test_netpipe_fast_put(self, capsys):
+        rc = main(
+            [
+                "netpipe",
+                "--fast",
+                "--max-bytes",
+                "1024",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "module=put" in out
+        assert "1024" in out
+
+    def test_netpipe_stream_mpich(self, capsys):
+        rc = main(
+            [
+                "netpipe",
+                "--module",
+                "mpich1",
+                "--pattern",
+                "stream",
+                "--fast",
+                "--max-bytes",
+                "4096",
+            ]
+        )
+        assert rc == 0
+        assert "mpich-1.2.6" in capsys.readouterr().out
+
+    def test_netpipe_accelerated(self, capsys):
+        rc = main(
+            ["netpipe", "--accelerated", "--fast", "--max-bytes", "256"]
+        )
+        assert rc == 0
+
+    def test_netpipe_plot(self, capsys):
+        rc = main(
+            ["netpipe", "--fast", "--max-bytes", "1024", "--plot"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "latency" in out and "|" in out  # chart axes rendered
+
+    def test_accelerated_mpi_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["netpipe", "--module", "mpich1", "--accelerated"])
+
+    def test_latency_reports_all_modules(self, capsys):
+        rc = main(["latency"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for name in ("put", "get", "mpich1", "mpich2"):
+            assert name in out
+        assert "worst relative deviation" in out
+
+    def test_sram_report(self, capsys):
+        rc = main(["sram"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "SeaStar SRAM" in out and "sources" in out
+
+    def test_sram_with_accel_processes(self, capsys):
+        rc = main(["sram", "--accelerated-processes", "1"])
+        assert rc == 0
+        assert "fw_pid2" in capsys.readouterr().out
+
+    def test_topology_with_route(self, capsys):
+        rc = main(["topology", "--dims", "4", "4", "4", "--route", "0", "63"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "nodes=64" in out and "route 0 -> 63" in out

@@ -1,0 +1,114 @@
+"""Whole-stack determinism: identical runs produce identical results.
+
+The DES kernel promises bit-for-bit reproducibility; these tests verify
+the promise survives all the layers stacked on top (a stray wall-clock
+read, dict-iteration dependence, or unseeded RNG anywhere would break
+them).
+"""
+
+import pytest
+
+from repro.analysis import machine_report
+from repro.fw.firmware import ExhaustionPolicy
+from repro.hw.config import SeaStarConfig
+from repro.machine.builder import build_pair
+from repro.mpi import MPICH1, create_world, run_world
+from repro.netpipe import MPIModule, PortalsGetModule, PortalsPutModule, run_series
+from repro.sim import US
+
+
+def series_fingerprint(series):
+    return [(p.nbytes, p.total_ps, p.bytes_moved) for p in series.points]
+
+
+class TestNetPipeDeterminism:
+    @pytest.mark.parametrize(
+        "module_factory,pattern",
+        [
+            (PortalsPutModule, "pingpong"),
+            (PortalsPutModule, "stream"),
+            (PortalsPutModule, "bidir"),
+            (PortalsGetModule, "pingpong"),
+            (lambda: MPIModule(MPICH1), "pingpong"),
+        ],
+    )
+    def test_identical_sweeps(self, module_factory, pattern):
+        sizes = [1, 13, 1024, 65536]
+        a = run_series(module_factory(), pattern, sizes)
+        b = run_series(module_factory(), pattern, sizes)
+        assert series_fingerprint(a) == series_fingerprint(b)
+
+    def test_accelerated_deterministic(self):
+        sizes = [1, 4096]
+        a = run_series(PortalsPutModule(accelerated=True), "pingpong", sizes)
+        b = run_series(PortalsPutModule(accelerated=True), "pingpong", sizes)
+        assert series_fingerprint(a) == series_fingerprint(b)
+
+
+class TestRecoveryDeterminism:
+    def test_gobackn_runs_identically(self):
+        cfg = SeaStarConfig(
+            generic_rx_pendings=2,
+            generic_tx_pendings=32,
+            num_generic_pendings=34,
+            gobackn_backoff=5 * US,
+        )
+
+        def run_once():
+            import numpy as np
+
+            from repro.portals import EventKind
+
+            machine, na, nb = build_pair(cfg, policy=ExhaustionPolicy.GO_BACK_N)
+            world = create_world(machine, [na, nb])
+
+            def main(mpi, rank):
+                buf = np.zeros(8, np.uint8)
+                if rank == 0:
+                    for i in range(15):
+                        yield from mpi.send(buf, 1, tag=i)
+                    return machine.now
+                for i in range(15):
+                    yield from mpi.recv(buf, source=0, tag=i)
+                return machine.now
+
+            results = run_world(machine, world, main)
+            return (
+                results,
+                na.firmware.counters["retransmits"],
+                nb.firmware.counters["naks_sent"],
+                machine.now,
+            )
+
+        assert run_once() == run_once()
+
+
+class TestReportDeterminism:
+    def test_counters_identical_across_runs(self):
+        def run_once():
+            series = None
+            machine, na, nb = build_pair()
+            from repro.portals import EventKind
+
+            from .conftest import drain_events, make_target, run_to_completion
+
+            pa, pb = na.create_process(), nb.create_process()
+
+            def receiver(proc):
+                eq, me, md, buf = yield from make_target(proc, size=1024)
+                yield from drain_events(proc.api, eq, want=[EventKind.PUT_END])
+                return True
+
+            def sender(proc, target):
+                api = proc.api
+                md = yield from api.PtlMDBind(proc.alloc(1024))
+                yield from api.PtlPut(md, target, 4, 0x1234)
+                yield proc.sim.timeout(100_000_000)
+                return True
+
+            hr = pb.spawn(receiver)
+            hs = pa.spawn(sender, pb.id)
+            run_to_completion(machine, hr, hs)
+            return machine_report(machine)
+
+        assert run_once() == run_once()

@@ -1,0 +1,69 @@
+"""Smoke-run the example programs (they are part of the public surface).
+
+The big NetPIPE sweep is exercised by the benchmarks already; every
+other example runs here end to end so a regression in the public API
+cannot silently rot them.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        run_example("quickstart")
+        out = capsys.readouterr().out
+        assert "one-way latency" in out and "5." in out
+
+    def test_latency_breakdown(self, capsys):
+        run_example("latency_breakdown")
+        out = capsys.readouterr().out
+        assert "INTERRUPT" in out and "cross-check" in out
+
+    def test_exhaustion_recovery(self, capsys):
+        run_example("exhaustion_recovery")
+        out = capsys.readouterr().out
+        assert "NODE PANIC" in out and "30/30" in out
+
+    def test_accelerated_mode(self, capsys):
+        run_example("accelerated_mode")
+        out = capsys.readouterr().out
+        assert "accelerated 0" in out  # zero interrupts
+
+    def test_mpi_stencil(self, capsys):
+        run_example("mpi_stencil")
+        out = capsys.readouterr().out
+        assert "residual" in out
+
+    def test_lustre_service_node(self, capsys):
+        run_example("lustre_service_node")
+        out = capsys.readouterr().out
+        assert "objects written then read back: 4" in out
+
+    def test_fft_transpose(self, capsys):
+        run_example("fft_transpose")
+        out = capsys.readouterr().out
+        assert "verified on every rank" in out
+
+    def test_redstorm_block(self, capsys):
+        run_example("redstorm_block")
+        out = capsys.readouterr().out
+        assert "320 point-to-point transfers" in out

@@ -1,0 +1,86 @@
+"""Firmware-internal control pool (ACK/NAK/REPLY) exhaustion."""
+
+import pytest
+
+from repro.hw.config import SeaStarConfig
+from repro.machine.builder import build_pair
+from repro.portals import PTL_ACK_REQ, EventKind
+
+from .conftest import drain_events, make_target, run_to_completion
+
+
+class TestControlPoolExhaustion:
+    def test_ack_storm_drops_control_messages_but_data_survives(self):
+        """Acks ride the firmware-internal pool; when it is exhausted the
+        firmware drops the ACK (Portals permits lost acks) but never the
+        data message itself."""
+        cfg = SeaStarConfig(fw_internal_pendings=1)
+        machine, na, nb = build_pair(cfg)
+        pa, pb = na.create_process(), nb.create_process()
+        count = 20
+
+        def receiver(proc):
+            eq, me, md, buf = yield from make_target(proc, size=64, eq_size=512)
+            for _ in range(count):
+                yield from drain_events(proc.api, eq, want=[EventKind.PUT_END])
+            return True
+
+        def sender(proc, target):
+            api = proc.api
+            eq = yield from api.PtlEQAlloc(512)
+            md = yield from api.PtlMDBind(proc.alloc(8), eq=eq)
+            for _ in range(count):
+                yield from api.PtlPut(md, target, 4, 0x1234, ack_req=PTL_ACK_REQ)
+            sends = acks = 0
+            # all SEND_ENDs must arrive; acks may be fewer (dropped)
+            while sends < count:
+                ev = yield from api.PtlEQWait(eq)
+                if ev.kind is EventKind.SEND_END:
+                    sends += 1
+                elif ev.kind is EventKind.ACK:
+                    acks += 1
+            yield proc.sim.timeout(500_000_000)
+            while True:
+                ev = eq.try_get()
+                if ev is None:
+                    break
+                if ev.kind is EventKind.ACK:
+                    acks += 1
+            return sends, acks
+
+        hr = pb.spawn(receiver)
+        hs = pa.spawn(sender, pb.id)
+        _, (sends, acks) = run_to_completion(machine, hr, hs)
+        assert sends == count          # data always delivered + completed
+        assert acks <= count
+        dropped = nb.firmware.counters["control_drops"]
+        assert acks + dropped == count
+
+    def test_full_pool_drops_nothing(self):
+        machine, na, nb = build_pair()  # default 64-deep pool
+        pa, pb = na.create_process(), nb.create_process()
+
+        def receiver(proc):
+            eq, me, md, buf = yield from make_target(proc, size=64, eq_size=256)
+            for _ in range(10):
+                yield from drain_events(proc.api, eq, want=[EventKind.PUT_END])
+            return True
+
+        def sender(proc, target):
+            api = proc.api
+            eq = yield from api.PtlEQAlloc(256)
+            md = yield from api.PtlMDBind(proc.alloc(8), eq=eq)
+            for _ in range(10):
+                yield from api.PtlPut(md, target, 4, 0x1234, ack_req=PTL_ACK_REQ)
+            acks = 0
+            while acks < 10:
+                ev = yield from api.PtlEQWait(eq)
+                if ev.kind is EventKind.ACK:
+                    acks += 1
+            return acks
+
+        hr = pb.spawn(receiver)
+        hs = pa.spawn(sender, pb.id)
+        _, acks = run_to_completion(machine, hr, hs)
+        assert acks == 10
+        assert nb.firmware.counters["control_drops"] == 0

@@ -1,0 +1,167 @@
+"""Resource exhaustion: panic mode (the paper's current behaviour) and
+the go-back-N recovery protocol (the paper's in-progress work)."""
+
+import numpy as np
+import pytest
+
+from repro.fw.firmware import ExhaustionPolicy
+from repro.hw.config import SeaStarConfig
+from repro.machine.builder import Machine, build_pair
+from repro.net import Torus3D
+from repro.portals import EventKind, MDOptions, NicPanic
+from repro.sim import SimulationError, US
+
+from .conftest import drain_events, make_target, run_to_completion
+
+#: a configuration with tiny pools so exhaustion is easy to trigger
+TINY = SeaStarConfig(
+    generic_rx_pendings=2,
+    generic_tx_pendings=32,
+    num_generic_pendings=34,
+    gobackn_backoff=5 * US,
+)
+
+
+def flood(machine, na, nb, *, messages, nbytes=5000, respond_after=None):
+    """Sender fires ``messages`` puts; receiver only starts consuming
+    after ``respond_after`` (ps) so RX pendings pile up."""
+    pa, pb = na.create_process(), nb.create_process()
+    got = []
+
+    def receiver(proc):
+        eq, me, md, buf = yield from make_target(
+            proc,
+            size=nbytes,
+            eq_size=512,
+            options=MDOptions.OP_PUT | MDOptions.TRUNCATE | MDOptions.MANAGE_REMOTE,
+        )
+        if respond_after:
+            yield proc.sim.timeout(respond_after)
+        for _ in range(messages):
+            evs = yield from drain_events(proc.api, eq, want=[EventKind.PUT_END])
+            got.append(evs[-1].mlength)
+        return got
+
+    def sender(proc, target):
+        api = proc.api
+        eq = yield from api.PtlEQAlloc(256)
+        md = yield from api.PtlMDBind(proc.alloc(nbytes), eq=eq)
+        for _ in range(messages):
+            yield from api.PtlPut(md, target, 4, 0x1234, length=nbytes)
+        for _ in range(messages):
+            yield from drain_events(api, eq, want=[EventKind.SEND_END])
+        return True
+
+    hr = pb.spawn(receiver)
+    hs = pa.spawn(sender, pb.id)
+    return hr, hs
+
+
+class TestPanicMode:
+    def test_rx_pending_exhaustion_panics(self):
+        """Paper 4.3: 'The current approach is to panic the node'."""
+        machine, na, nb = build_pair(TINY, policy=ExhaustionPolicy.PANIC)
+        # With only 2 RX pendings and interrupts slower than arrivals,
+        # a burst overwhelms the receiver.
+        flood(machine, na, nb, messages=30, nbytes=12)
+        with pytest.raises(SimulationError) as err:
+            machine.run()
+        assert isinstance(err.value.__cause__, NicPanic)
+        assert nb.firmware.panicked
+
+    def test_small_workloads_never_exhaust(self):
+        """Paper 4.3: 'we have never observed anything approaching
+        dangerous levels' under normal operation."""
+        machine, na, nb = build_pair()  # full-size pools
+        hr, hs = flood(machine, na, nb, messages=50, nbytes=100)
+        run_to_completion(machine, hr, hs)
+        generic = nb.firmware.generic
+        assert generic.rx_pendings.high_water < generic.rx_pendings.capacity / 2
+
+
+class TestGoBackN:
+    def test_flood_recovers_and_delivers_everything(self):
+        machine, na, nb = build_pair(TINY, policy=ExhaustionPolicy.GO_BACK_N)
+        hr, hs = flood(machine, na, nb, messages=30, nbytes=12)
+        got, _ = run_to_completion(machine, hr, hs)
+        assert len(got) == 30
+        assert nb.firmware.counters["naks_sent"] > 0
+        assert na.firmware.counters["retransmits"] > 0
+        assert nb.firmware.counters["gobackn_recovered"] >= 1
+
+    def test_payload_messages_survive_recovery(self):
+        machine, na, nb = build_pair(TINY, policy=ExhaustionPolicy.GO_BACK_N)
+        hr, hs = flood(machine, na, nb, messages=12, nbytes=5000)
+        got, _ = run_to_completion(machine, hr, hs)
+        assert got == [5000] * 12
+
+    def test_data_integrity_after_retransmit(self):
+        machine, na, nb = build_pair(TINY, policy=ExhaustionPolicy.GO_BACK_N)
+        pa, pb = na.create_process(), nb.create_process()
+        n, count = 600, 10
+        payloads = [np.full(n, i + 1, dtype=np.uint8) for i in range(count)]
+
+        def receiver(proc):
+            eq, me, md, buf = yield from make_target(
+                proc, size=n * count,
+                options=MDOptions.OP_PUT | MDOptions.TRUNCATE | MDOptions.MANAGE_REMOTE,
+            )
+            yield proc.sim.timeout(200 * US)  # force exhaustion first
+            for _ in range(count):
+                yield from drain_events(proc.api, eq, want=[EventKind.PUT_END])
+            return bytes(buf)
+
+        def sender(proc, target):
+            api = proc.api
+            eq = yield from api.PtlEQAlloc(64)
+            for i in range(count):
+                md = yield from api.PtlMDBind(payloads[i], eq=eq)
+                # each message lands in its own slice of the target
+                yield from api.PtlPut(md, target, 4, 0x1234, remote_offset=i * n)
+            for _ in range(count):
+                yield from drain_events(api, eq, want=[EventKind.SEND_END])
+            return True
+
+        hr = pb.spawn(receiver)
+        hs = pa.spawn(sender, pb.id)
+        data, _ = run_to_completion(machine, hr, hs)
+        expected = b"".join(bytes([i + 1]) * n for i in range(count))
+        assert data == expected
+
+    def test_ordering_preserved_under_recovery(self):
+        """Sequence numbers guarantee the receiver matches in send order
+        even when some messages were NACKed and replayed."""
+        machine, na, nb = build_pair(TINY, policy=ExhaustionPolicy.GO_BACK_N)
+        pa, pb = na.create_process(), nb.create_process()
+        count = 25
+        seen = []
+
+        def receiver(proc):
+            eq, me, md, buf = yield from make_target(proc, size=16)
+            yield proc.sim.timeout(100 * US)
+            for _ in range(count):
+                evs = yield from drain_events(proc.api, eq, want=[EventKind.PUT_END])
+                seen.append(evs[-1].hdr_data)
+            return True
+
+        def sender(proc, target):
+            api = proc.api
+            eq = yield from api.PtlEQAlloc(128)
+            md = yield from api.PtlMDBind(proc.alloc(4), eq=eq)
+            for i in range(count):
+                yield from api.PtlPut(md, target, 4, 0x1234, hdr_data=i, length=4)
+            for _ in range(count):
+                yield from drain_events(api, eq, want=[EventKind.SEND_END])
+            return True
+
+        hr = pb.spawn(receiver)
+        hs = pa.spawn(sender, pb.id)
+        run_to_completion(machine, hr, hs)
+        assert seen == list(range(count))
+
+    def test_no_overhead_when_not_exhausted(self):
+        machine, na, nb = build_pair(policy=ExhaustionPolicy.GO_BACK_N)
+        hr, hs = flood(machine, na, nb, messages=10, nbytes=100)
+        run_to_completion(machine, hr, hs)
+        assert na.firmware.counters["retransmits"] == 0
+        assert nb.firmware.counters["naks_sent"] == 0

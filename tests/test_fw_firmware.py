@@ -1,0 +1,147 @@
+"""Firmware behaviour: SRAM layout, counters, interrupt structure,
+small-message optimization, stats commands."""
+
+import pytest
+
+from repro.fw import NicStatsCmd
+from repro.machine.builder import build_pair
+from repro.portals import EventKind, MDOptions
+
+from .conftest import drain_events, make_target, run_to_completion
+
+
+def ping(machine, na, nb, nbytes, rounds=1):
+    """Run `rounds` puts a->b; returns (sender_node, receiver_node)."""
+    pa, pb = na.create_process(), nb.create_process()
+
+    def receiver(proc):
+        eq, me, md, buf = yield from make_target(proc, size=max(nbytes, 1))
+        for _ in range(rounds):
+            yield from drain_events(proc.api, eq, want=[EventKind.PUT_END])
+        return True
+
+    def sender(proc, target):
+        api = proc.api
+        eq = yield from api.PtlEQAlloc(64)
+        md = yield from api.PtlMDBind(proc.alloc(max(nbytes, 1)), eq=eq)
+        for _ in range(rounds):
+            yield from api.PtlPut(md, target, 4, 0x1234, length=nbytes)
+            yield from drain_events(api, eq, want=[EventKind.SEND_END])
+        return True
+
+    hr = pb.spawn(receiver)
+    hs = pa.spawn(sender, pb.id)
+    run_to_completion(machine, hr, hs)
+
+
+class TestSramLayout:
+    def test_boot_reserves_paper_structures(self, pair):
+        machine, na, nb = pair
+        pools = na.seastar.sram.pools()
+        assert "nic_control_block" in pools
+        assert pools["sources"].count == 1024
+        generic = pools["pendings:fw_pid1"]
+        assert generic.count == 1274
+        assert na.seastar.sram.free_bytes > 0
+
+    def test_accelerated_process_reserves_more(self, pair):
+        machine, na, nb = pair
+        before = na.seastar.sram.used_bytes
+        na.create_process(accelerated=True)
+        assert na.seastar.sram.used_bytes > before
+
+
+class TestInterruptStructure:
+    """The Figure 4 story: 1 interrupt <= 12 B, 2 interrupts above."""
+
+    def _interrupts_for(self, nbytes):
+        machine, na, nb = build_pair()
+        base = nb.opteron.counters["interrupts"]
+        ping(machine, na, nb, nbytes)
+        return nb.opteron.counters["interrupts"] - base
+
+    def test_small_put_one_receiver_interrupt(self):
+        assert self._interrupts_for(12) == 1
+
+    def test_large_put_two_receiver_interrupts(self):
+        assert self._interrupts_for(13) == 2
+
+    def test_zero_byte_put_one_interrupt(self):
+        assert self._interrupts_for(0) == 1
+
+    def test_sender_gets_completion_interrupt(self):
+        machine, na, nb = build_pair()
+        ping(machine, na, nb, 8)
+        # sender host is interrupted for TX_COMPLETE
+        assert na.opteron.counters["interrupts"] >= 1
+
+
+class TestSmallMessageOptimization:
+    def test_inline_data_piggybacks_in_header(self):
+        machine, na, nb = build_pair()
+        ping(machine, na, nb, 12)
+        # 12 bytes: no payload packets at all
+        assert nb.seastar.rx.counters["packets"] == 0
+        assert nb.seastar.rx.counters["headers"] >= 1
+
+    def test_thirteen_bytes_needs_payload_packet(self):
+        machine, na, nb = build_pair()
+        ping(machine, na, nb, 13)
+        assert nb.seastar.rx.counters["packets"] == 1
+
+    def test_optimization_disable_knob(self):
+        from repro.hw.config import SeaStarConfig
+
+        cfg = SeaStarConfig(small_msg_bytes=0)
+        machine, na, nb = build_pair(cfg)
+        ping(machine, na, nb, 8)
+        assert nb.seastar.rx.counters["packets"] == 1  # no piggyback now
+
+
+class TestFirmwareBookkeeping:
+    def test_counters_track_messages(self, pair):
+        machine, na, nb = pair
+        ping(machine, na, nb, 100, rounds=3)
+        assert na.firmware.counters["tx_messages"] == 3
+        assert nb.firmware.counters["rx_headers"] == 3
+
+    def test_source_structs_allocated_per_peer(self, pair):
+        machine, na, nb = pair
+        ping(machine, na, nb, 100)
+        assert na.firmware.control.sources.in_use == 1  # peer b
+        assert nb.firmware.control.sources.in_use == 1  # peer a
+
+    def test_pendings_recycled(self, pair):
+        machine, na, nb = pair
+        ping(machine, na, nb, 100, rounds=5)
+        generic = nb.firmware.generic
+        assert generic.rx_pendings.in_use == 0
+        assert generic.rx_pendings.high_water >= 1
+
+    def test_heartbeat_advances(self, pair):
+        machine, na, nb = pair
+        ping(machine, na, nb, 100)
+        assert na.firmware.control.heartbeat > 0
+
+    def test_stats_command_round_trip(self, pair):
+        machine, na, nb = pair
+        pa = na.create_process()
+        result_holder = []
+
+        def body(proc):
+            kernel = na.kernel
+            result = yield from kernel.proc.mailbox.post_command_await_result(
+                NicStatsCmd()
+            )
+            result_holder.append(result)
+            return True
+
+        handle = pa.spawn(body)
+        run_to_completion(machine, handle)
+        stats = result_holder[0]
+        assert "counters" in stats and stats["sram_used"] > 0
+
+    def test_tx_pending_list_drains(self, pair):
+        machine, na, nb = pair
+        ping(machine, na, nb, 50_000, rounds=2)
+        assert len(na.firmware.control.tx_pending_list) == 0

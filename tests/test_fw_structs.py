@@ -1,0 +1,164 @@
+"""Firmware data structures: free lists, pendings, sources, mailboxes."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fw import (
+    CommandFifo,
+    FreeList,
+    LowerPending,
+    Mailbox,
+    NicControlBlock,
+    Source,
+    UpperPending,
+)
+from repro.sim import Simulator
+
+
+class TestFreeList:
+    def test_alloc_free_cycle(self):
+        fl = FreeList([1, 2, 3], name="t")
+        assert fl.capacity == 3 and fl.available == 3
+        a = fl.alloc()
+        assert a == 1 and fl.in_use == 1
+        fl.free(a)
+        assert fl.available == 3
+
+    def test_exhaustion_returns_none(self):
+        fl = FreeList([object()])
+        fl.alloc()
+        assert fl.alloc() is None
+
+    def test_high_water_tracking(self):
+        fl = FreeList(list(range(10)))
+        items = [fl.alloc() for _ in range(7)]
+        for item in items:
+            fl.free(item)
+        fl.alloc()
+        assert fl.high_water == 7
+
+    def test_over_free_rejected(self):
+        fl = FreeList([1])
+        with pytest.raises(RuntimeError):
+            fl.free(2)
+
+    @settings(max_examples=30, deadline=None)
+    @given(ops=st.lists(st.booleans(), max_size=100))
+    def test_conservation_invariant(self, ops):
+        """available + in_use == capacity at all times."""
+        fl = FreeList(list(range(8)))
+        held = []
+        for is_alloc in ops:
+            if is_alloc:
+                item = fl.alloc()
+                if item is not None:
+                    held.append(item)
+            elif held:
+                fl.free(held.pop())
+            assert fl.available + fl.in_use == fl.capacity
+            assert fl.in_use == len(held)
+
+
+class TestPendings:
+    def test_reset_scrubs(self):
+        lp = LowerPending(pending_id=1, owner_pid=0)
+        lp.upper = UpperPending(pending_id=1)
+        lp.state = "busy"
+        lp.msg_id = 7
+        lp.upper.host_ctx = "ctx"
+        lp.reset()
+        assert lp.state == "free" and lp.msg_id == 0
+        assert lp.upper.host_ctx is None
+        assert lp.direct_eq is None and lp.direct_event is None
+
+    def test_identity_equality(self):
+        a = LowerPending(pending_id=1, owner_pid=0)
+        b = LowerPending(pending_id=1, owner_pid=0)
+        assert a != b and a == a
+
+
+class TestSources:
+    def test_attach_allocates_once_per_node(self):
+        cb = NicControlBlock(sources=FreeList([Source() for _ in range(4)]))
+        s1 = cb.attach_source(7)
+        s2 = cb.attach_source(7)
+        assert s1 is s2
+        assert cb.sources.in_use == 1
+        assert s1.src_node == 7 and s1.active
+
+    def test_lookup_missing(self):
+        cb = NicControlBlock(sources=FreeList([Source()]))
+        assert cb.lookup_source(3) is None
+
+    def test_pool_exhaustion(self):
+        cb = NicControlBlock(sources=FreeList([Source(), Source()]))
+        assert cb.attach_source(1) is not None
+        assert cb.attach_source(2) is not None
+        assert cb.attach_source(3) is None
+
+    def test_source_reset(self):
+        s = Source()
+        s.src_node = 3
+        s.next_tx_seq = 9
+        s.expect_rx_seq = 4
+        s.reset()
+        assert s.src_node == -1 and s.next_tx_seq == 0 and s.expect_rx_seq == 0
+
+
+class TestMailbox:
+    def test_command_fifo_indices(self, sim):
+        fifo = CommandFifo(sim)
+        fifo.post("a")
+        fifo.post("b")
+        assert fifo.depth == 2 and fifo.tail == 2
+
+        got = []
+
+        def consumer():
+            for _ in range(2):
+                cmd = yield fifo.get()
+                fifo.consumed()
+                got.append(cmd)
+
+        sim.process(consumer())
+        sim.run()
+        assert got == ["a", "b"]
+        assert fifo.depth == 0
+
+    def test_streamed_commands_keep_order(self, sim):
+        mbox = Mailbox(sim, name="t")
+        for i in range(10):
+            mbox.post_command(i)
+        out = []
+
+        def fw():
+            for _ in range(10):
+                out.append((yield mbox.commands.get()))
+
+        sim.process(fw())
+        sim.run()
+        assert out == list(range(10))
+        assert mbox.stats["commands"] == 10
+
+    def test_synchronous_command_busy_waits_for_result(self, sim):
+        """Commands that return a result make the host busy-wait on the
+        result FIFO (section 4.1)."""
+        mbox = Mailbox(sim, name="t")
+        result_holder = []
+
+        def host():
+            result = yield from mbox.post_command_await_result({"op": "stats"})
+            result_holder.append((result, sim.now))
+
+        def fw():
+            cmd = yield mbox.commands.get()
+            yield sim.timeout(5000)
+            mbox.results.post({"ok": True, "echo": cmd})
+
+        sim.process(host())
+        sim.process(fw())
+        sim.run()
+        result, when = result_holder[0]
+        assert result["ok"] and when == 5000
+        assert mbox.stats["synchronous_commands"] == 1

@@ -1,0 +1,105 @@
+"""Configuration: validation, derived values, paper-anchored constants."""
+
+import pytest
+
+from repro.hw.config import DEFAULT_CONFIG, SeaStarConfig
+from repro.sim import GB, KB, NS, US
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        SeaStarConfig()
+
+    def test_small_msg_must_fit_packet(self):
+        with pytest.raises(ValueError):
+            SeaStarConfig(small_msg_bytes=64)
+
+    def test_chunk_multiple_of_packet(self):
+        with pytest.raises(ValueError):
+            SeaStarConfig(chunk_bytes=100)
+
+    def test_chunk_at_least_one_packet(self):
+        with pytest.raises(ValueError):
+            SeaStarConfig(chunk_bytes=0)
+
+    def test_exact_packet_chunking_allowed(self):
+        cfg = SeaStarConfig(chunk_bytes=64)
+        assert cfg.chunk_bytes == 64
+
+
+class TestPaperConstants:
+    """Constants the paper states directly."""
+
+    def test_interrupt_at_least_2us(self):
+        assert DEFAULT_CONFIG.interrupt_overhead >= 2 * US
+
+    def test_trap_75ns(self):
+        assert DEFAULT_CONFIG.trap_overhead == 75 * NS
+
+    def test_link_rate(self):
+        assert DEFAULT_CONFIG.link_bytes_per_s == 2.5 * GB
+
+    def test_ht_rate(self):
+        assert DEFAULT_CONFIG.ht_bytes_per_s == 2.8 * GB
+
+    def test_packet_and_header_sizes(self):
+        assert DEFAULT_CONFIG.packet_bytes == 64
+        assert DEFAULT_CONFIG.header_bytes == 64
+        assert DEFAULT_CONFIG.small_msg_bytes == 12
+
+    def test_sram_384kb(self):
+        assert DEFAULT_CONFIG.sram_bytes == 384 * KB
+
+    def test_firmware_structure_counts(self):
+        assert DEFAULT_CONFIG.num_sources == 1024
+        assert DEFAULT_CONFIG.num_generic_pendings == 1274
+        assert (
+            DEFAULT_CONFIG.generic_tx_pendings + DEFAULT_CONFIG.generic_rx_pendings
+            == 1274
+        )
+
+    def test_clock_rates(self):
+        assert DEFAULT_CONFIG.host_clock_hz == 2.0e9
+        assert DEFAULT_CONFIG.ppc_clock_hz == 0.5e9
+
+
+class TestDerived:
+    def test_packets_for_small_message_is_zero(self):
+        cfg = DEFAULT_CONFIG
+        assert cfg.packets_for(0) == 0
+        assert cfg.packets_for(12) == 0
+
+    def test_packets_for_rounds_up(self):
+        cfg = DEFAULT_CONFIG
+        assert cfg.packets_for(13) == 1
+        assert cfg.packets_for(64) == 1
+        assert cfg.packets_for(65) == 2
+        assert cfg.packets_for(8 * 1024 * 1024) == 131072
+
+    def test_link_packet_time(self):
+        cfg = DEFAULT_CONFIG
+        # 64 B at 2.5 GiB/s = 23.8 ns
+        assert cfg.link_packet_time() == pytest.approx(
+            64 / (2.5 * 1024**3) * 1e12, rel=0.01
+        )
+
+    def test_ht_packet_time_faster_than_tx(self):
+        cfg = DEFAULT_CONFIG
+        assert cfg.ht_packet_time() < cfg.tx_dma_per_packet
+
+    def test_bottleneck_is_tx_engine(self):
+        cfg = DEFAULT_CONFIG
+        assert cfg.bottleneck_per_packet() == cfg.tx_dma_per_packet
+
+    def test_peak_bandwidth_matches_paper(self):
+        # 64 B / 55.05 ns should give the paper's 1108.76 MB/s peak
+        assert DEFAULT_CONFIG.peak_bandwidth_mb_s() == pytest.approx(1108.76, rel=0.01)
+
+    def test_replace_creates_variant(self):
+        cfg = DEFAULT_CONFIG.replace(small_msg_bytes=0)
+        assert cfg.small_msg_bytes == 0
+        assert DEFAULT_CONFIG.small_msg_bytes == 12
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_CONFIG.packet_bytes = 128  # type: ignore[misc]

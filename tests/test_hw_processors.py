@@ -1,0 +1,172 @@
+"""Opteron and PowerPC models: traps, interrupts, coalescing."""
+
+import pytest
+
+from repro.hw.config import SeaStarConfig
+from repro.hw.processors import Opteron, PowerPC440
+from repro.sim import NS, US, Simulator
+
+
+@pytest.fixture
+def host(sim, config):
+    return Opteron(sim, config)
+
+
+@pytest.fixture
+def ppc(sim, config):
+    return PowerPC440(sim, config)
+
+
+class TestTrap:
+    def test_null_trap_costs_75ns(self, sim, host, config):
+        def body():
+            yield from host.trap()
+
+        sim.process(body())
+        sim.run()
+        assert sim.now == config.trap_overhead == 75 * NS
+        assert host.counters["traps"] == 1
+
+    def test_trap_extra_cost(self, sim, host, config):
+        def body():
+            yield from host.trap(extra_cost=1000)
+
+        sim.process(body())
+        sim.run()
+        assert sim.now == config.trap_overhead + 1000
+
+    def test_syscall_heavier_than_trap(self, sim, host, config):
+        assert config.linux_syscall_overhead > config.trap_overhead
+
+        def body():
+            yield from host.syscall()
+
+        sim.process(body())
+        sim.run()
+        assert sim.now == config.linux_syscall_overhead
+        assert host.counters["syscalls"] == 1
+
+
+class TestInterrupts:
+    def test_interrupt_costs_two_microseconds(self, sim, host, config):
+        done = []
+
+        def handler():
+            done.append(sim.now)
+            if False:
+                yield
+
+        host.raise_interrupt(handler)
+        sim.run()
+        assert done == [config.interrupt_overhead]
+        assert config.interrupt_overhead == 2 * US
+        assert host.counters["interrupts"] == 1
+
+    def test_pending_interrupts_coalesce(self, sim, host):
+        runs = []
+
+        def handler():
+            runs.append(sim.now)
+            if False:
+                yield
+
+        host.raise_interrupt(handler)
+        host.raise_interrupt(handler)
+        host.raise_interrupt(handler)
+        sim.run()
+        assert len(runs) == 1
+        assert host.counters["interrupts_coalesced"] == 2
+
+    def test_interrupt_after_handler_started_is_delivered(self, sim, host, config):
+        runs = []
+
+        def handler():
+            runs.append(sim.now)
+            if False:
+                yield
+
+        def scenario():
+            host.raise_interrupt(handler)
+            # wait until the first handler is done, then raise again
+            yield sim.timeout(3 * US)
+            host.raise_interrupt(handler)
+
+        sim.process(scenario())
+        sim.run()
+        assert len(runs) == 2
+
+    def test_no_coalesce_flag(self, sim, host):
+        runs = []
+
+        def handler():
+            runs.append(sim.now)
+            if False:
+                yield
+
+        host.raise_interrupt(handler, coalesce=False)
+        host.raise_interrupt(handler, coalesce=False)
+        sim.run()
+        assert len(runs) == 2
+
+    def test_interrupt_preempts_queued_app_work(self, sim, host):
+        order = []
+
+        def app():
+            yield from host.execute(10 * NS)
+            order.append("app")
+
+        def handler():
+            order.append("irq")
+            if False:
+                yield
+
+        def scenario():
+            req = host.request()
+            yield req
+            sim.process(app())
+            host.raise_interrupt(handler)
+            yield sim.timeout(1)
+            host.release(req)
+
+        sim.process(scenario())
+        sim.run()
+        assert order[0] == "irq"
+
+    def test_handler_body_charges_cpu(self, sim, host, config):
+        def handler():
+            yield from host.charge(500 * NS)
+
+        host.raise_interrupt(handler)
+        sim.run()
+        assert host.busy_time == config.interrupt_overhead + 500 * NS
+
+
+class TestPowerPC:
+    def test_handler_includes_dispatch_cost(self, sim, ppc, config):
+        def body():
+            yield from ppc.handler(1000)
+
+        sim.process(body())
+        sim.run()
+        assert sim.now == config.fw_poll_dispatch + 1000
+
+    def test_clock_rate(self, sim, ppc):
+        # 500 MHz: one cycle = 2 ns
+        assert ppc.cycles(1) == 2 * NS
+
+    def test_single_threaded(self, sim, ppc):
+        """Firmware handlers run to completion, serialized."""
+        spans = []
+
+        def handler(tag, cost):
+            req = ppc.request()
+            yield req
+            start = sim.now
+            yield sim.timeout(cost)
+            ppc.release(req)
+            spans.append((tag, start, sim.now))
+
+        sim.process(handler("a", 100))
+        sim.process(handler("b", 100))
+        sim.run()
+        assert spans[0][2] <= spans[1][1]

@@ -1,0 +1,108 @@
+"""SeaStar SRAM accounting and the paper's occupancy formula."""
+
+import pytest
+
+from repro.hw import SramAllocator, SramExhausted
+from repro.hw.config import SeaStarConfig
+from repro.sim import KB
+
+
+class TestAllocator:
+    def test_reserve_and_account(self):
+        sram = SramAllocator(384 * KB)
+        pool = sram.reserve("sources", 1024, 32)
+        assert pool.total_bytes == 32768
+        assert sram.used_bytes == 32768
+        assert sram.free_bytes == 384 * KB - 32768
+
+    def test_duplicate_name_rejected(self):
+        sram = SramAllocator(1024)
+        sram.reserve("a", 1, 100)
+        with pytest.raises(ValueError):
+            sram.reserve("a", 1, 100)
+
+    def test_exhaustion(self):
+        sram = SramAllocator(1000)
+        sram.reserve("big", 1, 900)
+        with pytest.raises(SramExhausted):
+            sram.reserve("more", 1, 200)
+
+    def test_negative_sizes_rejected(self):
+        sram = SramAllocator(1000)
+        with pytest.raises(ValueError):
+            sram.reserve("bad", -1, 10)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            SramAllocator(0)
+
+    def test_pool_lookup(self):
+        sram = SramAllocator(1000)
+        sram.reserve("x", 2, 50)
+        assert sram.pool("x").count == 2
+        assert "x" in sram.pools()
+
+    def test_occupancy_report(self):
+        sram = SramAllocator(1000)
+        sram.reserve("x", 2, 50)
+        report = sram.occupancy_report()
+        assert "x" in report and "100" in report
+
+
+class TestPaperFormula:
+    """M = S * Ssize + sum_i(P_i * Psize), section 4.2."""
+
+    def test_formula_matches_allocator(self):
+        cfg = SeaStarConfig()
+        sram = SramAllocator(cfg.sram_bytes)
+        sram.reserve("sources", cfg.num_sources, cfg.source_struct_bytes)
+        sram.reserve(
+            "pendings:generic", cfg.num_generic_pendings, cfg.pending_struct_bytes
+        )
+        expected = (
+            cfg.num_sources * cfg.source_struct_bytes
+            + cfg.num_generic_pendings * cfg.pending_struct_bytes
+        )
+        assert sram.used_bytes == expected
+
+    def test_paper_configuration_fits(self):
+        """1,024 sources + 1,274 generic pendings fit comfortably."""
+        cfg = SeaStarConfig()
+        sram = SramAllocator(cfg.sram_bytes)
+        sram.reserve("sources", cfg.num_sources, cfg.source_struct_bytes)
+        sram.reserve(
+            "pendings:generic", cfg.num_generic_pendings, cfg.pending_struct_bytes
+        )
+        assert sram.free_bytes > 0
+
+    def test_several_more_pending_pools_fit(self):
+        """Paper: "several more similarly sized pending pools can be
+        supported for additional firmware-level processes"."""
+        cfg = SeaStarConfig()
+        sram = SramAllocator(cfg.sram_bytes)
+        sram.reserve("sources", cfg.num_sources, cfg.source_struct_bytes)
+        sram.reserve("p0", cfg.num_generic_pendings, cfg.pending_struct_bytes)
+        extra = 0
+        try:
+            while True:
+                sram.reserve(
+                    f"p{extra + 1}",
+                    cfg.num_generic_pendings,
+                    cfg.pending_struct_bytes,
+                )
+                extra += 1
+        except SramExhausted:
+            pass
+        assert extra >= 2, "expected room for several more pools"
+
+    def test_multiple_processes_sum(self):
+        cfg = SeaStarConfig()
+        sram = SramAllocator(cfg.sram_bytes)
+        sram.reserve("sources", cfg.num_sources, cfg.source_struct_bytes)
+        pools = [300, 500, 200]
+        for i, n in enumerate(pools):
+            sram.reserve(f"proc{i}", n, cfg.pending_struct_bytes)
+        expected = cfg.num_sources * cfg.source_struct_bytes + sum(
+            n * cfg.pending_struct_bytes for n in pools
+        )
+        assert sram.used_bytes == expected

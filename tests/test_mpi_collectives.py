@@ -1,0 +1,135 @@
+"""MPI collectives built on the point-to-point layer."""
+
+import numpy as np
+import pytest
+
+from repro.machine.builder import Machine, build_pair
+from repro.mpi import allreduce, barrier, bcast, create_world, gather, reduce, run_world
+from repro.net import Torus3D
+
+
+def world_of(n, wrap=True):
+    machine = Machine(Torus3D((n, 1, 1), wrap=(wrap, False, False)))
+    nodes = [machine.node(i) for i in range(n)]
+    return machine, create_world(machine, nodes)
+
+
+class TestBarrier:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 7, 8])
+    def test_no_rank_escapes_early(self, n):
+        machine, world = world_of(n)
+        arrive = {}
+        depart = {}
+
+        def main(mpi, rank):
+            # stagger arrivals
+            yield mpi.sim.timeout((rank + 1) * 10_000_000)
+            arrive[rank] = mpi.sim.now
+            yield from barrier(mpi)
+            depart[rank] = mpi.sim.now
+            return None
+
+        run_world(machine, world, main)
+        latest_arrival = max(arrive.values())
+        assert all(t >= latest_arrival for t in depart.values())
+
+
+class TestBcast:
+    @pytest.mark.parametrize("n,root", [(2, 0), (4, 0), (4, 2), (7, 3), (8, 7)])
+    def test_all_ranks_receive_roots_data(self, n, root):
+        machine, world = world_of(n)
+
+        def main(mpi, rank):
+            buf = np.zeros(256, np.uint8)
+            if rank == root:
+                buf[:] = 123
+            yield from bcast(mpi, buf, root=root)
+            return int(buf[0]), int(buf[-1])
+
+        results = run_world(machine, world, main)
+        assert all(r == (123, 123) for r in results)
+
+    def test_single_rank_noop(self):
+        machine, world = world_of(1)
+
+        def main(mpi, rank):
+            buf = np.full(8, 5, np.uint8)
+            yield from bcast(mpi, buf, root=0)
+            return int(buf[0])
+
+        assert run_world(machine, world, main) == [5]
+
+
+class TestReduce:
+    @pytest.mark.parametrize("n", [2, 3, 4, 8])
+    def test_sum_reduction(self, n):
+        machine, world = world_of(n)
+
+        def main(mpi, rank):
+            contrib = np.full(16, rank + 1, np.uint8)
+            out = np.zeros(16, np.uint8)
+            yield from reduce(mpi, contrib, out if rank == 0 else None, np.add)
+            return int(out[0]) if rank == 0 else None
+
+        results = run_world(machine, world, main)
+        assert results[0] == sum(range(1, n + 1))
+
+    def test_max_reduction(self):
+        machine, world = world_of(4)
+
+        def main(mpi, rank):
+            contrib = np.full(8, (rank * 37) % 200, np.uint8)
+            out = np.zeros(8, np.uint8)
+            yield from reduce(mpi, contrib, out if rank == 0 else None, np.maximum)
+            return int(out[0]) if rank == 0 else None
+
+        results = run_world(machine, world, main)
+        assert results[0] == max((r * 37) % 200 for r in range(4))
+
+
+class TestAllreduce:
+    @pytest.mark.parametrize("n", [2, 4, 5])
+    def test_every_rank_has_total(self, n):
+        machine, world = world_of(n)
+
+        def main(mpi, rank):
+            contrib = np.full(8, rank + 1, np.uint8)
+            out = np.zeros(8, np.uint8)
+            yield from allreduce(mpi, contrib, out, np.add)
+            return int(out[0])
+
+        results = run_world(machine, world, main)
+        assert results == [sum(range(1, n + 1))] * n
+
+
+class TestGather:
+    def test_root_collects_all(self):
+        n = 6
+        machine, world = world_of(n)
+
+        def main(mpi, rank):
+            contrib = np.full(4, rank + 10, np.uint8)
+            out = np.zeros(4 * n, np.uint8) if rank == 0 else None
+            yield from gather(mpi, contrib, out, root=0)
+            return bytes(out) if rank == 0 else None
+
+        results = run_world(machine, world, main)
+        expected = b"".join(bytes([r + 10]) * 4 for r in range(n))
+        assert results[0] == expected
+
+    def test_undersized_recvbuf_rejected(self):
+        machine, world = world_of(2)
+
+        def main(mpi, rank):
+            contrib = np.zeros(4, np.uint8)
+            if rank == 0:
+                with pytest.raises(ValueError):
+                    yield from gather(mpi, contrib, np.zeros(4, np.uint8), root=0)
+                # unblock rank 1 with a real gather
+                out = np.zeros(8, np.uint8)
+                yield from gather(mpi, contrib, out, root=0)
+            else:
+                yield from gather(mpi, contrib, None, root=0)
+            return None
+
+        run_world(machine, world, main)

@@ -1,0 +1,120 @@
+"""Scatter, allgather, alltoall."""
+
+import numpy as np
+import pytest
+
+from repro.machine.builder import Machine
+from repro.mpi import allgather, alltoall, create_world, run_world, scatter
+from repro.net import Torus3D
+
+
+def world_of(n):
+    machine = Machine(Torus3D((n, 1, 1), wrap=(True, False, False)))
+    nodes = [machine.node(i) for i in range(n)]
+    return machine, create_world(machine, nodes)
+
+
+class TestScatter:
+    @pytest.mark.parametrize("n,root", [(2, 0), (4, 1), (6, 5)])
+    def test_each_rank_gets_its_slice(self, n, root):
+        machine, world = world_of(n)
+        chunk = 64
+
+        def main(mpi, rank):
+            send = None
+            if rank == root:
+                send = np.concatenate(
+                    [np.full(chunk, r + 1, np.uint8) for r in range(n)]
+                )
+            recv = np.zeros(chunk, np.uint8)
+            yield from scatter(mpi, send, recv, root=root)
+            return int(recv[0]), int(recv[-1])
+
+        results = run_world(machine, world, main)
+        assert results == [(r + 1, r + 1) for r in range(n)]
+
+    def test_undersized_sendbuf_rejected(self):
+        machine, world = world_of(2)
+
+        def main(mpi, rank):
+            recv = np.zeros(8, np.uint8)
+            if rank == 0:
+                with pytest.raises(ValueError):
+                    yield from scatter(mpi, np.zeros(8, np.uint8), recv, root=0)
+                yield from scatter(mpi, np.zeros(16, np.uint8), recv, root=0)
+            else:
+                yield from scatter(mpi, None, recv, root=0)
+            return None
+
+        run_world(machine, world, main)
+
+
+class TestAllgather:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 8])
+    def test_every_rank_collects_all(self, n):
+        machine, world = world_of(n)
+        chunk = 32
+
+        def main(mpi, rank):
+            send = np.full(chunk, rank + 10, np.uint8)
+            recv = np.zeros(chunk * n, np.uint8)
+            yield from allgather(mpi, send, recv)
+            return bytes(recv)
+
+        results = run_world(machine, world, main)
+        expected = b"".join(bytes([r + 10]) * chunk for r in range(n))
+        assert all(r == expected for r in results)
+
+    def test_undersized_recv_rejected(self):
+        machine, world = world_of(2)
+
+        def main(mpi, rank):
+            with pytest.raises(ValueError):
+                yield from allgather(
+                    mpi, np.zeros(8, np.uint8), np.zeros(8, np.uint8)
+                )
+            if False:
+                yield
+            return None
+
+        run_world(machine, world, main)
+
+
+class TestAlltoall:
+    @pytest.mark.parametrize("n", [2, 4, 8])  # powers of two: XOR schedule
+    def test_personalized_exchange_power_of_two(self, n):
+        machine, world = world_of(n)
+        chunk = 16
+
+        def main(mpi, rank):
+            # block j carries value 100 + rank * 16 + j
+            send = np.concatenate(
+                [np.full(chunk, (100 + rank * 16 + j) % 256, np.uint8)
+                 for j in range(n)]
+            )
+            recv = np.zeros(chunk * n, np.uint8)
+            yield from alltoall(mpi, send, recv)
+            return [int(recv[j * chunk]) for j in range(n)]
+
+        results = run_world(machine, world, main)
+        for rank, got in enumerate(results):
+            # slot j on rank r must hold rank j's block r
+            assert got == [(100 + j * 16 + rank) % 256 for j in range(n)]
+
+    @pytest.mark.parametrize("n", [3, 5])  # non-powers: ring schedule
+    def test_personalized_exchange_ring(self, n):
+        machine, world = world_of(n)
+        chunk = 16
+
+        def main(mpi, rank):
+            send = np.concatenate(
+                [np.full(chunk, (100 + rank * 16 + j) % 256, np.uint8)
+                 for j in range(n)]
+            )
+            recv = np.zeros(chunk * n, np.uint8)
+            yield from alltoall(mpi, send, recv)
+            return [int(recv[j * chunk]) for j in range(n)]
+
+        results = run_world(machine, world, main)
+        for rank, got in enumerate(results):
+            assert got == [(100 + j * 16 + rank) % 256 for j in range(n)]

@@ -1,0 +1,107 @@
+"""MPI envelope encoding over match bits."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mpi.envelope import (
+    MPI_ANY_SOURCE,
+    MPI_ANY_TAG,
+    RNDV_FLAG,
+    decode_envelope,
+    decode_rts,
+    encode_envelope,
+    encode_rts,
+    recv_match,
+)
+from repro.portals import bits_match
+
+contexts = st.integers(0, 0x7FFF)
+ranks = st.integers(0, 0xFFFF)
+tags = st.integers(0, 0xFFFFFFFF)
+
+
+class TestEnvelope:
+    @given(context=contexts, rank=ranks, tag=tags, rndv=st.booleans())
+    def test_round_trip(self, context, rank, tag, rndv):
+        bits = encode_envelope(context, rank, tag, rendezvous=rndv)
+        env = decode_envelope(bits)
+        assert env.context == context
+        assert env.src_rank == rank
+        assert env.tag == tag
+        assert env.rendezvous == rndv
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            encode_envelope(1 << 15, 0, 0)
+        with pytest.raises(ValueError):
+            encode_envelope(0, 1 << 16, 0)
+        with pytest.raises(ValueError):
+            encode_envelope(0, 0, 1 << 32)
+
+    def test_rndv_flag_is_bit63(self):
+        bits = encode_envelope(1, 2, 3, rendezvous=True)
+        assert bits & RNDV_FLAG
+
+    @given(context=contexts, rank=ranks, tag=tags)
+    def test_distinct_envelopes_distinct_bits(self, context, rank, tag):
+        a = encode_envelope(context, rank, tag)
+        b = encode_envelope(context, rank, (tag + 1) & 0xFFFFFFFF)
+        assert a != b
+
+
+class TestRecvMatch:
+    @given(context=contexts, rank=ranks, tag=tags, rndv=st.booleans())
+    def test_exact_recv_matches_its_message(self, context, rank, tag, rndv):
+        bits, ignore = recv_match(context, rank, tag)
+        incoming = encode_envelope(context, rank, tag, rendezvous=rndv)
+        assert bits_match(incoming, bits, ignore)
+
+    @given(context=contexts, rank=ranks, tag=tags)
+    def test_any_source_matches_all_ranks(self, context, rank, tag):
+        bits, ignore = recv_match(context, MPI_ANY_SOURCE, tag)
+        incoming = encode_envelope(context, rank, tag)
+        assert bits_match(incoming, bits, ignore)
+
+    @given(context=contexts, rank=ranks, tag=tags)
+    def test_any_tag_matches_all_tags(self, context, rank, tag):
+        bits, ignore = recv_match(context, rank, MPI_ANY_TAG)
+        incoming = encode_envelope(context, rank, tag)
+        assert bits_match(incoming, bits, ignore)
+
+    @given(context=contexts, rank=ranks, tag=tags)
+    def test_wrong_tag_rejected(self, context, rank, tag):
+        other_tag = (tag + 1) & 0xFFFFFFFF
+        bits, ignore = recv_match(context, rank, other_tag)
+        incoming = encode_envelope(context, rank, tag)
+        assert not bits_match(incoming, bits, ignore)
+
+    @given(context=contexts, rank=ranks, tag=tags)
+    def test_wrong_source_rejected(self, context, rank, tag):
+        other_rank = (rank + 1) & 0xFFFF
+        bits, ignore = recv_match(context, other_rank, tag)
+        incoming = encode_envelope(context, rank, tag)
+        assert not bits_match(incoming, bits, ignore)
+
+    @given(context=contexts, rank=ranks, tag=tags)
+    def test_wrong_context_rejected(self, context, rank, tag):
+        other = (context + 1) & 0x7FFF
+        bits, ignore = recv_match(other, MPI_ANY_SOURCE, MPI_ANY_TAG)
+        incoming = encode_envelope(context, rank, tag)
+        assert not bits_match(incoming, bits, ignore)
+
+
+class TestRTS:
+    @given(cookie=st.integers(0, (1 << 23) - 1), length=st.integers(0, (1 << 40) - 1))
+    def test_round_trip(self, cookie, length):
+        assert decode_rts(encode_rts(cookie, length)) == (cookie, length)
+
+    def test_eager_hdr_data_is_not_rts(self):
+        with pytest.raises(ValueError):
+            decode_rts(0)
+
+    def test_limits_enforced(self):
+        with pytest.raises(ValueError):
+            encode_rts(1 << 23, 0)
+        with pytest.raises(ValueError):
+            encode_rts(0, 1 << 40)

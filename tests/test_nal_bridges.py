@@ -1,0 +1,176 @@
+"""NAL/bridge layer: the paper's four deployment cases and the
+accelerated direct-to-firmware path."""
+
+import pytest
+
+from repro.machine.builder import build_pair
+from repro.nal import AcceleratedBridge, KBridge, QKBridge, UKBridge
+from repro.oskern import OSType
+from repro.portals import EventKind
+
+from .conftest import drain_events, make_target, run_to_completion
+
+
+def pingpong_once(machine, pa, pb, nbytes=4):
+    done = {}
+
+    def receiver(proc):
+        eq, me, md, buf = yield from make_target(proc, size=max(nbytes, 1))
+        yield from drain_events(proc.api, eq, want=[EventKind.PUT_END])
+        done["recv_at"] = proc.sim.now
+        return True
+
+    def sender(proc, target):
+        api = proc.api
+        eq = yield from api.PtlEQAlloc(32)
+        md = yield from api.PtlMDBind(proc.alloc(max(nbytes, 1)), eq=eq)
+        done["send_at"] = proc.sim.now
+        yield from api.PtlPut(md, target, 4, 0x1234, length=nbytes)
+        yield from drain_events(api, eq, want=[EventKind.SEND_END])
+        return True
+
+    hr = pb.spawn(receiver)
+    hs = pa.spawn(sender, pb.id)
+    run_to_completion(machine, hr, hs)
+    return done["recv_at"] - done["send_at"]
+
+
+class TestDeploymentCases:
+    def test_catamount_generic_uses_qkbridge(self):
+        machine, na, nb = build_pair(os_type=OSType.CATAMOUNT)
+        proc = na.create_process()
+        assert isinstance(proc.bridge, QKBridge)
+        assert proc.bridge.crossing_kind == "catamount-trap"
+
+    def test_linux_user_uses_ukbridge(self):
+        machine, na, nb = build_pair(os_type=OSType.LINUX)
+        proc = na.create_process()
+        assert isinstance(proc.bridge, UKBridge)
+
+    def test_linux_kernel_client_uses_kbridge(self):
+        machine, na, nb = build_pair(os_type=OSType.LINUX)
+        proc = na.create_kernel_client()
+        assert isinstance(proc.bridge, KBridge)
+        assert proc.bridge.crossing_cost() == 0
+
+    def test_kernel_client_rejected_on_catamount(self):
+        machine, na, nb = build_pair(os_type=OSType.CATAMOUNT)
+        with pytest.raises(RuntimeError):
+            na.create_kernel_client()
+
+    def test_catamount_accelerated(self):
+        machine, na, nb = build_pair(os_type=OSType.CATAMOUNT)
+        proc = na.create_process(accelerated=True)
+        assert isinstance(proc.bridge, AcceleratedBridge)
+        assert proc.ni.accelerated
+
+    def test_accelerated_rejected_on_linux(self):
+        """Paper 4.1: accelerated mode relies on physically contiguous
+        buffers, which Linux paging cannot provide."""
+        machine, na, nb = build_pair(os_type=OSType.LINUX)
+        with pytest.raises(RuntimeError):
+            na.create_process(accelerated=True)
+
+    def test_uk_and_k_bridges_share_one_nic(self):
+        """ukbridge + kbridge run simultaneously on one Linux node
+        (section 3.2): a user process and a kernel-level service both
+        talk over the same SSNAL."""
+        machine, na, nb = build_pair(os_type=OSType.LINUX)
+        user = na.create_process()
+        lustre = na.create_kernel_client()
+        assert user.bridge.ssnal is lustre.bridge.ssnal
+        peer = nb.create_process()
+
+        results = []
+
+        def receiver(proc):
+            eq, me, md, buf = yield from make_target(proc, size=64)
+            for _ in range(2):
+                evs = yield from drain_events(proc.api, eq, want=[EventKind.PUT_END])
+                results.append(evs[-1].hdr_data)
+            return True
+
+        def sender(proc, target, mark):
+            api = proc.api
+            md = yield from api.PtlMDBind(proc.alloc(4))
+            yield from api.PtlPut(md, target, 4, 0x1234, hdr_data=mark)
+            yield proc.sim.timeout(200_000_000)
+            return True
+
+        hr = peer.spawn(receiver)
+        h1 = user.spawn(sender, peer.id, 111)
+        h2 = lustre.spawn(sender, peer.id, 222)
+        run_to_completion(machine, hr, h1, h2)
+        assert sorted(results) == [111, 222]
+
+
+class TestBridgeCosts:
+    def test_kbridge_cheaper_than_ukbridge(self):
+        machine_u, a, b = build_pair(os_type=OSType.LINUX)
+        t_user = pingpong_once(machine_u, a.create_process(), b.create_process())
+        machine_k, c, d = build_pair(os_type=OSType.LINUX)
+        t_kernel = pingpong_once(
+            machine_k, c.create_kernel_client(), d.create_process()
+        )
+        assert t_kernel < t_user
+
+    def test_qkbridge_cheaper_than_ukbridge(self):
+        machine_c, a, b = build_pair(os_type=OSType.CATAMOUNT)
+        t_cat = pingpong_once(machine_c, a.create_process(), b.create_process())
+        machine_l, c, d = build_pair(os_type=OSType.LINUX)
+        t_lin = pingpong_once(machine_l, c.create_process(), d.create_process())
+        assert t_cat < t_lin
+
+
+class TestAcceleratedMode:
+    def test_accelerated_pingpong_works(self):
+        machine, na, nb = build_pair()
+        pa = na.create_process(accelerated=True)
+        pb = nb.create_process(accelerated=True)
+        latency = pingpong_once(machine, pa, pb)
+        assert latency > 0
+
+    def test_accelerated_no_interrupts_on_data_path(self):
+        machine, na, nb = build_pair()
+        pa = na.create_process(accelerated=True)
+        pb = nb.create_process(accelerated=True)
+        pingpong_once(machine, pa, pb, nbytes=4)
+        assert nb.opteron.counters["interrupts"] == 0
+        assert na.opteron.counters["interrupts"] == 0
+
+    def test_accelerated_faster_than_generic(self):
+        machine_g, a, b = build_pair()
+        t_generic = pingpong_once(
+            machine_g, a.create_process(), b.create_process()
+        )
+        machine_a, c, d = build_pair()
+        t_accel = pingpong_once(
+            machine_a,
+            c.create_process(accelerated=True),
+            d.create_process(accelerated=True),
+        )
+        # the whole point: eliminating interrupts cuts latency sharply
+        assert t_accel < t_generic / 1.8
+
+    def test_accelerated_payload_message(self):
+        machine, na, nb = build_pair()
+        pa = na.create_process(accelerated=True)
+        pb = nb.create_process(accelerated=True)
+        latency = pingpong_once(machine, pa, pb, nbytes=50_000)
+        assert latency > 0
+
+    def test_accelerated_and_generic_coexist(self):
+        """Generic-mode processes continue to work beside an accelerated
+        one on the same node (section 4.1)."""
+        machine, na, nb = build_pair()
+        accel = na.create_process(accelerated=True)
+        generic = na.create_process()
+        peer = nb.create_process()
+        t1 = pingpong_once(machine, accel, peer)
+
+        machine2, nc, nd = build_pair()
+        nc.create_process(accelerated=True)
+        gen2 = nc.create_process()
+        peer2 = nd.create_process()
+        t2 = pingpong_once(machine2, gen2, peer2)
+        assert t1 > 0 and t2 > 0

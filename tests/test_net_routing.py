@@ -1,0 +1,96 @@
+"""Table-based dimension-ordered routing: fixed paths, in-order guarantee."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import Router, Torus3D, build_route_tables, route_path
+
+
+class TestRouteTables:
+    def test_tables_cover_all_destinations(self):
+        topo = Torus3D((3, 3, 2))
+        tables = build_route_tables(topo)
+        assert len(tables) == topo.num_nodes
+        for table in tables.values():
+            assert len(table) == topo.num_nodes
+
+    def test_local_entry_for_self(self):
+        topo = Torus3D((2, 2, 2))
+        tables = build_route_tables(topo)
+        for node, table in tables.items():
+            assert table.port_for(node) == "local"
+
+    def test_unknown_destination_raises(self):
+        topo = Torus3D((2, 1, 1))
+        tables = build_route_tables(topo)
+        with pytest.raises(KeyError):
+            tables[0].port_for(99)
+
+
+class TestPaths:
+    def test_path_endpoints(self):
+        topo = Torus3D((4, 4, 4))
+        router = Router(topo)
+        path = router.path(0, 63)
+        assert path[0] == 0 and path[-1] == 63
+
+    def test_path_length_equals_min_distance(self):
+        # dimension-order routing on mesh/torus is minimal
+        topo = Torus3D((4, 3, 5), wrap=(False, False, True))
+        router = Router(topo)
+        for src in range(0, topo.num_nodes, 7):
+            for dst in range(0, topo.num_nodes, 11):
+                assert router.hops(src, dst) == topo.distance(src, dst)
+
+    def test_dimension_order_x_then_y_then_z(self):
+        topo = Torus3D((3, 3, 3), wrap=(False, False, False))
+        router = Router(topo)
+        src = topo.node_id(topo.coord(0))
+        dst = 2 + 2 * 3 + 2 * 9  # (2,2,2)
+        path = [topo.coord(n) for n in router.path(src, dst)]
+        # x moves first, then y, then z
+        xs = [c.x for c in path]
+        assert xs == sorted(xs)
+        first_y_move = next(i for i in range(1, len(path)) if path[i].y != path[i - 1].y)
+        assert path[first_y_move - 1].x == 2  # x finished before y started
+
+    def test_fixed_path_deterministic(self):
+        # table-based routing: the same pair always takes the same path
+        topo = Torus3D((5, 5, 5), wrap=(False, False, True))
+        r1, r2 = Router(topo), Router(topo)
+        assert r1.path(3, 97) == r2.path(3, 97)
+
+    def test_wraparound_taken_when_shorter(self):
+        topo = Torus3D((8, 1, 1), wrap=(True, False, False))
+        router = Router(topo)
+        assert router.path(0, 7) == [0, 7]
+        assert router.hops(0, 7) == 1
+
+    def test_self_path(self):
+        topo = Torus3D((2, 2, 2))
+        router = Router(topo)
+        assert router.path(3, 3) == [3]
+        assert router.hops(3, 3) == 0
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        dims=st.tuples(st.integers(1, 5), st.integers(1, 5), st.integers(1, 5)),
+        wrap=st.tuples(st.booleans(), st.booleans(), st.booleans()),
+        data=st.data(),
+    )
+    def test_every_path_is_minimal_and_loop_free(self, dims, wrap, data):
+        topo = Torus3D(dims, wrap=wrap)
+        router = Router(topo)
+        n = topo.num_nodes
+        src = data.draw(st.integers(0, n - 1))
+        dst = data.draw(st.integers(0, n - 1))
+        path = router.path(src, dst)
+        assert len(set(path)) == len(path)  # loop-free
+        assert len(path) - 1 == topo.distance(src, dst)  # minimal
+
+    def test_hops_cached(self):
+        topo = Torus3D((4, 4, 4))
+        router = Router(topo)
+        assert router.hops(0, 21) == router.hops(0, 21)
+        assert (0, 21) in router._hops_cache

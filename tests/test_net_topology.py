@@ -1,0 +1,121 @@
+"""3D mesh/torus topology: coordinates, neighbors, distances."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import Coord, Torus3D
+
+dims_strategy = st.tuples(
+    st.integers(1, 6), st.integers(1, 6), st.integers(1, 6)
+)
+wrap_strategy = st.tuples(st.booleans(), st.booleans(), st.booleans())
+
+
+class TestCoordinates:
+    def test_id_coord_round_trip(self):
+        topo = Torus3D((3, 4, 5))
+        for node in range(topo.num_nodes):
+            assert topo.node_id(topo.coord(node)) == node
+
+    def test_x_fastest_varying(self):
+        topo = Torus3D((3, 4, 5))
+        assert topo.coord(0) == Coord(0, 0, 0)
+        assert topo.coord(1) == Coord(1, 0, 0)
+        assert topo.coord(3) == Coord(0, 1, 0)
+        assert topo.coord(12) == Coord(0, 0, 1)
+
+    def test_out_of_range_rejected(self):
+        topo = Torus3D((2, 2, 2))
+        with pytest.raises(ValueError):
+            topo.coord(8)
+        with pytest.raises(ValueError):
+            topo.node_id(Coord(2, 0, 0))
+
+    def test_bad_dims_rejected(self):
+        with pytest.raises(ValueError):
+            Torus3D((0, 1, 1))
+
+    @settings(max_examples=30, deadline=None)
+    @given(dims=dims_strategy)
+    def test_round_trip_property(self, dims):
+        topo = Torus3D(dims)
+        for node in range(topo.num_nodes):
+            assert topo.node_id(topo.coord(node)) == node
+
+
+class TestNeighbors:
+    def test_mesh_edge_has_no_neighbor(self):
+        topo = Torus3D((3, 3, 3), wrap=(False, False, False))
+        corner = topo.neighbors(0)
+        assert set(corner) == {"x+", "y+", "z+"}
+
+    def test_full_torus_has_six_neighbors(self):
+        topo = Torus3D((3, 3, 3), wrap=(True, True, True))
+        for node in range(topo.num_nodes):
+            assert len(topo.neighbors(node)) == 6
+
+    def test_redstorm_wrap_only_z(self):
+        # Red Storm: mesh in x/y, torus in z (section 5.1)
+        topo = Torus3D((3, 3, 3), wrap=(False, False, True))
+        corner = topo.neighbors(0)
+        assert "x-" not in corner and "y-" not in corner
+        assert "z-" in corner  # wraps to z=2 plane
+
+    def test_wrap_ignored_for_size_one_dim(self):
+        topo = Torus3D((2, 1, 1), wrap=(True, True, True))
+        nbrs = topo.neighbors(0)
+        assert set(nbrs.values()) == {1}
+
+    def test_neighbor_symmetry(self):
+        topo = Torus3D((4, 3, 5), wrap=(False, True, True))
+        for node in range(topo.num_nodes):
+            for nbr in topo.neighbors(node).values():
+                assert node in topo.neighbors(nbr).values()
+
+
+class TestDistances:
+    def test_mesh_distance_is_manhattan(self):
+        topo = Torus3D((5, 5, 5), wrap=(False, False, False))
+        a = topo.node_id(Coord(0, 0, 0))
+        b = topo.node_id(Coord(4, 3, 2))
+        assert topo.distance(a, b) == 9
+
+    def test_torus_distance_wraps(self):
+        topo = Torus3D((8, 1, 1), wrap=(True, False, False))
+        assert topo.distance(0, 7) == 1
+        assert topo.distance(0, 4) == 4
+
+    def test_distance_zero_to_self(self):
+        topo = Torus3D((3, 3, 3))
+        assert topo.distance(5, 5) == 0
+
+    def test_diameter_mesh(self):
+        topo = Torus3D((4, 4, 4), wrap=(False, False, False))
+        assert topo.diameter() == 9
+
+    def test_diameter_redstorm_style(self):
+        topo = Torus3D((4, 4, 4), wrap=(False, False, True))
+        assert topo.diameter() == 3 + 3 + 2
+
+    @settings(max_examples=30, deadline=None)
+    @given(dims=dims_strategy, wrap=wrap_strategy)
+    def test_distance_symmetric(self, dims, wrap):
+        topo = Torus3D(dims, wrap=wrap)
+        nodes = list(range(min(topo.num_nodes, 10)))
+        for a in nodes:
+            for b in nodes:
+                assert topo.distance(a, b) == topo.distance(b, a)
+
+    @settings(max_examples=30, deadline=None)
+    @given(dims=dims_strategy, wrap=wrap_strategy)
+    def test_distance_bounded_by_diameter(self, dims, wrap):
+        topo = Torus3D(dims, wrap=wrap)
+        diameter = topo.diameter()
+        last = topo.num_nodes - 1
+        assert topo.distance(0, last) <= diameter
+
+    def test_redstorm_scale(self):
+        # the full 27x16x24 Red Storm arrangement
+        topo = Torus3D((27, 16, 24), wrap=(False, False, True))
+        assert topo.num_nodes == 10368

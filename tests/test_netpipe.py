@@ -1,0 +1,120 @@
+"""NetPIPE harness: size schedules, patterns, measurement arithmetic."""
+
+import pytest
+
+from repro.netpipe import (
+    MPIModule,
+    Measurement,
+    NetPipeRunner,
+    PortalsGetModule,
+    PortalsPutModule,
+    decade_sizes,
+    netpipe_sizes,
+    run_series,
+)
+from repro.mpi import MPICH1
+from repro.sim import MB, US
+
+
+class TestSizeSchedule:
+    def test_covers_range(self):
+        sizes = netpipe_sizes(1, 8 * MB)
+        assert sizes[0] == 1 and sizes[-1] == 8 * MB
+
+    def test_sorted_unique(self):
+        sizes = netpipe_sizes()
+        assert sizes == sorted(set(sizes))
+
+    def test_perturbations_present(self):
+        sizes = netpipe_sizes(1, 1024, perturbation=3)
+        assert 61 in sizes and 64 in sizes and 67 in sizes
+
+    def test_midpoints_present(self):
+        sizes = netpipe_sizes(1, 1024, perturbation=0)
+        assert 96 in sizes  # 64 + 32
+
+    def test_bounds_validated(self):
+        with pytest.raises(ValueError):
+            netpipe_sizes(0, 10)
+        with pytest.raises(ValueError):
+            netpipe_sizes(10, 5)
+
+    def test_decade_sizes(self):
+        sizes = decade_sizes(1, 1024)
+        assert sizes == [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024]
+
+
+class TestMeasurement:
+    def test_pingpong_latency_is_half_rtt(self):
+        m = Measurement("pingpong", 1, total_ps=10 * US, repeats=1, bytes_moved=1)
+        assert m.latency_us == pytest.approx(5.0)
+
+    def test_pingpong_bandwidth_uses_half_rtt(self):
+        m = Measurement(
+            "pingpong", MB, total_ps=2 * 10**9, repeats=1, bytes_moved=MB
+        )
+        # 1 MiB over 1 ms one-way = 1000 MB/s
+        assert m.bandwidth_mb_s == pytest.approx(1000.0)
+
+    def test_stream_bandwidth_uses_full_window(self):
+        m = Measurement("stream", MB, total_ps=10**9, repeats=1, bytes_moved=MB)
+        assert m.bandwidth_mb_s == pytest.approx(1000.0)
+
+    def test_repeats_averaged(self):
+        m = Measurement("pingpong", 1, total_ps=40 * US, repeats=4, bytes_moved=4)
+        assert m.latency_us == pytest.approx(5.0)
+
+
+class TestRunnerPatterns:
+    def test_unknown_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            NetPipeRunner(PortalsPutModule()).run("zigzag", [1])
+
+    def test_empty_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            NetPipeRunner(PortalsPutModule()).run("pingpong", [])
+
+    def test_pingpong_series_structure(self):
+        series = run_series(PortalsPutModule(), "pingpong", [1, 64, 1024])
+        assert series.module == "put" and series.pattern == "pingpong"
+        assert series.sizes() == [1, 64, 1024]
+        assert len(series.latencies_us()) == 3
+        assert all(lat > 0 for lat in series.latencies_us())
+
+    def test_latency_grows_with_size(self):
+        series = run_series(PortalsPutModule(), "pingpong", [1, 65536])
+        lats = series.latencies_us()
+        assert lats[1] > lats[0]
+
+    def test_stream_faster_than_pingpong_for_put(self):
+        sizes = [4096]
+        stream = run_series(PortalsPutModule(), "stream", sizes)
+        ping = run_series(PortalsPutModule(), "pingpong", sizes)
+        assert stream.points[0].bandwidth_mb_s > ping.points[0].bandwidth_mb_s
+
+    def test_get_stream_cannot_pipeline(self):
+        """Figure 6's signature: streaming barely helps gets."""
+        sizes = [4096]
+        put_stream = run_series(PortalsPutModule(), "stream", sizes)
+        get_stream = run_series(PortalsGetModule(), "stream", sizes)
+        # gets are serialized round trips: far below the pipelined puts
+        assert (
+            get_stream.points[0].bandwidth_mb_s
+            < 0.6 * put_stream.points[0].bandwidth_mb_s
+        )
+
+    def test_bidir_moves_both_directions(self):
+        sizes = [262144]
+        uni = run_series(PortalsPutModule(), "pingpong", sizes)
+        bi = run_series(PortalsPutModule(), "bidir", sizes)
+        assert bi.points[0].bandwidth_mb_s > 1.5 * uni.points[0].bandwidth_mb_s
+
+    def test_mpi_module_runs_all_patterns(self):
+        for pattern in ("pingpong", "stream", "bidir"):
+            series = run_series(MPIModule(MPICH1), pattern, [1, 4096])
+            assert len(series.points) == 2
+
+    def test_multi_hop_runner(self):
+        near = run_series(PortalsPutModule(), "pingpong", [1], hops=1)
+        far = run_series(PortalsPutModule(), "pingpong", [1], hops=10)
+        assert far.points[0].latency_us > near.points[0].latency_us

@@ -1,0 +1,176 @@
+"""NetPIPE endpoint internals: per-round MD lifecycle, event accounting,
+stream flushing, module wiring."""
+
+import pytest
+
+from repro.machine.builder import build_pair
+from repro.mpi import MPICH1, MPICH2
+from repro.netpipe import (
+    MPIModule,
+    PortalsGetModule,
+    PortalsPutModule,
+)
+from repro.portals import EventKind
+
+from .conftest import run_to_completion
+
+
+def make_pair_endpoints(module, max_bytes=4096):
+    machine, na, nb = build_pair()
+    ep_a, ep_b = module.make_endpoints(machine, na, nb, max_bytes)
+    return machine, ep_a, ep_b
+
+
+class TestPutEndpoint:
+    def test_round_lifecycle_binds_and_unbinds_md(self):
+        machine, ep_a, ep_b = make_pair_endpoints(PortalsPutModule())
+
+        def side_a():
+            yield from ep_a.setup()
+            assert ep_a.tx_md is None
+            yield from ep_a.begin_round(256)
+            md = ep_a.tx_md
+            assert md is not None and md.active and md.length == 256
+            yield from ep_a.send(256)
+            yield from ep_a.recv(256)
+            yield from ep_a.end_round()
+            assert not md.active and ep_a.tx_md is None
+            return True
+
+        def side_b():
+            yield from ep_b.setup()
+            yield from ep_b.begin_round(256)
+            yield from ep_b.recv(256)
+            yield from ep_b.send(256)
+            yield from ep_b.end_round()
+            return True
+
+        ha = machine.sim.process(side_a())
+        hb = machine.sim.process(side_b())
+        run_to_completion(machine, ha, hb)
+
+    def test_md_created_once_per_round(self):
+        """Paper 5.2: 'The memory descriptor is created once for each
+        round of messages' — sends within a round reuse it."""
+        machine, ep_a, ep_b = make_pair_endpoints(PortalsPutModule())
+        mds = []
+
+        def side_a():
+            yield from ep_a.setup()
+            yield from ep_a.begin_round(64)
+            mds.append(ep_a.tx_md)
+            for _ in range(5):
+                yield from ep_a.send(64)
+                yield from ep_a.recv(64)
+            mds.append(ep_a.tx_md)
+            yield from ep_a.end_round()
+            return True
+
+        def side_b():
+            yield from ep_b.setup()
+            yield from ep_b.begin_round(64)
+            for _ in range(5):
+                yield from ep_b.recv(64)
+                yield from ep_b.send(64)
+            yield from ep_b.end_round()
+            return True
+
+        ha = machine.sim.process(side_a())
+        hb = machine.sim.process(side_b())
+        run_to_completion(machine, ha, hb)
+        assert mds[0] is mds[1]
+
+    def test_event_counter_accounting(self):
+        machine, ep_a, ep_b = make_pair_endpoints(PortalsPutModule())
+
+        def side_a():
+            yield from ep_a.setup()
+            yield from ep_a.begin_round(16)
+            yield from ep_a.send(16)
+            yield from ep_a.recv(16)  # waits PUT_END from b
+            yield from ep_a.flush_sends(1)  # consumes our SEND_END
+            yield from ep_a.end_round()
+            return dict(ep_a._counts)
+
+        def side_b():
+            yield from ep_b.setup()
+            yield from ep_b.begin_round(16)
+            yield from ep_b.recv(16)
+            yield from ep_b.send(16)
+            yield from ep_b.end_round()
+            return True
+
+        ha = machine.sim.process(side_a())
+        hb = machine.sim.process(side_b())
+        counts, _ = run_to_completion(machine, ha, hb)
+        # everything consumed: no leftover PUT_END/SEND_END credit
+        assert counts.get(EventKind.PUT_END, 0) == 0
+        assert counts.get(EventKind.SEND_END, 0) == 0
+
+
+class TestGetEndpoint:
+    def test_get_exchange_roundtrip(self):
+        machine, ep_a, ep_b = make_pair_endpoints(PortalsGetModule())
+
+        def side_a():
+            yield from ep_a.setup()
+            yield from ep_a.begin_round(128)
+            yield from ep_a.send(128)  # waits for b's get
+            yield from ep_a.recv(128)  # gets from b
+            yield from ep_a.end_round()
+            return True
+
+        def side_b():
+            yield from ep_b.setup()
+            yield from ep_b.begin_round(128)
+            yield from ep_b.recv(128)
+            yield from ep_b.send(128)
+            yield from ep_b.end_round()
+            return True
+
+        ha = machine.sim.process(side_a())
+        hb = machine.sim.process(side_b())
+        run_to_completion(machine, ha, hb)
+
+
+class TestMPIEndpoint:
+    @pytest.mark.parametrize("flavor", [MPICH1, MPICH2])
+    def test_module_name_matches_flavor(self, flavor):
+        module = MPIModule(flavor)
+        assert module.name == flavor.name
+
+    def test_stream_window_drains_at_end_round(self):
+        machine, ep_a, ep_b = make_pair_endpoints(MPIModule(MPICH1))
+
+        def side_a():
+            yield from ep_a.setup()
+            yield from ep_a.begin_round(32)
+            for _ in range(6):
+                yield from ep_a.send(32)
+            yield from ep_a.end_round()
+            return True
+
+        def side_b():
+            yield from ep_b.setup()
+            yield from ep_b.begin_round(32)
+            for i in range(6):
+                yield from ep_b.stream_recv(32, 6 - i)
+            yield from ep_b.end_round()
+            return len(ep_b._window)
+
+        ha = machine.sim.process(side_a())
+        hb = machine.sim.process(side_b())
+        _, leftover = run_to_completion(machine, ha, hb)
+        assert leftover == 0
+
+
+class TestModuleFactories:
+    def test_accelerated_flag_creates_accel_processes(self):
+        machine, na, nb = build_pair()
+        PortalsPutModule(accelerated=True).make_endpoints(machine, na, nb, 64)
+        assert any(p.accelerated for p in na.processes.values())
+
+    def test_generic_default(self):
+        machine, na, nb = build_pair()
+        PortalsPutModule().make_endpoints(machine, na, nb, 64)
+        assert all(not p.accelerated for p in na.processes.values())

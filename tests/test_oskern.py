@@ -1,0 +1,116 @@
+"""OS kernel layer: memory models, interrupt drain, lazy events."""
+
+import pytest
+
+from repro.hw.config import SeaStarConfig
+from repro.machine.builder import build_pair
+from repro.oskern import ContiguousMemory, OSType, PagedMemory
+from repro.portals import EventKind
+
+from .conftest import drain_events, make_target, run_to_completion
+
+
+class TestMemoryModels:
+    def test_contiguous_single_command(self, config):
+        mem = ContiguousMemory(config)
+        assert mem.dma_commands(8 * 1024 * 1024) == 1
+        assert mem.command_prep_cost(8 * 1024 * 1024) == 0
+
+    def test_paged_per_page_commands(self, config):
+        mem = PagedMemory(config)
+        assert mem.dma_commands(1) == 2  # worst-case straddle
+        assert mem.dma_commands(4096) == 2
+        assert mem.dma_commands(16384) == 5
+
+    def test_paged_prep_cost_scales(self, config):
+        mem = PagedMemory(config)
+        small = mem.command_prep_cost(100)
+        large = mem.command_prep_cost(1024 * 1024)
+        assert large > small
+        assert mem.pinned_pages > 0
+
+    def test_allocation_accounting(self, config):
+        mem = ContiguousMemory(config)
+        buf = mem.allocate(1000)
+        assert len(buf) == 1000 and mem.allocated_bytes == 1000
+        with pytest.raises(ValueError):
+            mem.allocate(-1)
+
+    def test_os_type_selects_memory(self):
+        machine, na, nb = build_pair(os_type=OSType.LINUX)
+        assert isinstance(na.kernel.memory, PagedMemory)
+        machine2, nc, nd = build_pair(os_type=OSType.CATAMOUNT)
+        assert isinstance(nc.kernel.memory, ContiguousMemory)
+
+
+class TestCrossingCosts:
+    def test_catamount_trap_vs_linux_syscall(self, config):
+        machine_c, a, _ = build_pair(os_type=OSType.CATAMOUNT)
+        machine_l, b, _ = build_pair(os_type=OSType.LINUX)
+        assert a.kernel.crossing_cost() == config.trap_overhead
+        assert b.kernel.crossing_cost() == config.linux_syscall_overhead
+
+
+class TestInterruptDrain:
+    def test_handler_drains_all_events(self):
+        """Paper 4.1: the interrupt handler processes all new events per
+        invocation — a burst of messages takes far fewer interrupts than
+        messages."""
+        machine, na, nb = build_pair()
+        pa, pb = na.create_process(), nb.create_process()
+        count = 20
+
+        def receiver(proc):
+            eq, me, md, buf = yield from make_target(proc, size=16, eq_size=256)
+            for _ in range(count):
+                yield from drain_events(proc.api, eq, want=[EventKind.PUT_END])
+            return True
+
+        def sender(proc, target):
+            api = proc.api
+            eq = yield from api.PtlEQAlloc(256)
+            md = yield from api.PtlMDBind(proc.alloc(8), eq=eq)
+            for _ in range(count):
+                yield from api.PtlPut(md, target, 4, 0x1234)
+            for _ in range(count):
+                yield from drain_events(api, eq, want=[EventKind.SEND_END])
+            return True
+
+        hr = pb.spawn(receiver)
+        hs = pa.spawn(sender, pb.id)
+        run_to_completion(machine, hr, hs)
+        irqs = nb.opteron.counters["interrupts"]
+        suppressed = nb.kernel.counters["lazy_events_deferred"]
+        assert irqs < count, f"{irqs} interrupts for {count} messages"
+
+    def test_linux_send_charges_page_costs(self):
+        """The same put costs more host time on Linux (pin + translate +
+        push per-page mappings, section 3.3)."""
+
+        def one_put(os_type, nbytes):
+            machine, na, nb = build_pair(os_type=os_type)
+            pa, pb = na.create_process(), nb.create_process()
+
+            def receiver(proc):
+                eq, me, md, buf = yield from make_target(proc, size=nbytes)
+                yield from drain_events(proc.api, eq, want=[EventKind.PUT_END])
+                return proc.sim.now
+
+            def sender(proc, target):
+                api = proc.api
+                md = yield from api.PtlMDBind(proc.alloc(nbytes))
+                t0 = proc.sim.now
+                yield from api.PtlPut(md, target, 4, 0x1234)
+                return proc.sim.now - t0
+
+            hr = pb.spawn(receiver)
+            hs = pa.spawn(sender, pb.id)
+            _, send_time = run_to_completion(machine, hr, hs)
+            return send_time
+
+        catamount = one_put(OSType.CATAMOUNT, 256 * 1024)
+        linux = one_put(OSType.LINUX, 256 * 1024)
+        assert linux > catamount
+        # the difference is roughly per-page work for 64+ pages
+        cfg = SeaStarConfig()
+        assert linux - catamount >= 64 * cfg.host_page_cmd_overhead

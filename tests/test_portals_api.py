@@ -1,0 +1,267 @@
+"""The functional Portals API over a live machine (administrative paths)."""
+
+import numpy as np
+import pytest
+
+from repro.machine.builder import build_pair
+from repro.portals import (
+    PTL_NID_ANY,
+    PTL_PID_ANY,
+    MDOptions,
+    ProcessId,
+    PtlEQEmpty,
+    PtlHandleInvalid,
+    PtlMDIllegal,
+    PtlMDInUse,
+    PtlNoSpace,
+    PtlProcessInvalid,
+    PtlPtIndexInvalid,
+)
+from repro.portals.ni import NILimits
+
+from .conftest import run_to_completion
+
+ANY = ProcessId(PTL_NID_ANY, PTL_PID_ANY)
+
+
+def run_api(body, limits=None):
+    """Run ``body(proc)`` on a process of a fresh pair; returns its value."""
+    machine, a, b = build_pair()
+    proc = a.create_process(limits=limits)
+    handle = proc.spawn(body)
+    (value,) = run_to_completion(machine, handle)
+    return value
+
+
+class TestIdentity:
+    def test_get_id(self):
+        def body(proc):
+            pid = yield from proc.api.PtlGetId()
+            return pid
+
+        pid = run_api(body)
+        assert pid.nid == 0 and pid.pid == 1
+
+
+class TestEventQueueAPI:
+    def test_alloc_get_free(self):
+        def body(proc):
+            api = proc.api
+            eq = yield from api.PtlEQAlloc(16)
+            with pytest.raises(PtlEQEmpty):
+                yield from api.PtlEQGet(eq)
+            yield from api.PtlEQFree(eq)
+            with pytest.raises(PtlHandleInvalid):
+                yield from api.PtlEQGet(eq)
+            return True
+
+        assert run_api(body)
+
+    def test_double_free_rejected(self):
+        def body(proc):
+            api = proc.api
+            eq = yield from api.PtlEQAlloc(16)
+            yield from api.PtlEQFree(eq)
+            with pytest.raises(PtlHandleInvalid):
+                yield from api.PtlEQFree(eq)
+            return True
+
+        assert run_api(body)
+
+    def test_eq_limit_enforced(self):
+        def body(proc):
+            api = proc.api
+            for _ in range(2):
+                yield from api.PtlEQAlloc(4)
+            with pytest.raises(PtlNoSpace):
+                yield from api.PtlEQAlloc(4)
+            return True
+
+        assert run_api(body, limits=NILimits(max_eqs=2))
+
+    def test_eq_poll_timeout(self):
+        def body(proc):
+            api = proc.api
+            eq = yield from api.PtlEQAlloc(4)
+            t0 = proc.sim.now
+            result = yield from api.PtlEQPoll([eq], timeout=1_000_000)
+            return result, proc.sim.now - t0
+
+        result, elapsed = run_api(body)
+        assert result is None
+        assert elapsed >= 1_000_000
+
+
+class TestMatchEntryAPI:
+    def test_attach_orders(self):
+        def body(proc):
+            api = proc.api
+            tail1 = yield from api.PtlMEAttach(0, ANY, 1)
+            tail2 = yield from api.PtlMEAttach(0, ANY, 2)
+            head = yield from api.PtlMEAttach(0, ANY, 3, position_head=True)
+            ml = proc.ni.table.match_list(0)
+            return [me.match_bits for me in ml], head.ptl_index
+
+        order, idx = run_api(body)
+        assert order == [3, 1, 2]
+        assert idx == 0
+
+    def test_insert_relative(self):
+        def body(proc):
+            api = proc.api
+            base = yield from api.PtlMEAttach(0, ANY, 1)
+            before = yield from api.PtlMEInsert(base, ANY, 2)
+            after = yield from api.PtlMEInsert(base, ANY, 3, after=True)
+            ml = proc.ni.table.match_list(0)
+            return [me.match_bits for me in ml]
+
+        assert run_api(body) == [2, 1, 3]
+
+    def test_insert_on_unlinked_base_rejected(self):
+        def body(proc):
+            api = proc.api
+            base = yield from api.PtlMEAttach(0, ANY, 1)
+            yield from api.PtlMEUnlink(base)
+            with pytest.raises(PtlHandleInvalid):
+                yield from api.PtlMEInsert(base, ANY, 2)
+            return True
+
+        assert run_api(body)
+
+    def test_bad_portal_index(self):
+        def body(proc):
+            with pytest.raises(PtlPtIndexInvalid):
+                yield from proc.api.PtlMEAttach(9999, ANY, 1)
+            return True
+
+        assert run_api(body)
+
+    def test_me_limit(self):
+        def body(proc):
+            api = proc.api
+            for _ in range(3):
+                yield from api.PtlMEAttach(0, ANY, 1)
+            with pytest.raises(PtlNoSpace):
+                yield from api.PtlMEAttach(0, ANY, 1)
+            return True
+
+        assert run_api(body, limits=NILimits(max_mes=3))
+
+    def test_unlink_detaches_md(self):
+        def body(proc):
+            api = proc.api
+            me = yield from api.PtlMEAttach(0, ANY, 1)
+            md = yield from api.PtlMDAttach(me, proc.alloc(64))
+            yield from api.PtlMEUnlink(me)
+            return md.active, proc.ni.md_count, proc.ni.me_count
+
+        active, mds, mes = run_api(body)
+        assert not active and mds == 0 and mes == 0
+
+
+class TestMemoryDescriptorAPI:
+    def test_attach_requires_linked_me(self):
+        def body(proc):
+            api = proc.api
+            me = yield from api.PtlMEAttach(0, ANY, 1)
+            yield from api.PtlMEUnlink(me)
+            with pytest.raises(PtlHandleInvalid):
+                yield from api.PtlMDAttach(me, proc.alloc(16))
+            return True
+
+        assert run_api(body)
+
+    def test_double_attach_rejected(self):
+        def body(proc):
+            api = proc.api
+            me = yield from api.PtlMEAttach(0, ANY, 1)
+            yield from api.PtlMDAttach(me, proc.alloc(16))
+            with pytest.raises(PtlMDInUse):
+                yield from api.PtlMDAttach(me, proc.alloc(16))
+            return True
+
+        assert run_api(body)
+
+    def test_bind_and_unlink(self):
+        def body(proc):
+            api = proc.api
+            md = yield from api.PtlMDBind(proc.alloc(16))
+            yield from api.PtlMDUnlink(md)
+            with pytest.raises(PtlHandleInvalid):
+                yield from api.PtlMDUnlink(md)
+            return proc.ni.md_count
+
+        assert run_api(body) == 0
+
+    def test_md_limit(self):
+        def body(proc):
+            api = proc.api
+            yield from api.PtlMDBind(proc.alloc(4))
+            yield from api.PtlMDBind(proc.alloc(4))
+            with pytest.raises(PtlNoSpace):
+                yield from api.PtlMDBind(proc.alloc(4))
+            return True
+
+        assert run_api(body, limits=NILimits(max_mds=2))
+
+    def test_md_update_conditional(self):
+        def body(proc):
+            api = proc.api
+            eq = yield from api.PtlEQAlloc(4)
+            md = yield from api.PtlMDBind(proc.alloc(4), eq=eq)
+            ok = yield from api.PtlMDUpdate(md, new_threshold=5, test_eq=eq)
+            # empty EQ: update applies
+            assert ok and md.threshold == 5
+            from repro.portals import EventKind, PortalsEvent
+
+            eq.post(PortalsEvent(kind=EventKind.PUT_END))
+            refused = yield from api.PtlMDUpdate(md, new_threshold=9, test_eq=eq)
+            return refused, md.threshold
+
+        refused, threshold = run_api(body)
+        assert refused is False and threshold == 5
+
+
+class TestDataMovementValidation:
+    def test_put_validates_target(self):
+        def body(proc):
+            api = proc.api
+            md = yield from api.PtlMDBind(proc.alloc(16))
+            with pytest.raises(PtlProcessInvalid):
+                yield from api.PtlPut(md, ANY, 0, 0)
+            return True
+
+        assert run_api(body)
+
+    def test_put_validates_local_region(self):
+        def body(proc):
+            api = proc.api
+            md = yield from api.PtlMDBind(proc.alloc(16))
+            with pytest.raises(PtlMDIllegal):
+                yield from api.PtlPut(
+                    md, ProcessId(0, 99), 0, 0, local_offset=10, length=10
+                )
+            return True
+
+        assert run_api(body)
+
+    def test_put_on_unlinked_md_rejected(self):
+        def body(proc):
+            api = proc.api
+            md = yield from api.PtlMDBind(proc.alloc(16))
+            yield from api.PtlMDUnlink(md)
+            with pytest.raises(PtlHandleInvalid):
+                yield from api.PtlPut(md, ProcessId(0, 99), 0, 0)
+            return True
+
+        assert run_api(body)
+
+    def test_put_on_exhausted_md_rejected(self):
+        def body(proc):
+            api = proc.api
+            md = yield from api.PtlMDBind(proc.alloc(16), threshold=0)
+            with pytest.raises(PtlMDIllegal):
+                yield from api.PtlPut(md, ProcessId(0, 99), 0, 0)
+            return True
+
+        assert run_api(body)

@@ -1,0 +1,187 @@
+"""Portals corner semantics through the live stack."""
+
+import numpy as np
+import pytest
+
+from repro.machine.builder import build_pair
+from repro.portals import (
+    EventKind,
+    MDOptions,
+    PtlEQDropped,
+)
+
+from .conftest import drain_events, make_target, run_to_completion
+
+
+class TestRemoteOffsetEdges:
+    def test_offset_beyond_buffer_truncates_to_zero(self):
+        machine, na, nb = build_pair()
+        pa, pb = na.create_process(), nb.create_process()
+
+        def receiver(proc):
+            eq, me, md, buf = yield from make_target(
+                proc, size=100,
+                options=MDOptions.OP_PUT | MDOptions.TRUNCATE | MDOptions.MANAGE_REMOTE,
+            )
+            evs = yield from drain_events(proc.api, eq, want=[EventKind.PUT_END])
+            end = evs[-1]
+            return end.mlength, end.rlength, end.offset
+
+        def sender(proc, target):
+            api = proc.api
+            md = yield from api.PtlMDBind(proc.alloc(50))
+            yield from api.PtlPut(md, target, 4, 0x1234, remote_offset=500)
+            yield proc.sim.timeout(200_000_000)
+            return True
+
+        hr = pb.spawn(receiver)
+        hs = pa.spawn(sender, pb.id)
+        (mlength, rlength, offset), _ = run_to_completion(machine, hr, hs)
+        assert mlength == 0 and rlength == 50 and offset == 500
+
+    def test_offset_beyond_buffer_without_truncate_drops(self):
+        machine, na, nb = build_pair()
+        pa, pb = na.create_process(), nb.create_process()
+
+        def receiver(proc):
+            eq, me, md, buf = yield from make_target(
+                proc, size=100,
+                options=MDOptions.OP_PUT | MDOptions.MANAGE_REMOTE,
+            )
+            yield proc.sim.timeout(200_000_000)
+            return proc.ni.counters["drops"]
+
+        def sender(proc, target):
+            api = proc.api
+            md = yield from api.PtlMDBind(proc.alloc(50))
+            yield from api.PtlPut(md, target, 4, 0x1234, remote_offset=90)
+            yield proc.sim.timeout(200_000_000)
+            return True
+
+        hr = pb.spawn(receiver)
+        hs = pa.spawn(sender, pb.id)
+        drops, _ = run_to_completion(machine, hr, hs)
+        assert drops == 1
+        assert nb.kernel.counters["drops_no_space"] == 1
+
+
+class TestSendEndFields:
+    def test_send_end_reports_length(self):
+        machine, na, nb = build_pair()
+        pa, pb = na.create_process(), nb.create_process()
+
+        def receiver(proc):
+            eq, me, md, buf = yield from make_target(proc, size=4096)
+            yield from drain_events(proc.api, eq, want=[EventKind.PUT_END])
+            return True
+
+        def sender(proc, target):
+            api = proc.api
+            eq = yield from api.PtlEQAlloc(16)
+            md = yield from api.PtlMDBind(proc.alloc(4096), eq=eq, user_ptr="tag!")
+            yield from api.PtlPut(md, target, 4, 0x1234, local_offset=96, length=2000)
+            evs = yield from drain_events(api, eq, want=[EventKind.SEND_END])
+            end = [e for e in evs if e.kind is EventKind.SEND_END][0]
+            return end.mlength, end.md_user_ptr
+
+        hr = pb.spawn(receiver)
+        hs = pa.spawn(sender, pb.id)
+        _, (mlength, user_ptr) = run_to_completion(machine, hr, hs)
+        assert mlength == 2000 and user_ptr == "tag!"
+
+
+class TestEQOverflowSurface:
+    def test_ptleqwait_raises_dropped_after_overflow(self):
+        machine, na, nb = build_pair()
+        pa, pb = na.create_process(), nb.create_process()
+
+        def receiver(proc):
+            # EQ of 2 slots, flood of events -> overflow
+            eq, me, md, buf = yield from make_target(proc, size=64, eq_size=2)
+            yield proc.sim.timeout(400_000_000)  # let everything land
+            with pytest.raises(PtlEQDropped):
+                while True:
+                    yield from proc.api.PtlEQWait(eq)
+            return True
+
+        def sender(proc, target):
+            api = proc.api
+            md = yield from api.PtlMDBind(proc.alloc(8))
+            for _ in range(8):
+                yield from api.PtlPut(md, target, 4, 0x1234)
+            yield proc.sim.timeout(400_000_000)
+            return True
+
+        hr = pb.spawn(receiver)
+        hs = pa.spawn(sender, pb.id)
+        run_to_completion(machine, hr, hs)
+
+
+class TestThresholdInitiatorSide:
+    def test_md_threshold_limits_puts(self):
+        machine, na, nb = build_pair()
+        pa, pb = na.create_process(), nb.create_process()
+
+        def receiver(proc):
+            eq, me, md, buf = yield from make_target(proc, size=64)
+            yield from drain_events(proc.api, eq, want=[EventKind.PUT_END])
+            yield from drain_events(proc.api, eq, want=[EventKind.PUT_END])
+            return True
+
+        def sender(proc, target):
+            from repro.portals import PtlMDIllegal
+
+            api = proc.api
+            md = yield from api.PtlMDBind(proc.alloc(8), threshold=2)
+            yield from api.PtlPut(md, target, 4, 0x1234)
+            yield from api.PtlPut(md, target, 4, 0x1234)
+            with pytest.raises(PtlMDIllegal):
+                yield from api.PtlPut(md, target, 4, 0x1234)
+            yield proc.sim.timeout(200_000_000)
+            return True
+
+        hr = pb.spawn(receiver)
+        hs = pa.spawn(sender, pb.id)
+        run_to_completion(machine, hr, hs)
+
+
+class TestMatchListOrderThroughAPI:
+    def test_head_insert_intercepts_traffic(self):
+        machine, na, nb = build_pair()
+        pa, pb = na.create_process(), nb.create_process()
+        from repro.portals import PTL_NID_ANY, PTL_PID_ANY, ProcessId
+
+        ANY = ProcessId(PTL_NID_ANY, PTL_PID_ANY)
+
+        def receiver(proc):
+            api = proc.api
+            eq = yield from api.PtlEQAlloc(64)
+            tail_buf = proc.alloc(64)
+            head_buf = proc.alloc(64)
+            tail_me = yield from api.PtlMEAttach(4, ANY, 0x1234)
+            yield from api.PtlMDAttach(
+                tail_me, tail_buf,
+                options=MDOptions.OP_PUT | MDOptions.TRUNCATE, eq=eq,
+            )
+            # head entry with identical criterion shadows the tail
+            head_me = yield from api.PtlMEAttach(4, ANY, 0x1234, position_head=True)
+            yield from api.PtlMDAttach(
+                head_me, head_buf,
+                options=MDOptions.OP_PUT | MDOptions.TRUNCATE, eq=eq,
+            )
+            yield from drain_events(api, eq, want=[EventKind.PUT_END])
+            return int(head_buf[0]), int(tail_buf[0])
+
+        def sender(proc, target):
+            api = proc.api
+            buf = proc.alloc(8)
+            buf[:] = 42
+            md = yield from api.PtlMDBind(buf)
+            yield from api.PtlPut(md, target, 4, 0x1234)
+            yield proc.sim.timeout(200_000_000)
+            return True
+
+        hr = pb.spawn(receiver)
+        hs = pa.spawn(sender, pb.id)
+        (head_val, tail_val), _ = run_to_completion(machine, hr, hs)
+        assert head_val == 42 and tail_val == 0

@@ -1,0 +1,351 @@
+"""End-to-end Portals data movement through the full simulated stack:
+puts, gets, acks, truncation, offsets, drops, failed gets."""
+
+import numpy as np
+import pytest
+
+from repro.machine.builder import build_pair
+from repro.portals import (
+    PTL_ACK_REQ,
+    PTL_NID_ANY,
+    PTL_PID_ANY,
+    EventKind,
+    MDOptions,
+    NIFailType,
+    ProcessId,
+)
+
+from .conftest import drain_events, fill_pattern, make_target, pattern, run_to_completion
+
+ANY = ProcessId(PTL_NID_ANY, PTL_PID_ANY)
+PT = 4
+BITS = 0x1234
+
+
+def run_pair(receiver_body, sender_body):
+    machine, na, nb = build_pair()
+    pa = na.create_process()
+    pb = nb.create_process()
+    hr = pb.spawn(receiver_body)
+    hs = pa.spawn(sender_body, pb.id)
+    return run_to_completion(machine, hr, hs)
+
+
+class TestPut:
+    @pytest.mark.parametrize("nbytes", [0, 1, 12, 13, 64, 1000, 5000, 100_000])
+    def test_payload_delivered_intact(self, nbytes):
+        def receiver(proc):
+            eq, me, md, buf = yield from make_target(proc, size=max(nbytes, 1))
+            ev = yield from drain_events(proc.api, eq, want=[EventKind.PUT_END])
+            end = ev[-1]
+            return end.mlength, bytes(buf[:nbytes])
+
+        def sender(proc, target):
+            api = proc.api
+            buf = proc.alloc(max(nbytes, 1))
+            fill_pattern(buf)
+            eq = yield from api.PtlEQAlloc(16)
+            md = yield from api.PtlMDBind(buf, eq=eq)
+            yield from api.PtlPut(md, target, PT, BITS, length=nbytes)
+            yield from drain_events(api, eq, want=[EventKind.SEND_END])
+            return True
+
+        (mlength, data), _ = run_pair(receiver, sender)
+        assert mlength == nbytes
+        assert data == bytes(pattern(max(nbytes, 1))[:nbytes])
+
+    def test_put_start_then_end(self):
+        def receiver(proc):
+            eq, me, md, buf = yield from make_target(proc)
+            evs = yield from drain_events(
+                proc.api, eq, want=[EventKind.PUT_START, EventKind.PUT_END]
+            )
+            return [e.kind for e in evs]
+
+        def sender(proc, target):
+            api = proc.api
+            md = yield from api.PtlMDBind(proc.alloc(100))
+            yield from api.PtlPut(md, target, PT, BITS)
+            return True
+
+        kinds, _ = run_pair(receiver, sender)
+        assert kinds[0] == EventKind.PUT_START and kinds[-1] == EventKind.PUT_END
+
+    def test_remote_offset_with_manage_remote(self):
+        def receiver(proc):
+            eq, me, md, buf = yield from make_target(
+                proc,
+                size=256,
+                options=MDOptions.OP_PUT | MDOptions.MANAGE_REMOTE,
+            )
+            yield from drain_events(proc.api, eq, want=[EventKind.PUT_END])
+            return bytes(buf[:80])
+
+        def sender(proc, target):
+            api = proc.api
+            buf = proc.alloc(16)
+            buf[:] = 9
+            md = yield from api.PtlMDBind(buf)
+            yield from api.PtlPut(md, target, PT, BITS, remote_offset=64)
+            yield proc.sim.timeout(50_000_000)
+            return True
+
+        data, _ = run_pair(receiver, sender)
+        assert data[:64] == bytes(64)
+        assert data[64:80] == bytes([9]) * 16
+
+    def test_local_offset_slices_source(self):
+        def receiver(proc):
+            eq, me, md, buf = yield from make_target(proc, size=8)
+            ev = yield from drain_events(proc.api, eq, want=[EventKind.PUT_END])
+            return bytes(buf)
+
+        def sender(proc, target):
+            api = proc.api
+            buf = proc.alloc(32)
+            buf[:] = np.arange(32, dtype=np.uint8)
+            md = yield from api.PtlMDBind(buf)
+            yield from api.PtlPut(md, target, PT, BITS, local_offset=8, length=8)
+            yield proc.sim.timeout(50_000_000)
+            return True
+
+        data, _ = run_pair(receiver, sender)
+        assert data == bytes(range(8, 16))
+
+    def test_truncation_at_target(self):
+        def receiver(proc):
+            eq, me, md, buf = yield from make_target(proc, size=10)
+            ev = yield from drain_events(proc.api, eq, want=[EventKind.PUT_END])
+            return ev[-1].mlength, ev[-1].rlength
+
+        def sender(proc, target):
+            api = proc.api
+            md = yield from api.PtlMDBind(proc.alloc(1000))
+            yield from api.PtlPut(md, target, PT, BITS)
+            yield proc.sim.timeout(100_000_000)
+            return True
+
+        (mlength, rlength), _ = run_pair(receiver, sender)
+        assert mlength == 10 and rlength == 1000
+
+    def test_hdr_data_delivered(self):
+        def receiver(proc):
+            eq, me, md, buf = yield from make_target(proc)
+            ev = yield from drain_events(proc.api, eq, want=[EventKind.PUT_END])
+            return ev[-1].hdr_data
+
+        def sender(proc, target):
+            api = proc.api
+            md = yield from api.PtlMDBind(proc.alloc(4))
+            yield from api.PtlPut(md, target, PT, BITS, hdr_data=0xFEEDC0DE)
+            yield proc.sim.timeout(50_000_000)
+            return True
+
+        hdr_data, _ = run_pair(receiver, sender)
+        assert hdr_data == 0xFEEDC0DE
+
+    def test_unmatched_put_dropped_and_counted(self):
+        def receiver(proc):
+            eq, me, md, buf = yield from make_target(proc, match_bits=0x777)
+            yield proc.sim.timeout(100_000_000)
+            return proc.node_id
+
+        def sender(proc, target):
+            api = proc.api
+            md = yield from api.PtlMDBind(proc.alloc(500))
+            yield from api.PtlPut(md, target, PT, 0x888)  # wrong bits
+            yield proc.sim.timeout(100_000_000)
+            return True
+
+        machine, na, nb = build_pair()
+        pa, pb = na.create_process(), nb.create_process()
+        hr = pb.spawn(receiver)
+        hs = pa.spawn(sender, pb.id)
+        run_to_completion(machine, hr, hs)
+        assert nb.kernel.counters["drops_no_match"] == 1
+        assert pb.ni.counters["drops"] == 1
+
+    def test_threshold_limits_deliveries(self):
+        def receiver(proc):
+            eq, me, md, buf = yield from make_target(proc, threshold=2)
+            yield from drain_events(
+                proc.api, eq, want=[EventKind.PUT_END, EventKind.PUT_END]
+            )
+            yield proc.sim.timeout(100_000_000)
+            return proc.ni.counters["drops"]
+
+        def sender(proc, target):
+            api = proc.api
+            md = yield from api.PtlMDBind(proc.alloc(4))
+            for _ in range(3):
+                yield from api.PtlPut(md, target, PT, BITS)
+            yield proc.sim.timeout(150_000_000)
+            return True
+
+        drops, _ = run_pair(receiver, sender)
+        assert drops == 1  # third put found an exhausted MD
+
+
+class TestAcks:
+    def test_ack_event_on_request(self):
+        def receiver(proc):
+            eq, me, md, buf = yield from make_target(proc, size=10)
+            yield from drain_events(proc.api, eq, want=[EventKind.PUT_END])
+            return True
+
+        def sender(proc, target):
+            api = proc.api
+            eq = yield from api.PtlEQAlloc(16)
+            md = yield from api.PtlMDBind(proc.alloc(100), eq=eq)
+            yield from api.PtlPut(md, target, PT, BITS, ack_req=PTL_ACK_REQ)
+            evs = yield from drain_events(api, eq, want=[EventKind.ACK])
+            ack = [e for e in evs if e.kind is EventKind.ACK][0]
+            return ack.mlength
+
+        _, mlength = run_pair(receiver, sender)
+        assert mlength == 10  # truncated length reported in the ack
+
+    def test_ack_disable_suppresses(self):
+        def receiver(proc):
+            eq, me, md, buf = yield from make_target(
+                proc,
+                options=MDOptions.OP_PUT | MDOptions.TRUNCATE | MDOptions.ACK_DISABLE,
+            )
+            yield from drain_events(proc.api, eq, want=[EventKind.PUT_END])
+            yield proc.sim.timeout(100_000_000)
+            return True
+
+        def sender(proc, target):
+            api = proc.api
+            eq = yield from api.PtlEQAlloc(16)
+            md = yield from api.PtlMDBind(proc.alloc(8), eq=eq)
+            yield from api.PtlPut(md, target, PT, BITS, ack_req=PTL_ACK_REQ)
+            yield from drain_events(api, eq, want=[EventKind.SEND_END])
+            yield proc.sim.timeout(100_000_000)
+            got_ack = False
+            while True:
+                ev = eq.try_get()
+                if ev is None:
+                    break
+                if ev.kind is EventKind.ACK:
+                    got_ack = True
+            return got_ack
+
+        _, got_ack = run_pair(receiver, sender)
+        assert not got_ack
+
+
+class TestGet:
+    @pytest.mark.parametrize("nbytes", [1, 12, 100, 4096, 50_000])
+    def test_get_fetches_data(self, nbytes):
+        def target_side(proc):
+            eq, me, md, buf = yield from make_target(
+                proc,
+                size=nbytes,
+                options=MDOptions.OP_GET | MDOptions.MANAGE_REMOTE,
+            )
+            fill_pattern(buf)
+            yield from drain_events(proc.api, eq, want=[EventKind.GET_END])
+            return True
+
+        def initiator(proc, target):
+            api = proc.api
+            eq = yield from api.PtlEQAlloc(16)
+            buf = proc.alloc(nbytes)
+            md = yield from api.PtlMDBind(buf, eq=eq)
+            yield from api.PtlGet(md, target, PT, BITS)
+            evs = yield from drain_events(api, eq, want=[EventKind.REPLY_END])
+            end = [e for e in evs if e.kind is EventKind.REPLY_END][0]
+            return end.mlength, bytes(buf)
+
+        _, (mlength, data) = run_pair(target_side, initiator)
+        assert mlength == nbytes
+        assert data == bytes(pattern(nbytes))
+
+    def test_get_remote_offset(self):
+        def target_side(proc):
+            eq, me, md, buf = yield from make_target(
+                proc, size=100,
+                options=MDOptions.OP_GET | MDOptions.MANAGE_REMOTE,
+            )
+            buf[:] = np.arange(100, dtype=np.uint8)
+            yield proc.sim.timeout(100_000_000)
+            return True
+
+        def initiator(proc, target):
+            api = proc.api
+            eq = yield from api.PtlEQAlloc(16)
+            buf = proc.alloc(10)
+            md = yield from api.PtlMDBind(buf, eq=eq)
+            yield from api.PtlGet(md, target, PT, BITS, remote_offset=40)
+            yield from drain_events(api, eq, want=[EventKind.REPLY_END])
+            return bytes(buf)
+
+        _, data = run_pair(target_side, initiator)
+        assert data == bytes(range(40, 50))
+
+    def test_failed_get_reports_dropped(self):
+        def target_side(proc):
+            # no matching entry at all
+            yield proc.sim.timeout(100_000_000)
+            return True
+
+        def initiator(proc, target):
+            api = proc.api
+            eq = yield from api.PtlEQAlloc(16)
+            md = yield from api.PtlMDBind(proc.alloc(64), eq=eq)
+            yield from api.PtlGet(md, target, PT, BITS)
+            evs = yield from drain_events(api, eq, want=[EventKind.REPLY_END])
+            end = [e for e in evs if e.kind is EventKind.REPLY_END][0]
+            return end.ni_fail_type, end.mlength
+
+        _, (fail, mlength) = run_pair(target_side, initiator)
+        assert fail is NIFailType.DROPPED and mlength == 0
+
+    def test_get_consumes_target_threshold(self):
+        def target_side(proc):
+            eq, me, md, buf = yield from make_target(
+                proc,
+                size=64,
+                options=MDOptions.OP_GET | MDOptions.MANAGE_REMOTE,
+                threshold=1,
+            )
+            yield proc.sim.timeout(200_000_000)
+            return md.threshold
+
+        def initiator(proc, target):
+            api = proc.api
+            eq = yield from api.PtlEQAlloc(16)
+            md = yield from api.PtlMDBind(proc.alloc(64), eq=eq)
+            yield from api.PtlGet(md, target, PT, BITS)
+            yield from drain_events(api, eq, want=[EventKind.REPLY_END])
+            # second get: target MD now exhausted -> dropped
+            md2 = yield from api.PtlMDBind(proc.alloc(64), eq=eq)
+            yield from api.PtlGet(md2, target, PT, BITS)
+            evs = yield from drain_events(api, eq, want=[EventKind.REPLY_END])
+            end = [e for e in evs if e.kind is EventKind.REPLY_END][-1]
+            return end.ni_fail_type
+
+        threshold, fail = run_pair(target_side, initiator)
+        assert threshold == 0
+        assert fail is NIFailType.DROPPED
+
+
+class TestBidirectional:
+    def test_simultaneous_puts_both_directions(self):
+        def side(proc, peer):
+            api = proc.api
+            eq, me, md, buf = yield from make_target(proc, size=64)
+            src = proc.alloc(64)
+            src[:] = proc.pid
+            smd = yield from api.PtlMDBind(src)
+            yield from api.PtlPut(smd, peer, PT, BITS)
+            yield from drain_events(api, eq, want=[EventKind.PUT_END])
+            return int(buf[0])
+
+        machine, na, nb = build_pair()
+        pa, pb = na.create_process(), nb.create_process()
+        ha = pa.spawn(side, pb.id)
+        hb = pb.spawn(side, pa.id)
+        va, vb = run_to_completion(machine, ha, hb)
+        assert va == pb.pid and vb == pa.pid

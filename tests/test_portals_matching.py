@@ -1,0 +1,315 @@
+"""Portals matching semantics: bits, sources, list order, truncation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.portals import (
+    PTL_NID_ANY,
+    PTL_PID_ANY,
+    MatchEntry,
+    MatchList,
+    MatchStatus,
+    MDOptions,
+    MsgType,
+    PortalsHeader,
+    PortalTable,
+    ProcessId,
+    bits_match,
+    commit_operation,
+    match_request,
+    md_from_buffer,
+    source_match,
+)
+
+bits64 = st.integers(0, (1 << 64) - 1)
+ANY = ProcessId(PTL_NID_ANY, PTL_PID_ANY)
+
+
+class TestBitsMatch:
+    def test_exact_match(self):
+        assert bits_match(0xDEAD, 0xDEAD, 0)
+
+    def test_mismatch(self):
+        assert not bits_match(0xDEAD, 0xBEEF, 0)
+
+    def test_ignore_bits_mask_differences(self):
+        assert bits_match(0b1010, 0b1000, 0b0010)
+
+    def test_all_ignored_matches_anything(self):
+        assert bits_match(0x123456789, 0, (1 << 64) - 1)
+
+    @given(incoming=bits64, match=bits64)
+    def test_full_ignore_always_matches(self, incoming, match):
+        assert bits_match(incoming, match, (1 << 64) - 1)
+
+    @given(bits=bits64)
+    def test_reflexive(self, bits):
+        assert bits_match(bits, bits, 0)
+
+    @given(incoming=bits64, match=bits64, ignore=bits64)
+    def test_spec_formula(self, incoming, match, ignore):
+        expected = ((incoming ^ match) & ~ignore & ((1 << 64) - 1)) == 0
+        assert bits_match(incoming, match, ignore) == expected
+
+    @given(incoming=bits64, match=bits64, ignore=bits64)
+    def test_widening_ignore_never_unmatches(self, incoming, match, ignore):
+        if bits_match(incoming, match, ignore):
+            assert bits_match(incoming, match, ignore | 0xFF)
+
+
+class TestSourceMatch:
+    def test_exact(self):
+        assert source_match(ProcessId(3, 7), ProcessId(3, 7))
+        assert not source_match(ProcessId(3, 7), ProcessId(3, 8))
+        assert not source_match(ProcessId(4, 7), ProcessId(3, 7))
+
+    def test_wildcards(self):
+        assert source_match(ProcessId(3, 7), ProcessId(PTL_NID_ANY, 7))
+        assert source_match(ProcessId(3, 7), ProcessId(3, PTL_PID_ANY))
+        assert source_match(ProcessId(3, 7), ANY)
+
+
+class TestMatchList:
+    def test_walk_order_head_to_tail(self):
+        ml = MatchList()
+        first = MatchEntry(ANY, 0, (1 << 64) - 1, md=_md(64))
+        second = MatchEntry(ANY, 0, (1 << 64) - 1, md=_md(64))
+        ml.attach_tail(first)
+        ml.attach_tail(second)
+        hit = ml.first_match(ProcessId(0, 0), 0x42, is_put=True)
+        assert hit is first
+
+    def test_attach_head_takes_priority(self):
+        ml = MatchList()
+        tail = MatchEntry(ANY, 0, (1 << 64) - 1, md=_md(64))
+        head = MatchEntry(ANY, 0, (1 << 64) - 1, md=_md(64))
+        ml.attach_tail(tail)
+        ml.attach_head(head)
+        assert ml.first_match(ProcessId(0, 0), 0, is_put=True) is head
+
+    def test_insert_before_and_after(self):
+        ml = MatchList()
+        anchor = MatchEntry(ANY, 1, md=_md(64))
+        ml.attach_tail(anchor)
+        before = MatchEntry(ANY, 2, md=_md(64))
+        after = MatchEntry(ANY, 3, md=_md(64))
+        ml.insert(anchor, before, after=False)
+        ml.insert(anchor, after, after=True)
+        assert [e.match_bits for e in ml] == [2, 1, 3]
+
+    def test_unlink_removes(self):
+        ml = MatchList()
+        me = MatchEntry(ANY, 0, md=_md(64))
+        ml.attach_tail(me)
+        ml.unlink(me)
+        assert len(ml) == 0 and not me.linked
+        with pytest.raises(ValueError):
+            ml.unlink(me)
+
+    def test_entries_without_accepting_md_skipped(self):
+        ml = MatchList()
+        no_md = MatchEntry(ANY, 0, (1 << 64) - 1)
+        get_only = MatchEntry(
+            ANY, 0, (1 << 64) - 1, md=_md(64, options=MDOptions.OP_GET)
+        )
+        good = MatchEntry(ANY, 0, (1 << 64) - 1, md=_md(64))
+        for e in (no_md, get_only, good):
+            ml.attach_tail(e)
+        assert ml.first_match(ProcessId(0, 0), 0, is_put=True) is good
+
+    def test_source_criterion_filters(self):
+        ml = MatchList()
+        only3 = MatchEntry(ProcessId(3, PTL_PID_ANY), 0, (1 << 64) - 1, md=_md(64))
+        ml.attach_tail(only3)
+        assert ml.first_match(ProcessId(4, 0), 0, is_put=True) is None
+        assert ml.first_match(ProcessId(3, 9), 0, is_put=True) is only3
+
+
+def _md(size, options=MDOptions.OP_PUT | MDOptions.TRUNCATE, **kw):
+    return md_from_buffer(np.zeros(size, dtype=np.uint8), options=options, **kw)
+
+
+def _hdr(length=8, bits=0x42, op=MsgType.PUT, offset=0, src=ProcessId(1, 1)):
+    return PortalsHeader(
+        op=op, src=src, dst=ProcessId(0, 0), ptl_index=0,
+        match_bits=bits, length=length, offset=offset,
+    )
+
+
+def _table_with(md, bits=0x42, ignore=0):
+    table = PortalTable(8)
+    me = MatchEntry(ANY, bits, ignore, md=md)
+    table.match_list(0).attach_tail(me)
+    return table, me
+
+
+class TestMatchRequest:
+    def test_simple_match(self):
+        table, me = _table_with(_md(64))
+        result = match_request(table, _hdr(length=8))
+        assert result.matched
+        assert result.me is me and result.mlength == 8 and result.offset == 0
+
+    def test_no_match_drops(self):
+        table, _ = _table_with(_md(64), bits=0x99)
+        result = match_request(table, _hdr(bits=0x42))
+        assert result.status is MatchStatus.DROPPED_NO_MATCH
+
+    def test_truncation(self):
+        table, _ = _table_with(_md(10))
+        result = match_request(table, _hdr(length=100))
+        assert result.matched
+        assert result.mlength == 10 and result.rlength == 100
+
+    def test_no_truncate_drops_when_too_big(self):
+        md = _md(10, options=MDOptions.OP_PUT)
+        table, _ = _table_with(md)
+        result = match_request(table, _hdr(length=100))
+        assert result.status is MatchStatus.DROPPED_NO_SPACE
+
+    def test_manage_remote_uses_header_offset(self):
+        md = _md(100, options=MDOptions.OP_PUT | MDOptions.MANAGE_REMOTE)
+        table, _ = _table_with(md)
+        result = match_request(table, _hdr(length=10, offset=50))
+        assert result.matched and result.offset == 50
+
+    def test_local_offset_advances_between_messages(self):
+        md = _md(100)
+        table, me = _table_with(md)
+        hdr = _hdr(length=30)
+        r1 = match_request(table, hdr)
+        commit_operation(table.match_list(0), r1, hdr, started=True)
+        r2 = match_request(table, hdr)
+        assert r2.offset == 30
+
+    def test_get_requires_op_get(self):
+        table, _ = _table_with(_md(64, options=MDOptions.OP_PUT))
+        result = match_request(table, _hdr(op=MsgType.GET))
+        assert not result.matched
+
+    def test_only_requests_allowed(self):
+        table, _ = _table_with(_md(64))
+        with pytest.raises(ValueError):
+            match_request(table, _hdr(op=MsgType.ACK))
+
+
+class TestCommit:
+    def test_threshold_consumed_on_start(self):
+        md = _md(64, threshold=2)
+        table, _ = _table_with(md)
+        hdr = _hdr()
+        r = match_request(table, hdr)
+        commit_operation(table.match_list(0), r, hdr, started=True)
+        assert md.threshold == 1
+
+    def test_exhausted_md_skipped_next_time(self):
+        md = _md(64, threshold=1)
+        table, _ = _table_with(md)
+        hdr = _hdr()
+        r = match_request(table, hdr)
+        commit_operation(table.match_list(0), r, hdr, started=True)
+        assert not match_request(table, hdr).matched
+
+    def test_auto_unlink_on_exhaustion(self):
+        md = _md(64, threshold=1)
+        md.unlink_when_exhausted = True
+        table, me = _table_with(md)
+        me.unlink_on_use = True
+        hdr = _hdr()
+        ml = table.match_list(0)
+        r = match_request(table, hdr)
+        commit_operation(ml, r, hdr, started=True)
+        events = commit_operation(ml, r, hdr, started=False)
+        assert not me.linked and not md.active
+        # no EQ attached: no UNLINK event generated
+        assert events == []
+
+    def test_unlink_event_when_eq_attached(self):
+        from repro.portals import EventKind, EventQueue
+        from repro.sim import Simulator
+
+        sim = Simulator()
+        eq = EventQueue(sim, 8)
+        md = _md(64, threshold=1, eq=eq)
+        md.unlink_when_exhausted = True
+        table, me = _table_with(md)
+        hdr = _hdr()
+        ml = table.match_list(0)
+        r = match_request(table, hdr)
+        commit_operation(ml, r, hdr, started=True)
+        events = commit_operation(ml, r, hdr, started=False)
+        kinds = [e.kind for e in events]
+        assert EventKind.PUT_END in kinds and EventKind.UNLINK in kinds
+
+    def test_start_and_end_events(self):
+        from repro.portals import EventKind, EventQueue
+        from repro.sim import Simulator
+
+        sim = Simulator()
+        eq = EventQueue(sim, 8)
+        md = _md(64, eq=eq)
+        table, _ = _table_with(md)
+        hdr = _hdr(length=5)
+        ml = table.match_list(0)
+        r = match_request(table, hdr)
+        start = commit_operation(ml, r, hdr, started=True)
+        end = commit_operation(ml, r, hdr, started=False)
+        assert [e.kind for e in start] == [EventKind.PUT_START]
+        assert [e.kind for e in end] == [EventKind.PUT_END]
+        assert end[0].mlength == 5 and end[0].rlength == 5
+
+    def test_event_disable_options(self):
+        from repro.portals import EventQueue
+        from repro.sim import Simulator
+
+        sim = Simulator()
+        eq = EventQueue(sim, 8)
+        md = _md(
+            64,
+            options=MDOptions.OP_PUT
+            | MDOptions.EVENT_START_DISABLE
+            | MDOptions.EVENT_END_DISABLE,
+            eq=eq,
+        )
+        table, _ = _table_with(md)
+        hdr = _hdr()
+        ml = table.match_list(0)
+        r = match_request(table, hdr)
+        assert commit_operation(ml, r, hdr, started=True) == []
+        assert commit_operation(ml, r, hdr, started=False) == []
+
+
+class TestMatchingProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        entries=st.lists(
+            st.tuples(bits64, bits64), min_size=1, max_size=8
+        ),
+        incoming=bits64,
+    )
+    def test_first_match_is_earliest_matching_entry(self, entries, incoming):
+        ml = MatchList()
+        mes = []
+        for match, ignore in entries:
+            me = MatchEntry(ANY, match, ignore, md=_md(64))
+            ml.attach_tail(me)
+            mes.append(me)
+        hit = ml.first_match(ProcessId(0, 0), incoming, is_put=True)
+        manual = next(
+            (me for me in mes if bits_match(incoming, me.match_bits, me.ignore_bits)),
+            None,
+        )
+        assert hit is manual
+
+    @settings(max_examples=50, deadline=None)
+    @given(length=st.integers(0, 4096), md_size=st.integers(0, 4096))
+    def test_mlength_never_exceeds_space_or_request(self, length, md_size):
+        md = _md(max(md_size, 0))
+        table, _ = _table_with(md)
+        result = match_request(table, _hdr(length=length))
+        assert result.matched
+        assert result.mlength <= length
+        assert result.mlength <= md.length
+        assert result.mlength == min(length, md.length)

@@ -1,0 +1,183 @@
+"""Memory descriptors and event queues in isolation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.portals import (
+    PTL_MD_THRESH_INF,
+    EventKind,
+    EventQueue,
+    MDOptions,
+    PortalsEvent,
+    PtlEQDropped,
+    PtlEQEmpty,
+    PtlMDIllegal,
+    md_from_buffer,
+)
+from repro.sim import Simulator
+
+
+def _buf(n):
+    return np.zeros(n, dtype=np.uint8)
+
+
+class TestMemoryDescriptor:
+    def test_basic_construction(self):
+        md = md_from_buffer(_buf(100))
+        assert md.length == 100 and md.active
+        assert md.threshold == PTL_MD_THRESH_INF
+
+    def test_none_buffer_zero_length(self):
+        md = md_from_buffer(None)
+        assert md.length == 0
+
+    def test_buffer_must_be_uint8_1d(self):
+        with pytest.raises(PtlMDIllegal):
+            md_from_buffer(np.zeros(4, dtype=np.float64))
+        with pytest.raises(PtlMDIllegal):
+            md_from_buffer(np.zeros((2, 2), dtype=np.uint8))
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(PtlMDIllegal):
+            md_from_buffer(_buf(4), threshold=-2)
+
+    def test_threshold_consumption(self):
+        md = md_from_buffer(_buf(4), threshold=2)
+        md.consume_threshold()
+        md.consume_threshold()
+        assert md.exhausted
+        with pytest.raises(PtlMDIllegal):
+            md.consume_threshold()
+
+    def test_infinite_threshold_never_exhausts(self):
+        md = md_from_buffer(_buf(4))
+        for _ in range(100):
+            md.consume_threshold()
+        assert not md.exhausted
+
+    def test_accepts_by_operation(self):
+        put_md = md_from_buffer(_buf(4), options=MDOptions.OP_PUT)
+        assert put_md.accepts(is_put=True)
+        assert not put_md.accepts(is_put=False)
+        both = md_from_buffer(_buf(4), options=MDOptions.OP_PUT | MDOptions.OP_GET)
+        assert both.accepts(is_put=True) and both.accepts(is_put=False)
+
+    def test_inactive_rejects(self):
+        md = md_from_buffer(_buf(4), options=MDOptions.OP_PUT)
+        md.active = False
+        assert not md.accepts(is_put=True)
+
+    def test_region_bounds(self):
+        md = md_from_buffer(_buf(10))
+        view = md.region(2, 5)
+        assert len(view) == 5
+        view[:] = 7
+        assert md.buffer[2] == 7  # region is a real view
+        with pytest.raises(PtlMDIllegal):
+            md.region(8, 5)
+        with pytest.raises(PtlMDIllegal):
+            md.region(-1, 2)
+
+    def test_events_enabled_flags(self):
+        eq = object()
+        md = md_from_buffer(_buf(4), eq=eq, options=MDOptions.EVENT_START_DISABLE)
+        assert not md.events_enabled(start=True)
+        assert md.events_enabled(start=False)
+        no_eq = md_from_buffer(_buf(4))
+        assert not no_eq.events_enabled(start=False)
+
+    def test_md_ids_unique(self):
+        assert md_from_buffer(_buf(1)).md_id != md_from_buffer(_buf(1)).md_id
+
+
+class TestEventQueue:
+    def _ev(self, kind=EventKind.PUT_END):
+        return PortalsEvent(kind=kind)
+
+    def test_fifo_order(self):
+        eq = EventQueue(Simulator(), 8)
+        for i in range(5):
+            ev = self._ev()
+            ev.mlength = i
+            eq.post(ev)
+        assert [eq.get().mlength for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_empty_get_raises(self):
+        eq = EventQueue(Simulator(), 4)
+        with pytest.raises(PtlEQEmpty):
+            eq.get()
+        assert eq.try_get() is None
+
+    def test_sequence_numbers_monotonic(self):
+        eq = EventQueue(Simulator(), 8)
+        eq.post(self._ev())
+        eq.post(self._ev())
+        assert eq.get().sequence < eq.get().sequence
+
+    def test_overflow_reports_dropped(self):
+        eq = EventQueue(Simulator(), 2)
+        for _ in range(4):
+            eq.post(self._ev())
+        with pytest.raises(PtlEQDropped):
+            eq.get()
+        # after the dropped notification, remaining events readable
+        assert eq.get() is not None
+        assert eq.pending == 1
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            EventQueue(Simulator(), 0)
+
+    def test_post_to_freed_rejected(self):
+        eq = EventQueue(Simulator(), 4)
+        eq.freed = True
+        with pytest.raises(PtlEQDropped):
+            eq.post(self._ev())
+
+    def test_wait_signal_fires_on_post(self):
+        sim = Simulator()
+        eq = EventQueue(sim, 4)
+        woke = []
+
+        def waiter():
+            yield eq.wait_signal()
+            woke.append(sim.now)
+
+        def poster():
+            yield sim.timeout(100)
+            eq.post(self._ev())
+
+        sim.process(waiter())
+        sim.process(poster())
+        sim.run()
+        assert woke == [100]
+
+    def test_wait_signal_immediate_when_pending(self):
+        sim = Simulator()
+        eq = EventQueue(sim, 4)
+        eq.post(self._ev())
+        sig = eq.wait_signal()
+        assert sig.triggered
+
+    def test_timestamps_recorded(self):
+        sim = Simulator()
+        eq = EventQueue(sim, 4)
+
+        def body():
+            yield sim.timeout(777)
+            eq.post(self._ev())
+
+        sim.process(body())
+        sim.run()
+        assert eq.get().sim_time == 777
+
+    @settings(max_examples=30, deadline=None)
+    @given(size=st.integers(1, 16), n=st.integers(0, 64))
+    def test_pending_count_and_drop_accounting(self, size, n):
+        eq = EventQueue(Simulator(), size)
+        for _ in range(n):
+            eq.post(self._ev())
+        assert eq.pending == min(n, size)
+        assert eq.dropped == max(0, n - size)

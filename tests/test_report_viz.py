@@ -1,0 +1,121 @@
+"""Run reports and terminal plotting."""
+
+import pytest
+
+from repro.analysis import (
+    ascii_chart,
+    format_machine_report,
+    machine_report,
+    node_report,
+    plot_series,
+)
+from repro.machine.builder import build_pair
+from repro.netpipe import PortalsPutModule, run_series
+from repro.netpipe.runner import Series
+from repro.portals import EventKind
+
+from .conftest import drain_events, make_target, run_to_completion
+
+
+@pytest.fixture(scope="module")
+def run_machine():
+    machine, na, nb = build_pair()
+    pa, pb = na.create_process(), nb.create_process()
+
+    def receiver(proc):
+        eq, me, md, buf = yield from make_target(proc, size=4096)
+        for _ in range(3):
+            yield from drain_events(proc.api, eq, want=[EventKind.PUT_END])
+        return True
+
+    def sender(proc, target):
+        api = proc.api
+        eq = yield from api.PtlEQAlloc(64)
+        md = yield from api.PtlMDBind(proc.alloc(4096), eq=eq)
+        for _ in range(3):
+            yield from api.PtlPut(md, target, 4, 0x1234)
+            yield from drain_events(api, eq, want=[EventKind.SEND_END])
+        return True
+
+    hr = pb.spawn(receiver)
+    hs = pa.spawn(sender, pb.id)
+    run_to_completion(machine, hr, hs)
+    return machine, na, nb
+
+
+class TestReports:
+    def test_node_report_structure(self, run_machine):
+        machine, na, nb = run_machine
+        report = node_report(nb)
+        assert report["node_id"] == nb.node_id
+        assert report["host"]["interrupts"] > 0
+        assert report["firmware"]["counters"]["rx_headers"] == 3
+        assert report["dma"]["rx_packets"] > 0
+        assert report["sram"]["used"] > 0
+
+    def test_machine_report_totals(self, run_machine):
+        machine, na, nb = run_machine
+        report = machine_report(machine)
+        assert report["sim_time_us"] > 0
+        assert report["fabric"]["packets_sent"] > 0
+        assert len(report["nodes"]) == 2
+
+    def test_packet_conservation(self, run_machine):
+        """Fabric-injected packets equal the sum of RX-side arrivals."""
+        machine, na, nb = run_machine
+        report = machine_report(machine)
+        received = sum(
+            n["dma"]["rx_packets"] + n["dma"]["rx_headers"]
+            for n in report["nodes"]
+        )
+        assert report["fabric"]["packets_sent"] == received
+
+    def test_format_is_readable(self, run_machine):
+        machine, na, nb = run_machine
+        text = format_machine_report(machine)
+        assert "simulated time" in text
+        assert "node 0" in text and "node 1" in text
+        assert "irq=" in text and "sram" in text
+
+
+class TestAsciiChart:
+    def test_basic_render(self):
+        text = ascii_chart(
+            [1, 10, 100], [[1.0, 5.0, 9.0]], ["demo"], width=40, height=8
+        )
+        assert "demo" in text and "*" in text
+        assert len(text.splitlines()) >= 8
+
+    def test_multiple_series_distinct_glyphs(self):
+        text = ascii_chart(
+            [1, 10], [[1.0, 2.0], [2.0, 1.0]], ["a", "b"], width=20, height=5
+        )
+        assert "* a" in text and "o b" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart([], [], [])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart([1, 2], [[1.0]], ["x"])
+
+    def test_constant_series(self):
+        text = ascii_chart([1, 2, 4], [[5.0, 5.0, 5.0]], ["flat"])
+        assert "flat" in text
+
+    def test_plot_series_from_netpipe(self):
+        series = run_series(PortalsPutModule(), "pingpong", [1, 64, 4096])
+        text = plot_series([series], latency=True)
+        assert "put" in text and "latency" in text
+
+    def test_plot_requires_common_sizes(self):
+        a = run_series(PortalsPutModule(), "pingpong", [1, 64])
+        b = run_series(PortalsPutModule(), "pingpong", [1, 128])
+        with pytest.raises(ValueError):
+            plot_series([a, b])
+
+    def test_title_override(self):
+        s = run_series(PortalsPutModule(), "pingpong", [1, 64])
+        text = plot_series([s], title="custom title")
+        assert text.startswith("custom title")

@@ -1,0 +1,86 @@
+"""Tracing and measurement utilities."""
+
+from repro.sim import Counters, Simulator, TimeSeries, Tracer
+
+
+class TestTracer:
+    def test_records_time_and_category(self, sim):
+        tr = Tracer(sim)
+
+        def body():
+            tr.emit("start")
+            yield sim.timeout(100)
+            tr.emit("end", detail={"n": 1})
+
+        sim.process(body())
+        sim.run()
+        assert [r.time for r in tr.records] == [0, 100]
+        assert tr.count("end") == 1
+        assert tr.by_category("end")[0].detail == {"n": 1}
+
+    def test_between(self, sim):
+        tr = Tracer(sim)
+
+        def body():
+            for _ in range(5):
+                tr.emit("tick")
+                yield sim.timeout(10)
+
+        sim.process(body())
+        sim.run()
+        assert len(tr.between(10, 40)) == 3
+
+    def test_disabled_tracer_records_nothing(self, sim):
+        tr = Tracer(sim, enabled=False)
+        tr.emit("x")
+        assert tr.records == []
+
+    def test_clear(self, sim):
+        tr = Tracer(sim)
+        tr.emit("x")
+        tr.clear()
+        assert tr.count("x") == 0
+
+
+class TestCounters:
+    def test_incr_and_get(self):
+        c = Counters()
+        c.incr("a")
+        c.incr("a", 4)
+        assert c["a"] == 5
+        assert c["missing"] == 0
+
+    def test_snapshot_is_copy(self):
+        c = Counters()
+        c.incr("a")
+        snap = c.snapshot()
+        c.incr("a")
+        assert snap == {"a": 1}
+
+    def test_reset_selected(self):
+        c = Counters()
+        c.incr("a")
+        c.incr("b")
+        c.reset(["a"])
+        assert c["a"] == 0 and c["b"] == 1
+
+    def test_reset_all(self):
+        c = Counters()
+        c.incr("a")
+        c.reset()
+        assert c.snapshot() == {}
+
+
+class TestTimeSeries:
+    def test_stats(self):
+        ts = TimeSeries("x")
+        for t, v in [(0, 1.0), (10, 3.0), (20, 2.0)]:
+            ts.sample(t, v)
+        assert len(ts) == 3
+        assert ts.mean == 2.0
+        assert ts.max == 3.0
+        assert ts.min == 1.0
+
+    def test_empty_stats(self):
+        ts = TimeSeries()
+        assert ts.mean == 0.0 and ts.max == 0.0 and ts.min == 0.0

@@ -1,0 +1,177 @@
+"""Resource and CPU primitives: mutual exclusion, priorities, accounting."""
+
+import pytest
+
+from repro.sim import CPU, Resource, Simulator
+
+
+class TestResource:
+    def test_capacity_validation(self, sim):
+        with pytest.raises(ValueError):
+            Resource(sim, capacity=0)
+
+    def test_serializes_at_capacity_one(self, sim):
+        res = Resource(sim, capacity=1)
+        spans = []
+
+        def worker(tag):
+            req = res.request()
+            yield req
+            start = sim.now
+            yield sim.timeout(100)
+            res.release(req)
+            spans.append((tag, start, sim.now))
+
+        for tag in "ab":
+            sim.process(worker(tag))
+        sim.run()
+        assert spans == [("a", 0, 100), ("b", 100, 200)]
+
+    def test_capacity_allows_parallelism(self, sim):
+        res = Resource(sim, capacity=2)
+        ends = []
+
+        def worker():
+            req = res.request()
+            yield req
+            yield sim.timeout(100)
+            res.release(req)
+            ends.append(sim.now)
+
+        for _ in range(2):
+            sim.process(worker())
+        sim.run()
+        assert ends == [100, 100]
+
+    def test_priority_order(self, sim):
+        res = Resource(sim)
+        order = []
+
+        def worker(tag, prio):
+            req = res.request(priority=prio)
+            yield req
+            yield sim.timeout(10)
+            res.release(req)
+            order.append(tag)
+
+        def spawn_later():
+            # occupy the resource first so later requests queue
+            req = res.request()
+            yield req
+            sim.process(worker("low", 5))
+            sim.process(worker("high", -5))
+            sim.process(worker("mid", 0))
+            yield sim.timeout(1)
+            res.release(req)
+
+        sim.process(spawn_later())
+        sim.run()
+        assert order == ["high", "mid", "low"]
+
+    def test_release_foreign_request_rejected(self, sim):
+        r1, r2 = Resource(sim), Resource(sim)
+        req = r1.request()
+        with pytest.raises(ValueError):
+            r2.release(req)
+
+    def test_release_idle_rejected(self, sim):
+        res = Resource(sim)
+        req = res.request()
+        res.release(req)
+        with pytest.raises(RuntimeError):
+            res.release(req)
+
+    def test_cancel_queued_request(self, sim):
+        res = Resource(sim)
+        first = res.request()
+        second = res.request()
+        assert res.queued == 1
+        res.release(second)  # cancel while queued
+        assert res.queued == 0
+        res.release(first)
+
+    def test_use_helper(self, sim):
+        res = Resource(sim)
+        done = []
+
+        def worker():
+            yield from res.use(50)
+            done.append(sim.now)
+
+        sim.process(worker())
+        sim.run()
+        assert done == [50]
+        assert res.in_use == 0
+
+
+class TestCPU:
+    def test_busy_time_accounting(self, sim):
+        cpu = CPU(sim, clock_hz=1e9)
+
+        def worker():
+            yield from cpu.execute(500)
+            yield from cpu.execute(300)
+
+        sim.process(worker())
+        sim.run()
+        assert cpu.busy_time == 800
+        assert cpu.utilization() == 1.0
+
+    def test_utilization_fraction(self, sim):
+        cpu = CPU(sim)
+
+        def worker():
+            yield from cpu.execute(100)
+            yield sim.timeout(300)
+
+        sim.process(worker())
+        sim.run()
+        assert cpu.utilization() == pytest.approx(0.25)
+
+    def test_utilization_empty(self, sim):
+        cpu = CPU(sim)
+        assert cpu.utilization() == 0.0
+
+    def test_cycles_conversion(self, sim):
+        cpu = CPU(sim, clock_hz=5e8)  # 2 ns per cycle
+        assert cpu.cycles(1) == 2000
+        assert cpu.cycles(100) == 200_000
+
+    def test_charge_without_acquisition(self, sim):
+        cpu = CPU(sim)
+
+        def holder():
+            req = cpu.request()
+            yield req
+            yield from cpu.charge(400)  # must not deadlock
+            cpu.release(req)
+
+        p = sim.process(holder())
+        sim.run()
+        assert p.triggered and p.ok
+        assert cpu.busy_time == 400
+
+    def test_interrupt_priority_beats_app(self, sim):
+        cpu = CPU(sim)
+        order = []
+
+        def app(tag):
+            yield from cpu.execute(100, priority=CPU.PRIO_APP)
+            order.append(tag)
+
+        def irq():
+            yield from cpu.execute(10, priority=CPU.PRIO_INTERRUPT)
+            order.append("irq")
+
+        def scenario():
+            req = cpu.request()
+            yield req
+            sim.process(app("app1"))
+            sim.process(app("app2"))
+            sim.process(irq())
+            yield sim.timeout(5)
+            cpu.release(req)
+
+        sim.process(scenario())
+        sim.run()
+        assert order[0] == "irq"

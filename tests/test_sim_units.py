@@ -1,0 +1,78 @@
+"""Unit conversion helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim import units
+
+
+class TestTimeConversions:
+    def test_constants(self):
+        assert units.NS == 1000
+        assert units.US == 1_000_000
+        assert units.SEC == units.US * units.US
+
+    def test_ns_round_trip(self):
+        assert units.ns(75) == 75_000
+        assert units.to_ns(units.ns(75)) == pytest.approx(75.0)
+
+    def test_us_round_trip(self):
+        assert units.us(2.0) == 2_000_000
+        assert units.to_us(units.us(5.39)) == pytest.approx(5.39)
+
+    def test_fractional_ns_rounds(self):
+        assert units.ns(55.05) == 55_050
+
+    @given(st.floats(min_value=0.001, max_value=1e6, allow_nan=False))
+    def test_us_ns_consistency(self, value):
+        assert units.us(value) == pytest.approx(units.ns(value * 1000), abs=1)
+
+
+class TestTransfer:
+    def test_zero_bytes_zero_time(self):
+        assert units.transfer_time(0, 1e9) == 0
+
+    def test_nonzero_never_zero(self):
+        assert units.transfer_time(1, 1e30) >= 1
+
+    def test_known_rate(self):
+        # 1 GB at 1 GB/s = 1 s
+        one_gb = 10**9
+        assert units.transfer_time(one_gb, 1e9) == units.SEC
+
+    def test_rate_mb_s_round_trip(self):
+        # 1 MiB in 1 ms -> 1000 MB/s (about 1 GiB/s = 1024 MB/s? no:
+        # rate is MiB per second, so 1 MiB / 0.001 s = 1000 MB/s)
+        assert units.rate_mb_s(units.MB, units.MS) == pytest.approx(1000.0)
+
+    def test_rate_requires_positive_duration(self):
+        with pytest.raises(ValueError):
+            units.rate_mb_s(100, 0)
+
+
+class TestFormatting:
+    @pytest.mark.parametrize(
+        "ps,expect",
+        [
+            (500, "500 ps"),
+            (1500, "1.500 ns"),
+            (2_000_000, "2.000 us"),
+            (3_500_000_000, "3.500 ms"),
+            (2_000_000_000_000, "2.000 s"),
+        ],
+    )
+    def test_fmt_time(self, ps, expect):
+        assert units.fmt_time(ps) == expect
+
+    @pytest.mark.parametrize(
+        "nbytes,expect",
+        [
+            (12, "12 B"),
+            (2048, "2.00 KiB"),
+            (8 * units.MB, "8.00 MiB"),
+            (3 * units.GB, "3.00 GiB"),
+        ],
+    )
+    def test_fmt_bytes(self, nbytes, expect):
+        assert units.fmt_bytes(nbytes) == expect

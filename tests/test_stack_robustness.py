@@ -1,0 +1,167 @@
+"""Cross-cutting robustness: Linux-node MPI, multi-EQ polling, config
+perturbation properties, and synchronous firmware commands end to end."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import breakdown_total_us, latency_at
+from repro.fw import InitProcessCmd
+from repro.hw.config import SeaStarConfig
+from repro.machine.builder import build_pair
+from repro.mpi import MPICH1, create_world, run_world
+from repro.netpipe import PortalsPutModule, run_series
+from repro.oskern import OSType
+from repro.portals import EventKind
+from repro.sim import ns
+
+from .conftest import drain_events, make_target, pattern, run_to_completion
+
+
+class TestLinuxComputeNodes:
+    """The fourth deployment case: Linux compute node, single user
+    application (section 3.1) — running full MPI."""
+
+    def test_mpi_between_linux_nodes(self):
+        machine, a, b = build_pair(os_type=OSType.LINUX)
+        world = create_world(machine, [a, b], flavor=MPICH1)
+        n = 300_000  # rendezvous, so paged-memory DMA prep is exercised
+
+        def main(mpi, rank):
+            if rank == 0:
+                yield from mpi.send(pattern(n).copy(), 1, tag=2)
+                return None
+            buf = np.zeros(n, np.uint8)
+            status = yield from mpi.recv(buf, source=0, tag=2)
+            return status.count, np.array_equal(buf, pattern(n))
+
+        _, (count, intact) = run_world(machine, world, main)
+        assert count == n and intact
+        # paged memory actually pinned pages
+        assert a.kernel.memory.pinned_pages > 0
+
+    def test_linux_mpi_slower_than_catamount(self):
+        def latency(os_type):
+            machine, a, b = build_pair(os_type=os_type)
+            world = create_world(machine, [a, b])
+            stamps = {}
+
+            def main(mpi, rank):
+                buf = np.zeros(1, np.uint8)
+                if rank == 0:
+                    stamps["t0"] = mpi.sim.now
+                    yield from mpi.send(buf, 1)
+                    yield from mpi.recv(buf, source=1)
+                    stamps["t1"] = mpi.sim.now
+                else:
+                    yield from mpi.recv(buf, source=0)
+                    yield from mpi.send(buf, 0)
+                return None
+
+            run_world(machine, world, main)
+            return stamps["t1"] - stamps["t0"]
+
+        assert latency(OSType.LINUX) > latency(OSType.CATAMOUNT)
+
+
+class TestEQPollMultiQueue:
+    def test_poll_returns_whichever_fires_first(self):
+        machine, na, nb = build_pair()
+        pa, pb = na.create_process(), nb.create_process()
+
+        def receiver(proc):
+            api = proc.api
+            # two targets on different portals feeding different EQs
+            eq1, me1, md1, buf1 = yield from make_target(proc, portal=4)
+            eq2, me2, md2, buf2 = yield from make_target(proc, portal=5)
+            hits = []
+            while len(hits) < 2:
+                result = yield from api.PtlEQPoll([eq1, eq2])
+                eq, ev = result
+                if ev.kind is EventKind.PUT_END:
+                    hits.append(4 if eq is eq1 else 5)
+            return hits
+
+        def sender(proc, target):
+            api = proc.api
+            md = yield from api.PtlMDBind(proc.alloc(4))
+            yield from api.PtlPut(md, target, 5, 0x1234)
+            yield proc.sim.timeout(50_000_000)
+            yield from api.PtlPut(md, target, 4, 0x1234)
+            yield proc.sim.timeout(50_000_000)
+            return True
+
+        hr = pb.spawn(receiver)
+        hs = pa.spawn(sender, pb.id)
+        hits, _ = run_to_completion(machine, hr, hs)
+        # portal 5 was hit first, then portal 4 (STARTs may interleave,
+        # but PUT_END order follows send order)
+        assert hits == [5, 4]
+
+
+class TestSynchronousFirmwareCommands:
+    def test_init_process_result_round_trip(self):
+        machine, na, nb = build_pair()
+        pa = na.create_process()
+        results = []
+
+        def body(proc):
+            mailbox = na.kernel.proc.mailbox
+            result = yield from mailbox.post_command_await_result(
+                InitProcessCmd(host_pid=proc.pid)
+            )
+            results.append(result)
+            return True
+
+        handle = pa.spawn(body)
+        run_to_completion(machine, handle)
+        assert results[0]["ok"] and results[0]["fw_pid"] == 1
+
+
+class TestConfigPerturbationProperties:
+    """The analytic model and the simulation must move together under
+    arbitrary (sane) cost perturbations — the strongest guard against
+    silent path changes."""
+
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        interrupt_us=st.floats(0.5, 8.0),
+        match_ns=st.integers(50, 2000),
+        tx_ns=st.integers(100, 2000),
+        hdr_ns=st.integers(100, 2000),
+    )
+    def test_analytic_tracks_simulation(self, interrupt_us, match_ns, tx_ns, hdr_ns):
+        cfg = SeaStarConfig(
+            interrupt_overhead=round(interrupt_us * 1_000_000),
+            host_match_overhead=ns(match_ns),
+            host_tx_overhead=ns(tx_ns),
+            fw_rx_header=ns(hdr_ns),
+        )
+        series = run_series(PortalsPutModule(), "pingpong", [1], config=cfg)
+        simulated = latency_at(series, 1)
+        analytic = breakdown_total_us(cfg, nbytes=1)
+        assert analytic == pytest.approx(simulated, rel=0.06)
+
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(small=st.integers(0, 48))
+    def test_piggyback_threshold_moves_the_step(self, small):
+        cfg = SeaStarConfig(small_msg_bytes=small)
+        probe = [max(small, 1), small + 1]
+        series = run_series(PortalsPutModule(), "pingpong", probe, config=cfg)
+        below = series.points[0].latency_us
+        above = series.points[-1].latency_us
+        if small >= 1:
+            # the step sits exactly at the configured threshold
+            assert above - below > 1.5
+        else:
+            # no piggyback at all: both probes take the payload path
+            assert above == pytest.approx(below, abs=0.1)

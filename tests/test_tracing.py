@@ -1,0 +1,89 @@
+"""Machine-wide message tracing."""
+
+import pytest
+
+from repro.machine.builder import build_pair
+from repro.portals import EventKind
+
+from .conftest import drain_events, make_target, run_to_completion
+
+
+def traced_put(nbytes):
+    machine, na, nb = build_pair(trace=True)
+    pa, pb = na.create_process(), nb.create_process()
+
+    def receiver(proc):
+        eq, me, md, buf = yield from make_target(proc, size=max(nbytes, 1))
+        yield from drain_events(proc.api, eq, want=[EventKind.PUT_END])
+        return True
+
+    def sender(proc, target):
+        api = proc.api
+        md = yield from api.PtlMDBind(proc.alloc(max(nbytes, 1)))
+        yield from api.PtlPut(md, target, 4, 0x1234, length=nbytes)
+        yield proc.sim.timeout(100_000_000)
+        return True
+
+    hr = pb.spawn(receiver)
+    hs = pa.spawn(sender, pb.id)
+    run_to_completion(machine, hr, hs)
+    return machine.tracer
+
+
+class TestTracer:
+    def test_disabled_by_default(self):
+        machine, na, nb = build_pair()
+        assert machine.tracer is None
+
+    def test_put_lifecycle_sequence(self):
+        tracer = traced_put(100)
+        cats = [r.category for r in tracer.records]
+        # the canonical order: sender fw tx, receiver fw header, receiver
+        # interrupt, receiver match
+        assert "fw.tx" in cats and "fw.rx_header" in cats
+        assert cats.index("fw.tx") < cats.index("fw.rx_header")
+        assert cats.index("fw.rx_header") < cats.index("kernel.match")
+        irqs = [r for r in tracer.records if r.category == "kernel.irq"]
+        assert irqs, "receiver interrupt not traced"
+
+    def test_trace_details_carry_node_and_size(self):
+        tracer = traced_put(200)
+        tx = tracer.by_category("fw.tx")[0]
+        assert tx.detail["node"] == 0
+        assert tx.detail["nbytes"] == 200
+        rx = tracer.by_category("fw.rx_header")[0]
+        assert rx.detail["node"] == 1
+        assert rx.detail["msg_id"] == tx.detail["msg_id"]
+
+    def test_match_status_recorded(self):
+        tracer = traced_put(50)
+        match = tracer.by_category("kernel.match")[0]
+        assert match.detail["status"] == "matched"
+        assert match.detail["mlength"] == 50
+
+    def test_timestamps_monotone(self):
+        tracer = traced_put(1000)
+        times = [r.time for r in tracer.records]
+        assert times == sorted(times)
+
+    def test_unmatched_put_traced_as_drop(self):
+        machine, na, nb = build_pair(trace=True)
+        pa, pb = na.create_process(), nb.create_process()
+
+        def receiver(proc):
+            eq, me, md, buf = yield from make_target(proc, match_bits=0x1)
+            yield proc.sim.timeout(100_000_000)
+            return True
+
+        def sender(proc, target):
+            api = proc.api
+            md = yield from api.PtlMDBind(proc.alloc(8))
+            yield from api.PtlPut(md, target, 4, 0x2)
+            yield proc.sim.timeout(100_000_000)
+            return True
+
+        hr = pb.spawn(receiver)
+        hs = pa.spawn(sender, pb.id)
+        run_to_completion(machine, hr, hs)
+        match = machine.tracer.by_category("kernel.match")[0]
+        assert match.detail["status"] == "dropped_no_match"
