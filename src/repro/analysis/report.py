@@ -69,18 +69,26 @@ def node_report(node) -> dict[str, Any]:
 
 def machine_report(machine: Machine) -> dict[str, Any]:
     """Reports for every booted node plus fabric-level totals."""
-    return {
+    link = machine.fabric.link.snapshot()
+    report = {
         "sim_time_us": to_us(machine.now),
         "fabric": {
             "chunks_sent": machine.fabric.counters["chunks_sent"],
             "packets_sent": machine.fabric.counters["packets_sent"],
-            "link_packets": machine.fabric.link.packets_carried,
-            "link_retries": machine.fabric.link.retries,
+            "chunks_dropped": machine.fabric.counters["chunks_dropped"],
+            "link_packets": link["packets_carried"],
+            "link_retries": link["retries"],
         },
         "nodes": [
             node_report(node) for _, node in sorted(machine.nodes.items())
         ],
     }
+    injector = getattr(machine, "injector", None)
+    if injector is not None:
+        from ..faults.report import fault_report
+
+        report["faults"] = fault_report(machine)
+    return report
 
 
 def format_machine_report(machine: Machine) -> str:
@@ -120,8 +128,17 @@ def format_machine_report(machine: Machine) -> str:
         recovery = {
             k: v
             for k, v in fw["counters"].items()
-            if k.startswith(("naks", "retransmits", "gobackn", "exhausted"))
+            if k.startswith(
+                ("naks", "retransmits", "gobackn", "exhausted", "sacks",
+                 "crc_errors", "transport_losses", "timeout_retransmits",
+                 "backoff_time", "duplicates", "control_drops")
+            )
         }
         if recovery:
             lines.append(f"  recovery: {recovery}")
+    faults = data.get("faults")
+    if faults is not None:
+        injected = faults.get("injected", {})
+        if injected:
+            lines.append(f"faults injected: {injected}")
     return "\n".join(lines)

@@ -7,7 +7,10 @@ Subcommands:
 * ``latency``  — quick 1-byte latency for all four transports vs the
   paper's Figure 4 anchors;
 * ``sram``     — the firmware SRAM occupancy report (section 4.2);
-* ``topology`` — inspect a machine topology (dims, diameter, a route).
+* ``topology`` — inspect a machine topology (dims, diameter, a route);
+* ``chaos``    — run a NetPIPE sweep under a named fault plan with the
+  reliable transport on, verify payload integrity, and print the
+  injected-vs-recovered report.
 """
 
 from __future__ import annotations
@@ -98,6 +101,51 @@ def cmd_sram(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    from .faults import (
+        format_fault_report,
+        named_plan,
+        verify_payload_integrity,
+    )
+    from .fw.firmware import ExhaustionPolicy
+    from .hw.config import DEFAULT_CONFIG
+    from .netpipe import NetPipeRunner
+
+    # GET is excluded: the reply of a lost GET carries no go-back-N
+    # sequence, so reply loss is unrecoverable by design (see
+    # docs/architecture.md).  chaos exercises the recoverable paths.
+    module = _module(args.module, False)
+    plan = named_plan(args.plan, seed=args.seed)
+    cfg = DEFAULT_CONFIG.replace(reliable_transport=True)
+    sizes = (
+        decade_sizes(args.min_bytes, args.max_bytes)
+        if args.fast
+        else netpipe_sizes(args.min_bytes, args.max_bytes)
+    )
+    runner = NetPipeRunner(
+        module,
+        config=cfg,
+        policy=ExhaustionPolicy.GO_BACK_N,
+        hops=args.hops,
+        fault_plan=plan,
+    )
+    series = runner.run("pingpong", sizes)
+    print(f"# chaos plan={args.plan} seed={args.seed} module={series.module}")
+    print(f"{'bytes':>10} {'latency_us':>12} {'MB/s':>10}")
+    for p in series.points:
+        print(f"{p.nbytes:>10} {p.latency_us:>12.3f} {p.bandwidth_mb_s:>10.2f}")
+    print()
+    print(format_fault_report(runner.machine))
+    print()
+    check = verify_payload_integrity(plan, sizes, config=cfg)
+    if check["ok"]:
+        print(f"payload integrity: OK ({check['checked']} sizes byte-identical)")
+        return 0
+    for nbytes, offset in check["mismatches"]:
+        print(f"payload integrity: FAIL {nbytes}B first bad byte at {offset}")
+    return 1
+
+
 def cmd_topology(args) -> int:
     machine = build_redstorm(tuple(args.dims))
     topo = machine.topology
@@ -156,6 +204,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the fixed route between two node ids",
     )
     topo_cmd.set_defaults(func=cmd_topology)
+
+    from .faults.plan import plan_names
+
+    chaos_cmd = sub.add_parser(
+        "chaos", help="NetPIPE sweep under a fault plan + recovery report"
+    )
+    chaos_cmd.add_argument("--plan", default="drop-1pct", choices=plan_names())
+    chaos_cmd.add_argument(
+        "--module", default="put", choices=["put", "mpich1", "mpich2"],
+        help="transport to sweep (get excluded: reply loss is unrecoverable)",
+    )
+    chaos_cmd.add_argument("--seed", type=int, default=0)
+    chaos_cmd.add_argument("--min-bytes", type=int, default=1)
+    chaos_cmd.add_argument("--max-bytes", type=int, default=64 * 1024)
+    chaos_cmd.add_argument("--hops", type=int, default=1)
+    chaos_cmd.add_argument("--fast", action="store_true",
+                           help="powers of two only")
+    chaos_cmd.set_defaults(func=cmd_chaos)
     return parser
 
 

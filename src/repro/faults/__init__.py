@@ -1,0 +1,55 @@
+"""Fault injection and reliability validation (``repro.faults``).
+
+The paper's stack carries two reliability layers the rest of the
+simulation only *accounts* for: the per-link 16-bit CRC with retry and
+the end-to-end 32-bit CRC.  This package turns them into exercised code
+paths: a seeded :class:`FaultPlan` describes chunk loss, corruption,
+link flaps/kills and control-pool squeezes; a :class:`FaultInjector`
+applies it to a live fabric; the firmware detects the damage (CRC NAKs,
+sequence gaps), retransmits with exponential backoff, and degrades to a
+``PTL_NI_FAIL`` event when retries exhaust.
+
+Usage::
+
+    from repro.faults import FaultPlan, named_plan
+    from repro.machine.builder import build_pair
+    from repro.fw.firmware import ExhaustionPolicy
+
+    cfg = DEFAULT_CONFIG.replace(reliable_transport=True)
+    machine, a, b = build_pair(
+        cfg,
+        policy=ExhaustionPolicy.GO_BACK_N,
+        fault_plan=named_plan("drop-1pct"),
+    )
+
+With ``fault_plan=None`` (or ``FaultPlan.none()``) no injector is built
+and every code path — and therefore every simulated timestamp — is
+bit-identical to a machine that never imported this package.
+"""
+
+from .injector import FaultInjector
+from .plan import (
+    ChunkAction,
+    FaultPlan,
+    LinkOutage,
+    OutageMode,
+    ScriptedFault,
+    named_plan,
+    plan_names,
+)
+from .report import fault_report, format_fault_report
+from .verify import verify_payload_integrity
+
+__all__ = [
+    "FaultPlan",
+    "FaultInjector",
+    "LinkOutage",
+    "OutageMode",
+    "ChunkAction",
+    "ScriptedFault",
+    "named_plan",
+    "plan_names",
+    "fault_report",
+    "format_fault_report",
+    "verify_payload_integrity",
+]

@@ -1,0 +1,161 @@
+"""The live fault injector: a FaultPlan interpreted against a fabric.
+
+One injector serves a whole :class:`~repro.machine.builder.Machine`.  The
+fabric consults it at the serialization stage of every pipe (drop /
+corrupt / outage decisions) and switches its arrival stage into
+store-and-forward reassembly so that a damaged message is refused as a
+unit — the model of the SeaStar's end-to-end 32-bit CRC, which covers
+the whole message and is checked at the receiving NIC before anything is
+handed to Portals.
+
+The injector's RNG is private and consumed in wire order, so a given
+(plan, workload) pair replays identically.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Optional
+
+from ..sim import Counters, Simulator
+from .plan import ChunkAction, FaultPlan, OutageMode
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..fw.firmware import Firmware
+    from ..net.packet import WireChunk
+
+__all__ = ["FaultInjector"]
+
+#: meta key set on a chunk whose payload the injector damaged; the
+#: receiving pipe's reassembly stage treats it as an end-to-end CRC
+#: mismatch for the whole message.
+CRC_CORRUPT = "crc_corrupt"
+
+
+class FaultInjector:
+    """Applies a :class:`FaultPlan` to live traffic, keeping score."""
+
+    def __init__(self, sim: Simulator, plan: FaultPlan):
+        if plan.is_noop():
+            # builders treat no-op plans as "no injector"; constructing
+            # one anyway is almost certainly a wiring mistake
+            raise ValueError("refusing to build an injector for a no-op plan")
+        self.sim = sim
+        self.plan = plan
+        self.counters = Counters()
+        self._rng = random.Random(plan.seed)
+        self._chunk_index = 0
+        self._script = {f.index: f.action for f in plan.script}
+        self._stall_outages = tuple(
+            o for o in plan.outages if o.mode is OutageMode.STALL
+        )
+        self._drop_outages = tuple(
+            o for o in plan.outages if o.mode is OutageMode.DROP
+        )
+
+    # ------------------------------------------------------------------
+    # Fabric-facing hooks
+    # ------------------------------------------------------------------
+    def stall_until(self, src: int, dst: int) -> Optional[int]:
+        """Latest end of any STALL outage covering (src, dst) right now.
+
+        The pipe's serializer holds the chunk until that time (re-asking,
+        since windows can chain).  ``None`` when the link is up.
+        """
+        now = self.sim.now
+        until: Optional[int] = None
+        for outage in self._stall_outages:
+            if outage.covers(src, dst, now):
+                if outage.end is None:
+                    # a permanent STALL: park "forever" (the serializer
+                    # re-checks each window, so just push far out)
+                    return now + (1 << 62)
+                if until is None or outage.end > until:
+                    until = outage.end
+        return until
+
+    def chunk_fate(self, chunk: "WireChunk") -> bool:
+        """Decide one chunk's fate at serialization time.
+
+        Returns ``True`` to deliver the chunk (possibly after marking it
+        corrupt) and ``False`` to drop it on the floor.  Exactly one RNG
+        draw per probabilistic knob per chunk, in a fixed order, keeps
+        replay deterministic.
+        """
+        index = self._chunk_index
+        self._chunk_index += 1
+        now = self.sim.now
+
+        scripted = self._script.get(index)
+        if scripted is ChunkAction.DROP:
+            self.counters.incr("chunks_dropped")
+            self.counters.incr("scripted_faults")
+            return False
+        if scripted is ChunkAction.CORRUPT:
+            chunk.meta[CRC_CORRUPT] = True
+            self.counters.incr("chunks_corrupted")
+            self.counters.incr("scripted_faults")
+            return True
+
+        for outage in self._drop_outages:
+            if outage.covers(chunk.src, chunk.dst, now):
+                self.counters.incr("chunks_dropped")
+                self.counters.incr("outage_drops")
+                return False
+
+        if self.plan.drop_prob > 0.0 and self._rng.random() < self.plan.drop_prob:
+            self.counters.incr("chunks_dropped")
+            self.counters.incr("random_drops")
+            return False
+        if (
+            self.plan.corrupt_prob > 0.0
+            and self._rng.random() < self.plan.corrupt_prob
+        ):
+            chunk.meta[CRC_CORRUPT] = True
+            self.counters.incr("chunks_corrupted")
+        return True
+
+    def note_stall(self, duration: int) -> None:
+        """Account time a serializer spent parked behind a STALL outage."""
+        self.counters.incr("stall_time_ps", duration)
+
+    # ------------------------------------------------------------------
+    # Node-facing hooks
+    # ------------------------------------------------------------------
+    def attach_node(self, firmware: "Firmware") -> None:
+        """Register a node's firmware with the injector.
+
+        Currently this starts the control-pool squeeze process, if the
+        plan asks for one.
+        """
+        if self.plan.control_pool_steal > 0:
+            self.sim.process(
+                self._squeeze_control_pool(firmware),
+                name=f"fault:pool-squeeze:{firmware.node_id}",
+            )
+
+    def _squeeze_control_pool(self, firmware: "Firmware"):
+        """Steal internal pendings for a window, then hand them back.
+
+        Models a control/mailbox overrun: while the pool is squeezed the
+        firmware cannot source ACK/REPLY/NAK messages and its existing
+        ``control_drops`` + retry machinery has to carry the load.
+        """
+        plan = self.plan
+        if plan.steal_start > 0:
+            yield self.sim.timeout(plan.steal_start)
+        stolen = []
+        for _ in range(plan.control_pool_steal):
+            pending = firmware.internal_pool.alloc()
+            if pending is None:
+                break
+            stolen.append(pending)
+        self.counters.incr("control_pendings_stolen", len(stolen))
+        if plan.steal_end is None or not stolen:
+            return
+        remaining = plan.steal_end - self.sim.now
+        if remaining > 0:
+            yield self.sim.timeout(remaining)
+        for pending in stolen:
+            firmware.internal_pool.free(pending)
+        self.counters.incr("control_pendings_returned", len(stolen))

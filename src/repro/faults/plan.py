@@ -1,0 +1,251 @@
+"""Declarative fault plans.
+
+A :class:`FaultPlan` is an immutable, seeded description of *what goes
+wrong* during a run: random chunk loss and corruption rates, link outage
+windows (flaps or kills), scripted single-chunk faults for targeted
+tests, and a firmware control-pool squeeze.  The plan is pure data — the
+:class:`~repro.faults.injector.FaultInjector` interprets it against a
+live fabric.
+
+Determinism: everything an injector does is derived from ``plan.seed``
+and the (deterministic) order in which chunks reach the wire, so the
+same plan on the same workload reproduces the same faults, byte for
+byte and picosecond for picosecond.
+
+``FaultPlan.none()`` (and any plan whose knobs are all zero) is treated
+as *no injector at all*: the fabric code paths are bit-identical to a
+run that never heard of this module.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..sim.units import US, us
+
+__all__ = [
+    "ChunkAction",
+    "FaultPlan",
+    "LinkOutage",
+    "OutageMode",
+    "ScriptedFault",
+    "named_plan",
+    "plan_names",
+]
+
+
+class OutageMode(enum.Enum):
+    """What a link outage does to traffic that hits it."""
+
+    STALL = "stall"
+    """Traffic waits: chunks queue at the serializer until the window
+    ends (link-level retry keeps the wire busy but nothing gets through,
+    e.g. a cable reseat)."""
+
+    DROP = "drop"
+    """Traffic fails fast: chunks entering the window are discarded and
+    must be recovered end to end (a dead link)."""
+
+
+class ChunkAction(enum.Enum):
+    """Scripted per-chunk fates (targeted fault tests)."""
+
+    DROP = "drop"
+    CORRUPT = "corrupt"
+
+
+@dataclass(frozen=True)
+class LinkOutage:
+    """One outage window on one (or every) directed link.
+
+    ``src``/``dst`` of ``None`` match any node; ``end`` of ``None``
+    means the link never comes back (a kill rather than a flap).
+    Times are simulation picoseconds.
+    """
+
+    start: int
+    end: Optional[int] = None
+    src: Optional[int] = None
+    dst: Optional[int] = None
+    mode: OutageMode = OutageMode.STALL
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ValueError("outage start must be >= 0")
+        if self.end is not None and self.end <= self.start:
+            raise ValueError("outage end must be > start (or None for a kill)")
+
+    def covers(self, src: int, dst: int, now: int) -> bool:
+        """True if this outage affects the (src, dst) link at ``now``."""
+        if self.src is not None and self.src != src:
+            return False
+        if self.dst is not None and self.dst != dst:
+            return False
+        if now < self.start:
+            return False
+        return self.end is None or now < self.end
+
+
+@dataclass(frozen=True)
+class ScriptedFault:
+    """Deterministically fault the ``index``-th chunk to enter the wire.
+
+    Indices count every chunk handed to ``Fabric.send`` machine-wide, in
+    order, starting at 0 — control traffic included.  Used by targeted
+    tests ("kill exactly chunk 3 of this transfer") where probabilistic
+    injection would be awkward.
+    """
+
+    index: int
+    action: ChunkAction = ChunkAction.DROP
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError("scripted fault index must be >= 0")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Everything that will go wrong, declared up front."""
+
+    seed: int = 0
+    """Seed for the injector's private RNG (independent of every other
+    RNG in the simulation)."""
+
+    drop_prob: float = 0.0
+    """Per-chunk probability of silent loss on the wire."""
+
+    corrupt_prob: float = 0.0
+    """Per-chunk probability of payload corruption.  The chunk still
+    arrives but fails the end-to-end 32-bit CRC at the receiving NIC."""
+
+    outages: tuple[LinkOutage, ...] = ()
+    """Link flap/kill windows."""
+
+    script: tuple[ScriptedFault, ...] = ()
+    """Targeted single-chunk faults by global chunk index."""
+
+    control_pool_steal: int = 0
+    """Number of firmware internal (control) pendings to steal from every
+    node, squeezing the ACK/REPLY/NAK pool — models a mailbox/control
+    overrun without modelling SRAM bit-rot."""
+
+    steal_start: int = 0
+    """When (ps) the control-pool squeeze begins."""
+
+    steal_end: Optional[int] = None
+    """When the stolen pendings are returned; ``None`` holds them for the
+    whole run."""
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.drop_prob <= 1.0:
+            raise ValueError("drop_prob must be in [0, 1]")
+        if not 0.0 <= self.corrupt_prob <= 1.0:
+            raise ValueError("corrupt_prob must be in [0, 1]")
+        if self.control_pool_steal < 0:
+            raise ValueError("control_pool_steal must be >= 0")
+        if self.steal_start < 0:
+            raise ValueError("steal_start must be >= 0")
+        if self.steal_end is not None and self.steal_end <= self.steal_start:
+            raise ValueError("steal_end must be > steal_start (or None)")
+        # normalize lists passed by callers into hashable tuples
+        if not isinstance(self.outages, tuple):
+            object.__setattr__(self, "outages", tuple(self.outages))
+        if not isinstance(self.script, tuple):
+            object.__setattr__(self, "script", tuple(self.script))
+
+    @classmethod
+    def none(cls) -> "FaultPlan":
+        """The empty plan: attaching it changes nothing, bit for bit."""
+        return cls()
+
+    def is_noop(self) -> bool:
+        """True if this plan injects no fault of any kind."""
+        return (
+            self.drop_prob == 0.0
+            and self.corrupt_prob == 0.0
+            and not self.outages
+            and not self.script
+            and self.control_pool_steal == 0
+        )
+
+
+def _flap_windows(
+    *, first: int, up: int, down: int, count: int, mode: OutageMode
+) -> tuple[LinkOutage, ...]:
+    """``count`` outages of ``down`` ps, ``up`` ps apart, from ``first``."""
+    windows = []
+    start = first
+    for _ in range(count):
+        windows.append(LinkOutage(start=start, end=start + down, mode=mode))
+        start += down + up
+    return tuple(windows)
+
+
+#: Named plans for the ``repro chaos`` CLI and the docs.  Factories (not
+#: instances) so each lookup can re-seed without mutating shared state.
+_NAMED_PLANS: dict[str, Callable[[int], FaultPlan]] = {
+    "none": lambda seed: FaultPlan(seed=seed),
+    # the acceptance plan: 1% chunk loss + 0.1% corruption
+    "drop-1pct": lambda seed: FaultPlan(
+        seed=seed, drop_prob=0.01, corrupt_prob=0.001
+    ),
+    "drop-5pct": lambda seed: FaultPlan(
+        seed=seed, drop_prob=0.05, corrupt_prob=0.005
+    ),
+    "corrupt-1pct": lambda seed: FaultPlan(seed=seed, corrupt_prob=0.01),
+    # link flaps: 100 us dead / 400 us alive, five times, traffic stalls
+    "flaky-link": lambda seed: FaultPlan(
+        seed=seed,
+        outages=_flap_windows(
+            first=us(200),
+            down=us(100),
+            up=us(400),
+            count=5,
+            mode=OutageMode.STALL,
+        ),
+    ),
+    # same cadence but the link eats traffic instead of stalling it
+    "lossy-flap": lambda seed: FaultPlan(
+        seed=seed,
+        outages=_flap_windows(
+            first=us(200),
+            down=us(100),
+            up=us(400),
+            count=5,
+            mode=OutageMode.DROP,
+        ),
+    ),
+    # the link dies at t=1 ms and never returns: exercises retry
+    # exhaustion and the PTL_NI_FAIL degrade path
+    "link-kill": lambda seed: FaultPlan(
+        seed=seed,
+        outages=(LinkOutage(start=1000 * US, end=None, mode=OutageMode.DROP),),
+    ),
+    # squeeze the firmware control pool to 4 pendings for 2 ms
+    "control-overrun": lambda seed: FaultPlan(
+        seed=seed,
+        drop_prob=0.01,
+        control_pool_steal=60,
+        steal_start=us(100),
+        steal_end=us(2100),
+    ),
+}
+
+
+def plan_names() -> list[str]:
+    """Names accepted by :func:`named_plan` (and ``repro chaos --plan``)."""
+    return sorted(_NAMED_PLANS)
+
+
+def named_plan(name: str, *, seed: int = 0) -> FaultPlan:
+    """Look up a canned fault plan by name."""
+    try:
+        factory = _NAMED_PLANS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown fault plan {name!r}; choose from {', '.join(plan_names())}"
+        ) from None
+    return factory(seed)

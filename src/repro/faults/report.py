@@ -1,0 +1,87 @@
+"""Recovery reporting for fault-injection runs.
+
+Aggregates the injector's score (what was done *to* the machine) with
+the per-node firmware recovery counters (what the machine did about it)
+into one dict / printable report.  ``repro chaos`` prints this after its
+sweep; :func:`repro.analysis.report.machine_report` embeds the same data
+when a machine carries an injector.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from ..sim import Counters
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..machine.builder import Machine
+
+__all__ = ["fault_report", "format_fault_report"]
+
+#: firmware counters that describe detection/recovery work
+_RECOVERY_KEYS = (
+    "crc_errors",
+    "transport_losses",
+    "naks_sent",
+    "naks_received",
+    "sacks_sent",
+    "sacks_received",
+    "retransmits",
+    "timeout_retransmits",
+    "retransmits_suppressed",
+    "backoff_time_ps",
+    "gobackn_failures",
+    "gobackn_recovered",
+    "duplicates",
+    "control_drops",
+)
+
+
+def fault_report(machine: "Machine") -> dict[str, Any]:
+    """Structured injected-vs-recovered summary for one machine."""
+    injector = getattr(machine, "injector", None)
+    injected = dict(injector.counters.snapshot()) if injector is not None else {}
+
+    recovery = Counters()
+    for node in machine.nodes.values():
+        fw_counters = node.firmware.counters
+        for key in _RECOVERY_KEYS:
+            value = fw_counters[key]
+            if value:
+                recovery.incr(key, value)
+
+    link = machine.fabric.link
+    return {
+        "plan": repr(injector.plan) if injector is not None else None,
+        "injected": injected,
+        "recovery": dict(recovery.snapshot()),
+        "link": link.snapshot(),
+    }
+
+
+def format_fault_report(machine: "Machine") -> str:
+    """Human-readable recovery report (the tail of ``repro chaos``)."""
+    data = fault_report(machine)
+    lines = ["=== fault / recovery report ==="]
+    if data["plan"] is None:
+        lines.append("no fault injector attached (clean run)")
+    else:
+        lines.append(f"plan: {data['plan']}")
+        lines.append("injected:")
+        if data["injected"]:
+            for key, value in sorted(data["injected"].items()):
+                lines.append(f"  {key:28s} {value}")
+        else:
+            lines.append("  (nothing fired)")
+    lines.append("recovery:")
+    if data["recovery"]:
+        for key, value in sorted(data["recovery"].items()):
+            lines.append(f"  {key:28s} {value}")
+    else:
+        lines.append("  (no recovery work needed)")
+    link = data["link"]
+    lines.append(
+        f"link: {link['packets_carried']} packets carried, "
+        f"{link['retries']} link-level retries"
+    )
+    return "\n".join(lines)

@@ -90,6 +90,14 @@ class RetxRecord:
     host_ctx: Any
     retries: int = 0
 
+    acked: bool = False
+    """Receiver confirmed delivery (via cumulative SACK, reliable mode)
+    — or the record was superseded; never retransmit again."""
+
+    failed: bool = False
+    """Retries exhausted and SEND_FAILED surfaced; latched so the
+    failure event fires exactly once per message."""
+
 
 class Firmware:
     """One node's firmware instance, attached to its SeaStar."""
@@ -147,9 +155,14 @@ class Firmware:
         self._history_order: list[tuple[int, int]] = []
         self._retx_queues: dict[int, list[RetxRecord]] = {}
         self._retx_scheduled: set[int] = set()
+        # reliable transport: highest cumulatively-SACKed seq per dst node
+        self._acked_through: dict[int, int] = {}
 
         self.work: Channel = Channel(sim, name=f"fwwork:{self.node_id}")
         seastar.attach_firmware(self._on_header)
+        # fault injection: the pipe's reassembly stage reports messages
+        # that failed the end-to-end CRC (or lost chunks) here
+        seastar.port.on_transport_error = self._on_transport_error
         sim.process(self._main_loop(), name=f"fw:{self.node_id}")
 
     # ------------------------------------------------------------------
@@ -250,6 +263,9 @@ class Firmware:
     def _on_header(self, chunk: WireChunk) -> None:
         self.work.put(("rx_header", chunk))
 
+    def _on_transport_error(self, header: Optional[PortalsHeader], reason: str) -> None:
+        self.work.put(("transport_error", header, reason))
+
     # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------
@@ -282,6 +298,8 @@ class Firmware:
                 yield from ppc.handler(cfg.fw_release_cmd)
             elif kind == "retransmit_flush":
                 yield from self._handle_retransmit_flush(item[1])
+            elif kind == "transport_error":
+                yield from self._handle_transport_error(item[1], item[2])
             else:  # pragma: no cover - defensive
                 raise RuntimeError(f"unknown firmware work item {kind!r}")
 
@@ -380,17 +398,31 @@ class Firmware:
         hdr.wire_seq = src.next_tx_seq
         src.next_tx_seq += 1
         if self.policy is ExhaustionPolicy.GO_BACK_N:
-            self._record_history(
-                RetxRecord(
-                    seq=hdr.wire_seq,
-                    dst_node=lower.dest_node,
-                    header=hdr,
-                    payload=payload,
-                    proc=proc,
-                    lower=lower,
-                    host_ctx=host_ctx,
-                )
+            reliable = self.config.reliable_transport
+            record = RetxRecord(
+                seq=hdr.wire_seq,
+                dst_node=lower.dest_node,
+                header=hdr,
+                # With a lossy wire the host may legitimately reuse its
+                # buffer after the local SEND_END, so the firmware must
+                # retain the bytes it may need to retransmit (the real
+                # NIC holds them in the TX pending's SRAM view).  On the
+                # lossless default wire the original reference suffices.
+                payload=(
+                    np.array(payload, copy=True)
+                    if reliable and payload is not None
+                    else payload
+                ),
+                proc=proc,
+                lower=lower,
+                host_ctx=host_ctx,
             )
+            self._record_history(record)
+            if reliable:
+                self.sim.process(
+                    self._ack_watchdog(record),
+                    name=f"fw:watchdog:{self.node_id}:{lower.dest_node}:{hdr.wire_seq}",
+                )
         self._submit(proc, lower, hdr, payload)
 
     def _submit(self, proc, lower, hdr, payload) -> None:
@@ -567,6 +599,8 @@ class Firmware:
             yield from self._rx_ack(chunk, hdr)
         elif hdr.op is MsgType.NAK:
             yield from self._rx_nak(chunk, hdr)
+        elif hdr.op is MsgType.SACK:
+            yield from self._rx_sack(hdr)
         else:  # pragma: no cover - defensive
             raise RuntimeError(f"unknown wire op {hdr.op}")
 
@@ -581,7 +615,13 @@ class Firmware:
         # go-back-N: per-source request ordering.
         if hdr.wire_seq < source.expect_rx_seq:
             # Duplicate of something already accepted; drain and drop.
+            # In reliable mode re-SACK so a spurious (timeout-raced)
+            # retransmission terminates the sender's watchdog even if
+            # the original SACK was itself lost.
             self.counters.incr("duplicates")
+            if cfg.reliable_transport:
+                yield from ppc.charge(cfg.fw_tx_cmd)
+                self._send_transport_ack(hdr.src.nid, source.expect_rx_seq - 1)
             if not chunk.is_last:
                 self._program_discard(chunk.msg_id)
             return
@@ -602,6 +642,10 @@ class Firmware:
         if source.rejecting_from_seq is not None:
             source.rejecting_from_seq = None
             self.counters.incr("gobackn_recovered")
+        if cfg.reliable_transport:
+            # cumulative transport ack: everything through this seq is in
+            yield from ppc.charge(cfg.fw_tx_cmd)
+            self._send_transport_ack(hdr.src.nid, source.expect_rx_seq - 1)
 
         lower.kind = PendingKind.RX
         lower.state = "rx_header"
@@ -976,16 +1020,135 @@ class Firmware:
             return
         self._queue_retransmit(record)
 
+    def _send_transport_ack(self, dst_node: int, through_seq: int) -> None:
+        """Send a cumulative SACK: requests through ``through_seq`` are in.
+
+        Control-pool exhaustion just drops it — the sender's watchdog
+        retransmits and the duplicate path re-SACKs later.
+        """
+        sent = self._send_control(
+            op=MsgType.SACK,
+            dst_node=dst_node,
+            dst_pid=0,
+            initiator_ctx=None,
+            meta={"ack_through": through_seq, "ack_node": self.node_id},
+        )
+        if sent:
+            self.counters.incr("sacks_sent")
+
+    def _rx_sack(self, hdr: PortalsHeader):
+        yield from self.seastar.ppc.charge(self.config.fw_release_cmd)
+        self.counters.incr("sacks_received")
+        node = hdr.meta.get("ack_node")
+        through = hdr.meta.get("ack_through", -1)
+        if node is None:
+            return
+        if through > self._acked_through.get(node, -1):
+            self._acked_through[node] = through
+        for (dst, seq), record in self._tx_history.items():
+            if dst == node and seq <= through:
+                record.acked = True
+
+    def _handle_transport_error(self, hdr: Optional[PortalsHeader], reason: str):
+        """A message failed the end-to-end 32-bit CRC (or lost chunks).
+
+        The RX path detected damage before anything reached Portals;
+        charge the CRC-verdict handler and NAK the sender so go-back-N
+        replays the message.  ``hdr`` is None when the header chunk
+        itself was lost — then only the sender's watchdog can recover.
+        """
+        cfg = self.config
+        yield from self.seastar.ppc.handler(cfg.fw_crc_check)
+        self.counters.incr("crc_errors" if reason == "corrupt" else "transport_losses")
+        self._trace(
+            "fw.transport_error",
+            reason=reason,
+            op=hdr.op.value if hdr is not None else None,
+            src=hdr.src.nid if hdr is not None else None,
+        )
+        if hdr is None:
+            self.counters.incr("headerless_losses")
+            return
+        if (
+            hdr.op in (MsgType.PUT, MsgType.GET)
+            and self.policy is ExhaustionPolicy.GO_BACK_N
+        ):
+            source = self.control.lookup_source(hdr.src.nid)
+            if source is not None and hdr.wire_seq < source.expect_rx_seq:
+                # a damaged *duplicate* of something already accepted:
+                # don't NAK backwards, just restate where we are
+                if cfg.reliable_transport:
+                    self._send_transport_ack(hdr.src.nid, source.expect_rx_seq - 1)
+                return
+            self.counters.incr("naks_sent")
+            self._send_control(
+                op=MsgType.NAK,
+                dst_node=hdr.src.nid,
+                dst_pid=hdr.src.pid,
+                initiator_ctx=hdr.initiator_ctx,
+                meta={"nak_seq": hdr.wire_seq, "nak_node": self.node_id},
+            )
+        else:
+            # damaged control traffic (ACK/NAK/SACK/REPLY) carries no
+            # wire_seq; timers and duplicate re-SACKs absorb the loss
+            self.counters.incr("control_message_losses")
+
+    def _backoff_delay(self, attempt: int, base: Optional[int] = None) -> int:
+        """Exponential retransmit backoff: ``base * factor**attempt``.
+
+        Capped by ``gobackn_backoff_max`` (but never below ``base``, so
+        callers with a large size-scaled base still wait at least one
+        expected round trip)."""
+        cfg = self.config
+        if base is None:
+            base = cfg.gobackn_backoff
+        delay = int(base * cfg.gobackn_backoff_factor ** min(attempt, 32))
+        return min(delay, max(base, cfg.gobackn_backoff_max))
+
+    def _expected_wire_time(self, length: int) -> int:
+        """Rough lower bound on one message's transmit+wire time (ps)."""
+        cfg = self.config
+        npackets = 1 + cfg.packets_for(length)
+        return npackets * cfg.bottleneck_per_packet()
+
+    def _ack_watchdog(self, record: RetxRecord):
+        """Reliable transport: retransmit on timeout until SACKed.
+
+        The base delay scales with the message's expected wire time (a
+        64 KB message takes longer to arrive than a SACK round trip) and
+        grows exponentially with each attempt.  Terminates as soon as
+        the record is acked or declared failed, so a run always drains.
+        """
+        cfg = self.config
+        base = cfg.retransmit_timeout + 2 * self._expected_wire_time(
+            record.header.length
+        )
+        attempt = 0
+        while True:
+            yield self.sim.timeout(self._backoff_delay(attempt, base))
+            if record.acked or record.failed:
+                return
+            if record.seq <= self._acked_through.get(record.dst_node, -1):
+                record.acked = True
+                return
+            attempt += 1
+            self.counters.incr("timeout_retransmits")
+            self._queue_retransmit(record)
+
     def _queue_retransmit(self, record: RetxRecord) -> None:
+        if record.acked or record.failed:
+            return
         queue = self._retx_queues.setdefault(record.dst_node, [])
         if record not in queue:
             queue.append(record)
         if record.dst_node not in self._retx_scheduled:
             self._retx_scheduled.add(record.dst_node)
-            self.sim.process(self._retx_timer(record.dst_node))
+            delay = self._backoff_delay(record.retries)
+            self.sim.process(self._retx_timer(record.dst_node, delay))
 
-    def _retx_timer(self, dst_node: int):
-        yield self.sim.timeout(self.config.gobackn_backoff)
+    def _retx_timer(self, dst_node: int, delay: int):
+        yield self.sim.timeout(delay)
+        self.counters.incr("backoff_time_ps", delay)
         self.work.put(("retransmit_flush", dst_node))
 
     def _handle_retransmit_flush(self, dst_node: int):
@@ -994,9 +1157,18 @@ class Firmware:
         queue = self._retx_queues.pop(dst_node, [])
         queue.sort(key=lambda r: r.seq)
         for record in queue:
+            if record.acked or record.failed:
+                # SACKed (or already failed) while waiting out the
+                # backoff: nothing to replay
+                self.counters.incr("retransmits_suppressed")
+                continue
             yield from self.seastar.ppc.handler(cfg.fw_tx_cmd)
             record.retries += 1
             if record.retries > cfg.gobackn_max_retries:
+                # latch the failure so the host sees exactly one
+                # SEND_FAILED per message no matter how many NAKs or
+                # timeouts still reference the record
+                record.failed = True
                 self.counters.incr("gobackn_failures")
                 record.proc.event_sink(
                     FwEvent(
@@ -1024,6 +1196,10 @@ class Firmware:
                 record.lower = lower
             if record.seq < 0:
                 # Deferred first transmission (source exhaustion on TX).
+                # The attempt supersedes this placeholder record: a
+                # successful transmit records fresh history under the
+                # real seq, a re-exhaustion queues a fresh placeholder.
+                record.acked = True
                 self._transmit_request(
                     record.proc, lower, record.header, record.payload, record.host_ctx
                 )

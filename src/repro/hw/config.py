@@ -263,6 +263,25 @@ class SeaStarConfig:
     gobackn_max_retries: int = 100
     """Retransmission attempts before declaring the message failed."""
 
+    gobackn_backoff_factor: float = 2.0
+    """Exponential growth of the retransmit backoff: attempt ``n`` waits
+    ``gobackn_backoff * factor**n`` (capped by ``gobackn_backoff_max``).
+    A factor of 1.0 recovers the old fixed-delay behaviour."""
+
+    gobackn_backoff_max: int = us(500)
+    """Upper bound on any single retransmit backoff delay."""
+
+    reliable_transport: bool = False
+    """Enable the timeout-driven retransmit engine (sender watchdogs plus
+    receiver-side cumulative transport acks).  Off for performance runs —
+    the paper's wire is lossless — and switched on by fault-injection
+    experiments, where chunks really do vanish."""
+
+    retransmit_timeout: int = us(50)
+    """Base sender watchdog delay before an unacknowledged message is
+    retransmitted (scaled up with the message's expected wire time and
+    grown exponentially per attempt)."""
+
     # ------------------------------------------------------------------
     # Reliability model
     # ------------------------------------------------------------------
@@ -272,6 +291,13 @@ class SeaStarConfig:
 
     link_retry_penalty: int = ns(500)
     """Extra latency for one link-level retry."""
+
+    fw_crc_check: int = ns(250)
+    """Firmware cost to verify the end-to-end 32-bit CRC verdict for one
+    arriving message and stage the NAK/teardown when it fails.  Charged
+    only on the fault path: the wire computes the CRC in hardware, so a
+    clean message pays nothing extra (matching the paper's treatment of
+    the end-to-end CRC as free in the common case)."""
 
     # ------------------------------------------------------------------
     # MPI library costs (fitted to Fig. 4's 7.97 / 8.40 us MPI latencies)

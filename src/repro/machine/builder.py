@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..faults.injector import FaultInjector
+from ..faults.plan import FaultPlan
 from ..fw.firmware import ExhaustionPolicy
 from ..hw.config import DEFAULT_CONFIG, SeaStarConfig
 from ..net.fabric import Fabric
@@ -32,13 +34,24 @@ class Machine:
         policy: ExhaustionPolicy = ExhaustionPolicy.PANIC,
         seed: int = 0,
         trace: bool = False,
+        fault_plan: Optional[FaultPlan] = None,
     ):
         self.sim = Simulator()
         self.config = config
         self.topology = topology
         self.os_type = os_type
         self.policy = policy
-        self.fabric = Fabric(self.sim, topology, config, seed=seed)
+        self.fault_plan = fault_plan
+        # a no-op plan means *no injector*: the fabric then runs the
+        # exact same code path (and event schedule) as a plain machine
+        self.injector: FaultInjector | None = (
+            FaultInjector(self.sim, fault_plan)
+            if fault_plan is not None and not fault_plan.is_noop()
+            else None
+        )
+        self.fabric = Fabric(
+            self.sim, topology, config, seed=seed, injector=self.injector
+        )
         self.nodes: dict[int, Node] = {}
         from ..sim import Tracer
 
@@ -59,6 +72,8 @@ class Machine:
             tracer=self.tracer,
         )
         self.nodes[node_id] = node
+        if self.injector is not None:
+            self.injector.attach_node(node.firmware)
         return node
 
     def run(self, until: Optional[int] = None) -> int:
@@ -78,6 +93,7 @@ def build_pair(
     policy: ExhaustionPolicy = ExhaustionPolicy.PANIC,
     hops: int = 1,
     trace: bool = False,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> tuple[Machine, Node, Node]:
     """Two nodes ``hops`` apart on a line — the NetPIPE configuration.
 
@@ -87,7 +103,14 @@ def build_pair(
         raise ValueError("hops must be >= 0")
     length = max(2, hops + 1)
     topo = Torus3D((length, 1, 1), wrap=(False, False, False))
-    machine = Machine(topo, config, os_type=os_type, policy=policy, trace=trace)
+    machine = Machine(
+        topo,
+        config,
+        os_type=os_type,
+        policy=policy,
+        trace=trace,
+        fault_plan=fault_plan,
+    )
     a = machine.node(0)
     b = machine.node(hops if hops > 0 else 1)
     return machine, a, b

@@ -25,15 +25,24 @@ model — dominate.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Optional
 
 from ..hw.config import SeaStarConfig
 from ..sim import Channel, Counters, Event, Simulator, Store
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults.injector import FaultInjector
 from .link import LinkModel
 from .packet import WireChunk
 from .routing import Router
 from .topology import Torus3D
 
 __all__ = ["Fabric", "NetworkPort"]
+
+#: chunk.meta key set by the fault injector on damaged payloads; kept as
+#: a literal here (rather than imported) because ``repro.faults``
+#: imports the firmware, which imports this module
+CRC_CORRUPT = "crc_corrupt"
 
 
 @dataclass
@@ -45,6 +54,13 @@ class NetworkPort:
     """Arriving chunks, in order; consumed by the node's RX DMA engine."""
 
     stats: Counters = field(default_factory=Counters)
+
+    on_transport_error: Optional[Callable[[object, str], None]] = None
+    """Fault-injection hook: called by the pipe's reassembly stage when a
+    message fails its end-to-end CRC or arrives with chunks missing.
+    Receives ``(header_or_None, reason)`` where reason is ``"corrupt"``
+    or ``"loss"``.  Wired to the node's firmware; unused (and never
+    called) on a fabric without an injector."""
 
 
 class _Pipe:
@@ -63,13 +79,31 @@ class _Pipe:
     destination's bounded rx store backpressures through both stages.
     """
 
-    __slots__ = ("fabric", "src", "dst", "window", "hops", "_in_flight")
+    __slots__ = (
+        "fabric",
+        "src",
+        "dst",
+        "window",
+        "hops",
+        "_in_flight",
+        "_rb_msg",
+        "_rb_chunks",
+        "_rb_expect",
+        "_rb_bad",
+    )
 
     def __init__(self, fabric: "Fabric", src: int, dst: int):
         self.fabric = fabric
         self.src = src
         self.dst = dst
         self.hops = fabric.router.hops(src, dst)
+        # store-and-forward reassembly state, used only when a fault
+        # injector is attached (the end-to-end CRC verdict needs the
+        # whole message before anything reaches the RX engine)
+        self._rb_msg: int | None = None
+        self._rb_chunks: list[WireChunk] = []
+        self._rb_expect = 0
+        self._rb_bad: str | None = None
         self.window = Store(
             fabric.sim, capacity=fabric.window_chunks, name=f"wire:{src}->{dst}"
         )
@@ -85,27 +119,96 @@ class _Pipe:
     def _serialize(self):
         sim = self.fabric.sim
         link = self.fabric.link
+        injector = self.fabric.injector
         flight_delay = self.hops * self.fabric.config.hop_latency
         while True:
             chunk: WireChunk = yield self.window.get()
+            if injector is not None:
+                # link outage (STALL mode): traffic parks at the
+                # serializer until the window — or a chain of windows —
+                # has passed
+                stall = injector.stall_until(self.src, self.dst)
+                while stall is not None and stall > sim.now:
+                    wait = stall - sim.now
+                    yield sim.timeout(wait)
+                    injector.note_stall(wait)
+                    stall = injector.stall_until(self.src, self.dst)
             busy = link.serialization_time(chunk.npackets) + link.retry_penalty(
                 chunk.npackets
             )
             link.packets_carried += chunk.npackets
             yield sim.timeout(busy)
+            if injector is not None and not injector.chunk_fate(chunk):
+                # dropped on the wire: it burned serialization time but
+                # never reaches the destination
+                self.fabric.counters.incr("chunks_dropped")
+                continue
             yield self._in_flight.put((sim.now + flight_delay, chunk))
 
     def _arrive(self):
         sim = self.fabric.sim
         port = self.fabric.ports[self.dst]
+        injector = self.fabric.injector
         while True:
             due, chunk = yield self._in_flight.get()
             if sim.now < due:
                 yield sim.timeout(due - sim.now)
-            yield port.rx.put(chunk)
-            port.stats.incr("chunks_received")
-            port.stats.incr("packets_received", chunk.npackets)
-            self.fabric.counters.incr("chunks_delivered")
+            if injector is None:
+                yield port.rx.put(chunk)
+                port.stats.incr("chunks_received")
+                port.stats.incr("packets_received", chunk.npackets)
+                self.fabric.counters.incr("chunks_delivered")
+            else:
+                yield from self._reassemble(chunk, port, injector)
+
+    # -- fault-injection reassembly (injector attached only) -----------
+    def _reassemble(self, chunk: WireChunk, port: NetworkPort, injector):
+        """Store-and-forward one chunk; deliver or refuse whole messages.
+
+        Models the end-to-end 32-bit CRC: the receiving NIC can only
+        pass verdict on a complete message, so chunks buffer here and a
+        clean train is released to the port in one burst.  A corrupt
+        chunk, a sequence gap (an earlier chunk was dropped), or a new
+        message superseding an unfinished one (tail loss) poisons the
+        train: nothing is delivered and the firmware is told via
+        ``port.on_transport_error`` so it can NAK the sender.
+        """
+        if self._rb_msg is not None and chunk.msg_id != self._rb_msg:
+            # previous message never saw its last chunk: tail loss
+            yield from self._rb_finish(port, injector, "loss")
+        if self._rb_msg is None:
+            self._rb_msg = chunk.msg_id
+            self._rb_chunks = []
+            self._rb_expect = 0
+            self._rb_bad = None
+        if chunk.seq != self._rb_expect and self._rb_bad is None:
+            self._rb_bad = "loss"
+        self._rb_expect = chunk.seq + 1
+        if chunk.meta.get(CRC_CORRUPT) and self._rb_bad is None:
+            self._rb_bad = "corrupt"
+        self._rb_chunks.append(chunk)
+        if chunk.is_last:
+            yield from self._rb_finish(port, injector, self._rb_bad)
+
+    def _rb_finish(self, port: NetworkPort, injector, bad: str | None):
+        chunks = self._rb_chunks
+        self._rb_msg = None
+        self._rb_chunks = []
+        self._rb_expect = 0
+        self._rb_bad = None
+        if bad is None:
+            for c in chunks:
+                yield port.rx.put(c)
+                port.stats.incr("chunks_received")
+                port.stats.incr("packets_received", c.npackets)
+                self.fabric.counters.incr("chunks_delivered")
+            return
+        injector.counters.incr(f"messages_refused_{bad}")
+        header = chunks[0].header if chunks and chunks[0].is_header else None
+        if port.on_transport_error is not None:
+            port.on_transport_error(header, bad)
+        else:  # no firmware hook: the loss is invisible end to end
+            injector.counters.incr("unreported_refusals")
 
 
 class Fabric:
@@ -128,12 +231,16 @@ class Fabric:
         window_chunks: int | None = None,
         rx_buffer_chunks: int | None = None,
         seed: int = 0,
+        injector: "FaultInjector | None" = None,
     ):
         self.sim = sim
         self.topology = topology
         self.config = config
         self.router = Router(topology)
         self.link = LinkModel(config, seed=seed)
+        #: optional fault injector; None (the default and the state for
+        #: every performance run) leaves all fast paths untouched
+        self.injector = injector
         if window_chunks is None:
             window_chunks = max(2, self.WINDOW_BYTES // config.chunk_bytes)
         if rx_buffer_chunks is None:

@@ -34,6 +34,23 @@ class LinkModel:
         self.packets_carried = 0
         self.retries = 0
 
+    def reset(self) -> None:
+        """Zero the traffic counters (``packets_carried``/``retries``).
+
+        The counters otherwise accumulate for the life of the instance;
+        harnesses that reuse a fabric across measurement phases call this
+        between phases so each report covers exactly one run.
+        """
+        self.packets_carried = 0
+        self.retries = 0
+
+    def snapshot(self) -> dict[str, int]:
+        """Point-in-time copy of the traffic counters."""
+        return {
+            "packets_carried": self.packets_carried,
+            "retries": self.retries,
+        }
+
     def serialization_time(self, npackets: int) -> int:
         """Time (ps) to clock ``npackets`` onto the wire at link rate."""
         return npackets * self.config.link_packet_time()

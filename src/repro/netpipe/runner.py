@@ -16,11 +16,14 @@ All times are *simulated* picoseconds from the DES clock.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from ..fw.firmware import ExhaustionPolicy
 from ..hw.config import DEFAULT_CONFIG, SeaStarConfig
 from ..machine.builder import build_pair
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults.plan import FaultPlan
 from ..oskern.kernel import OSType
 from ..sim import rate_mb_s, to_us
 from .sizes import netpipe_sizes
@@ -99,6 +102,7 @@ class NetPipeRunner:
         hops: int = 1,
         repeats: int = 3,
         warmup: int = 1,
+        fault_plan: "FaultPlan | None" = None,
     ):
         self.module = module
         self.config = config
@@ -107,6 +111,9 @@ class NetPipeRunner:
         self.hops = hops
         self.repeats = repeats
         self.warmup = warmup
+        self.fault_plan = fault_plan
+        #: the machine of the most recent :meth:`run` (chaos reporting)
+        self.machine = None
 
     def run(self, pattern: str, sizes: Optional[Sequence[int]] = None) -> Series:
         """Execute the sweep; returns the measured series."""
@@ -114,8 +121,13 @@ class NetPipeRunner:
         if not sizes:
             raise ValueError("no sizes to measure")
         machine, node_a, node_b = build_pair(
-            self.config, os_type=self.os_type, policy=self.policy, hops=self.hops
+            self.config,
+            os_type=self.os_type,
+            policy=self.policy,
+            hops=self.hops,
+            fault_plan=self.fault_plan,
         )
+        self.machine = machine
         max_bytes = max(sizes)
         ep_a, ep_b = self.module.make_endpoints(machine, node_a, node_b, max_bytes)
         points: list[Measurement] = []

@@ -117,6 +117,12 @@ class MsgType(enum.Enum):
     """Go-back-N negative acknowledgement (resource-exhaustion recovery —
     the protocol the paper describes as in progress)."""
 
+    SACK = "sack"
+    """Cumulative transport acknowledgement ("all requests through
+    sequence N accepted"), sent by receivers when the reliable transport
+    is enabled so sender watchdogs can retire retransmission state.
+    Purely firmware-to-firmware; never surfaces as a Portals event."""
+
 
 class NIFailType(enum.Enum):
     """Failure annotations on events (ni_fail_type)."""

@@ -77,6 +77,18 @@ class Counters:
         """Copy of all counters."""
         return dict(self._counts)
 
+    def merge(self, other: "Counters | dict[str, int]") -> "Counters":
+        """Add another counter set (or dict) into this one; returns self.
+
+        Used to aggregate per-node counters into machine-wide totals
+        (e.g. the fault/recovery report sums firmware counters across
+        every node).
+        """
+        items = other.snapshot() if isinstance(other, Counters) else other
+        for name, amount in items.items():
+            self._counts[name] += amount
+        return self
+
     def reset(self, names: Optional[Iterable[str]] = None) -> None:
         """Zero the given counters (or all of them)."""
         if names is None:

@@ -92,3 +92,31 @@ class TestCommands:
         assert rc == 0
         out = capsys.readouterr().out
         assert "nodes=64" in out and "route 0 -> 63" in out
+
+
+class TestChaos:
+    def test_chaos_smoke(self, capsys):
+        rc = main(
+            ["chaos", "--plan", "drop-1pct", "--fast", "--max-bytes", "4096"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "plan=drop-1pct" in out
+        assert "retransmits" in out
+        assert "payload integrity: OK" in out
+
+    def test_chaos_clean_plan(self, capsys):
+        rc = main(["chaos", "--plan", "none", "--fast", "--max-bytes", "256"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "no fault injector attached" in out
+        assert "payload integrity: OK" in out
+
+    def test_chaos_rejects_unknown_plan(self):
+        with pytest.raises(SystemExit):
+            main(["chaos", "--plan", "gremlins"])
+
+    def test_chaos_rejects_get_module(self):
+        # GET reply loss is unrecoverable by design; the CLI refuses it
+        with pytest.raises(SystemExit):
+            main(["chaos", "--module", "get"])

@@ -67,3 +67,10 @@ class TestExamples:
         run_example("redstorm_block")
         out = capsys.readouterr().out
         assert "320 point-to-point transfers" in out
+
+    def test_chaos_recovery(self, capsys):
+        run_example("chaos_recovery")
+        out = capsys.readouterr().out
+        assert "payloads intact : True" in out
+        assert "replay identical: True" in out
+        assert "PTL_NI_FAIL (no hang, no exception)" in out

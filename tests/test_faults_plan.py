@@ -1,0 +1,122 @@
+"""FaultPlan declaration, validation, named plans, and builder wiring."""
+
+import pytest
+
+from repro.faults import (
+    ChunkAction,
+    FaultInjector,
+    FaultPlan,
+    LinkOutage,
+    OutageMode,
+    ScriptedFault,
+    named_plan,
+    plan_names,
+)
+from repro.machine.builder import build_pair
+from repro.sim import Simulator, us
+
+
+class TestPlanValidation:
+    def test_none_is_noop(self):
+        assert FaultPlan.none().is_noop()
+        assert FaultPlan().is_noop()
+
+    def test_any_knob_defeats_noop(self):
+        assert not FaultPlan(drop_prob=0.1).is_noop()
+        assert not FaultPlan(corrupt_prob=0.1).is_noop()
+        assert not FaultPlan(outages=(LinkOutage(start=0),)).is_noop()
+        assert not FaultPlan(script=(ScriptedFault(0),)).is_noop()
+        assert not FaultPlan(control_pool_steal=1).is_noop()
+
+    def test_probability_bounds(self):
+        with pytest.raises(ValueError):
+            FaultPlan(drop_prob=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(corrupt_prob=-0.1)
+
+    def test_outage_window_ordering(self):
+        with pytest.raises(ValueError):
+            LinkOutage(start=us(10), end=us(5))
+        with pytest.raises(ValueError):
+            LinkOutage(start=-1)
+        # end=None is a kill, always legal
+        LinkOutage(start=us(10), end=None)
+
+    def test_steal_window_ordering(self):
+        with pytest.raises(ValueError):
+            FaultPlan(control_pool_steal=1, steal_start=us(5), steal_end=us(5))
+
+    def test_lists_normalized_to_tuples(self):
+        plan = FaultPlan(
+            outages=[LinkOutage(start=0)], script=[ScriptedFault(3)]
+        )
+        assert isinstance(plan.outages, tuple)
+        assert isinstance(plan.script, tuple)
+
+    def test_scripted_fault_index_validated(self):
+        with pytest.raises(ValueError):
+            ScriptedFault(-1)
+        assert ScriptedFault(0).action is ChunkAction.DROP
+
+
+class TestOutageCoverage:
+    def test_wildcards_match_any_link(self):
+        o = LinkOutage(start=us(1), end=us(2))
+        assert o.covers(0, 1, us(1))
+        assert o.covers(7, 3, us(1))
+
+    def test_directed_outage_matches_one_link(self):
+        o = LinkOutage(start=0, end=us(1), src=0, dst=1)
+        assert o.covers(0, 1, 0)
+        assert not o.covers(1, 0, 0)
+
+    def test_window_boundaries_are_half_open(self):
+        o = LinkOutage(start=us(1), end=us(2))
+        assert not o.covers(0, 1, us(1) - 1)
+        assert o.covers(0, 1, us(1))
+        assert not o.covers(0, 1, us(2))
+
+    def test_kill_never_ends(self):
+        o = LinkOutage(start=us(1), end=None, mode=OutageMode.DROP)
+        assert o.covers(0, 1, us(10_000_000))
+
+
+class TestNamedPlans:
+    def test_all_names_resolve(self):
+        for name in plan_names():
+            plan = named_plan(name, seed=7)
+            assert plan.seed == 7
+
+    def test_acceptance_plan_shape(self):
+        plan = named_plan("drop-1pct")
+        assert plan.drop_prob == 0.01
+        assert plan.corrupt_prob == 0.001
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault plan"):
+            named_plan("meteor-strike")
+
+    def test_none_plan_is_noop(self):
+        assert named_plan("none").is_noop()
+
+
+class TestWiring:
+    def test_injector_refuses_noop_plan(self):
+        with pytest.raises(ValueError, match="no-op plan"):
+            FaultInjector(Simulator(), FaultPlan.none())
+
+    def test_builder_skips_injector_for_noop_plan(self):
+        machine, _, _ = build_pair(fault_plan=FaultPlan.none())
+        assert machine.injector is None
+        assert machine.fabric.injector is None
+
+    def test_builder_defaults_to_no_injector(self):
+        machine, _, _ = build_pair()
+        assert machine.injector is None
+
+    def test_builder_attaches_injector_for_real_plan(self):
+        plan = named_plan("drop-1pct")
+        machine, _, _ = build_pair(fault_plan=plan)
+        assert machine.injector is not None
+        assert machine.fabric.injector is machine.injector
+        assert machine.injector.plan is plan

@@ -1,0 +1,97 @@
+"""Go-back-N retry exhaustion: the degrade path must be app-visible,
+exactly-once, and never hang (ISSUE satellite: exhaustion edge)."""
+
+import pytest
+
+from repro.faults import FaultPlan, LinkOutage, OutageMode
+from repro.fw.firmware import ExhaustionPolicy
+from repro.hw.config import DEFAULT_CONFIG
+from repro.machine.builder import build_pair
+from repro.portals import EventKind, NIFailType
+from repro.sim import us
+
+GO_BACK_N = ExhaustionPolicy.GO_BACK_N
+
+#: dead wire + tiny retry budget: exhaustion in simulated microseconds
+DEAD = FaultPlan(
+    outages=(LinkOutage(start=0, end=None, mode=OutageMode.DROP),)
+)
+FAST_EXHAUST = DEFAULT_CONFIG.replace(
+    reliable_transport=True,
+    gobackn_max_retries=2,
+    gobackn_backoff=us(5),
+    gobackn_backoff_max=us(15),
+    retransmit_timeout=us(15),
+)
+
+
+def run_dead_link(messages, nbytes=2048):
+    machine, na, nb = build_pair(
+        FAST_EXHAUST, policy=GO_BACK_N, fault_plan=DEAD
+    )
+    pa, pb = na.create_process(), nb.create_process()
+    events = []
+
+    def sender(proc, target):
+        api = proc.api
+        eq = yield from api.PtlEQAlloc(128)
+        md = yield from api.PtlMDBind(proc.alloc(nbytes), eq=eq)
+        for _ in range(messages):
+            yield from api.PtlPut(md, target, 4, 0x1234, length=nbytes)
+        fails = 0
+        while fails < messages:
+            ev = yield from api.PtlEQWait(eq)
+            events.append(ev)
+            if (
+                ev.kind is EventKind.SEND_END
+                and ev.ni_fail_type is NIFailType.FAIL
+            ):
+                fails += 1
+        return fails
+
+    hs = pa.spawn(sender, pb.id)
+    machine.run()  # must return: exhaustion ends the retry engine
+    assert hs.triggered, "sender hung waiting for failure events"
+    if not hs.ok:
+        raise hs.value
+    return machine, na, events
+
+
+class TestExhaustion:
+    def test_failure_event_not_hang(self):
+        machine, na, events = run_dead_link(messages=1)
+        failures = [
+            ev
+            for ev in events
+            if ev.kind is EventKind.SEND_END
+            and ev.ni_fail_type is NIFailType.FAIL
+        ]
+        assert len(failures) == 1
+        assert na.firmware.counters["gobackn_failures"] == 1
+
+    def test_exactly_one_failure_per_message(self):
+        """NAK-driven and watchdog-driven retransmits race on the same
+        record; the failed-latch must collapse them to ONE app event."""
+        machine, na, events = run_dead_link(messages=3)
+        failures = [
+            ev
+            for ev in events
+            if ev.kind is EventKind.SEND_END
+            and ev.ni_fail_type is NIFailType.FAIL
+        ]
+        assert len(failures) == 3
+        assert na.firmware.counters["gobackn_failures"] == 3
+
+    def test_retries_actually_happened_first(self):
+        machine, na, _ = run_dead_link(messages=1)
+        fw = na.firmware.counters
+        # the engine tried (max_retries=2 ceiling) before giving up
+        assert fw["retransmits"] >= 1
+        assert fw["timeout_retransmits"] >= 1
+
+    def test_sim_quiesces_after_exhaustion(self):
+        machine, _, _ = run_dead_link(messages=1)
+        # no watchdog/timer left spinning: time stopped advancing
+        end = machine.now
+        machine.run()
+        assert machine.now == end

@@ -1,0 +1,81 @@
+"""LinkModel counter hygiene: reset/snapshot and report surfacing."""
+
+from repro.analysis.report import format_machine_report, machine_report
+from repro.hw.config import SeaStarConfig
+from repro.net.link import LinkModel
+
+from .conftest import run_to_completion
+
+
+class TestLinkCounters:
+    def test_snapshot_returns_both_counters(self):
+        link = LinkModel(SeaStarConfig())
+        link.packets_carried = 11
+        link.retries = 3
+        assert link.snapshot() == {"packets_carried": 11, "retries": 3}
+
+    def test_snapshot_is_a_copy(self):
+        link = LinkModel(SeaStarConfig())
+        snap = link.snapshot()
+        link.packets_carried = 99
+        assert snap["packets_carried"] == 0
+
+    def test_reset_zeroes_counters(self):
+        link = LinkModel(SeaStarConfig())
+        link.packets_carried = 11
+        link.retries = 3
+        link.reset()
+        assert link.snapshot() == {"packets_carried": 0, "retries": 0}
+
+    def test_retry_penalty_counts_retries(self):
+        # a retry probability high enough that 10k packets must see some
+        link = LinkModel(SeaStarConfig(link_crc_retry_prob=1e-3), seed=1)
+        total = sum(link.retry_penalty(100) for _ in range(100))
+        assert link.retries > 0
+        assert total >= link.retries  # each retry costs >= 1 ps
+
+    def test_reset_after_traffic(self, pair):
+        machine, na, nb = pair
+        pa, pb = na.create_process(), nb.create_process()
+
+        def receiver(proc):
+            from .conftest import make_target
+            from repro.portals import EventKind
+
+            eq, _, _, _ = yield from make_target(proc)
+            ev = yield from proc.api.PtlEQWait(eq)
+            while ev.kind is not EventKind.PUT_END:
+                ev = yield from proc.api.PtlEQWait(eq)
+            return True
+
+        def sender(proc, target):
+            api = proc.api
+            eq = yield from api.PtlEQAlloc(16)
+            md = yield from api.PtlMDBind(proc.alloc(512), eq=eq)
+            yield from api.PtlPut(md, target, 4, 0x1234, length=512)
+            return True
+
+        hr = pb.spawn(receiver)
+        hs = pa.spawn(sender, pb.id)
+        run_to_completion(machine, hr, hs)
+        assert machine.fabric.link.packets_carried > 0
+        machine.fabric.link.reset()
+        assert machine.fabric.link.snapshot() == {
+            "packets_carried": 0,
+            "retries": 0,
+        }
+
+
+class TestReportSurfacing:
+    def test_machine_report_carries_link_snapshot(self, pair):
+        machine, _, _ = pair
+        machine.fabric.link.packets_carried = 5
+        machine.fabric.link.retries = 2
+        fabric = machine_report(machine)["fabric"]
+        assert fabric["link_packets"] == 5
+        assert fabric["link_retries"] == 2
+
+    def test_formatted_report_mentions_link_retries(self, pair):
+        machine, _, _ = pair
+        machine.fabric.link.retries = 4
+        assert "4 link retries" in format_machine_report(machine)
