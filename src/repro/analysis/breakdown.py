@@ -25,7 +25,13 @@ from dataclasses import dataclass
 from ..hw.config import DEFAULT_CONFIG, SeaStarConfig
 from ..sim.units import to_us
 
-__all__ = ["Stage", "put_latency_breakdown", "breakdown_total_us", "format_breakdown"]
+__all__ = [
+    "Stage",
+    "put_latency_breakdown",
+    "breakdown_by_name",
+    "breakdown_total_us",
+    "format_breakdown",
+]
 
 
 @dataclass(frozen=True)
@@ -104,6 +110,24 @@ def put_latency_breakdown(
         ]
     stages.append(Stage("host", "application EQ poll", cfg.host_eq_poll))
     return stages
+
+
+def breakdown_by_name(
+    config: SeaStarConfig = DEFAULT_CONFIG, *, nbytes: int = 1, hops: int = 1
+) -> dict[str, int]:
+    """The stage list as a name -> cost_ps mapping.
+
+    Consumed by :mod:`repro.trace.reconcile`, which matches analytic
+    stages against measured spans by name; duplicate stage names would
+    make that mapping ambiguous, so they are rejected here.
+    """
+    stages = put_latency_breakdown(config, nbytes=nbytes, hops=hops)
+    by_name: dict[str, int] = {}
+    for stage in stages:
+        if stage.name in by_name:
+            raise ValueError(f"duplicate breakdown stage name {stage.name!r}")
+        by_name[stage.name] = stage.cost_ps
+    return by_name
 
 
 def breakdown_total_us(

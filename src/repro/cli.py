@@ -10,7 +10,10 @@ Subcommands:
 * ``topology`` — inspect a machine topology (dims, diameter, a route);
 * ``chaos``    — run a NetPIPE sweep under a named fault plan with the
   reliable transport on, verify payload integrity, and print the
-  injected-vs-recovered report.
+  injected-vs-recovered report;
+* ``trace``    — run one traced put, print the measured per-stage table
+  (and, for small puts, the reconciliation against the analytic
+  breakdown), optionally writing a Perfetto-loadable Chrome trace.
 """
 
 from __future__ import annotations
@@ -146,6 +149,35 @@ def cmd_chaos(args) -> int:
     return 1
 
 
+def cmd_trace(args) -> int:
+    from .trace import (
+        aggregate_stages,
+        export_chrome_trace,
+        format_reconcile,
+        format_stage_table,
+        reconcile_put,
+        trace_put,
+        validate_chrome_trace,
+    )
+
+    result = trace_put(args.size, hops=args.hops)
+    print(f"# traced put size={args.size}B hops={args.hops} "
+          f"one-way latency {result.latency_ps / 1e6:.3f} us "
+          f"({len(result.spans)} spans)")
+    print(format_stage_table(aggregate_stages(result.spans)))
+    if args.size <= result.config.small_msg_bytes:
+        print()
+        report = reconcile_put(result)
+        print(format_reconcile(report))
+        if not report.ok:
+            return 1
+    if args.out:
+        doc = export_chrome_trace(result.spans, path=args.out)
+        validate_chrome_trace(doc)
+        print(f"# wrote {len(doc['traceEvents'])} trace events to {args.out}")
+    return 0
+
+
 def cmd_topology(args) -> int:
     machine = build_redstorm(tuple(args.dims))
     topo = machine.topology
@@ -222,6 +254,16 @@ def build_parser() -> argparse.ArgumentParser:
     chaos_cmd.add_argument("--fast", action="store_true",
                            help="powers of two only")
     chaos_cmd.set_defaults(func=cmd_chaos)
+
+    trace_cmd = sub.add_parser(
+        "trace", help="trace one put end to end; span table + Chrome trace"
+    )
+    trace_cmd.add_argument("--size", type=int, default=1,
+                           help="put payload bytes")
+    trace_cmd.add_argument("--hops", type=int, default=1)
+    trace_cmd.add_argument("--out", metavar="FILE",
+                           help="write Chrome trace-event JSON here")
+    trace_cmd.set_defaults(func=cmd_trace)
     return parser
 
 

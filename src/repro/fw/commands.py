@@ -166,3 +166,6 @@ class FwEvent:
     mlength: int = 0
     offset: int = 0
     meta: dict = field(default_factory=dict)
+    msg_id: int = -1
+    """Wire message id, carried through so host-side trace spans can be
+    correlated with the firmware/wire spans of the same message."""

@@ -274,6 +274,31 @@ class Firmware:
             detail["node"] = self.node_id
             self.tracer.emit(category, detail)
 
+    def _span(self, name: str, msg_id: Optional[int] = None, **args):
+        if self.tracer is None:
+            return None
+        return self.tracer.begin(
+            name, node=self.node_id, component="fw", msg_id=msg_id, **args
+        )
+
+    def _span_end(self, span, **args) -> None:
+        if span is not None:
+            self.tracer.end(span, **args)
+
+    def _end_tx_cmd_span(self, span, cmd) -> None:
+        """Close a ``fw.tx_cmd`` span, backfilling the message id the
+        chunker just assigned (both here and on the host's open
+        ``host.tx_kernel`` span, which began before the id existed)."""
+        if span is None:
+            return
+        lower = self._pendings[cmd.pending_id]
+        if lower.msg_id > 0:
+            span.msg_id = lower.msg_id
+            host_span = getattr(cmd.host_ctx, "trace_span", None)
+            if host_span is not None and host_span.msg_id is None:
+                host_span.msg_id = lower.msg_id
+        self.tracer.end(span)
+
     def _main_loop(self):
         ppc = self.seastar.ppc
         cfg = self.config
@@ -310,14 +335,20 @@ class Firmware:
         ppc = self.seastar.ppc
         cfg = self.config
         if isinstance(cmd, TxPutCmd):
+            span = self._span("fw.tx_cmd", op="put")
             yield from ppc.handler(cfg.fw_tx_cmd + cfg.fw_tx_dma_setup)
             self._start_put(proc, cmd)
+            self._end_tx_cmd_span(span, cmd)
         elif isinstance(cmd, TxGetCmd):
+            span = self._span("fw.tx_cmd", op="get")
             yield from ppc.handler(cfg.fw_tx_cmd + cfg.fw_tx_dma_setup)
             self._start_get(proc, cmd)
+            self._end_tx_cmd_span(span, cmd)
         elif isinstance(cmd, TxReplyCmd):
+            span = self._span("fw.tx_cmd", op="reply")
             yield from ppc.handler(cfg.fw_tx_cmd + cfg.fw_tx_dma_setup)
             self._start_reply(proc, cmd)
+            self._end_tx_cmd_span(span, cmd)
         elif isinstance(cmd, TxAckCmd):
             yield from ppc.handler(cfg.fw_tx_cmd)
             self._send_control(
@@ -328,9 +359,12 @@ class Firmware:
                 meta={"mlength": cmd.mlength, "offset": cmd.offset},
             )
         elif isinstance(cmd, RxDepositCmd):
+            lower = self._pendings[cmd.pending_id]
+            span = self._span("fw.rx_cmd", msg_id=lower.msg_id)
             extra = max(0, cmd.dma_commands - 1) * (cfg.fw_rx_dma_setup // 4)
             yield from ppc.handler(cfg.fw_rx_cmd + cfg.fw_rx_dma_setup + extra)
             self._program_deposit(proc, cmd)
+            self._span_end(span)
         elif isinstance(cmd, ReleasePendingCmd):
             yield from ppc.handler(cfg.fw_release_cmd)
             self._release_rx_pending(proc, cmd.pending_id)
@@ -583,8 +617,9 @@ class Firmware:
     def _handle_rx_header(self, chunk: WireChunk):
         ppc = self.seastar.ppc
         cfg = self.config
-        yield from ppc.handler(cfg.fw_rx_header)
         hdr: PortalsHeader = chunk.header
+        span = self._span("fw.rx", msg_id=chunk.msg_id, op=hdr.op.value)
+        yield from ppc.handler(cfg.fw_rx_header)
         self.counters.incr("rx_headers")
         self._trace(
             "fw.rx_header", op=hdr.op.value, msg_id=chunk.msg_id,
@@ -603,6 +638,7 @@ class Firmware:
             yield from self._rx_sack(hdr)
         else:  # pragma: no cover - defensive
             raise RuntimeError(f"unknown wire op {hdr.op}")
+        self._span_end(span)
 
     def _rx_request(self, chunk: WireChunk, hdr: PortalsHeader):
         cfg = self.config
@@ -666,6 +702,7 @@ class Firmware:
                     kind=FwEventKind.RX_HEADER,
                     pending_id=lower.pending_id,
                     header=hdr,
+                    msg_id=chunk.msg_id,
                 )
             )
 
@@ -909,6 +946,15 @@ class Firmware:
     # Transmit completion
     # ------------------------------------------------------------------
     def _handle_tx_done(self, proc, lower: LowerPending):
+        span = self._span(
+            "fw.tx_done", msg_id=lower.msg_id if lower.msg_id > 0 else None
+        )
+        try:
+            yield from self._tx_done_body(proc, lower)
+        finally:
+            self._span_end(span)
+
+    def _tx_done_body(self, proc, lower: LowerPending):
         cfg = self.config
         ppc = self.seastar.ppc
         if lower in self.control.tx_pending_list:
@@ -942,6 +988,7 @@ class Firmware:
                     header=hdr,
                     host_ctx=lower.upper.host_ctx if lower.upper else None,
                     meta={"lazy": True, "direct_done": True},
+                    msg_id=lower.msg_id,
                 )
             )
             return
@@ -953,6 +1000,7 @@ class Firmware:
                 pending_id=lower.pending_id,
                 header=hdr,
                 host_ctx=lower.upper.host_ctx if lower.upper else None,
+                msg_id=lower.msg_id,
             )
         )
 
@@ -1216,6 +1264,9 @@ class Firmware:
     # ------------------------------------------------------------------
     def _handle_deposit_done(self, proc, lower: LowerPending):
         cfg = self.config
+        span = self._span(
+            "fw.rx_complete", msg_id=lower.msg_id if lower.msg_id > 0 else None
+        )
         irq = 0 if proc.accelerated else cfg.fw_interrupt_raise
         yield from self.seastar.ppc.handler(cfg.fw_event_post + irq)
         lower.state = "rx_done"
@@ -1224,8 +1275,10 @@ class Firmware:
                 kind=FwEventKind.RX_COMPLETE,
                 pending_id=lower.pending_id,
                 header=lower.header,
+                msg_id=lower.msg_id,
             )
         )
+        self._span_end(span)
 
     # ------------------------------------------------------------------
     # Introspection

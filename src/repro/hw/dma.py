@@ -98,6 +98,8 @@ class TxDmaEngine:
         self.queue: Channel = Channel(sim, name=f"txq:{node_id}")
         self.counters = Counters()
         self.busy_time = 0
+        self.tracer = None
+        """Optional machine-wide :class:`~repro.sim.SpanTracer`."""
         sim.process(self._run(), name=f"txdma:{node_id}")
 
     def submit(self, tx: Transmission) -> None:
@@ -112,9 +114,24 @@ class TxDmaEngine:
         while True:
             tx: Transmission = yield self.queue.get()
             tx.started_at = self.sim.now
+            tracer = self.tracer
+            msg_id = tx.chunks[0].msg_id
+            span = (
+                tracer.begin("txdma.fetch", node=self.node_id,
+                             component="txdma", msg_id=msg_id)
+                if tracer is not None else None
+            )
             # Initial fetch of header/descriptor from host memory.
             yield self.sim.timeout(cfg.ht_read_latency)
+            if tracer is not None:
+                tracer.end(span)
             for chunk in tx.chunks:
+                cspan = (
+                    tracer.begin("txdma.chunk", node=self.node_id,
+                                 component="txdma", msg_id=chunk.msg_id,
+                                 seq=chunk.seq, npackets=chunk.npackets)
+                    if tracer is not None else None
+                )
                 cost = chunk.npackets * cfg.tx_dma_per_packet
                 yield self.sim.timeout(cost)
                 self.busy_time += cost
@@ -122,6 +139,8 @@ class TxDmaEngine:
                 # transmit state machine "yields ... until there is more
                 # room in the FIFO".
                 yield self.fabric.send(chunk)
+                if tracer is not None:
+                    tracer.end(cspan)
                 self.counters.incr("packets", chunk.npackets)
             tx.finished_at = self.sim.now
             self.counters.incr("messages")
@@ -149,6 +168,8 @@ class RxDmaEngine:
         self.on_header = on_header
         self.counters = Counters()
         self.busy_time = 0
+        self.tracer = None
+        """Optional machine-wide :class:`~repro.sim.SpanTracer`."""
         self._plans: dict[int, DepositPlan] = {}
         self._plan_waiter: Optional[tuple[int, Event]] = None
         sim.process(self._run(), name=f"rxdma:{port.node_id}")
@@ -173,10 +194,18 @@ class RxDmaEngine:
         cfg = self.config
         while True:
             chunk: WireChunk = yield self.port.rx.get()
+            tracer = self.tracer
             if chunk.is_header:
+                span = (
+                    tracer.begin("rxdma.header", node=self.port.node_id,
+                                 component="rxdma", msg_id=chunk.msg_id)
+                    if tracer is not None else None
+                )
                 cost = chunk.npackets * cfg.rx_dma_per_packet
                 yield self.sim.timeout(cost)
                 self.busy_time += cost
+                if tracer is not None:
+                    tracer.end(span)
                 self.counters.incr("headers")
                 self.on_header(chunk)
                 continue
@@ -190,9 +219,17 @@ class RxDmaEngine:
                 self._plan_waiter = (chunk.msg_id, waiter)
                 self.counters.incr("stalls")
                 plan = yield waiter
+            span = (
+                tracer.begin("rxdma.deposit", node=self.port.node_id,
+                             component="rxdma", msg_id=chunk.msg_id,
+                             seq=chunk.seq, npackets=chunk.npackets)
+                if tracer is not None else None
+            )
             cost = chunk.npackets * cfg.rx_dma_per_packet
             yield self.sim.timeout(cost)
             self.busy_time += cost
+            if tracer is not None:
+                tracer.end(span)
             self.counters.incr("packets", chunk.npackets)
             self._deposit(plan, chunk)
             if chunk.is_last:

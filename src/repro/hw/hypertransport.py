@@ -34,6 +34,10 @@ class HyperTransport:
         self.config = config
         self.to_nic = Resource(sim, capacity=1, name="ht:to_nic")
         self.to_host = Resource(sim, capacity=1, name="ht:to_host")
+        self.tracer = None
+        """Optional machine-wide :class:`~repro.sim.SpanTracer`."""
+        self.trace_node = -1
+        """Node id used for span attribution (set by the node builder)."""
 
     def write_latency(self) -> int:
         """Posted-write latency (host->NIC command, NIC->host event), ps."""
@@ -50,8 +54,24 @@ class HyperTransport:
 
     def dma_read(self, nbytes: int):
         """Coroutine: NIC reads ``nbytes`` from host memory (TX path)."""
+        tracer = self.tracer
+        span = (
+            tracer.begin("ht.read", node=self.trace_node, component="ht",
+                         nbytes=nbytes)
+            if tracer is not None else None
+        )
         yield from self.to_nic.use(self.read_latency() + self.payload_time(nbytes))
+        if tracer is not None:
+            tracer.end(span)
 
     def dma_write(self, nbytes: int):
         """Coroutine: NIC writes ``nbytes`` to host memory (RX path)."""
+        tracer = self.tracer
+        span = (
+            tracer.begin("ht.write", node=self.trace_node, component="ht",
+                         nbytes=nbytes)
+            if tracer is not None else None
+        )
         yield from self.to_host.use(self.write_latency() + self.payload_time(nbytes))
+        if tracer is not None:
+            tracer.end(span)

@@ -49,6 +49,10 @@ class Opteron(CPU):
         self.config = config
         self.counters = Counters()
         self._interrupt_pending = False
+        self.tracer = None
+        """Optional machine-wide :class:`~repro.sim.SpanTracer`."""
+        self.trace_node = -1
+        """Node id used for span attribution (set by the node builder)."""
 
     # -- traps ---------------------------------------------------------------
     def trap(self, extra_cost: int = 0) -> Generator[Event, Any, None]:
@@ -95,9 +99,17 @@ class Opteron(CPU):
         # Handler is now committed to run; new interrupts must be delivered.
         self._interrupt_pending = False
         try:
+            tracer = self.tracer
+            span = (
+                tracer.begin("host.interrupt", node=self.trace_node,
+                             component="irq")
+                if tracer is not None else None
+            )
             cost = self.config.interrupt_overhead
             yield self.sim.timeout(cost)
             self.busy_time += cost
+            if tracer is not None:
+                tracer.end(span)
             yield from handler()
         finally:
             self.release(req)

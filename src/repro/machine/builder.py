@@ -53,9 +53,12 @@ class Machine:
             self.sim, topology, config, seed=seed, injector=self.injector
         )
         self.nodes: dict[int, Node] = {}
-        from ..sim import Tracer
+        from ..sim import SpanTracer
 
-        self.tracer: Tracer | None = Tracer(self.sim) if trace else None
+        self.tracer: SpanTracer | None = SpanTracer(self.sim) if trace else None
+        # the fabric's pipes consult the machine tracer for wire spans;
+        # None (the default) leaves the hot path untouched
+        self.fabric.tracer = self.tracer
 
     def node(self, node_id: int, *, os_type: Optional[OSType] = None) -> Node:
         """Boot (or fetch) the node at ``node_id``."""

@@ -61,6 +61,15 @@ class Node:
         self.firmware.tracer = tracer
         self.kernel = Kernel(sim, config, self.opteron, self.firmware, os_type)
         self.kernel.tracer = tracer
+        # span instrumentation points throughout the node hold the same
+        # machine-wide tracer (or None: tracing fully disabled)
+        self.opteron.tracer = tracer
+        self.opteron.trace_node = node_id
+        self.seastar.tx.tracer = tracer
+        if self.seastar.rx is not None:
+            self.seastar.rx.tracer = tracer
+        self.seastar.ht.tracer = tracer
+        self.seastar.ht.trace_node = node_id
         self.ssnal = SSNAL(self.kernel)
         self._pids = itertools.count(1)
         self.processes: dict[int, HostProcess] = {}

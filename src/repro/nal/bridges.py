@@ -45,6 +45,25 @@ class _KernelBridge(Bridge):
         self.src_pid = src_pid
         self.config = ssnal.kernel.config
 
+    @property
+    def tracer(self):
+        """The machine-wide span tracer (None when tracing is off)."""
+        return self.ssnal.kernel.tracer
+
+    @property
+    def node_id(self) -> int:
+        return self.ssnal.node_id
+
+    def _span(self, name: str, **args):
+        tracer = self.tracer
+        if tracer is None:
+            return None
+        return tracer.begin(name, node=self.node_id, component="app", **args)
+
+    def _span_end(self, span) -> None:
+        if span is not None:
+            self.tracer.end(span)
+
     def crossing_cost(self) -> int:
         """Cost of entering the kernel-resident library."""
         raise NotImplementedError
@@ -58,18 +77,24 @@ class _KernelBridge(Bridge):
 
     def eq_poll(self) -> Generator:
         # EQs live in process-visible memory: polling never crosses.
+        span = self._span("host.eq_poll")
         yield from self.cpu.execute(self.config.host_eq_poll)
+        self._span_end(span)
 
     def send_put(self, **kw) -> Generator:
         self._count_crossing()
+        span = self._span("host.api_call", op="put")
         yield from self.cpu.execute(self.config.host_api_overhead)
+        self._span_end(span)
         yield from self.ssnal.send_put(
             crossing=self.crossing_cost(), src_pid=self.src_pid, **kw
         )
 
     def send_get(self, **kw) -> Generator:
         self._count_crossing()
+        span = self._span("host.api_call", op="get")
         yield from self.cpu.execute(self.config.host_api_overhead)
+        self._span_end(span)
         yield from self.ssnal.send_get(
             crossing=self.crossing_cost(), src_pid=self.src_pid, **kw
         )

@@ -133,11 +133,23 @@ class _Pipe:
                     yield sim.timeout(wait)
                     injector.note_stall(wait)
                     stall = injector.stall_until(self.src, self.dst)
-            busy = link.serialization_time(chunk.npackets) + link.retry_penalty(
-                chunk.npackets
-            )
+            # serialization and retry computed separately so the span can
+            # attribute them — each consults the RNG exactly once, as the
+            # combined expression did
+            ser = link.serialization_time(chunk.npackets)
+            retry = link.retry_penalty(chunk.npackets)
+            busy = ser + retry
             link.packets_carried += chunk.npackets
+            tracer = self.fabric.tracer
+            span = (
+                tracer.begin("wire.serialize", node=self.src, component="wire",
+                             msg_id=chunk.msg_id, npackets=chunk.npackets,
+                             serialize_ps=ser, retry_ps=retry)
+                if tracer is not None else None
+            )
             yield sim.timeout(busy)
+            if tracer is not None:
+                tracer.end(span)
             if injector is not None and not injector.chunk_fate(chunk):
                 # dropped on the wire: it burned serialization time but
                 # never reaches the destination
@@ -151,8 +163,16 @@ class _Pipe:
         injector = self.fabric.injector
         while True:
             due, chunk = yield self._in_flight.get()
+            tracer = self.fabric.tracer
+            span = (
+                tracer.begin("wire.flight", node=self.src, component="flight",
+                             msg_id=chunk.msg_id, hops=self.hops)
+                if tracer is not None else None
+            )
             if sim.now < due:
                 yield sim.timeout(due - sim.now)
+            if tracer is not None:
+                tracer.end(span)
             if injector is None:
                 yield port.rx.put(chunk)
                 port.stats.incr("chunks_received")
@@ -252,6 +272,9 @@ class Fabric:
         self.ports: dict[int, NetworkPort] = {}
         self._pipes: dict[tuple[int, int], _Pipe] = {}
         self.counters = Counters()
+        self.tracer = None
+        """Optional machine-wide :class:`~repro.sim.SpanTracer` consulted
+        by the pipes for wire-stage spans (set by the machine builder)."""
 
     def attach(self, node_id: int) -> NetworkPort:
         """Create (or return) the port for ``node_id``."""

@@ -33,6 +33,7 @@ class LinkModel:
         self._rng = random.Random(seed)
         self.packets_carried = 0
         self.retries = 0
+        self.retry_time_ps = 0
 
     def reset(self) -> None:
         """Zero the traffic counters (``packets_carried``/``retries``).
@@ -43,12 +44,14 @@ class LinkModel:
         """
         self.packets_carried = 0
         self.retries = 0
+        self.retry_time_ps = 0
 
     def snapshot(self) -> dict[str, int]:
         """Point-in-time copy of the traffic counters."""
         return {
             "packets_carried": self.packets_carried,
             "retries": self.retries,
+            "retry_time_ps": self.retry_time_ps,
         }
 
     def serialization_time(self, npackets: int) -> int:
@@ -67,7 +70,9 @@ class LinkModel:
             return 0
         nretries = sum(1 for _ in range(npackets) if self._rng.random() < prob)
         self.retries += nretries
-        return nretries * self.config.link_retry_penalty
+        penalty = nretries * self.config.link_retry_penalty
+        self.retry_time_ps += penalty
+        return penalty
 
     def chunk_wire_time(self, npackets: int, hops: int) -> int:
         """Total wire time for a chunk: serialization + per-hop latency."""

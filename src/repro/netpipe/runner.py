@@ -102,6 +102,7 @@ class NetPipeRunner:
         hops: int = 1,
         repeats: int = 3,
         warmup: int = 1,
+        trace: bool = False,
         fault_plan: "FaultPlan | None" = None,
     ):
         self.module = module
@@ -111,6 +112,7 @@ class NetPipeRunner:
         self.hops = hops
         self.repeats = repeats
         self.warmup = warmup
+        self.trace = trace
         self.fault_plan = fault_plan
         #: the machine of the most recent :meth:`run` (chaos reporting)
         self.machine = None
@@ -125,6 +127,7 @@ class NetPipeRunner:
             os_type=self.os_type,
             policy=self.policy,
             hops=self.hops,
+            trace=self.trace,
             fault_plan=self.fault_plan,
         )
         self.machine = machine

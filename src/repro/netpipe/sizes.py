@@ -48,12 +48,16 @@ def decade_sizes(
     min_bytes: int = 1, max_bytes: int = 8 * 1024 * 1024
 ) -> list[int]:
     """A coarse power-of-two-only schedule (fast benchmark runs)."""
+    if min_bytes < 1 or max_bytes < min_bytes:
+        raise ValueError("need 1 <= min_bytes <= max_bytes")
     sizes = []
     n = 1
     while n <= max_bytes:
         if n >= min_bytes:
             sizes.append(n)
         n *= 2
-    if sizes and sizes[-1] != max_bytes and min_bytes <= max_bytes:
+    if not sizes or sizes[-1] != max_bytes:
+        # No power of two fell inside the range (e.g. [5, 7]), or the
+        # range does not end on one: always include the endpoint.
         sizes.append(max_bytes)
     return sizes

@@ -83,6 +83,10 @@ class KernelTxCtx:
     """GET_END was delivered by the firmware; the kernel's commit must
     not post it again."""
 
+    trace_span: Any = None
+    """Open ``host.tx_kernel`` span (tracing only); the firmware
+    backfills its ``msg_id`` once the chunker assigns one."""
+
 
 class Kernel:
     """One node's OS kernel with the generic Portals library inside."""
@@ -125,6 +129,18 @@ class Kernel:
             detail["node"] = self.node_id
             self.tracer.emit(category, detail)
 
+    def _span(self, name: str, *, component: str = "kernel",
+              msg_id: Optional[int] = None, **args):
+        if self.tracer is None:
+            return None
+        return self.tracer.begin(
+            name, node=self.node_id, component=component, msg_id=msg_id, **args
+        )
+
+    def _span_end(self, span, **args) -> None:
+        if span is not None:
+            self.tracer.end(span, **args)
+
     # ------------------------------------------------------------------
     # Process registry
     # ------------------------------------------------------------------
@@ -160,6 +176,7 @@ class Kernel:
     ):
         """Kernel half of PtlPut: allocate a pending, command the firmware."""
         cfg = self.config
+        span = self._span("host.tx_kernel", op="put", nbytes=length)
         cost = (
             (self.crossing_cost() if crossing is None else crossing)
             + cfg.host_tx_overhead
@@ -179,6 +196,7 @@ class Kernel:
             md=md,
             ack_req=ack_req,
             length=length,
+            trace_span=span,
         )
         payload = md.buffer[local_offset : local_offset + length] if length else None
         self.counters.incr("puts")
@@ -197,6 +215,7 @@ class Kernel:
                 dma_commands=self.memory.dma_commands(length),
             )
         )
+        self._span_end(span)
 
     def send_get(
         self,
@@ -213,6 +232,7 @@ class Kernel:
     ):
         """Kernel half of PtlGet."""
         cfg = self.config
+        span = self._span("host.tx_kernel", op="get", nbytes=length)
         cost = (
             (self.crossing_cost() if crossing is None else crossing)
             + cfg.host_tx_overhead
@@ -224,7 +244,8 @@ class Kernel:
             self._request_interrupt()
         pending: LowerPending = yield self.tx_free.get()
         ctx = KernelTxCtx(
-            kind="get", src_pid=src_pid, pending=pending, md=md, length=length
+            kind="get", src_pid=src_pid, pending=pending, md=md, length=length,
+            trace_span=span,
         )
         reply_view = md.buffer[local_offset : local_offset + length]
         self.counters.incr("gets")
@@ -243,6 +264,7 @@ class Kernel:
                 md_ref=md,
             )
         )
+        self._span_end(span)
 
     # ------------------------------------------------------------------
     # Firmware event plumbing
@@ -276,7 +298,13 @@ class Kernel:
         try:
             while self.fw_events:
                 event = self.fw_events.popleft()
+                span = self._span(
+                    "host.drain_event", component="irq",
+                    msg_id=event.msg_id if event.msg_id >= 0 else None,
+                    kind=event.kind.value,
+                )
                 yield from self.cpu.charge(self.config.host_interrupt_event)
+                self._span_end(span)
                 yield from self._dispatch(event)
         finally:
             self._draining = False
@@ -306,9 +334,13 @@ class Kernel:
         cfg = self.config
         hdr = event.header
         assert hdr is not None
+        msg_id = event.msg_id if event.msg_id >= 0 else None
         ni = self._user_nis.get(hdr.dst.pid)
+        mspan = self._span("host.match", component="irq", msg_id=msg_id,
+                           op=hdr.op.value)
         yield from self.cpu.charge(cfg.host_match_overhead)
         if ni is None:
+            self._span_end(mspan, status="unknown_pid")
             self.counters.incr("drops_unknown_pid")
             yield from self._discard(event, hdr)
             return
@@ -319,6 +351,8 @@ class Kernel:
             status=result.status.value,
             mlength=result.mlength,
         )
+        self._span_end(mspan, status=result.status.value,
+                       mlength=result.mlength)
         mlist = ni.table.match_list(hdr.ptl_index)
         if not result.matched:
             ni.counters.incr("drops")
@@ -344,14 +378,16 @@ class Kernel:
         # PUT delivered entirely in the header packet (inline payload or
         # a zero-length message): complete right here.
         if hdr.inline_data is not None or hdr.length == 0:
+            dspan = self._span("host.deliver", component="irq", msg_id=msg_id)
             if result.mlength > 0:
                 dest = result.md.region(result.offset, result.mlength)
                 dest[:] = hdr.inline_data[: result.mlength]
             yield from self.cpu.charge(cfg.host_event_overhead)
             end_events = commit_operation(mlist, result, hdr, started=False)
             yield from self._post_events(result.md.eq, end_events)
+            self._span_end(dspan)
             yield from self._maybe_ack(hdr, result)
-            yield from self._release(event.pending_id)
+            yield from self._release(event.pending_id, msg_id=msg_id)
             return
 
         # Payload PUT: command the deposit; finish at RX_COMPLETE.  Even a
@@ -362,11 +398,13 @@ class Kernel:
             if result.mlength > 0
             else None
         )
+        cspan = self._span("host.rx_cmd", component="irq", msg_id=msg_id)
         yield from self.cpu.charge(
             cfg.host_rx_cmd_overhead
             + self.memory.command_prep_cost(result.mlength)
             + cfg.ht_write_latency
         )
+        self._span_end(cspan)
         self._rx_inflight[event.pending_id] = (mlist, result, hdr, ni)
         self.proc.mailbox.post_command(
             RxDepositCmd(
@@ -387,11 +425,14 @@ class Kernel:
             yield from self._release(event.pending_id)
             return
         mlist, result, hdr, _ni = entry
+        msg_id = event.msg_id if event.msg_id >= 0 else None
+        dspan = self._span("host.deliver", component="irq", msg_id=msg_id)
         yield from self.cpu.charge(cfg.host_event_overhead)
         end_events = commit_operation(mlist, result, hdr, started=False)
         yield from self._post_events(result.md.eq, end_events)
+        self._span_end(dspan)
         yield from self._maybe_ack(hdr, result)
-        yield from self._release(event.pending_id)
+        yield from self._release(event.pending_id, msg_id=msg_id)
 
     def _reply_to_get(self, event: FwEvent, hdr, mlist, result):
         cfg = self.config
@@ -623,9 +664,11 @@ class Kernel:
         else:
             yield from self._release(event.pending_id)
 
-    def _release(self, pending_id: int):
+    def _release(self, pending_id: int, msg_id: Optional[int] = None):
+        span = self._span("host.release", component="irq", msg_id=msg_id)
         yield from self.cpu.charge(self.config.ht_write_latency)
         self.proc.mailbox.post_command(ReleasePendingCmd(pending_id=pending_id))
+        self._span_end(span)
 
     def _alloc_tx_nowait(self) -> LowerPending:
         if len(self.tx_free) == 0:

@@ -86,7 +86,12 @@ class PortalsAPI:
         """Allocate an event queue of ``count`` entries."""
         yield from self.bridge.admin()
         self.ni.register_eq()
-        return EventQueue(self.sim, count)
+        eq = EventQueue(self.sim, count)
+        tracer = getattr(self.bridge, "tracer", None)
+        if tracer is not None:
+            eq.tracer = tracer
+            eq.trace_node = self.bridge.node_id
+        return eq
 
     def PtlEQFree(self, eq: EventQueue) -> Generator:
         """Release an event queue."""

@@ -41,6 +41,10 @@ class EventQueue:
         self._sequence = itertools.count(1)
         self._signal: Optional[SimEvent] = None
         self.freed = False
+        #: optional span tracer + owning node id, set at allocation time
+        #: (PtlEQAlloc) when the machine was built with tracing on
+        self.tracer = None
+        self.trace_node = -1
 
     # -- producer side -------------------------------------------------------
     def post(self, event: PortalsEvent) -> None:
@@ -55,6 +59,13 @@ class EventQueue:
             self._dropped += 1
         self._buffer[self._write % self.size] = event
         self._write += 1
+        if self.tracer is not None:
+            self.tracer.instant(
+                "eq.post",
+                node=self.trace_node,
+                component="eq",
+                kind=event.kind.value,
+            )
         if self._signal is not None:
             signal, self._signal = self._signal, None
             signal.succeed()

@@ -16,7 +16,7 @@ from .core import (
     Simulator,
     Timeout,
 )
-from .monitor import Counters, TimeSeries, TraceRecord, Tracer
+from .monitor import Counters, Span, SpanTracer, TimeSeries, TraceRecord, Tracer
 from .resource import CPU, Request, Resource
 from .units import (
     GB,
@@ -53,6 +53,8 @@ __all__ = [
     "CPU",
     "Tracer",
     "TraceRecord",
+    "Span",
+    "SpanTracer",
     "Counters",
     "TimeSeries",
     "PS",

@@ -22,6 +22,28 @@ Model
 Failures propagate: a failed event *thrown* into a waiting generator raises
 there; an unhandled failure escapes :meth:`Simulator.run` as
 :class:`SimulationError`.
+
+Defusal semantics
+-----------------
+A failed event must be *consumed* by someone, or the simulation stops.
+Consumption marks the event **defused** (:attr:`Event.defused`):
+
+* a :class:`Process` that receives the failure (it is thrown into the
+  generator) defuses it;
+* a :class:`Process` that *abandoned* the event (it was interrupted and
+  the stale callback fires later) defuses it — the interrupt took
+  responsibility for the wait;
+* an :class:`AnyOf`/:class:`AllOf` that propagates a sub-event's failure
+  as its own defuses the sub-event (the condition's failure then needs
+  its own consumer);
+* anything else may call :meth:`Event.defuse` explicitly.
+
+A failure that fires with **no** consumer — even when stale callbacks
+were still registered — raises :class:`SimulationError` from
+:meth:`Simulator.step`.  Notably, a sub-event that fails *after* its
+condition already triggered (a raced ``AnyOf``) has no consumer: the
+condition ignores it, nothing defuses it, and the failure surfaces
+instead of being silently swallowed.
 """
 
 from __future__ import annotations
@@ -69,13 +91,14 @@ class Event:
     clock reaches it, every registered callback runs exactly once.
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_ok")
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_defused")
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
         self.callbacks: Optional[list[Callable[["Event"], None]]] = []
         self._value: Any = _PENDING
         self._ok: Optional[bool] = None
+        self._defused: bool = False
 
     # -- state ------------------------------------------------------------
     @property
@@ -99,6 +122,21 @@ class Event:
         if self._value is _PENDING:
             raise RuntimeError("event value is not yet available")
         return self._value
+
+    @property
+    def defused(self) -> bool:
+        """True once some waiter has taken responsibility for a failure."""
+        return self._defused
+
+    def defuse(self) -> None:
+        """Mark this event's failure as consumed.
+
+        A defused failure no longer escalates to :class:`SimulationError`
+        when the event is processed.  Waiters that consume (or abandon) a
+        failure call this automatically; call it directly only when a
+        failure is intentionally ignored.
+        """
+        self._defused = True
 
     # -- triggering ---------------------------------------------------------
     def succeed(self, value: Any = None, delay: int = 0) -> "Event":
@@ -206,6 +244,9 @@ class Process(Event):
 
     # -- internal ----------------------------------------------------------
     def _resume_interrupt(self, poke: Event) -> None:
+        # The interrupt machinery owns the poke's failure either way: if
+        # the process already finished, the interrupt is simply moot.
+        poke._defused = True
         if not self.is_alive:
             return
         self._step(throw=poke._value)
@@ -241,12 +282,16 @@ class Process(Event):
 
     def _process_waited(self, event: Event) -> None:
         if self._waiting_on is not event:
-            # Abandoned (interrupt); swallow failures of abandoned events.
+            # Abandoned (interrupt): the interrupt delivered the wake-up,
+            # so this waiter takes responsibility for the stale outcome.
+            if not event._ok:
+                event._defused = True
             return
         self._waiting_on = None
         if event._ok:
             self._step(send=event._value)
         else:
+            event._defused = True
             self._step(throw=event._value)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -291,8 +336,12 @@ class AnyOf(_Condition):
 
     def _check(self, event: Event) -> None:
         if self.triggered:
+            # Raced: a sub-event fired after the condition resolved.  A
+            # late failure is deliberately NOT defused here — nobody is
+            # listening, so it must surface via SimulationError.
             return
         if not event._ok:
+            event._defused = True
             self.fail(event._value)
         else:
             self.succeed(self._collect())
@@ -305,8 +354,10 @@ class AllOf(_Condition):
 
     def _check(self, event: Event) -> None:
         if self.triggered:
+            # Same raced-late-failure policy as AnyOf: leave it live.
             return
         if not event._ok:
+            event._defused = True
             self.fail(event._value)
             return
         self._count += 1
@@ -375,9 +426,11 @@ class Simulator:
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
             callback(event)
-        if not event._ok and not getattr(event, "_defused", False):
+        if not event._ok and not event._defused:
+            # Nothing consumed this failure — stale callbacks from
+            # abandoned waiters do not count as handling it.
             exc = event._value
-            if isinstance(exc, BaseException) and not callbacks:
+            if isinstance(exc, BaseException):
                 raise SimulationError(f"unhandled event failure: {exc!r}") from exc
 
     def run(self, until: Optional[int] = None) -> int:

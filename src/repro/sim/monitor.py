@@ -14,7 +14,14 @@ from typing import Any, Iterable, Optional
 
 from .core import Simulator
 
-__all__ = ["TraceRecord", "Tracer", "Counters", "TimeSeries"]
+__all__ = [
+    "TraceRecord",
+    "Tracer",
+    "Span",
+    "SpanTracer",
+    "Counters",
+    "TimeSeries",
+]
 
 
 @dataclass(frozen=True)
@@ -56,6 +63,103 @@ class Tracer:
     def clear(self) -> None:
         """Drop all records."""
         self.records.clear()
+
+
+@dataclass(eq=False)
+class Span:
+    """One named interval on the simulated timeline.
+
+    ``node`` and ``component`` place the span on the two-node timeline
+    (Chrome-trace "process" and "thread"); ``msg_id`` is the per-message
+    correlation id assigned by the firmware's chunker, or ``None`` for
+    work not attributable to a single message.  ``t1 is None`` while the
+    span is still open; an *instant* span has ``t1 == t0``.
+    """
+
+    name: str
+    node: int
+    component: str
+    t0: int
+    t1: Optional[int] = None
+    msg_id: Optional[int] = None
+    args: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> int:
+        """Span length in picoseconds (0 while the span is open)."""
+        return 0 if self.t1 is None else self.t1 - self.t0
+
+
+class SpanTracer(Tracer):
+    """A :class:`Tracer` that also records begin/end spans.
+
+    Instrumentation sites hold a reference to the tracer (or ``None``
+    when tracing is off) and call :meth:`begin`/:meth:`end` around the
+    simulated work.  Both are plain list appends — no events are
+    scheduled, so enabling tracing cannot perturb simulated time.
+    """
+
+    __slots__ = ("spans", "_open")
+
+    def __init__(self, sim: Simulator, enabled: bool = True):
+        super().__init__(sim, enabled)
+        self.spans: list[Span] = []
+        self._open: dict[tuple[int, str], list[Span]] = {}
+
+    def begin(
+        self,
+        name: str,
+        *,
+        node: int,
+        component: str,
+        msg_id: Optional[int] = None,
+        **args: Any,
+    ) -> Optional[Span]:
+        """Open a span at the current simulation time."""
+        if not self.enabled:
+            return None
+        span = Span(name, node, component, self.sim.now, msg_id=msg_id,
+                    args=dict(args))
+        self.spans.append(span)
+        self._open.setdefault((node, component), []).append(span)
+        return span
+
+    def end(self, span: Optional[Span], **args: Any) -> None:
+        """Close ``span`` at the current simulation time."""
+        if span is None or not self.enabled:
+            return
+        span.t1 = self.sim.now
+        if args:
+            span.args.update(args)
+        stack = self._open.get((span.node, span.component))
+        if stack and span in stack:
+            stack.remove(span)
+
+    def instant(
+        self,
+        name: str,
+        *,
+        node: int,
+        component: str,
+        msg_id: Optional[int] = None,
+        **args: Any,
+    ) -> Optional[Span]:
+        """Record a zero-duration span at the current time."""
+        if not self.enabled:
+            return None
+        span = Span(name, node, component, self.sim.now, t1=self.sim.now,
+                    msg_id=msg_id, args=dict(args))
+        self.spans.append(span)
+        return span
+
+    def open_spans(self) -> list[Span]:
+        """Spans begun but not yet ended (normally empty after a run)."""
+        return [s for stack in self._open.values() for s in stack]
+
+    def clear(self) -> None:
+        super().clear()
+        self.spans.clear()
+        self._open.clear()
 
 
 class Counters:
@@ -114,17 +218,26 @@ class TimeSeries:
     def __len__(self) -> int:
         return len(self.values)
 
+    def _require_samples(self) -> None:
+        if not self.values:
+            raise ValueError(
+                f"time series {self.name!r} has no samples"
+            )
+
     @property
     def mean(self) -> float:
-        """Arithmetic mean of the values (0.0 when empty)."""
-        return sum(self.values) / len(self.values) if self.values else 0.0
+        """Arithmetic mean of the values; raises ValueError when empty."""
+        self._require_samples()
+        return sum(self.values) / len(self.values)
 
     @property
     def max(self) -> float:
-        """Largest value (0.0 when empty)."""
-        return max(self.values) if self.values else 0.0
+        """Largest value; raises ValueError when empty."""
+        self._require_samples()
+        return max(self.values)
 
     @property
     def min(self) -> float:
-        """Smallest value (0.0 when empty)."""
-        return min(self.values) if self.values else 0.0
+        """Smallest value; raises ValueError when empty."""
+        self._require_samples()
+        return min(self.values)

@@ -1,0 +1,40 @@
+"""Message-level tracing: span timelines for the put path.
+
+Built on :class:`repro.sim.SpanTracer`, this package turns a traced run
+into three artifacts:
+
+* a Chrome trace-event JSON document (:mod:`~repro.trace.export`) that
+  loads directly into Perfetto / ``chrome://tracing``, with one
+  "process" per node and one "thread" per component (app, kernel, irq,
+  fw, txdma, rxdma, wire, flight, eq);
+* per-stage simulated-latency aggregates (:mod:`~repro.trace.aggregate`)
+  — count / mean / p99 over every span of each name;
+* a reconciliation (:mod:`~repro.trace.reconcile`) of the measured span
+  timeline for one small put against the analytic budget of
+  :func:`repro.analysis.breakdown.put_latency_breakdown`, the guard that
+  keeps the instrumentation and the paper-facing arithmetic telling the
+  same story.
+
+:func:`~repro.trace.harness.trace_put` is the entry point: it builds a
+traced two-node machine, runs a single NetPIPE-style put, and returns
+the spans plus the measured one-way latency.
+"""
+
+from .aggregate import StageStats, aggregate_stages, format_stage_table
+from .export import export_chrome_trace, validate_chrome_trace
+from .harness import TraceResult, trace_put
+from .reconcile import ReconcileReport, ReconcileRow, format_reconcile, reconcile_put
+
+__all__ = [
+    "StageStats",
+    "aggregate_stages",
+    "format_stage_table",
+    "export_chrome_trace",
+    "validate_chrome_trace",
+    "TraceResult",
+    "trace_put",
+    "ReconcileReport",
+    "ReconcileRow",
+    "format_reconcile",
+    "reconcile_put",
+]

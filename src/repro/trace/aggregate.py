@@ -1,0 +1,81 @@
+"""Per-stage latency aggregation over a span timeline.
+
+Groups closed spans by name and reduces each group to count / mean /
+p99 of the simulated durations — the measured counterpart of the
+analytic budget table in :mod:`repro.analysis.breakdown`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..sim.monitor import Span
+from ..sim.units import to_us
+
+__all__ = ["StageStats", "aggregate_stages", "format_stage_table"]
+
+
+@dataclass(frozen=True)
+class StageStats:
+    """Reduction of every span sharing one name."""
+
+    name: str
+    count: int
+    total_ps: int
+    mean_ps: float
+    p99_ps: int
+
+    @property
+    def mean_us(self) -> float:
+        return to_us(int(self.mean_ps))
+
+    @property
+    def p99_us(self) -> float:
+        return to_us(self.p99_ps)
+
+
+def _p99(durations: list[int]) -> int:
+    """Nearest-rank 99th percentile (exact max for < 100 samples)."""
+    ordered = sorted(durations)
+    rank = math.ceil(0.99 * len(ordered))
+    return ordered[rank - 1]
+
+
+def aggregate_stages(spans: Iterable[Span]) -> list[StageStats]:
+    """Reduce ``spans`` to per-name stats, ordered by first occurrence.
+
+    Open spans are skipped: they have no duration yet.  Instants (zero
+    duration) are real samples — an ``eq.post`` costs nothing but its
+    count matters.
+    """
+    groups: dict[str, list[int]] = {}
+    for span in spans:
+        if span.t1 is None:
+            continue
+        groups.setdefault(span.name, []).append(span.duration)
+    return [
+        StageStats(
+            name=name,
+            count=len(durations),
+            total_ps=sum(durations),
+            mean_ps=sum(durations) / len(durations),
+            p99_ps=_p99(durations),
+        )
+        for name, durations in groups.items()
+    ]
+
+
+def format_stage_table(stats: list[StageStats]) -> str:
+    """Render the aggregate as an aligned text table."""
+    lines = [
+        f"{'stage':<18} {'count':>6} {'mean us':>9} {'p99 us':>9} {'total us':>9}",
+        "-" * 55,
+    ]
+    for s in stats:
+        lines.append(
+            f"{s.name:<18} {s.count:>6} {s.mean_us:>9.3f} {s.p99_us:>9.3f}"
+            f" {to_us(s.total_ps):>9.3f}"
+        )
+    return "\n".join(lines)

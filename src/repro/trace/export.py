@@ -1,0 +1,147 @@
+"""Chrome trace-event JSON export.
+
+The output follows the Trace Event Format's "JSON object" flavor: a
+``traceEvents`` list of complete (``ph: "X"``) and instant (``ph: "i"``)
+events plus ``process_name`` / ``thread_name`` metadata.  Nodes map to
+trace "processes" and components to "threads", so Perfetto renders the
+two-node put path as parallel swimlanes.
+
+Timestamps convert from simulated picoseconds to the format's
+microseconds; at the simulator's integer-ps resolution the conversion is
+exact, so exports are deterministic byte for byte.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Optional
+
+from ..sim.monitor import Span
+
+__all__ = ["export_chrome_trace", "validate_chrome_trace"]
+
+#: fixed swimlane order; unknown components sort after these, by name
+_COMPONENT_ORDER = [
+    "message",
+    "app",
+    "kernel",
+    "irq",
+    "eq",
+    "fw",
+    "txdma",
+    "rxdma",
+    "ht",
+    "wire",
+    "flight",
+]
+
+
+def _tid_map(spans: Iterable[Span]) -> dict[tuple[int, str], int]:
+    """Assign a stable integer thread id per (node, component)."""
+    rank = {c: i for i, c in enumerate(_COMPONENT_ORDER)}
+    keys = sorted(
+        {(s.node, s.component) for s in spans},
+        key=lambda k: (k[0], rank.get(k[1], len(rank)), k[1]),
+    )
+    return {key: tid for tid, key in enumerate(keys)}
+
+
+def export_chrome_trace(
+    spans: Iterable[Span], *, path: Optional[str] = None
+) -> dict:
+    """Render ``spans`` as a Chrome trace-event document.
+
+    Returns the document as a dict; when ``path`` is given it is also
+    written there as JSON (sorted keys, so output is deterministic).
+    Open spans (``t1 is None``) are exported with zero duration rather
+    than dropped, so a truncated run is still inspectable.
+
+    Wire message ids are renumbered densely (1, 2, ...) in order of
+    first appearance: the simulator's id counter is process-global, so
+    raw ids depend on what ran earlier — renumbering makes identical
+    runs export identical documents.
+    """
+    spans = list(spans)
+    tids = _tid_map(spans)
+    msg_renumber: dict[int, int] = {}
+    for span in spans:
+        if span.msg_id is not None and span.msg_id not in msg_renumber:
+            msg_renumber[span.msg_id] = len(msg_renumber) + 1
+    events: list[dict] = []
+    for node in sorted({n for n, _ in tids}):
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": node,
+                "tid": 0,
+                "args": {"name": f"node {node}"},
+            }
+        )
+    for (node, component), tid in sorted(tids.items(), key=lambda kv: kv[1]):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": node,
+                "tid": tid,
+                "args": {"name": component},
+            }
+        )
+    for span in spans:
+        args = dict(span.args)
+        if span.msg_id is not None:
+            args["msg_id"] = msg_renumber[span.msg_id]
+        event = {
+            "name": span.name,
+            "pid": span.node,
+            "tid": tids[(span.node, span.component)],
+            "ts": span.t0 / 1e6,
+            "args": args,
+        }
+        if span.t1 == span.t0:
+            event["ph"] = "i"
+            event["s"] = "t"
+        else:
+            event["ph"] = "X"
+            event["dur"] = (span.t1 - span.t0) / 1e6 if span.t1 is not None else 0.0
+        events.append(event)
+    doc = {"traceEvents": events, "displayTimeUnit": "ns"}
+    if path is not None:
+        with open(path, "w") as fh:
+            json.dump(doc, fh, sort_keys=True, indent=1)
+            fh.write("\n")
+    return doc
+
+
+def validate_chrome_trace(doc: dict) -> None:
+    """Check ``doc`` against the trace-event schema; raises ValueError.
+
+    Covers the subset this exporter emits: the checks Perfetto actually
+    enforces on load (required keys, numeric ts/dur, known phases).
+    """
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        raise ValueError("trace document must be a dict with 'traceEvents'")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        raise ValueError("'traceEvents' must be a list")
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            raise ValueError(f"{where}: not an object")
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in event:
+                raise ValueError(f"{where}: missing {key!r}")
+        ph = event["ph"]
+        if ph not in ("X", "i", "M"):
+            raise ValueError(f"{where}: unknown phase {ph!r}")
+        if ph == "M":
+            continue
+        if not isinstance(event.get("ts"), (int, float)):
+            raise ValueError(f"{where}: 'ts' must be a number")
+        if event["ts"] < 0:
+            raise ValueError(f"{where}: negative timestamp")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise ValueError(f"{where}: 'dur' must be a number >= 0")

@@ -1,0 +1,99 @@
+"""Single-message traced runs.
+
+:func:`trace_put` is the measurement the rest of the package consumes:
+build a two-node pair with tracing on, run exactly one NetPIPE-style put
+(same endpoint code as the benchmark harness, EVENT_START_DISABLE MDs,
+per-round bound transmit MD), and wrap the put in a root ``message.put``
+span opened at the sender's API call and closed when the receiver's
+application observes PUT_END — the one-way latency, measured the way
+NetPIPE defines it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..hw.config import DEFAULT_CONFIG, SeaStarConfig
+from ..machine.builder import build_pair
+from ..netpipe.modules import _PutEndpoint
+from ..sim import Event as SimEvent
+from ..sim.monitor import Span
+
+__all__ = ["TraceResult", "trace_put"]
+
+
+@dataclass
+class TraceResult:
+    """Everything a traced single-put run produced."""
+
+    nbytes: int
+    hops: int
+    config: SeaStarConfig
+    spans: list[Span]
+    root: Span
+    """The ``message.put`` span: sender API call to receiver delivery."""
+
+    @property
+    def latency_ps(self) -> int:
+        """Measured one-way latency (the root span's duration)."""
+        return self.root.duration
+
+
+def trace_put(
+    nbytes: int = 1,
+    *,
+    hops: int = 1,
+    config: SeaStarConfig = DEFAULT_CONFIG,
+) -> TraceResult:
+    """Run one traced put of ``nbytes`` and return its span timeline.
+
+    The sender holds its put until the receiver's setup (EQ, match
+    entry, MD) is complete — a zero-cost simulation barrier, not a wire
+    message, so the timeline contains exactly one message plus its
+    completion traffic and no warm-up noise.
+    """
+    if nbytes < 1:
+        raise ValueError("nbytes must be >= 1")
+    machine, node_a, node_b = build_pair(config, hops=hops, trace=True)
+    tracer = machine.tracer
+    assert tracer is not None
+    proc_a = node_a.create_process()
+    proc_b = node_b.create_process()
+    ep_a = _PutEndpoint(proc_a, proc_b.id, nbytes)
+    ep_b = _PutEndpoint(proc_b, proc_a.id, nbytes)
+    ready = SimEvent(machine.sim)
+    root_holder: list[Optional[Span]] = [None]
+
+    def sender():
+        yield from ep_a.setup()
+        yield from ep_a.begin_round(nbytes)
+        yield ready
+        root_holder[0] = tracer.begin(
+            "message.put", node=node_a.node_id, component="message", nbytes=nbytes
+        )
+        yield from ep_a.send(nbytes)
+        # retire the transmit pending (SEND_END) so teardown is legal
+        yield from ep_a.end_round()
+
+    def receiver():
+        yield from ep_b.setup()
+        yield from ep_b.begin_round(nbytes)
+        ready.succeed()
+        yield from ep_b.recv(nbytes)
+        tracer.end(root_holder[0])
+        yield from ep_b.end_round()
+
+    pa = machine.sim.process(sender(), name="trace:sender")
+    pb = machine.sim.process(receiver(), name="trace:receiver")
+    machine.run()
+    for side, proc in (("sender", pa), ("receiver", pb)):
+        if not proc.triggered:
+            raise RuntimeError(f"traced put deadlocked on the {side} side")
+        if not proc.ok:
+            raise proc.value
+    root = root_holder[0]
+    assert root is not None and root.t1 is not None
+    return TraceResult(
+        nbytes=nbytes, hops=hops, config=config, spans=list(tracer.spans), root=root
+    )

@@ -1,0 +1,216 @@
+"""Reconcile the measured span timeline against the analytic budget.
+
+:func:`repro.analysis.breakdown.put_latency_breakdown` adds up the
+one-way put path from config constants; :func:`~repro.trace.harness.
+trace_put` measures the same path from the simulation's span timeline.
+This module pins the two together: every analytic stage must be covered
+by a measured span, and the covered spans must sum to the simulated
+one-way latency within a small tolerance.  Any change that adds, drops
+or moves a path stage now has to update both sides coherently — the
+instrumentation cannot silently drift from the paper-facing arithmetic.
+
+Span granularity is coarser than the analytic table (one kernel span
+covers trap + send processing + mailbox write), so the mapping groups
+breakdown stages per span.  Only the inline small-put path (``nbytes <=
+config.small_msg_bytes``) is reconciled: beyond it the breakdown itself
+approximates payload pipelining, so span-level equality is not expected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.breakdown import breakdown_by_name
+from ..sim.monitor import Span
+from ..sim.units import to_us
+from .harness import TraceResult
+
+__all__ = ["ReconcileRow", "ReconcileReport", "reconcile_put", "format_reconcile"]
+
+
+#: (span name, side) -> analytic stages the span covers.  Side is which
+#: node the span must live on: the sender ("src") or receiver ("dst").
+#: Order follows the message down the path.
+STAGE_MAP: list[tuple[str, str, tuple[str, ...]]] = [
+    ("host.api_call", "src", ("API call (user space)",)),
+    (
+        "host.tx_kernel",
+        "src",
+        (
+            "trap into Catamount QK",
+            "kernel send processing",
+            "mailbox command write (HT)",
+        ),
+    ),
+    (
+        "fw.tx_cmd",
+        "src",
+        (
+            "poll + dispatch (tx cmd)",
+            "tx command processing",
+            "TX DMA program",
+        ),
+    ),
+    ("txdma.fetch", "src", ("header fetch from host (HT read)",)),
+    ("txdma.chunk", "src", ("header packet TX engine",)),
+    ("wire.serialize", "src", ("header serialization",)),
+    ("wire.flight", "src", ("router hops",)),
+    ("rxdma.header", "dst", ("header packet RX engine",)),
+    (
+        "fw.rx",
+        "dst",
+        (
+            "poll + dispatch (rx header)",
+            "rx header processing",
+            "event post to kernel EQ",
+            "interrupt raise",
+        ),
+    ),
+    ("host.interrupt", "dst", ("INTERRUPT",)),
+    ("host.drain_event", "dst", ("drain event",)),
+    ("host.match", "dst", ("Portals matching",)),
+    ("host.deliver", "dst", ("inline deposit + PUT_END delivery",)),
+    ("host.eq_poll", "dst", ("application EQ poll",)),
+]
+
+
+@dataclass(frozen=True)
+class ReconcileRow:
+    """One span matched against the analytic stages it covers."""
+
+    span_name: str
+    side: str
+    stages: tuple[str, ...]
+    analytic_ps: int
+    measured_ps: int
+
+
+@dataclass(frozen=True)
+class ReconcileReport:
+    """Outcome of reconciling one traced put."""
+
+    rows: list[ReconcileRow]
+    analytic_total_ps: int
+    measured_total_ps: int
+    latency_ps: int
+    """Simulated one-way latency (the root ``message.put`` span)."""
+
+    tolerance: float
+
+    @property
+    def measured_error(self) -> float:
+        """Relative gap between covered spans and the one-way latency."""
+        return abs(self.measured_total_ps - self.latency_ps) / self.latency_ps
+
+    @property
+    def ok(self) -> bool:
+        return self.measured_error <= self.tolerance
+
+
+def _select(
+    spans: list[Span], name: str, node: int, msg_id: int | None
+) -> Span:
+    """The span reconciliation uses for (``name``, ``node``).
+
+    Spans carrying a message id must carry *the* message's id; spans
+    without one (interrupt, EQ poll — shared infrastructure) match by
+    name and node alone.  When several qualify the last is used: the put
+    path touches each stage once, and where repetition is inherent (the
+    receiver polls its EQ before and after the message) the final
+    occurrence is the one the message's delivery paid for.
+    """
+    matching = [
+        s
+        for s in spans
+        if s.name == name
+        and s.node == node
+        and s.t1 is not None
+        and (s.msg_id is None or msg_id is None or s.msg_id == msg_id)
+    ]
+    if not matching:
+        raise ValueError(f"no closed {name!r} span on node {node}")
+    return matching[-1]
+
+
+def reconcile_put(result: TraceResult, *, tolerance: float = 0.05) -> ReconcileReport:
+    """Match ``result``'s spans against the analytic breakdown.
+
+    Raises ValueError when a stage has no covering span (the coverage
+    check) or when the put is too large for the inline path.
+    """
+    if result.nbytes > result.config.small_msg_bytes:
+        raise ValueError(
+            f"reconciliation covers the inline path only "
+            f"(nbytes <= {result.config.small_msg_bytes}, got {result.nbytes})"
+        )
+    budget = breakdown_by_name(result.config, nbytes=result.nbytes, hops=result.hops)
+    src = result.root.node
+    dst_nodes = {s.node for s in result.spans if s.node != src and s.node >= 0}
+    if len(dst_nodes) != 1:
+        raise ValueError(f"expected one receiver node, saw {sorted(dst_nodes)}")
+    (dst,) = dst_nodes
+    msg_id = _put_msg_id(result.spans, src)
+
+    rows: list[ReconcileRow] = []
+    covered: set[str] = set()
+    for span_name, side, stages in STAGE_MAP:
+        node = src if side == "src" else dst
+        span = _select(result.spans, span_name, node, msg_id)
+        rows.append(
+            ReconcileRow(
+                span_name=span_name,
+                side=side,
+                stages=stages,
+                analytic_ps=sum(budget[s] for s in stages),
+                measured_ps=span.duration,
+            )
+        )
+        covered.update(stages)
+    uncovered = set(budget) - covered
+    if uncovered:
+        raise ValueError(f"analytic stages not covered by spans: {sorted(uncovered)}")
+    return ReconcileReport(
+        rows=rows,
+        analytic_total_ps=sum(r.analytic_ps for r in rows),
+        measured_total_ps=sum(r.measured_ps for r in rows),
+        latency_ps=result.latency_ps,
+        tolerance=tolerance,
+    )
+
+
+def _put_msg_id(spans: list[Span], src: int) -> int | None:
+    """The wire message id of the traced put.
+
+    The firmware backfills it onto the sender's ``host.tx_kernel`` span
+    once the chunker assigns it; fall back to unfiltered matching if the
+    backfill is somehow absent."""
+    for span in spans:
+        if span.name == "host.tx_kernel" and span.node == src:
+            return span.msg_id
+    return None
+
+
+def format_reconcile(report: ReconcileReport) -> str:
+    """Render the reconciliation as an aligned text table."""
+    lines = [
+        f"{'span':<18} {'side':<4} {'measured us':>12} {'analytic us':>12}",
+        "-" * 50,
+    ]
+    for row in report.rows:
+        lines.append(
+            f"{row.span_name:<18} {row.side:<4}"
+            f" {to_us(row.measured_ps):>12.3f} {to_us(row.analytic_ps):>12.3f}"
+        )
+    lines.append("-" * 50)
+    lines.append(
+        f"{'TOTAL':<18} {'':<4}"
+        f" {to_us(report.measured_total_ps):>12.3f}"
+        f" {to_us(report.analytic_total_ps):>12.3f}"
+    )
+    lines.append(
+        f"simulated one-way latency {to_us(report.latency_ps):.3f} us; covered"
+        f" spans within {report.measured_error:.1%}"
+        f" (tolerance {report.tolerance:.0%}):"
+        f" {'OK' if report.ok else 'MISMATCH'}"
+    )
+    return "\n".join(lines)

@@ -12,7 +12,11 @@ class TestLinkCounters:
         link = LinkModel(SeaStarConfig())
         link.packets_carried = 11
         link.retries = 3
-        assert link.snapshot() == {"packets_carried": 11, "retries": 3}
+        assert link.snapshot() == {
+            "packets_carried": 11,
+            "retries": 3,
+            "retry_time_ps": 0,
+        }
 
     def test_snapshot_is_a_copy(self):
         link = LinkModel(SeaStarConfig())
@@ -25,7 +29,11 @@ class TestLinkCounters:
         link.packets_carried = 11
         link.retries = 3
         link.reset()
-        assert link.snapshot() == {"packets_carried": 0, "retries": 0}
+        assert link.snapshot() == {
+            "packets_carried": 0,
+            "retries": 0,
+            "retry_time_ps": 0,
+        }
 
     def test_retry_penalty_counts_retries(self):
         # a retry probability high enough that 10k packets must see some
@@ -63,6 +71,7 @@ class TestLinkCounters:
         assert machine.fabric.link.snapshot() == {
             "packets_carried": 0,
             "retries": 0,
+            "retry_time_ps": 0,
         }
 
 

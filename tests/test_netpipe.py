@@ -43,6 +43,17 @@ class TestSizeSchedule:
         sizes = decade_sizes(1, 1024)
         assert sizes == [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024]
 
+    def test_decade_bounds_validated(self):
+        # same contract as netpipe_sizes: min >= 1, min <= max
+        with pytest.raises(ValueError):
+            decade_sizes(0, 10)
+        with pytest.raises(ValueError):
+            decade_sizes(10, 5)
+
+    def test_decade_range_without_power_of_two(self):
+        # no power of two in [5, 7]: the endpoint must still be emitted
+        assert decade_sizes(5, 7) == [7]
+
 
 class TestMeasurement:
     def test_pingpong_latency_is_half_rtt(self):

@@ -252,6 +252,88 @@ class TestConditions:
         assert p.value == "caught"
 
 
+class TestDefusal:
+    """Failure-propagation fixes: consumed failures are defused, raced
+    late failures are not (see the "Defusal semantics" section of
+    repro.sim.core)."""
+
+    def test_interrupted_waiter_defuses_stale_failure(self, sim):
+        # The waiter abandons `failing` when interrupted; the stale
+        # callback must take responsibility for the later failure so the
+        # run does not abort.
+        failing = sim.event()
+        log = []
+
+        def waiter():
+            try:
+                yield failing
+            except Interrupt:
+                log.append("interrupted")
+                yield sim.timeout(100)
+
+        def poker(target):
+            yield sim.timeout(5)
+            target.interrupt("move on")
+            failing.fail(RuntimeError("stale"))
+
+        w = sim.process(waiter())
+        sim.process(poker(w))
+        sim.run()  # must not raise SimulationError
+        assert log == ["interrupted"]
+        assert failing.defused
+
+    def test_raced_any_of_late_failure_surfaces(self, sim):
+        # The AnyOf already triggered when the slow branch fails: nobody
+        # consumes the failure, so it must escalate instead of being
+        # silently swallowed by the condition's stale callback.
+        def failer():
+            yield sim.timeout(30)
+            raise KeyError("late")
+
+        def body():
+            yield sim.any_of([sim.timeout(10), sim.process(failer())])
+            yield sim.timeout(100)  # outlive the late failure
+
+        sim.process(body())
+        with pytest.raises(SimulationError, match="unhandled event failure"):
+            sim.run()
+
+    def test_consumed_any_of_failure_is_defused(self, sim):
+        failer_proc = []
+
+        def failer():
+            yield sim.timeout(5)
+            raise KeyError("k")
+
+        def body():
+            failer_proc.append(sim.process(failer()))
+            try:
+                yield sim.any_of([failer_proc[0], sim.timeout(100)])
+            except KeyError:
+                return "caught"
+
+        p = sim.process(body())
+        sim.run()
+        assert p.value == "caught"
+        assert failer_proc[0].defused
+
+    def test_explicit_defuse_suppresses_escalation(self, sim):
+        ev = sim.event()
+        ev.fail(RuntimeError("expected"))
+        ev.defuse()
+        sim.run()  # must not raise
+        assert ev.defused
+
+    def test_undefused_failure_still_raises_with_callbacks(self, sim):
+        # A registered callback alone is not consumption: only throwing
+        # into a waiter (or an explicit defuse) is.
+        ev = sim.event()
+        ev.add_callback(lambda e: None)
+        ev.fail(RuntimeError("nobody consumed this"))
+        with pytest.raises(SimulationError, match="unhandled event failure"):
+            sim.run()
+
+
 class TestRun:
     def test_run_until_horizon(self, sim):
         sim.timeout(1000)

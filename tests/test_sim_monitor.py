@@ -1,5 +1,7 @@
 """Tracing and measurement utilities."""
 
+import pytest
+
 from repro.sim import Counters, Simulator, TimeSeries, Tracer
 
 
@@ -81,6 +83,15 @@ class TestTimeSeries:
         assert ts.max == 3.0
         assert ts.min == 1.0
 
-    def test_empty_stats(self):
-        ts = TimeSeries()
+    def test_empty_stats_raise(self):
+        # An empty series must be distinguishable from one whose samples
+        # all happen to be zero, so the statistics refuse to answer.
+        ts = TimeSeries("empty")
+        for stat in ("mean", "max", "min"):
+            with pytest.raises(ValueError, match="no samples"):
+                getattr(ts, stat)
+
+    def test_zero_samples_are_real(self):
+        ts = TimeSeries("zeros")
+        ts.sample(0, 0.0)
         assert ts.mean == 0.0 and ts.max == 0.0 and ts.min == 0.0

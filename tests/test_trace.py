@@ -1,0 +1,169 @@
+"""Span timeline tracing: harness, exporter, aggregation, reconciliation."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.breakdown import breakdown_by_name
+from repro.netpipe import PortalsPutModule, run_series
+from repro.trace import (
+    aggregate_stages,
+    export_chrome_trace,
+    format_reconcile,
+    format_stage_table,
+    reconcile_put,
+    trace_put,
+    validate_chrome_trace,
+)
+
+pytestmark = pytest.mark.trace
+
+
+def _assert_well_nested(spans):
+    """Per (node, component), closed spans must nest like a call stack."""
+    groups = {}
+    for s in spans:
+        groups.setdefault((s.node, s.component), []).append(s)
+    for group in groups.values():
+        for a in group:
+            for b in group:
+                if a is b or a.t0 > b.t0:
+                    continue
+                # a starts first (ties nest by construction: the later
+                # begin is the inner span) — b must be inside or after a
+                if a.t0 < b.t0 < a.t1:
+                    assert b.t1 <= a.t1, (a, b)
+
+
+class TestHarnessProperties:
+    @settings(max_examples=8, deadline=None)
+    @given(
+        nbytes=st.integers(min_value=1, max_value=2048),
+        hops=st.integers(min_value=1, max_value=4),
+    )
+    def test_span_timeline_invariants(self, nbytes, hops):
+        result = trace_put(nbytes, hops=hops)
+        # every begin has an end, in order
+        for span in result.spans:
+            assert span.t1 is not None, f"open span {span.name}"
+            assert span.t0 <= span.t1
+        # the root message.put span is the harness latency
+        assert result.root in result.spans
+        assert result.root.duration == result.latency_ps > 0
+        # no message span escapes the root interval
+        for span in result.spans:
+            assert span.t0 >= 0
+        _assert_well_nested(result.spans)
+
+    def test_message_spans_carry_correlation_id(self):
+        result = trace_put(1)
+        wire = [s for s in result.spans if s.component in ("wire", "flight")]
+        assert wire and all(s.msg_id is not None and s.msg_id > 0 for s in wire)
+        # the firmware backfills the same id onto the sender's kernel span
+        (tx_kernel,) = [s for s in result.spans if s.name == "host.tx_kernel"]
+        assert tx_kernel.msg_id == wire[0].msg_id
+
+
+class TestChromeExport:
+    def test_golden_deterministic_and_schema_valid(self):
+        doc_a = export_chrome_trace(trace_put(1).spans)
+        doc_b = export_chrome_trace(trace_put(1).spans)
+        validate_chrome_trace(doc_a)
+        assert json.dumps(doc_a, sort_keys=True) == json.dumps(
+            doc_b, sort_keys=True
+        )
+        events = doc_a["traceEvents"]
+        names = {e["name"] for e in events}
+        # the put path's landmark stages all appear
+        for landmark in (
+            "message.put",
+            "host.api_call",
+            "host.tx_kernel",
+            "fw.tx_cmd",
+            "wire.serialize",
+            "fw.rx",
+            "host.interrupt",
+            "host.deliver",
+            "eq.post",
+        ):
+            assert landmark in names, landmark
+        # one trace "process" per node, swimlane metadata present
+        pids = {e["pid"] for e in events}
+        assert len(pids) == 2
+        assert {e["args"]["name"] for e in events if e["name"] == "process_name"} == {
+            "node 0",
+            "node 1",
+        }
+
+    def test_export_writes_file(self, tmp_path):
+        out = tmp_path / "trace.json"
+        export_chrome_trace(trace_put(1).spans, path=str(out))
+        validate_chrome_trace(json.loads(out.read_text()))
+
+    def test_validate_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            validate_chrome_trace({"traceEvents": [{"ph": "X"}]})
+        with pytest.raises(ValueError):
+            validate_chrome_trace({})
+        with pytest.raises(ValueError):
+            validate_chrome_trace(
+                {"traceEvents": [
+                    {"name": "x", "ph": "X", "pid": 0, "tid": 0, "ts": -1, "dur": 1}
+                ]}
+            )
+
+
+class TestAggregation:
+    def test_stage_table_counts_and_totals(self):
+        result = trace_put(1)
+        stats = {s.name: s for s in aggregate_stages(result.spans)}
+        assert stats["host.api_call"].count == 1
+        assert stats["host.interrupt"].count == 2  # PUT_END at b, SEND_END at a
+        assert stats["message.put"].total_ps == result.latency_ps
+        assert stats["eq.post"].total_ps == 0  # instants: count, no duration
+        table = format_stage_table(list(stats.values()))
+        assert "host.api_call" in table and "p99" in table
+
+
+class TestReconciliation:
+    def test_one_byte_put_reconciles_within_tolerance(self):
+        result = trace_put(1)
+        report = reconcile_put(result)
+        assert report.ok, format_reconcile(report)
+        assert report.measured_error <= 0.05
+        # the mapping covers the analytic stage list exactly
+        covered = {stage for row in report.rows for stage in row.stages}
+        assert covered == set(breakdown_by_name(result.config, nbytes=1))
+
+    def test_reconcile_rejects_non_inline_sizes(self):
+        result = trace_put(4096)
+        with pytest.raises(ValueError, match="inline"):
+            reconcile_put(result)
+
+    def test_reconcile_is_node_aware(self):
+        report = reconcile_put(trace_put(1))
+        sides = {row.span_name: row.side for row in report.rows}
+        assert sides["host.tx_kernel"] == "src"
+        assert sides["host.interrupt"] == "dst"
+
+
+class TestZeroOverhead:
+    def test_benchmark_timings_identical_with_tracing_on(self):
+        # tracing must never perturb the schedule: the same sweep with
+        # spans recorded lands on bit-identical simulated timestamps
+        sizes = [1, 128]
+        plain = run_series(PortalsPutModule(), "pingpong", sizes)
+        traced = run_series(PortalsPutModule(), "pingpong", sizes, trace=True)
+        assert [(p.nbytes, p.total_ps) for p in plain.points] == [
+            (p.nbytes, p.total_ps) for p in traced.points
+        ]
+
+    def test_tracing_off_by_default(self):
+        from repro.machine.builder import build_pair
+
+        machine, node_a, _ = build_pair()
+        assert machine.tracer is None
+        assert node_a.kernel.tracer is None
+        assert machine.fabric.tracer is None
