@@ -1,5 +1,11 @@
 """Result analysis and the paper's reference numbers."""
 
+from .anchors import (
+    bandwidth_anchors,
+    figure_metrics,
+    latency_anchors,
+    paper_anchor,
+)
 from .breakdown import (
     Stage,
     breakdown_total_us,
@@ -32,4 +38,8 @@ __all__ = [
     "format_machine_report",
     "ascii_chart",
     "plot_series",
+    "latency_anchors",
+    "bandwidth_anchors",
+    "figure_metrics",
+    "paper_anchor",
 ]

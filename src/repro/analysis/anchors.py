@@ -1,0 +1,77 @@
+"""Anchor extraction: the scalar numbers a measured series is judged by.
+
+Each figure of the paper is summarized by a handful of scalars (1-byte
+latency, peak bandwidth, half-bandwidth point, the 12-byte step).  The
+``bench_fig*.py`` benches print them next to the paper's published
+values; the benchrunner's golden-baseline comparator stores and diffs
+exactly the same quantities.  This module is the single source for how
+those scalars are derived from a :class:`~repro.netpipe.runner.Series`
+and for which published number each one corresponds to.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..netpipe.runner import Series
+from .metrics import half_bandwidth_point, latency_at, peak_bandwidth
+from .paper import PAPER
+
+__all__ = [
+    "latency_anchors",
+    "bandwidth_anchors",
+    "figure_metrics",
+    "paper_anchor",
+]
+
+
+def latency_anchors(series: Series, *, step: bool = False) -> Dict[str, float]:
+    """Scalar anchors of a latency sweep (Figure 4 style).
+
+    Always reports the 1-byte one-way latency; with ``step=True`` also
+    the jump across the header-piggyback boundary (12 -> 13 bytes).
+    """
+    out: Dict[str, float] = {"latency_1b_us": latency_at(series, 1)}
+    boundary = PAPER.small_msg_bytes
+    if step and boundary in series.sizes():
+        out["piggyback_step_us"] = latency_at(series, boundary + 1) - latency_at(
+            series, boundary
+        )
+    return out
+
+
+def bandwidth_anchors(series: Series) -> Dict[str, float]:
+    """Scalar anchors of a bandwidth sweep (Figures 5-7 style)."""
+    out: Dict[str, float] = {"peak_mb_s": peak_bandwidth(series)}
+    try:
+        out["half_bw_bytes"] = float(half_bandwidth_point(series))
+    except ValueError:
+        # a truncated sweep may never reach half of its own peak
+        pass
+    return out
+
+
+def figure_metrics(figure: str, variant: str, series: Series) -> Dict[str, float]:
+    """Anchor metrics for one (figure, variant) measured series."""
+    if figure == "fig4":
+        return latency_anchors(series, step=variant == "put")
+    return bandwidth_anchors(series)
+
+
+#: (figure, variant, metric) -> the paper's published value, where the
+#: paper publishes one.  Used for context columns in reports/diffs.
+_PAPER_ANCHORS: Dict[tuple, float] = {
+    ("fig4", "put", "latency_1b_us"): PAPER.put_latency_us,
+    ("fig4", "get", "latency_1b_us"): PAPER.get_latency_us,
+    ("fig4", "mpich1", "latency_1b_us"): PAPER.mpich1_latency_us,
+    ("fig4", "mpich2", "latency_1b_us"): PAPER.mpich2_latency_us,
+    ("fig5", "put", "peak_mb_s"): PAPER.put_peak_mb_s,
+    ("fig5", "put", "half_bw_bytes"): float(PAPER.half_bw_pingpong_bytes),
+    ("fig6", "put", "half_bw_bytes"): float(PAPER.half_bw_stream_bytes),
+    ("fig7", "put", "peak_mb_s"): PAPER.put_bidir_peak_mb_s,
+}
+
+
+def paper_anchor(figure: str, variant: str, metric: str) -> Optional[float]:
+    """The paper's published value for a metric, if it has one."""
+    return _PAPER_ANCHORS.get((figure, variant, metric))

@@ -1,0 +1,59 @@
+"""Parallel benchmark orchestrator with golden-baseline gating.
+
+``repro bench`` discovers every figure/ablation sweep
+(:mod:`.discovery`), fans the shards across a ``multiprocessing`` pool
+(:mod:`.executor`), folds them into the canonical
+``BENCH_results.json`` document (:mod:`.schema`) and gates the
+simulated half against the committed goldens (:mod:`.compare`).
+"""
+
+from .compare import (
+    CompareReport,
+    Drift,
+    Tolerance,
+    compare_results,
+    load_golden_dir,
+    update_golden,
+)
+from .discovery import SPECS, Shard, SweepSpec, discover_shards, spec_sizes
+from .executor import execute_shard, run_bench
+from .report import format_compare_table, format_run_summary, parse_report_file
+from .schema import (
+    SCHEMA_VERSION,
+    SeriesData,
+    ShardResult,
+    canonical_json,
+    load_results,
+    merge_shards,
+    save_results,
+    simulated_json,
+    simulated_view,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "SPECS",
+    "CompareReport",
+    "Drift",
+    "SeriesData",
+    "Shard",
+    "ShardResult",
+    "SweepSpec",
+    "Tolerance",
+    "canonical_json",
+    "compare_results",
+    "discover_shards",
+    "execute_shard",
+    "format_compare_table",
+    "format_run_summary",
+    "load_golden_dir",
+    "load_results",
+    "merge_shards",
+    "parse_report_file",
+    "run_bench",
+    "save_results",
+    "simulated_json",
+    "simulated_view",
+    "spec_sizes",
+    "update_golden",
+]

@@ -1,0 +1,212 @@
+"""Golden-baseline comparison: gate simulated metrics against drift.
+
+The goldens under ``benchmarks/golden/`` capture the tree's simulated
+numbers, one JSON per figure.  The comparator's default policy is the
+strictest possible: simulated quantities (DES picosecond series and the
+anchor metrics derived from them) must match **bit-identically** —
+calibration is deterministic, so any difference is a real behavior
+change that either needs fixing or a deliberate ``--update-golden``.
+Per-metric tolerances can relax individual anchors; wall-clock is never
+compared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from .schema import SCHEMA_VERSION, canonical_json
+
+__all__ = [
+    "Tolerance",
+    "Drift",
+    "CompareReport",
+    "load_golden_dir",
+    "update_golden",
+    "compare_results",
+]
+
+
+@dataclass(frozen=True)
+class Tolerance:
+    """Allowed deviation for one metric: |d| <= abs_ or |d|/golden <= rel."""
+
+    rel: float = 0.0
+    abs_: float = 0.0
+
+    def accepts(self, golden: float, measured: float) -> bool:
+        delta = abs(measured - golden)
+        if delta == 0:
+            return True
+        if delta <= self.abs_:
+            return True
+        return golden != 0 and delta / abs(golden) <= self.rel
+
+
+_EXACT = Tolerance()
+
+
+@dataclass
+class Drift:
+    """One out-of-tolerance comparison."""
+
+    figure: str
+    variant: str
+    what: str  # metric name, or "series[<size>B].total_ps", ...
+    golden: float
+    measured: float
+
+    @property
+    def rel(self) -> float:
+        if self.golden == 0:
+            return float("inf") if self.measured else 0.0
+        return (self.measured - self.golden) / self.golden
+
+
+@dataclass
+class CompareReport:
+    """Outcome of one results-vs-goldens comparison."""
+
+    compared: int = 0
+    drifts: List[Drift] = field(default_factory=list)
+    missing_figures: List[str] = field(default_factory=list)  # in golden only
+    extra_figures: List[str] = field(default_factory=list)  # in results only
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.drifts and not self.missing_figures
+
+
+def load_golden_dir(path: Path) -> Dict[str, Dict[str, Any]]:
+    """Load ``<dir>/*.json`` as {figure_name: figure_document}."""
+    import json
+
+    path = Path(path)
+    if not path.is_dir():
+        raise FileNotFoundError(f"golden directory {path} does not exist")
+    goldens: Dict[str, Dict[str, Any]] = {}
+    for file in sorted(path.glob("*.json")):
+        with open(file, encoding="utf-8") as fh:
+            doc = json.load(fh)
+        if doc.get("schema") != SCHEMA_VERSION:
+            raise ValueError(
+                f"{file}: schema {doc.get('schema')!r}, "
+                f"expected {SCHEMA_VERSION!r}"
+            )
+        goldens[doc["figure"]] = doc
+    return goldens
+
+
+def update_golden(results: Dict[str, Any], path: Path) -> List[Path]:
+    """Write one golden JSON per figure from a results document."""
+    path = Path(path)
+    path.mkdir(parents=True, exist_ok=True)
+    written: List[Path] = []
+    for fig_name, fig in results["figures"].items():
+        doc = {
+            "schema": SCHEMA_VERSION,
+            "figure": fig_name,
+            "mode": results["mode"],
+            "title": fig.get("title", fig_name),
+            "variants": fig["variants"],
+        }
+        out = path / f"{fig_name}.json"
+        out.write_text(canonical_json(doc), encoding="utf-8")
+        written.append(out)
+    return written
+
+
+def _compare_series(
+    figure: str,
+    variant: str,
+    golden: Dict[str, Any],
+    measured: Dict[str, Any],
+    report: CompareReport,
+) -> None:
+    if list(golden["sizes"]) != list(measured["sizes"]):
+        report.drifts.append(
+            Drift(figure, variant, "series.sizes (grid changed)", 0.0, 1.0)
+        )
+        return
+    for key in ("total_ps", "repeats", "bytes_moved"):
+        for size, want, got in zip(golden["sizes"], golden[key], measured[key]):
+            report.compared += 1
+            if want != got:
+                report.drifts.append(
+                    Drift(
+                        figure,
+                        variant,
+                        f"series[{size}B].{key}",
+                        float(want),
+                        float(got),
+                    )
+                )
+
+
+def compare_results(
+    results: Dict[str, Any],
+    goldens: Dict[str, Dict[str, Any]],
+    tolerances: Optional[Dict[str, Tolerance]] = None,
+) -> CompareReport:
+    """Compare a results document against loaded goldens.
+
+    ``tolerances`` maps metric names (``"peak_mb_s"``) or qualified
+    names (``"fig5/put/peak_mb_s"``) to a :class:`Tolerance`; anything
+    unlisted must match exactly.  Simulated series are always exact.
+    """
+    tolerances = tolerances or {}
+    report = CompareReport()
+    figures = results["figures"]
+
+    for fig_name in goldens:
+        if fig_name not in figures:
+            report.missing_figures.append(fig_name)
+    for fig_name in figures:
+        if fig_name not in goldens:
+            report.extra_figures.append(fig_name)
+            report.notes.append(
+                f"{fig_name}: no golden committed (run --update-golden)"
+            )
+
+    for fig_name, golden in sorted(goldens.items()):
+        if fig_name not in figures:
+            continue
+        if golden.get("mode") != results.get("mode"):
+            report.drifts.append(
+                Drift(fig_name, "-", "mode (golden vs run mismatch)", 0.0, 1.0)
+            )
+            continue
+        measured_fig = figures[fig_name]
+        for variant, gvar in sorted(golden["variants"].items()):
+            mvar = measured_fig["variants"].get(variant)
+            if mvar is None:
+                report.drifts.append(
+                    Drift(fig_name, variant, "variant missing", 0.0, 1.0)
+                )
+                continue
+            if "series" in gvar:
+                if "series" not in mvar:
+                    report.drifts.append(
+                        Drift(fig_name, variant, "series missing", 0.0, 1.0)
+                    )
+                else:
+                    _compare_series(
+                        fig_name, variant, gvar["series"], mvar["series"], report
+                    )
+            for metric, want in sorted(gvar.get("metrics", {}).items()):
+                report.compared += 1
+                got = mvar.get("metrics", {}).get(metric)
+                if got is None:
+                    report.drifts.append(
+                        Drift(fig_name, variant, f"{metric} missing", want, 0.0)
+                    )
+                    continue
+                tol = tolerances.get(
+                    f"{fig_name}/{variant}/{metric}",
+                    tolerances.get(metric, _EXACT),
+                )
+                if not tol.accepts(want, got):
+                    report.drifts.append(Drift(fig_name, variant, metric, want, got))
+    return report

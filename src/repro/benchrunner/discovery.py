@@ -1,0 +1,178 @@
+"""Sweep discovery: which benchmarks exist and how they shard.
+
+Every figure/ablation reproduced by ``benchmarks/bench_*.py`` has a
+declarative :class:`SweepSpec` here.  Figure sweeps fan out into one
+shard per (module variant, size decade) — each shard is an independent
+single-threaded DES run, and per-size measurements are independent of
+what else ran in the same process (each ``run_series`` builds a fresh
+machine; see tests/test_benchrunner.py), so the sharded union is
+byte-identical to a single serial sweep.  Ablation sweeps run as one
+shard each.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..netpipe.sizes import decade_sizes, netpipe_sizes
+
+__all__ = ["SweepSpec", "Shard", "SPECS", "spec_sizes", "discover_shards"]
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """One figure or ablation sweep."""
+
+    name: str
+    title: str
+    kind: str  # "figure" | "ablation"
+    pattern: Optional[str] = None  # figures only
+    variants: Tuple[str, ...] = ("default",)
+    max_bytes: int = 0  # figures only
+    perturbation: int = 3  # full-mode size schedule perturbation
+    extra_sizes: Tuple[int, ...] = ()  # always measured, even in fast mode
+
+
+#: the registry, in report order.
+SPECS: Dict[str, SweepSpec] = {
+    spec.name: spec
+    for spec in [
+        SweepSpec(
+            name="fig4",
+            title="Figure 4: one-way latency, 1 B .. 1 KB",
+            kind="figure",
+            pattern="pingpong",
+            variants=("put", "get", "mpich1", "mpich2"),
+            max_bytes=1024,
+            # the header-piggyback boundary must stay resolvable in
+            # fast mode so the Figure 4 step is gated in CI
+            extra_sizes=(9, 12, 13, 15),
+        ),
+        SweepSpec(
+            name="fig5",
+            title="Figure 5: uni-directional (ping-pong) bandwidth",
+            kind="figure",
+            pattern="pingpong",
+            variants=("put", "get", "mpich1", "mpich2"),
+            max_bytes=8 * 1024 * 1024,
+        ),
+        SweepSpec(
+            name="fig6",
+            title="Figure 6: streaming bandwidth",
+            kind="figure",
+            pattern="stream",
+            variants=("put", "get", "mpich1", "mpich2"),
+            max_bytes=8 * 1024 * 1024,
+        ),
+        SweepSpec(
+            name="fig7",
+            title="Figure 7: bi-directional bandwidth",
+            kind="figure",
+            pattern="bidir",
+            variants=("put", "get", "mpich1", "mpich2"),
+            max_bytes=8 * 1024 * 1024,
+        ),
+        SweepSpec(
+            name="ablation_smallmsg",
+            title="Ablation: header-piggyback optimization on/off",
+            kind="ablation",
+        ),
+        SweepSpec(
+            name="ablation_accel",
+            title="Ablation: generic vs accelerated (offloaded) mode",
+            kind="ablation",
+        ),
+        SweepSpec(
+            name="ablation_interrupt_cost",
+            title="Ablation: latency vs host interrupt cost",
+            kind="ablation",
+        ),
+        SweepSpec(
+            name="ablation_crc",
+            title="Ablation: link CRC retry injection",
+            kind="ablation",
+        ),
+        SweepSpec(
+            name="redstorm_distance",
+            title="Red Storm distance sweep: latency vs hop count",
+            kind="ablation",
+        ),
+        SweepSpec(
+            name="inline_overheads",
+            title="Inline: NULL-trap and interrupt costs",
+            kind="ablation",
+        ),
+        SweepSpec(
+            name="inline_sram",
+            title="Inline: firmware SRAM occupancy",
+            kind="ablation",
+        ),
+    ]
+}
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One unit of worker-pool work (picklable)."""
+
+    spec: str
+    variant: str
+    chunk: int = 0  # decade index; -1 for unsharded (ablation) specs
+    sizes: Tuple[int, ...] = ()
+    fast: bool = False
+
+    @property
+    def shard_id(self) -> str:
+        if self.chunk < 0:
+            return self.spec
+        return f"{self.spec}/{self.variant}/d{self.chunk}"
+
+
+def spec_sizes(spec: SweepSpec, *, fast: bool) -> List[int]:
+    """The full size schedule of a figure spec in the given mode."""
+    if spec.kind != "figure":
+        raise ValueError(f"{spec.name} has no size schedule")
+    if fast:
+        base = decade_sizes(1, spec.max_bytes)
+    else:
+        base = netpipe_sizes(1, spec.max_bytes, perturbation=spec.perturbation)
+    return sorted(set(base) | set(spec.extra_sizes))
+
+
+def _decade(nbytes: int) -> int:
+    """Size-decade index: floor(log10(nbytes))."""
+    return int(math.floor(math.log10(nbytes))) if nbytes >= 10 else 0
+
+
+def discover_shards(*, fast: bool = False, filter: Optional[str] = None) -> List[Shard]:
+    """Expand the registry into the shard list a run executes.
+
+    ``filter`` keeps only shard ids containing the substring (debug aid;
+    note that figure-level anchors are then derived from a partial
+    series).
+    """
+    shards: List[Shard] = []
+    for spec in SPECS.values():
+        if spec.kind == "figure":
+            sizes = spec_sizes(spec, fast=fast)
+            for variant in spec.variants:
+                by_decade: Dict[int, List[int]] = {}
+                for n in sizes:
+                    by_decade.setdefault(_decade(n), []).append(n)
+                for decade in sorted(by_decade):
+                    shards.append(
+                        Shard(
+                            spec=spec.name,
+                            variant=variant,
+                            chunk=decade,
+                            sizes=tuple(by_decade[decade]),
+                            fast=fast,
+                        )
+                    )
+        else:
+            shards.append(Shard(spec=spec.name, variant="default", chunk=-1, fast=fast))
+    if filter:
+        shards = [s for s in shards if filter in s.shard_id]
+    return shards

@@ -1,0 +1,294 @@
+"""Shard execution: in-process serial, or fanned across a worker pool.
+
+Every shard is an independent single-threaded DES run with its own
+machine and (where applicable) its own fixed seed, so the pool adds
+parallelism without touching determinism: results depend only on the
+shard description, never on which process ran it or in what order.
+Workers are spawned (not forked) so each starts from clean module
+state.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+from .discovery import SPECS, Shard, discover_shards
+from .schema import SeriesData, ShardResult, merge_shards
+
+__all__ = ["execute_shard", "run_bench"]
+
+
+def _make_module(variant: str) -> Any:
+    from ..mpi import MPICH1, MPICH2
+    from ..netpipe import MPIModule, PortalsGetModule, PortalsPutModule
+
+    if variant == "put":
+        return PortalsPutModule()
+    if variant == "get":
+        return PortalsGetModule()
+    if variant == "mpich1":
+        return MPIModule(MPICH1)
+    if variant == "mpich2":
+        return MPIModule(MPICH2)
+    raise ValueError(f"unknown module variant {variant!r}")
+
+
+# -- ablation runners -------------------------------------------------------
+# Each mirrors one benchmarks/bench_*.py sweep and returns a flat
+# {metric: value} dict of simulated quantities.
+
+
+def _lat_sizes(fast: bool, max_bytes: int) -> List[int]:
+    from ..netpipe.sizes import decade_sizes, netpipe_sizes
+
+    return decade_sizes(1, max_bytes) if fast else netpipe_sizes(1, max_bytes)
+
+
+def _run_ablation_smallmsg(fast: bool) -> Dict[str, float]:
+    from ..analysis import latency_at
+    from ..hw.config import SeaStarConfig
+    from ..netpipe import PortalsPutModule, netpipe_sizes, run_series
+
+    sizes = netpipe_sizes(1, 256)  # needs 12/13-byte resolution in any mode
+    with_opt = run_series(PortalsPutModule(), "pingpong", sizes)
+    without = run_series(
+        PortalsPutModule(),
+        "pingpong",
+        sizes,
+        config=SeaStarConfig(small_msg_bytes=0),
+    )
+    return {
+        "latency_1b_on_us": latency_at(with_opt, 1),
+        "latency_1b_off_us": latency_at(without, 1),
+        "step_on_us": latency_at(with_opt, 13) - latency_at(with_opt, 12),
+        "step_off_us": latency_at(without, 13) - latency_at(without, 12),
+    }
+
+
+def _run_ablation_accel(fast: bool) -> Dict[str, float]:
+    from ..analysis import half_bandwidth_point, latency_at, peak_bandwidth
+    from ..netpipe import PortalsPutModule, netpipe_sizes, run_series
+    from ..netpipe.sizes import decade_sizes
+
+    lat_sizes = _lat_sizes(fast, 1024)
+    bw_sizes = (
+        decade_sizes(1, 1024 * 1024)
+        if fast
+        else netpipe_sizes(1, 8 * 1024 * 1024, perturbation=0)
+    )
+    generic_lat = run_series(PortalsPutModule(), "pingpong", lat_sizes)
+    accel_lat = run_series(PortalsPutModule(accelerated=True), "pingpong", lat_sizes)
+    generic_bw = run_series(PortalsPutModule(), "pingpong", bw_sizes)
+    accel_bw = run_series(PortalsPutModule(accelerated=True), "pingpong", bw_sizes)
+    return {
+        "generic_latency_1b_us": latency_at(generic_lat, 1),
+        "accel_latency_1b_us": latency_at(accel_lat, 1),
+        "generic_half_bw_bytes": float(half_bandwidth_point(generic_bw)),
+        "accel_half_bw_bytes": float(half_bandwidth_point(accel_bw)),
+        "generic_peak_mb_s": peak_bandwidth(generic_bw),
+        "accel_peak_mb_s": peak_bandwidth(accel_bw),
+    }
+
+
+def _run_ablation_interrupt_cost(fast: bool) -> Dict[str, float]:
+    from ..analysis import latency_at
+    from ..hw.config import SeaStarConfig
+    from ..netpipe import PortalsPutModule, run_series
+    from ..sim import us
+
+    out: Dict[str, float] = {}
+    for irq in [0.5, 1.0, 2.0, 3.0, 4.0]:
+        cfg = SeaStarConfig(interrupt_overhead=us(irq))
+        generic = run_series(PortalsPutModule(), "pingpong", [1, 1024], config=cfg)
+        accel = run_series(
+            PortalsPutModule(accelerated=True), "pingpong", [1], config=cfg
+        )
+        tag = f"irq{irq:g}us"
+        out[f"put_1b_us_{tag}"] = latency_at(generic, 1)
+        out[f"put_1kb_us_{tag}"] = latency_at(generic, 1024)
+        out[f"accel_1b_us_{tag}"] = latency_at(accel, 1)
+    return out
+
+
+def _run_ablation_crc(fast: bool) -> Dict[str, float]:
+    from ..analysis import peak_bandwidth
+    from ..hw.config import SeaStarConfig
+    from ..netpipe import PortalsPutModule, run_series
+
+    out: Dict[str, float] = {}
+    for prob in [0.0, 0.001, 0.01, 0.05, 0.2]:
+        cfg = SeaStarConfig(link_crc_retry_prob=prob)
+        series = run_series(PortalsPutModule(), "pingpong", [1 << 20], config=cfg)
+        out[f"bw_1mib_mb_s_p{prob:g}"] = peak_bandwidth(series)
+    return out
+
+
+def _run_redstorm_distance(fast: bool) -> Dict[str, float]:
+    from ..analysis import latency_at
+    from ..netpipe import PortalsPutModule, run_series
+
+    out: Dict[str, float] = {}
+    for accelerated, tag in [(False, "generic"), (True, "accel")]:
+        for hops in [1, 5, 13, 27, 40, 53]:
+            series = run_series(
+                PortalsPutModule(accelerated=accelerated),
+                "pingpong",
+                [8],
+                hops=hops,
+            )
+            out[f"{tag}_8b_us_h{hops}"] = latency_at(series, 8)
+    return out
+
+
+def _run_inline_overheads(fast: bool) -> Dict[str, float]:
+    from ..hw.config import SeaStarConfig
+    from ..hw.processors import Opteron
+    from ..sim import Simulator, to_ns, to_us
+
+    trap_rounds, irq_rounds = 1000, 200
+
+    sim = Simulator()
+    cpu = Opteron(sim, SeaStarConfig())
+
+    def traps() -> Any:
+        for _ in range(trap_rounds):
+            yield from cpu.trap()
+
+    sim.process(traps())
+    sim.run()
+    trap_ns = to_ns(sim.now) / trap_rounds
+
+    sim2 = Simulator()
+    cpu2 = Opteron(sim2, SeaStarConfig())
+
+    def empty_handler() -> Any:
+        if False:
+            yield
+
+    def body() -> Any:
+        for _ in range(irq_rounds):
+            cpu2.raise_interrupt(empty_handler, coalesce=False)
+            yield sim2.timeout(5_000_000)
+
+    sim2.process(body())
+    sim2.run()
+    irq_us = to_us(cpu2.busy_time) / irq_rounds
+    return {"null_trap_ns": trap_ns, "interrupt_us": irq_us}
+
+
+def _run_inline_sram(fast: bool) -> Dict[str, float]:
+    from ..hw import SramExhausted
+    from ..machine.builder import build_pair
+
+    machine, na, _nb = build_pair()
+    used, free = na.seastar.sram.used_bytes, na.seastar.sram.free_bytes
+
+    machine2, na2, _nb2 = build_pair()
+    extra = 0
+    while extra <= 64:
+        try:
+            na2.create_process(accelerated=True)
+        except SramExhausted:
+            break
+        extra += 1
+    return {
+        "sram_used_bytes": float(used),
+        "sram_free_bytes": float(free),
+        "extra_accel_processes": float(extra),
+    }
+
+
+_ABLATIONS: Dict[str, Callable[[bool], Dict[str, float]]] = {
+    "ablation_smallmsg": _run_ablation_smallmsg,
+    "ablation_accel": _run_ablation_accel,
+    "ablation_interrupt_cost": _run_ablation_interrupt_cost,
+    "ablation_crc": _run_ablation_crc,
+    "redstorm_distance": _run_redstorm_distance,
+    "inline_overheads": _run_inline_overheads,
+    "inline_sram": _run_inline_sram,
+}
+
+
+# -- execution --------------------------------------------------------------
+
+
+def execute_shard(shard: Shard) -> ShardResult:
+    """Run one shard to completion in this process."""
+    from ..netpipe import run_series
+
+    spec = SPECS[shard.spec]
+    t0 = time.perf_counter()
+    if spec.kind == "figure":
+        assert spec.pattern is not None
+        series = run_series(
+            _make_module(shard.variant), spec.pattern, list(shard.sizes)
+        )
+        result = ShardResult(
+            shard_id=shard.shard_id,
+            figure=shard.spec,
+            variant=shard.variant,
+            series=SeriesData.from_series(series),
+        )
+    else:
+        metrics = _ABLATIONS[shard.spec](shard.fast)
+        result = ShardResult(
+            shard_id=shard.shard_id,
+            figure=shard.spec,
+            variant=shard.variant,
+            metrics=metrics,
+        )
+    result.wall_s = time.perf_counter() - t0
+    return result
+
+
+def _pool_worker(shard: Shard) -> ShardResult:  # pragma: no cover - subprocess
+    return execute_shard(shard)
+
+
+def run_bench(
+    *,
+    fast: bool = False,
+    workers: int = 1,
+    filter: Optional[str] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, Any]:
+    """Run the discovered shard set; return the results document.
+
+    ``workers <= 1`` runs every shard in-process (the reference serial
+    path); otherwise shards fan out over a spawn-based pool.  Both paths
+    produce byte-identical ``figures`` content.
+    """
+    shards = discover_shards(fast=fast, filter=filter)
+    if not shards:
+        raise ValueError(f"no shards match filter {filter!r}")
+    t0 = time.perf_counter()
+    results: List[ShardResult]
+    if workers <= 1:
+        results = []
+        for shard in shards:
+            res = execute_shard(shard)
+            results.append(res)
+            if progress:
+                progress(f"{res.shard_id}: {res.wall_s:.2f}s")
+    else:
+        ctx = multiprocessing.get_context("spawn")
+        with ctx.Pool(processes=workers) as pool:
+            results = []
+            for res in pool.imap(_pool_worker, shards, chunksize=1):
+                results.append(res)
+                if progress:
+                    progress(f"{res.shard_id}: {res.wall_s:.2f}s")
+        # deterministic document order regardless of completion order
+        by_id = {r.shard_id: r for r in results}
+        results = [by_id[s.shard_id] for s in shards]
+    total = time.perf_counter() - t0
+    titles = {name: spec.title for name, spec in SPECS.items()}
+    return merge_shards(
+        results,
+        mode="fast" if fast else "full",
+        workers=max(1, workers),
+        total_wall_s=total,
+        titles=titles,
+    )

@@ -1,0 +1,127 @@
+"""Human-facing output: run summaries, the per-figure diff table, and
+the parser for the bench report file ``benchmarks/conftest.py`` writes.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Any, Dict, List
+
+from ..analysis.anchors import paper_anchor
+from .compare import CompareReport
+
+__all__ = [
+    "format_run_summary",
+    "format_compare_table",
+    "parse_report_file",
+]
+
+
+def format_run_summary(results: Dict[str, Any]) -> str:
+    """Per-figure anchors plus the shard wall-clock accounting."""
+    lines: List[str] = []
+    for fig_name, fig in results["figures"].items():
+        lines.append(f"=== {fig.get('title', fig_name)} ===")
+        for variant, var in fig["variants"].items():
+            for metric, value in sorted(var.get("metrics", {}).items()):
+                paper = paper_anchor(fig_name, variant, metric)
+                ctx = f"   (paper {paper:.2f})" if paper is not None else ""
+                lines.append(f"  {variant:<8} {metric:<28} {value:>12.3f}{ctx}")
+        lines.append("")
+    wall = results.get("wallclock", {})
+    shards = wall.get("shards", {})
+    if shards:
+        lines.append(
+            f"wall-clock: {wall.get('total_s', 0.0):.1f}s total, "
+            f"{len(shards)} shards, workers={wall.get('workers', 1)}"
+        )
+        slowest = sorted(shards.items(), key=lambda kv: -kv[1])[:5]
+        for shard_id, secs in slowest:
+            lines.append(f"  {shard_id:<24} {secs:>7.2f}s")
+    return "\n".join(lines)
+
+
+def format_compare_table(report: CompareReport) -> str:
+    """The drift diff table the CI gate prints (and uploads)."""
+    lines: List[str] = []
+    header = (
+        f"{'figure':<26} {'variant':<8} {'quantity':<30} "
+        f"{'golden':>14} {'measured':>14} {'drift':>9}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    if not report.drifts:
+        lines.append(
+            f"(no drift: {report.compared} simulated quantities bit-identical "
+            "or within tolerance)"
+        )
+    for d in report.drifts:
+        rel = d.rel
+        drift = f"{rel:+.3%}" if abs(rel) != float("inf") else "new"
+        lines.append(
+            f"{d.figure:<26} {d.variant:<8} {d.what:<30} "
+            f"{d.golden:>14.4f} {d.measured:>14.4f} {drift:>9}"
+        )
+    for fig in report.missing_figures:
+        lines.append(f"{fig:<26} {'-':<8} figure missing from this run")
+    for note in report.notes:
+        lines.append(f"note: {note}")
+    verdict = "PASS" if report.ok else "FAIL"
+    lines.append(
+        f"{verdict}: {len(report.drifts)} drift(s), "
+        f"{len(report.missing_figures)} missing figure(s), "
+        f"{report.compared} quantities compared"
+    )
+    return "\n".join(lines)
+
+
+_ANCHOR_RE = re.compile(
+    r"^\s{2}(?P<name>.*?)\s+"
+    r"(?:paper=\s*(?P<paper>[-\d.]+)\s+(?P<punit>\S+)\s+)?"
+    r"measured=\s*(?P<measured>[-\d.]+)\s*(?P<unit>\S.*?)?"
+    r"(?:\s+\(x(?P<ratio>[-\d.]+)\))?\s*$"
+)
+
+
+def parse_report_file(path: Path) -> Dict[str, Any]:
+    """Parse the table/anchor report emitted by the benchmark conftest.
+
+    Returns ``{"tables": {title: {"header": [...], "rows": [[...]]}},
+    "anchors": [{"name", "paper", "measured", "unit"}]}``.  Tables are
+    the ``=== title ===`` blocks; anchors are the
+    ``name paper=X measured=Y`` lines from :func:`print_anchor`.
+    """
+    doc: Dict[str, Any] = {"tables": {}, "anchors": []}
+    current: Dict[str, Any] | None = None
+    for raw in Path(path).read_text(encoding="utf-8").splitlines():
+        line = raw.rstrip("\n")
+        if line.startswith("=== ") and line.endswith(" ==="):
+            current = {"header": [], "rows": []}
+            doc["tables"][line[4:-4]] = current
+            continue
+        match = _ANCHOR_RE.match(line)
+        if match and "measured=" in line:
+            doc["anchors"].append(
+                {
+                    "name": match.group("name").strip(),
+                    "paper": (
+                        float(match.group("paper"))
+                        if match.group("paper")
+                        else None
+                    ),
+                    "measured": float(match.group("measured")),
+                    "unit": (match.group("unit") or "").strip(),
+                }
+            )
+            continue
+        if current is None or not line.strip():
+            continue
+        if set(line.strip()) == {"-"}:
+            continue
+        cells = [c.strip() for c in line.split("|")]
+        if not current["header"]:
+            current["header"] = cells
+        else:
+            current["rows"].append(cells)
+    return doc

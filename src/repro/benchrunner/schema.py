@@ -1,0 +1,211 @@
+"""The canonical ``BENCH_results.json`` schema and its invariants.
+
+The document has two disjoint halves:
+
+* ``figures`` — *simulated* quantities only (DES picosecond totals and
+  the scalar anchors derived from them).  These are deterministic: the
+  same tree at the same mode must reproduce them **byte for byte**, no
+  matter how many worker processes ran the sweeps.  The golden-baseline
+  gate compares exactly this half.
+* ``wallclock`` — how long each shard took on the host.  Informational
+  only; never compared.
+
+:func:`simulated_json` renders the comparable half canonically (sorted
+keys, fixed indentation, trailing newline) so "byte-identical" is a
+plain string equality.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from ..netpipe.runner import Measurement, Series
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "SeriesData",
+    "ShardResult",
+    "canonical_json",
+    "simulated_view",
+    "simulated_json",
+    "merge_shards",
+    "load_results",
+    "save_results",
+]
+
+SCHEMA_VERSION = "repro-bench/1"
+
+
+@dataclass(frozen=True)
+class SeriesData:
+    """The raw simulated measurements of one sweep segment.
+
+    Only integers from the DES clock are stored; derived floats
+    (latency, bandwidth) are recomputed on demand so the stored form
+    stays exactly reproducible.
+    """
+
+    pattern: str
+    sizes: tuple
+    total_ps: tuple
+    repeats: tuple
+    bytes_moved: tuple
+
+    @classmethod
+    def from_series(cls, series: Series) -> "SeriesData":
+        return cls(
+            pattern=series.pattern,
+            sizes=tuple(p.nbytes for p in series.points),
+            total_ps=tuple(p.total_ps for p in series.points),
+            repeats=tuple(p.repeats for p in series.points),
+            bytes_moved=tuple(p.bytes_moved for p in series.points),
+        )
+
+    def to_series(self, module: str) -> Series:
+        points = [
+            Measurement(self.pattern, n, t, r, b)
+            for n, t, r, b in zip(
+                self.sizes, self.total_ps, self.repeats, self.bytes_moved
+            )
+        ]
+        return Series(module=module, pattern=self.pattern, points=points)
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        return {
+            "pattern": self.pattern,
+            "sizes": list(self.sizes),
+            "total_ps": list(self.total_ps),
+            "repeats": list(self.repeats),
+            "bytes_moved": list(self.bytes_moved),
+        }
+
+    @classmethod
+    def from_jsonable(cls, doc: Dict[str, Any]) -> "SeriesData":
+        return cls(
+            pattern=doc["pattern"],
+            sizes=tuple(doc["sizes"]),
+            total_ps=tuple(doc["total_ps"]),
+            repeats=tuple(doc["repeats"]),
+            bytes_moved=tuple(doc["bytes_moved"]),
+        )
+
+    def merged_with(self, other: "SeriesData") -> "SeriesData":
+        """Concatenate two segments of the same sweep, sorted by size."""
+        if other.pattern != self.pattern:
+            raise ValueError(f"cannot merge {self.pattern!r} with {other.pattern!r}")
+        rows = sorted(
+            zip(
+                self.sizes + other.sizes,
+                self.total_ps + other.total_ps,
+                self.repeats + other.repeats,
+                self.bytes_moved + other.bytes_moved,
+            )
+        )
+        return SeriesData(
+            pattern=self.pattern,
+            sizes=tuple(r[0] for r in rows),
+            total_ps=tuple(r[1] for r in rows),
+            repeats=tuple(r[2] for r in rows),
+            bytes_moved=tuple(r[3] for r in rows),
+        )
+
+
+@dataclass
+class ShardResult:
+    """What one worker returns for one shard."""
+
+    shard_id: str
+    figure: str
+    variant: str
+    series: Optional[SeriesData] = None
+    metrics: Dict[str, float] = field(default_factory=dict)
+    wall_s: float = 0.0
+
+
+def canonical_json(doc: Any) -> str:
+    """The one true serialization: sorted keys, 2-space indent, LF."""
+    return json.dumps(doc, sort_keys=True, indent=2, ensure_ascii=False) + "\n"
+
+
+def simulated_view(results: Dict[str, Any]) -> Dict[str, Any]:
+    """The comparable (simulated-only) half of a results document."""
+    return {
+        "schema": results["schema"],
+        "mode": results["mode"],
+        "figures": results["figures"],
+    }
+
+
+def simulated_json(results: Dict[str, Any]) -> str:
+    """Canonical bytes of the simulated half (the byte-identity contract)."""
+    return canonical_json(simulated_view(results))
+
+
+def merge_shards(
+    shard_results: List[ShardResult],
+    *,
+    mode: str,
+    workers: int,
+    total_wall_s: float,
+    titles: Optional[Dict[str, str]] = None,
+) -> Dict[str, Any]:
+    """Fold per-shard results into one ``BENCH_results.json`` document.
+
+    Series segments of the same (figure, variant) are concatenated and
+    sorted by message size — by construction (size independence of the
+    sweeps, see tests/test_benchrunner.py) this equals the single-run
+    series.  Figure-level anchor metrics are then derived from the
+    merged series via :mod:`repro.analysis.anchors`.
+    """
+    from ..analysis.anchors import figure_metrics
+
+    figures: Dict[str, Any] = {}
+    for res in shard_results:
+        fig = figures.setdefault(
+            res.figure,
+            {"title": (titles or {}).get(res.figure, res.figure), "variants": {}},
+        )
+        var = fig["variants"].setdefault(res.variant, {"metrics": {}})
+        if res.series is not None:
+            if "series" in var:
+                merged = SeriesData.from_jsonable(var["series"]).merged_with(res.series)
+            else:
+                merged = res.series
+            var["series"] = merged.to_jsonable()
+        var["metrics"].update(res.metrics)
+
+    # derive anchor metrics from the merged series
+    for fig_name, fig in figures.items():
+        for variant, var in fig["variants"].items():
+            if "series" in var:
+                data = SeriesData.from_jsonable(var["series"])
+                series = data.to_series(variant)
+                var["metrics"].update(figure_metrics(fig_name, variant, series))
+
+    return {
+        "schema": SCHEMA_VERSION,
+        "mode": mode,
+        "figures": figures,
+        "wallclock": {
+            "workers": workers,
+            "total_s": round(total_wall_s, 3),
+            "shards": {r.shard_id: round(r.wall_s, 3) for r in shard_results},
+        },
+    }
+
+
+def load_results(path: Path) -> Dict[str, Any]:
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if doc.get("schema") != SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: schema {doc.get('schema')!r}, expected {SCHEMA_VERSION!r}"
+        )
+    return doc
+
+
+def save_results(results: Dict[str, Any], path: Path) -> None:
+    Path(path).write_text(canonical_json(results), encoding="utf-8")

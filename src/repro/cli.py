@@ -13,7 +13,10 @@ Subcommands:
   injected-vs-recovered report;
 * ``trace``    — run one traced put, print the measured per-stage table
   (and, for small puts, the reconciliation against the analytic
-  breakdown), optionally writing a Perfetto-loadable Chrome trace.
+  breakdown), optionally writing a Perfetto-loadable Chrome trace;
+* ``bench``    — run the full figure/ablation sweep fleet across a
+  worker pool, write ``BENCH_results.json``, and optionally gate the
+  simulated metrics against the committed golden baselines.
 """
 
 from __future__ import annotations
@@ -178,6 +181,60 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    from pathlib import Path
+
+    from .benchrunner import (
+        compare_results,
+        discover_shards,
+        format_compare_table,
+        format_run_summary,
+        load_golden_dir,
+        run_bench,
+        save_results,
+        update_golden,
+    )
+
+    if args.list:
+        for shard in discover_shards(fast=args.fast, filter=args.filter):
+            print(shard.shard_id)
+        return 0
+
+    progress = None if args.quiet else (lambda line: print(f"  {line}"))
+    if not args.quiet:
+        shards = discover_shards(fast=args.fast, filter=args.filter)
+        print(
+            f"# repro bench: {len(shards)} shards, workers={args.workers}, "
+            f"mode={'fast' if args.fast else 'full'}"
+        )
+    results = run_bench(
+        fast=args.fast,
+        workers=args.workers,
+        filter=args.filter,
+        progress=progress,
+    )
+    save_results(results, Path(args.out))
+    print(f"# wrote {args.out}")
+    print()
+    print(format_run_summary(results))
+
+    if args.update_golden:
+        golden_dir = Path(args.compare or "benchmarks/golden")
+        written = update_golden(results, golden_dir)
+        print(f"# updated {len(written)} golden file(s) in {golden_dir}")
+        return 0
+    if args.compare:
+        report = compare_results(results, load_golden_dir(Path(args.compare)))
+        table = format_compare_table(report)
+        print()
+        print(table)
+        if args.diff_file:
+            Path(args.diff_file).write_text(table + "\n", encoding="utf-8")
+            print(f"# wrote diff table to {args.diff_file}")
+        return 0 if report.ok else 1
+    return 0
+
+
 def cmd_topology(args) -> int:
     machine = build_redstorm(tuple(args.dims))
     topo = machine.topology
@@ -264,6 +321,47 @@ def build_parser() -> argparse.ArgumentParser:
     trace_cmd.add_argument("--out", metavar="FILE",
                            help="write Chrome trace-event JSON here")
     trace_cmd.set_defaults(func=cmd_trace)
+
+    bench_cmd = sub.add_parser(
+        "bench",
+        help="parallel figure/ablation sweep fleet + golden-baseline gate",
+    )
+    bench_cmd.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the sweep pool (default 1 = serial)",
+    )
+    bench_cmd.add_argument(
+        "--fast", action="store_true",
+        help="power-of-two size schedules (what CI runs and gates)",
+    )
+    bench_cmd.add_argument(
+        "--compare", metavar="DIR",
+        help="gate simulated metrics against this golden directory; "
+             "exits nonzero on drift",
+    )
+    bench_cmd.add_argument(
+        "--update-golden", action="store_true",
+        help="rewrite the golden directory (--compare or benchmarks/golden) "
+             "from this run instead of gating",
+    )
+    bench_cmd.add_argument(
+        "--out", default="BENCH_results.json",
+        help="results document path (default BENCH_results.json)",
+    )
+    bench_cmd.add_argument(
+        "--diff-file", metavar="FILE",
+        help="also write the comparison diff table here (CI artifact)",
+    )
+    bench_cmd.add_argument(
+        "--filter", metavar="SUBSTR",
+        help="only run shards whose id contains SUBSTR (debugging; "
+             "figure anchors then derive from a partial series)",
+    )
+    bench_cmd.add_argument("--list", action="store_true",
+                           help="list shard ids and exit")
+    bench_cmd.add_argument("--quiet", action="store_true",
+                           help="suppress per-shard progress lines")
+    bench_cmd.set_defaults(func=cmd_bench)
     return parser
 
 

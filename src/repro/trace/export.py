@@ -46,9 +46,7 @@ def _tid_map(spans: Iterable[Span]) -> dict[tuple[int, str], int]:
     return {key: tid for tid, key in enumerate(keys)}
 
 
-def export_chrome_trace(
-    spans: Iterable[Span], *, path: Optional[str] = None
-) -> dict:
+def export_chrome_trace(spans: Iterable[Span], *, path: Optional[str] = None) -> dict:
     """Render ``spans`` as a Chrome trace-event document.
 
     Returns the document as a dict; when ``path`` is given it is also

@@ -107,9 +107,7 @@ class ReconcileReport:
         return self.measured_error <= self.tolerance
 
 
-def _select(
-    spans: list[Span], name: str, node: int, msg_id: int | None
-) -> Span:
+def _select(spans: list[Span], name: str, node: int, msg_id: int | None) -> Span:
     """The span reconciliation uses for (``name``, ``node``).
 
     Spans carrying a message id must carry *the* message's id; spans
