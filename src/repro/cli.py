@@ -184,6 +184,27 @@ def cmd_trace(args) -> int:
 def cmd_bench(args) -> int:
     from pathlib import Path
 
+    if args.perf or args.update_perf_baseline:
+        from .perf import (
+            DEFAULT_BASELINE_PATH,
+            format_perf_report,
+            load_baseline,
+            run_perf_smoke,
+            save_baseline,
+        )
+
+        result = run_perf_smoke(reps=args.perf_reps)
+        if args.update_perf_baseline:
+            save_baseline(result, DEFAULT_BASELINE_PATH)
+            print(f"# wrote {DEFAULT_BASELINE_PATH}")
+        report = format_perf_report(result, load_baseline(DEFAULT_BASELINE_PATH))
+        print(report)
+        if args.perf_out:
+            Path(args.perf_out).write_text(report + "\n", encoding="utf-8")
+            print(f"# wrote perf report to {args.perf_out}")
+        # informational: wall-clock numbers never gate CI
+        return 0
+
     from .benchrunner import (
         compare_results,
         discover_shards,
@@ -361,6 +382,25 @@ def build_parser() -> argparse.ArgumentParser:
                            help="list shard ids and exit")
     bench_cmd.add_argument("--quiet", action="store_true",
                            help="suppress per-shard progress lines")
+    bench_cmd.add_argument(
+        "--perf", action="store_true",
+        help="run the wall-clock perf smoke (fig5 fast sweep events/sec "
+             "vs benchmarks/perf_baseline.json) instead of the fleet; "
+             "informational, always exits 0",
+    )
+    bench_cmd.add_argument(
+        "--perf-reps", type=int, default=3,
+        help="repetitions for the perf smoke; best wall clock wins "
+             "(default 3)",
+    )
+    bench_cmd.add_argument(
+        "--perf-out", metavar="FILE",
+        help="also write the perf report here (CI artifact)",
+    )
+    bench_cmd.add_argument(
+        "--update-perf-baseline", action="store_true",
+        help="rewrite benchmarks/perf_baseline.json from this measurement",
+    )
     bench_cmd.set_defaults(func=cmd_bench)
     return parser
 

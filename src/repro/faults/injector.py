@@ -143,7 +143,7 @@ class FaultInjector:
         """
         plan = self.plan
         if plan.steal_start > 0:
-            yield self.sim.timeout(plan.steal_start)
+            yield plan.steal_start
         stolen = []
         for _ in range(plan.control_pool_steal):
             pending = firmware.internal_pool.alloc()
@@ -155,7 +155,7 @@ class FaultInjector:
             return
         remaining = plan.steal_end - self.sim.now
         if remaining > 0:
-            yield self.sim.timeout(remaining)
+            yield remaining
         for pending in stolen:
             firmware.internal_pool.free(pending)
         self.counters.incr("control_pendings_returned", len(stolen))

@@ -1173,7 +1173,7 @@ class Firmware:
         )
         attempt = 0
         while True:
-            yield self.sim.timeout(self._backoff_delay(attempt, base))
+            yield self._backoff_delay(attempt, base)
             if record.acked or record.failed:
                 return
             if record.seq <= self._acked_through.get(record.dst_node, -1):
@@ -1195,7 +1195,7 @@ class Firmware:
             self.sim.process(self._retx_timer(record.dst_node, delay))
 
     def _retx_timer(self, dst_node: int, delay: int):
-        yield self.sim.timeout(delay)
+        yield delay
         self.counters.incr("backoff_time_ps", delay)
         self.work.put(("retransmit_flush", dst_node))
 

@@ -325,6 +325,20 @@ class SeaStarConfig:
             raise ValueError("chunk_bytes must be a multiple of packet_bytes")
         if self.chunk_bytes < self.packet_bytes:
             raise ValueError("chunk_bytes must be >= packet_bytes")
+        # Memoized derived costs: these are consulted per chunk on the
+        # hottest simulation paths, so the round/max arithmetic is done
+        # once here.  The dataclass is frozen, so the cached values can
+        # never go stale; object.__setattr__ is the sanctioned way to
+        # populate a frozen instance from __post_init__.
+        link_pkt = max(1, round(self.packet_bytes * 1e12 / self.link_bytes_per_s))
+        ht_pkt = max(1, round(self.packet_bytes * 1e12 / self.ht_bytes_per_s))
+        object.__setattr__(self, "_link_packet_time", link_pkt)
+        object.__setattr__(self, "_ht_packet_time", ht_pkt)
+        object.__setattr__(
+            self,
+            "_bottleneck_per_packet",
+            max(self.tx_dma_per_packet, self.rx_dma_per_packet, link_pkt, ht_pkt),
+        )
 
     # ------------------------------------------------------------------
     # Derived helpers
@@ -341,21 +355,17 @@ class SeaStarConfig:
         return -(-nbytes // self.packet_bytes)
 
     def link_packet_time(self) -> int:
-        """Serialization time of one packet on a link (ps)."""
-        return max(1, round(self.packet_bytes * 1e12 / self.link_bytes_per_s))
+        """Serialization time of one packet on a link (ps; memoized)."""
+        return self._link_packet_time  # type: ignore[attr-defined]
 
     def ht_packet_time(self) -> int:
-        """Transfer time of one packet's payload across HT (ps)."""
-        return max(1, round(self.packet_bytes * 1e12 / self.ht_bytes_per_s))
+        """Transfer time of one packet's payload across HT (ps; memoized)."""
+        return self._ht_packet_time  # type: ignore[attr-defined]
 
     def bottleneck_per_packet(self) -> int:
-        """Largest per-packet stage time on the TX->wire->RX pipeline."""
-        return max(
-            self.tx_dma_per_packet,
-            self.rx_dma_per_packet,
-            self.link_packet_time(),
-            self.ht_packet_time(),
-        )
+        """Largest per-packet stage time on the TX->wire->RX pipeline
+        (memoized)."""
+        return self._bottleneck_per_packet  # type: ignore[attr-defined]
 
     def peak_bandwidth_mb_s(self) -> float:
         """Asymptotic pipeline bandwidth implied by the per-packet costs."""

@@ -111,18 +111,24 @@ class TxDmaEngine:
 
     def _run(self):
         cfg = self.config
+        sim = self.sim
+        queue_get = self.queue.get
+        fabric_send = self.fabric.send
+        counts = self.counters._counts
+        per_packet = cfg.tx_dma_per_packet
+        ht_read = cfg.ht_read_latency
         while True:
-            tx: Transmission = yield self.queue.get()
-            tx.started_at = self.sim.now
+            tx: Transmission = yield queue_get()
+            tx.started_at = sim.now
             tracer = self.tracer
-            msg_id = tx.chunks[0].msg_id
             span = (
                 tracer.begin("txdma.fetch", node=self.node_id,
-                             component="txdma", msg_id=msg_id)
+                             component="txdma", msg_id=tx.chunks[0].msg_id)
                 if tracer is not None else None
             )
             # Initial fetch of header/descriptor from host memory.
-            yield self.sim.timeout(cfg.ht_read_latency)
+            # (int yields are flattened sleeps — see repro.sim.core)
+            yield ht_read
             if tracer is not None:
                 tracer.end(span)
             for chunk in tx.chunks:
@@ -132,18 +138,19 @@ class TxDmaEngine:
                                  seq=chunk.seq, npackets=chunk.npackets)
                     if tracer is not None else None
                 )
-                cost = chunk.npackets * cfg.tx_dma_per_packet
-                yield self.sim.timeout(cost)
+                npackets = chunk.npackets
+                cost = npackets * per_packet
+                yield cost
                 self.busy_time += cost
                 # Blocks when the wire window (TX FIFO) is full: the
                 # transmit state machine "yields ... until there is more
                 # room in the FIFO".
-                yield self.fabric.send(chunk)
+                yield fabric_send(chunk)
                 if tracer is not None:
                     tracer.end(cspan)
-                self.counters.incr("packets", chunk.npackets)
-            tx.finished_at = self.sim.now
-            self.counters.incr("messages")
+                counts["packets"] += npackets
+            tx.finished_at = sim.now
+            counts["messages"] += 1
             tx.on_sent(tx)
 
 
@@ -192,8 +199,14 @@ class RxDmaEngine:
     # -- engine ----------------------------------------------------------------
     def _run(self):
         cfg = self.config
+        sim = self.sim
+        rx_get = self.port.rx.get
+        plans = self._plans
+        counts = self.counters._counts
+        per_packet = cfg.rx_dma_per_packet
+        deposit = self._deposit
         while True:
-            chunk: WireChunk = yield self.port.rx.get()
+            chunk: WireChunk = yield rx_get()
             tracer = self.tracer
             if chunk.is_header:
                 span = (
@@ -201,49 +214,57 @@ class RxDmaEngine:
                                  component="rxdma", msg_id=chunk.msg_id)
                     if tracer is not None else None
                 )
-                cost = chunk.npackets * cfg.rx_dma_per_packet
-                yield self.sim.timeout(cost)
+                cost = chunk.npackets * per_packet
+                yield cost
                 self.busy_time += cost
                 if tracer is not None:
                     tracer.end(span)
-                self.counters.incr("headers")
+                counts["headers"] += 1
                 self.on_header(chunk)
                 continue
-            plan = self._plans.get(chunk.msg_id)
+            plan = plans.get(chunk.msg_id)
             if plan is None:
                 # Head-of-line stall until the firmware programs the engine
                 # for this message (generic mode: after the host interrupt
                 # and match).  Subsequent traffic backs up behind us,
                 # backpressuring the wire.
-                waiter = Event(self.sim)
+                waiter = Event(sim)
                 self._plan_waiter = (chunk.msg_id, waiter)
-                self.counters.incr("stalls")
+                counts["stalls"] += 1
                 plan = yield waiter
+            npackets = chunk.npackets
             span = (
                 tracer.begin("rxdma.deposit", node=self.port.node_id,
                              component="rxdma", msg_id=chunk.msg_id,
-                             seq=chunk.seq, npackets=chunk.npackets)
+                             seq=chunk.seq, npackets=npackets)
                 if tracer is not None else None
             )
-            cost = chunk.npackets * cfg.rx_dma_per_packet
-            yield self.sim.timeout(cost)
+            cost = npackets * per_packet
+            yield cost
             self.busy_time += cost
             if tracer is not None:
                 tracer.end(span)
-            self.counters.incr("packets", chunk.npackets)
-            self._deposit(plan, chunk)
+            counts["packets"] += npackets
+            deposit(plan, chunk)
             if chunk.is_last:
-                del self._plans[chunk.msg_id]
-                self.counters.incr("messages")
+                del plans[chunk.msg_id]
+                counts["messages"] += 1
                 plan.on_complete(plan)
 
     def _deposit(self, plan: DepositPlan, chunk: WireChunk) -> None:
         """Copy the accepted portion of a payload chunk to host memory."""
         start = chunk.payload_offset
-        end = start + chunk.nbytes
-        take_end = min(end, plan.accept_bytes)
-        take = max(0, take_end - start)
-        if take > 0 and plan.dest is not None and chunk.payload is not None:
-            plan.dest[start : start + take] = chunk.payload[:take]
+        nbytes = chunk.nbytes
+        end = start + nbytes
+        dest = plan.dest
+        if end <= plan.accept_bytes:
+            # common case: the whole chunk is accepted
+            if nbytes > 0 and dest is not None and chunk.payload is not None:
+                dest[start:end] = chunk.payload
+            plan.deposited_bytes += nbytes
+            return
+        take = max(0, plan.accept_bytes - start)
+        if take > 0 and dest is not None and chunk.payload is not None:
+            dest[start : start + take] = chunk.payload[:take]
         plan.deposited_bytes += take
-        plan.discarded_bytes += chunk.nbytes - take
+        plan.discarded_bytes += nbytes - take

@@ -106,7 +106,7 @@ class Opteron(CPU):
                 if tracer is not None else None
             )
             cost = self.config.interrupt_overhead
-            yield self.sim.timeout(cost)
+            yield cost
             self.busy_time += cost
             if tracer is not None:
                 tracer.end(span)

@@ -117,12 +117,20 @@ class _Pipe:
         fabric.sim.process(self._arrive(), name=f"arrive:{src}->{dst}")
 
     def _serialize(self):
-        sim = self.fabric.sim
-        link = self.fabric.link
-        injector = self.fabric.injector
-        flight_delay = self.hops * self.fabric.config.hop_latency
+        fabric = self.fabric
+        sim = fabric.sim
+        link = fabric.link
+        injector = fabric.injector
+        flight_delay = self.hops * fabric.config.hop_latency
+        # hoisted per-chunk arithmetic: the per-packet link time is a
+        # config constant (memoized on the LinkModel) and the CRC-retry
+        # RNG is only consulted when retries are actually enabled
+        packet_time = link.packet_time
+        crc_retries = fabric.config.link_crc_retry_prob > 0.0
+        window_get = self.window.get
+        in_flight_put = self._in_flight.put
         while True:
-            chunk: WireChunk = yield self.window.get()
+            chunk: WireChunk = yield window_get()
             if injector is not None:
                 # link outage (STALL mode): traffic parks at the
                 # serializer until the window — or a chain of windows —
@@ -130,54 +138,60 @@ class _Pipe:
                 stall = injector.stall_until(self.src, self.dst)
                 while stall is not None and stall > sim.now:
                     wait = stall - sim.now
-                    yield sim.timeout(wait)
+                    yield wait
                     injector.note_stall(wait)
                     stall = injector.stall_until(self.src, self.dst)
             # serialization and retry computed separately so the span can
-            # attribute them — each consults the RNG exactly once, as the
-            # combined expression did
-            ser = link.serialization_time(chunk.npackets)
-            retry = link.retry_penalty(chunk.npackets)
+            # attribute them — the RNG is consulted exactly once per
+            # chunk, and only on fault-injection runs
+            npackets = chunk.npackets
+            ser = npackets * packet_time
+            retry = link.retry_penalty(npackets) if crc_retries else 0
             busy = ser + retry
-            link.packets_carried += chunk.npackets
-            tracer = self.fabric.tracer
+            link.packets_carried += npackets
+            tracer = fabric.tracer
             span = (
                 tracer.begin("wire.serialize", node=self.src, component="wire",
-                             msg_id=chunk.msg_id, npackets=chunk.npackets,
+                             msg_id=chunk.msg_id, npackets=npackets,
                              serialize_ps=ser, retry_ps=retry)
                 if tracer is not None else None
             )
-            yield sim.timeout(busy)
+            yield busy
             if tracer is not None:
                 tracer.end(span)
             if injector is not None and not injector.chunk_fate(chunk):
                 # dropped on the wire: it burned serialization time but
                 # never reaches the destination
-                self.fabric.counters.incr("chunks_dropped")
+                fabric.counters.incr("chunks_dropped")
                 continue
-            yield self._in_flight.put((sim.now + flight_delay, chunk))
+            yield in_flight_put((sim.now + flight_delay, chunk))
 
     def _arrive(self):
-        sim = self.fabric.sim
-        port = self.fabric.ports[self.dst]
-        injector = self.fabric.injector
+        fabric = self.fabric
+        sim = fabric.sim
+        port = fabric.ports[self.dst]
+        injector = fabric.injector
+        in_flight_get = self._in_flight.get
+        rx_put = port.rx.put
+        port_counts = port.stats._counts
+        fabric_counts = fabric.counters._counts
         while True:
-            due, chunk = yield self._in_flight.get()
-            tracer = self.fabric.tracer
+            due, chunk = yield in_flight_get()
+            tracer = fabric.tracer
             span = (
                 tracer.begin("wire.flight", node=self.src, component="flight",
                              msg_id=chunk.msg_id, hops=self.hops)
                 if tracer is not None else None
             )
             if sim.now < due:
-                yield sim.timeout(due - sim.now)
+                yield due - sim.now
             if tracer is not None:
                 tracer.end(span)
             if injector is None:
-                yield port.rx.put(chunk)
-                port.stats.incr("chunks_received")
-                port.stats.incr("packets_received", chunk.npackets)
-                self.fabric.counters.incr("chunks_delivered")
+                yield rx_put(chunk)
+                port_counts["chunks_received"] += 1
+                port_counts["packets_received"] += chunk.npackets
+                fabric_counts["chunks_delivered"] += 1
             else:
                 yield from self._reassemble(chunk, port, injector)
 
@@ -296,15 +310,15 @@ class Fabric:
         (src, dst) in-flight window; the sender's TX engine must wait on it
         so that receiver backpressure propagates to the transmit side.
         """
-        if chunk.dst not in self.ports:
-            raise KeyError(f"destination node {chunk.dst} is not attached")
-        key = (chunk.src, chunk.dst)
-        pipe = self._pipes.get(key)
+        pipe = self._pipes.get((chunk.src, chunk.dst))
         if pipe is None:
+            if chunk.dst not in self.ports:
+                raise KeyError(f"destination node {chunk.dst} is not attached")
             pipe = _Pipe(self, chunk.src, chunk.dst)
-            self._pipes[key] = pipe
-        self.counters.incr("chunks_sent")
-        self.counters.incr("packets_sent", chunk.npackets)
+            self._pipes[(chunk.src, chunk.dst)] = pipe
+        counts = self.counters._counts
+        counts["chunks_sent"] += 1
+        counts["packets_sent"] += chunk.npackets
         return pipe.window.put(chunk)
 
     def hops(self, src: int, dst: int) -> int:

@@ -34,6 +34,9 @@ class LinkModel:
         self.packets_carried = 0
         self.retries = 0
         self.retry_time_ps = 0
+        #: per-packet serialization time, hoisted out of the per-chunk
+        #: path (the config is frozen, so this can never go stale)
+        self.packet_time = config.link_packet_time()
 
     def reset(self) -> None:
         """Zero the traffic counters (``packets_carried``/``retries``).
@@ -56,7 +59,7 @@ class LinkModel:
 
     def serialization_time(self, npackets: int) -> int:
         """Time (ps) to clock ``npackets`` onto the wire at link rate."""
-        return npackets * self.config.link_packet_time()
+        return npackets * self.packet_time
 
     def retry_penalty(self, npackets: int) -> int:
         """Stochastic extra delay from link-level CRC retries.

@@ -28,7 +28,7 @@ def next_message_id() -> int:
     return next(_msg_counter)
 
 
-@dataclass(eq=False)
+@dataclass(eq=False, slots=True)
 class WireChunk:
     """A contiguous run of packets of one message on the wire.
 
@@ -114,24 +114,28 @@ def chunk_message(
     ]
     offset = 0
     seq = 1
+    # payload chunks are built via __new__ + direct stores: an 8 MB
+    # message is 8k chunks, and the dataclass kwargs/__post_init__ path
+    # costs more than the rest of this loop combined.  Every invariant
+    # __post_init__ checks holds by construction here (npk >= 1, seq > 0).
+    new = WireChunk.__new__
+    append = chunks.append
     while offset < body_bytes:
         take = min(chunk_bytes, body_bytes - offset)
-        npk = -(-take // packet_bytes)
-        view = payload[offset : offset + take] if payload is not None else None
-        chunks.append(
-            WireChunk(
-                msg_id=mid,
-                src=src,
-                dst=dst,
-                seq=seq,
-                npackets=npk,
-                nbytes=take,
-                is_header=False,
-                is_last=offset + take >= body_bytes,
-                payload=view,
-                payload_offset=offset,
-            )
-        )
+        c = new(WireChunk)
+        c.msg_id = mid
+        c.src = src
+        c.dst = dst
+        c.seq = seq
+        c.npackets = -(-take // packet_bytes)
+        c.nbytes = take
+        c.is_header = False
+        c.is_last = offset + take >= body_bytes
+        c.header = None
+        c.payload = payload[offset : offset + take] if payload is not None else None
+        c.payload_offset = offset
+        c.meta = {}
+        append(c)
         offset += take
         seq += 1
     return chunks

@@ -1,0 +1,150 @@
+"""Wall-clock performance smoke for the simulation engine.
+
+The simulated results are deterministic and gated bit-for-bit by the
+golden baselines; this module measures the *other* axis — how fast the
+engine chews through events in real time.  The workload is the Figure 5
+fast sweep (unidirectional put, power-of-two sizes up to 8 MB), the
+heaviest single-series shard in the bench fleet: its large transfers
+stress the chunked DMA/fabric pipeline where almost all heap traffic
+lives.
+
+The metric is **events per second**: heap records scheduled
+(``Simulator.events_scheduled``) divided by wall-clock seconds for the
+sweep.  Event counts are deterministic, so the only noise is the wall
+clock — the smoke takes the best of N repetitions to suppress machine
+jitter.
+
+``repro bench --perf`` prints the measurement and, when
+``benchmarks/perf_baseline.json`` exists, the speedup against it.  The
+report is informational: CI uploads it as an artifact but never fails on
+it, because shared runners are far too noisy for a wall-clock gate.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Optional
+
+__all__ = [
+    "PerfResult",
+    "DEFAULT_BASELINE_PATH",
+    "measure_sweep",
+    "run_perf_smoke",
+    "load_baseline",
+    "save_baseline",
+    "format_perf_report",
+]
+
+#: committed reference point for the speedup line (repo-relative)
+DEFAULT_BASELINE_PATH = Path("benchmarks") / "perf_baseline.json"
+
+#: the measured workload: fig5 put fast sweep, 1 B .. 8 MB powers of two
+SWEEP_ID = "fig5/put/pingpong/fast"
+_SWEEP_MAX_BYTES = 8 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class PerfResult:
+    """One events-per-second measurement of the fig5 fast sweep."""
+
+    sweep: str
+    events: int
+    """Heap records scheduled during the sweep (deterministic)."""
+    wall_s: float
+    """Best wall-clock time over ``reps`` repetitions, seconds."""
+    events_per_sec: float
+    reps: int
+
+    def to_json(self) -> dict:
+        return asdict(self)
+
+
+def measure_sweep() -> tuple[int, float]:
+    """Run the fig5 fast sweep once; return (events_scheduled, wall_s)."""
+    from .netpipe import NetPipeRunner, PortalsPutModule, decade_sizes
+
+    runner = NetPipeRunner(PortalsPutModule())
+    sizes = decade_sizes(1, _SWEEP_MAX_BYTES)
+    t0 = time.perf_counter()
+    runner.run("pingpong", sizes)
+    wall = time.perf_counter() - t0
+    return runner.machine.sim.events_scheduled, wall
+
+
+def run_perf_smoke(reps: int = 3) -> PerfResult:
+    """Measure the sweep ``reps`` times and keep the fastest wall clock.
+
+    The event count must be identical across repetitions (the engine is
+    deterministic); a mismatch is a bug worth crashing on.
+    """
+    if reps < 1:
+        raise ValueError("reps must be >= 1")
+    best_wall: Optional[float] = None
+    events: Optional[int] = None
+    for _ in range(reps):
+        n, wall = measure_sweep()
+        if events is None:
+            events = n
+        elif n != events:
+            raise AssertionError(
+                f"non-deterministic event count: {n} != {events}"
+            )
+        if best_wall is None or wall < best_wall:
+            best_wall = wall
+    assert events is not None and best_wall is not None
+    return PerfResult(
+        sweep=SWEEP_ID,
+        events=events,
+        wall_s=round(best_wall, 4),
+        events_per_sec=round(events / best_wall, 1),
+        reps=reps,
+    )
+
+
+def load_baseline(path: Path = DEFAULT_BASELINE_PATH) -> Optional[dict]:
+    """Read the committed baseline, or None when absent."""
+    if not path.exists():
+        return None
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+def save_baseline(result: PerfResult, path: Path = DEFAULT_BASELINE_PATH) -> None:
+    """Rewrite the committed baseline from ``result``."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(result.to_json(), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+def format_perf_report(
+    result: PerfResult, baseline: Optional[dict] = None
+) -> str:
+    """Human-readable report; includes the speedup line when a baseline
+    with a positive ``events_per_sec`` is given."""
+    lines = [
+        f"# perf smoke: {result.sweep} (best of {result.reps})",
+        f"events          {result.events:>14,}",
+        f"wall_s          {result.wall_s:>14.4f}",
+        f"events_per_sec  {result.events_per_sec:>14,.1f}",
+    ]
+    if baseline:
+        base_eps = float(baseline.get("events_per_sec", 0.0))
+        if base_eps > 0.0:
+            lines.append(
+                f"baseline        {base_eps:>14,.1f}"
+                f"  (speedup {result.events_per_sec / base_eps:.2f}x)"
+            )
+        base_events = baseline.get("events")
+        if base_events is not None and base_events != result.events:
+            # informational too: event totals shift when scheduling is
+            # legitimately restructured, and the golden gate — not this
+            # smoke — decides whether results changed
+            lines.append(
+                f"note: event count differs from baseline "
+                f"({result.events:,} vs {base_events:,})"
+            )
+    return "\n".join(lines)

@@ -7,11 +7,13 @@ processes exchanging events on a single integer-picosecond clock.
 
 from .channel import Channel, Store
 from .core import (
+    DIRECT_RESUME_DEFAULT,
     AllOf,
     AnyOf,
     Event,
     Interrupt,
     Process,
+    Resolved,
     SimulationError,
     Simulator,
     Timeout,
@@ -46,6 +48,8 @@ __all__ = [
     "AllOf",
     "Interrupt",
     "SimulationError",
+    "Resolved",
+    "DIRECT_RESUME_DEFAULT",
     "Channel",
     "Store",
     "Resource",

@@ -9,11 +9,20 @@ SeaStar serializes all transmits through a single TX FIFO).
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Optional
+from typing import Any, Deque, Optional, Union
 
-from .core import Event, Simulator
+from .core import Event, Resolved, Simulator
 
 __all__ = ["Channel", "Store"]
+
+#: waits that are already satisfied at call time are returned as cheap
+#: :class:`Resolved` markers instead of pre-triggered Events (see the
+#: *Flattened sleeps* section of :mod:`repro.sim.core`)
+Wait = Union[Event, Resolved]
+
+#: shared marker for value-less completions (Store.put acceptance) —
+#: Resolved is immutable-by-convention, so one instance serves them all
+_ACCEPTED = Resolved(None)
 
 
 class Channel:
@@ -46,13 +55,16 @@ class Channel:
         else:
             self._items.append(item)
 
-    def get(self) -> Event:
-        """Event that fires with the next item in FIFO order."""
-        event = Event(self.sim)
+    def get(self) -> Wait:
+        """Wait that fires with the next item in FIFO order.
+
+        Returns a :class:`Resolved` marker when an item is already
+        queued, a pending :class:`Event` otherwise — yield either.
+        """
         if self._items:
-            event.succeed(self._items.popleft())
-        else:
-            self._getters.append(event)
+            return Resolved(self._items.popleft())
+        event = Event(self.sim)
+        self._getters.append(event)
         return event
 
     def peek(self) -> Any:
@@ -85,36 +97,50 @@ class Store(Channel):
         self.capacity = capacity
         self._putters: Deque[tuple[Event, Any]] = deque()
 
-    def put(self, item: Any) -> Event:  # type: ignore[override]
-        """Event that fires once ``item`` has been accepted."""
-        event = Event(self.sim)
+    def put(self, item: Any) -> Wait:  # type: ignore[override]
+        """Wait that fires once ``item`` has been accepted.
+
+        Immediate acceptance returns the shared :class:`Resolved`
+        marker; a full store returns a pending :class:`Event`.  The
+        getter wake-up (if any) is scheduled *before* the marker is
+        returned, so yielding the marker preserves the classic
+        getter-then-putter same-time ordering.
+        """
         if self._getters:
             self._getters.popleft().succeed(item)
-            event.succeed(None)
-        elif len(self._items) < self.capacity:
+            return _ACCEPTED
+        if len(self._items) < self.capacity:
             self._items.append(item)
-            event.succeed(None)
-        else:
-            self._putters.append((event, item))
+            return _ACCEPTED
+        event = Event(self.sim)
+        self._putters.append((event, item))
         return event
 
-    def get(self) -> Event:
-        event = Event(self.sim)
+    def get(self) -> Wait:
         if self._items:
+            if not self._putters:
+                return Resolved(self._items.popleft())
+            # A blocked producer moves up: keep the classic pre-triggered
+            # Event here so the getter's heap record is allocated BEFORE
+            # the putter's — same-time resume order is load-bearing and a
+            # Resolved marker would claim its slot only at yield time.
+            event = Event(self.sim)
             event.succeed(self._items.popleft())
-            if self._putters:
-                put_event, item = self._putters.popleft()
-                self._items.append(item)
-                put_event.succeed(None)
-        elif self._putters:
+            put_event, item = self._putters.popleft()
+            self._items.append(item)
+            put_event.succeed(None)
+            return event
+        if self._putters:
             # capacity could be saturated with zero queued items only if
             # capacity==0, which __init__ forbids; this branch handles a
             # direct producer->consumer handoff after a drain().
+            event = Event(self.sim)
             put_event, item = self._putters.popleft()
             event.succeed(item)
             put_event.succeed(None)
-        else:
-            self._getters.append(event)
+            return event
+        event = Event(self.sim)
+        self._getters.append(event)
         return event
 
     @property

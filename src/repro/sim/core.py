@@ -19,6 +19,34 @@ Model
 * :class:`Timeout` fires after a fixed delay.
 * :class:`AnyOf` / :class:`AllOf` compose events.
 
+Flattened sleeps (the hot path)
+-------------------------------
+A process may also yield a bare non-negative ``int`` — a pure delay in
+picoseconds, equivalent to ``yield sim.timeout(n)``.  By default
+(``Simulator(direct_resume=True)``) the kernel services it without
+constructing a Timeout at all: the heap gets a flattened 4-tuple record
+``(when, seq, None, process)`` and the run loop resumes the process
+directly when it pops.  This removes one Event object, one callbacks
+list, one bound-method callback and one dispatch per sleep — the
+dominant per-event cost of DMA/wire/CPU modeling — while allocating
+``seq`` at exactly the point the Timeout would have been created, so
+event ordering (and therefore every simulated result) is bit-identical.
+The ``seq`` doubles as the wake token: :meth:`Process.interrupt` disarms
+a pending sleep by resetting the process's token, and the stale record
+is ignored when it surfaces.  ``Simulator(direct_resume=False)`` routes
+int yields through a real :class:`Timeout` instead (the legacy path,
+kept so tests can A/B the two).
+
+:class:`Resolved` extends the same idea to already-satisfied waits:
+channel/store operations that complete immediately return a ``Resolved``
+marker instead of a pre-triggered Event, and yielding it parks the
+process on a flattened record carrying the value.  The wake-up still
+round-trips the heap (same-time ordering is load-bearing), but without
+the Event object, callbacks list, or callback dispatch.  Producers may
+only return ``Resolved`` when they schedule nothing else afterwards in
+the same call — the marker's heap slot is claimed at yield time, so any
+scheduling in between would reorder same-time records.
+
 Failures propagate: a failed event *thrown* into a waiting generator raises
 there; an unhandled failure escapes :meth:`Simulator.run` as
 :class:`SimulationError`.
@@ -60,7 +88,17 @@ __all__ = [
     "AllOf",
     "SimulationError",
     "Interrupt",
+    "Resolved",
+    "DIRECT_RESUME_DEFAULT",
 ]
+
+#: module default for :class:`Simulator`'s ``direct_resume`` flag —
+#: whether int yields use flattened sleep records (fast path) or build
+#: legacy :class:`Timeout` events.  Both produce bit-identical runs.
+DIRECT_RESUME_DEFAULT = True
+
+_heappush = heapq.heappush
+_heappop = heapq.heappop
 
 
 class SimulationError(RuntimeError):
@@ -81,6 +119,33 @@ class Interrupt(Exception):
 
 # Sentinels for event state
 _PENDING = object()
+
+# Sentinel stored in Process._waiting_on while the process is parked on a
+# flattened sleep record (no Event exists to point at).
+_SLEEP = object()
+
+
+class Resolved:
+    """An already-satisfied wait, cheaper than a pre-triggered Event.
+
+    Yielding a ``Resolved`` resumes the process at the *current* time with
+    ``value`` after one trip through the event heap (so same-time ordering
+    against other records is preserved), without constructing an Event.
+    Returned by channel/store fast paths; exposes ``triggered``/``ok``/
+    ``value`` so non-yielding callers that immediately unwrap the result
+    (``assert ev.triggered; ev.value``) work with either representation.
+    """
+
+    __slots__ = ("value",)
+
+    triggered = True
+    ok = True
+
+    def __init__(self, value: Any = None):
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Resolved {self.value!r}>"
 
 
 class Event:
@@ -145,7 +210,12 @@ class Event:
             raise RuntimeError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
-        self.sim._schedule(self, delay)
+        if delay == 0:
+            sim = self.sim
+            _heappush(sim._heap, (sim.now, sim._seq, self))
+            sim._seq += 1
+        else:
+            self.sim._schedule(self, delay)
         return self
 
     def fail(self, exception: BaseException, delay: int = 0) -> "Event":
@@ -156,7 +226,12 @@ class Event:
             raise TypeError("fail() requires an exception instance")
         self._ok = False
         self._value = exception
-        self.sim._schedule(self, delay)
+        if delay == 0:
+            sim = self.sim
+            _heappush(sim._heap, (sim.now, sim._seq, self))
+            sim._seq += 1
+        else:
+            self.sim._schedule(self, delay)
         return self
 
     def add_callback(self, callback: Callable[["Event"], None]) -> None:
@@ -185,11 +260,14 @@ class Timeout(Event):
     def __init__(self, sim: "Simulator", delay: int, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
-        super().__init__(sim)
+        self.sim = sim
+        self.callbacks = []
+        self._defused = False
         self.delay = delay
         self._ok = True
         self._value = value
-        sim._schedule(self, delay)
+        _heappush(sim._heap, (sim.now + delay, sim._seq, self))
+        sim._seq += 1
 
 
 class Process(Event):
@@ -198,16 +276,26 @@ class Process(Event):
     The generator yields :class:`Event` instances.  When a yielded event
     succeeds, the generator resumes with the event's value; when it fails,
     the exception is thrown into the generator.
+
+    A generator may also yield a bare non-negative ``int`` — a pure delay
+    in picoseconds (see the module docstring's *Flattened sleeps*): on the
+    default fast path no Timeout is built, the process is resumed directly
+    from a flattened heap record, and the generator receives ``None``
+    exactly as it would from an un-valued Timeout.
     """
 
-    __slots__ = ("_gen", "_waiting_on", "name")
+    __slots__ = ("_gen", "_waiting_on", "name", "_sleep_seq", "_send", "_waited")
 
     def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
         if not hasattr(gen, "send"):
             raise TypeError(f"Process requires a generator, got {type(gen).__name__}")
         super().__init__(sim)
         self._gen = gen
-        self._waiting_on: Optional[Event] = None
+        self._waiting_on: Optional[Any] = None
+        self._sleep_seq = -1
+        # bound-method caches: one allocation here instead of one per step
+        self._send = gen.send
+        self._waited = self._process_waited
         self.name = name or getattr(gen, "__name__", "process")
         # Kick off at the current time.
         start = Event(sim)
@@ -235,6 +323,9 @@ class Process(Event):
                 f"process {self.name!r} is not waiting and cannot be interrupted"
             )
         self._waiting_on = None
+        # Disarm a pending flattened sleep: its heap record carries the
+        # old token and is ignored when it surfaces.
+        self._sleep_seq = -1
         # Deliver via a fresh failed event so ordering goes through the heap.
         poke = Event(self.sim)
         poke._ok = False
@@ -259,16 +350,48 @@ class Process(Event):
             if throw is not None:
                 target = self._gen.throw(throw)
             else:
-                target = self._gen.send(send)
+                target = self._send(send)
         except StopIteration as stop:
             self.succeed(stop.value)
             return
         except BaseException as exc:  # noqa: BLE001 - propagate as failure
             self.fail(exc)
             return
-        if not isinstance(target, Event):
+        tt = type(target)
+        if tt is int:
+            # Flattened sleep.  The record allocates `seq` at exactly the
+            # point a Timeout would have been constructed, so scheduling
+            # order — and every simulated result — is unchanged.
+            if target >= 0:
+                sim = self.sim
+                if sim.direct_resume:
+                    seq = sim._seq
+                    self._waiting_on = _SLEEP
+                    self._sleep_seq = seq
+                    _heappush(sim._heap, (sim.now + target, seq, None, self, None))
+                    sim._seq = seq + 1
+                    return
+                target = Timeout(sim, target)
+            else:
+                self._gen.close()
+                self.fail(ValueError(f"negative timeout delay: {target}"))
+                return
+        elif tt is Resolved:
+            # Flattened already-satisfied wait: resume at the current
+            # time with the carried value after one heap round-trip.
+            sim = self.sim
+            if sim.direct_resume:
+                seq = sim._seq
+                self._waiting_on = _SLEEP
+                self._sleep_seq = seq
+                _heappush(sim._heap, (sim.now, seq, None, self, target.value))
+                sim._seq = seq + 1
+                return
+            target = Event(sim).succeed(target.value)
+        elif not isinstance(target, Event):
             err = TypeError(
-                f"process {self.name!r} yielded {target!r}; processes must yield Events"
+                f"process {self.name!r} yielded {target!r}; processes must "
+                "yield Events, Resolved waits, or int delays"
             )
             self._gen.close()
             self.fail(err)
@@ -278,7 +401,12 @@ class Process(Event):
             self.fail(RuntimeError("yielded an event from a different simulator"))
             return
         self._waiting_on = target
-        target.add_callback(self._process_waited)
+        # inlined Event.add_callback (hot: once per wait)
+        cb = target.callbacks
+        if cb is None:
+            self._waited(target)
+        else:
+            cb.append(self._waited)
 
     def _process_waited(self, event: Event) -> None:
         if self._waiting_on is not event:
@@ -289,7 +417,7 @@ class Process(Event):
             return
         self._waiting_on = None
         if event._ok:
-            self._step(send=event._value)
+            self._step(event._value)
         else:
             event._defused = True
             self._step(throw=event._value)
@@ -381,13 +509,18 @@ class Simulator:
         assert proc.value == "done"
     """
 
-    __slots__ = ("now", "_heap", "_seq", "_active")
+    __slots__ = ("now", "_heap", "_seq", "_active", "direct_resume")
 
-    def __init__(self) -> None:
+    def __init__(self, direct_resume: Optional[bool] = None) -> None:
         self.now: int = 0
-        self._heap: list[tuple[int, int, Event]] = []
+        self._heap: list[tuple] = []
         self._seq: int = 0
         self._active: bool = False
+        #: whether int yields use flattened sleep records (fast path) or
+        #: legacy Timeout events; both are bit-identical in simulated time
+        self.direct_resume: bool = (
+            DIRECT_RESUME_DEFAULT if direct_resume is None else bool(direct_resume)
+        )
 
     # -- factories ----------------------------------------------------------
     def event(self) -> Event:
@@ -418,11 +551,26 @@ class Simulator:
         self._seq += 1
 
     def step(self) -> None:
-        """Process the single next event on the heap."""
-        when, _, event = heapq.heappop(self._heap)
+        """Process the single next record on the heap.
+
+        A record is either ``(when, seq, event)`` — run the event's
+        callbacks — or a flattened sleep ``(when, seq, None, process)`` —
+        resume the process directly (if its wake token still matches;
+        an interrupt may have disarmed it).
+        """
+        entry = _heappop(self._heap)
+        when = entry[0]
         if when < self.now:  # pragma: no cover - defensive
             raise RuntimeError("event heap time went backwards")
         self.now = when
+        event = entry[2]
+        if event is None:
+            proc = entry[3]
+            if proc._sleep_seq == entry[1]:
+                proc._sleep_seq = -1
+                proc._waiting_on = None
+                proc._step(entry[4])
+            return
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
             callback(event)
@@ -436,23 +584,74 @@ class Simulator:
     def run(self, until: Optional[int] = None) -> int:
         """Run until the heap is empty or the clock passes ``until``.
 
-        Returns the simulation time at exit.  ``until`` is an absolute time
-        in picoseconds; the clock is left at ``until`` if the horizon was
-        reached with events still outstanding.
+        Returns the simulation time at exit.  ``until`` is an absolute
+        time in picoseconds and the boundary is *inclusive*: a record
+        scheduled at exactly ``until`` still fires; only records strictly
+        after ``until`` are left on the heap.  The clock is left at
+        ``until`` if the horizon was reached (with or without events
+        still outstanding), and never moves backwards.
+
+        The loop body is an inlined :meth:`step` (minus the defensive
+        monotonicity check — the heap guarantees it): this is the hottest
+        code in the repository.
         """
         if self._active:
             raise RuntimeError("simulator is already running")
         self._active = True
+        heap = self._heap
+        pop = _heappop
         try:
-            while self._heap:
-                when = self._heap[0][0]
-                if until is not None and when > until:
-                    self.now = until
-                    break
-                self.step()
+            if until is None:
+                while heap:
+                    entry = pop(heap)
+                    self.now = entry[0]
+                    event = entry[2]
+                    if event is None:
+                        proc = entry[3]
+                        if proc._sleep_seq == entry[1]:
+                            proc._sleep_seq = -1
+                            proc._waiting_on = None
+                            proc._step(entry[4])
+                        continue
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    for callback in callbacks:
+                        callback(event)
+                    if not event._ok and not event._defused:
+                        exc = event._value
+                        if isinstance(exc, BaseException):
+                            raise SimulationError(
+                                f"unhandled event failure: {exc!r}"
+                            ) from exc
             else:
-                if until is not None and until > self.now:
-                    self.now = until
+                while heap:
+                    if heap[0][0] > until:
+                        if until > self.now:
+                            self.now = until
+                        break
+                    entry = pop(heap)
+                    self.now = entry[0]
+                    event = entry[2]
+                    if event is None:
+                        proc = entry[3]
+                        if proc._sleep_seq == entry[1]:
+                            proc._sleep_seq = -1
+                            proc._waiting_on = None
+                            proc._step(entry[4])
+                        continue
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    for callback in callbacks:
+                        callback(event)
+                    if not event._ok and not event._defused:
+                        exc = event._value
+                        if isinstance(exc, BaseException):
+                            raise SimulationError(
+                                f"unhandled event failure: {exc!r}"
+                            ) from exc
+                else:
+                    if until > self.now:
+                        self.now = until
         finally:
             self._active = False
         return self.now
@@ -460,6 +659,17 @@ class Simulator:
     def peek(self) -> Optional[int]:
         """Time of the next scheduled event, or None if the heap is empty."""
         return self._heap[0][0] if self._heap else None
+
+    @property
+    def events_scheduled(self) -> int:
+        """Total heap records scheduled so far (events + flattened sleeps).
+
+        Monotonic; the denominator for wall-clock events/sec reporting
+        (:mod:`repro.perf`).  Identical whichever int-yield path is in
+        use, since flattened sleeps allocate the same ``seq`` a Timeout
+        would have.
+        """
+        return self._seq
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Simulator t={self.now}ps queued={len(self._heap)}>"

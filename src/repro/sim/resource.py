@@ -97,7 +97,8 @@ class Resource:
         req = self.request(priority)
         yield req
         try:
-            yield self.sim.timeout(duration)
+            # int yield: flattened sleep (see repro.sim.core)
+            yield duration
         finally:
             self.release(req)
 
@@ -129,7 +130,7 @@ class CPU(Resource):
         yield req
         try:
             if cost > 0:
-                yield self.sim.timeout(cost)
+                yield cost
                 self.busy_time += cost
         finally:
             self.release(req)
@@ -142,7 +143,7 @@ class CPU(Resource):
         capacity-1 resource.
         """
         if cost > 0:
-            yield self.sim.timeout(cost)
+            yield cost
             self.busy_time += cost
 
     def cycles(self, n: int) -> int:

@@ -2,8 +2,11 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, settings as hyp_settings
 
 from repro.hw.config import SeaStarConfig
 from repro.machine.builder import build_pair
@@ -15,11 +18,44 @@ from repro.portals import (
 )
 from repro.sim import Simulator
 
+# Hypothesis profiles: PRs run the small derandomized "fast" profile so
+# tier-1 stays quick and reproducible; the nightly CI job selects the
+# deeper randomized profile via HYPOTHESIS_PROFILE=nightly.
+hyp_settings.register_profile(
+    "fast",
+    max_examples=25,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[
+        HealthCheck.too_slow,
+        # engine_sim is only read (sim.now == 0) across examples
+        HealthCheck.function_scoped_fixture,
+    ],
+)
+hyp_settings.register_profile(
+    "nightly",
+    max_examples=300,
+    deadline=None,
+    suppress_health_check=[
+        HealthCheck.too_slow,
+        # engine_sim is only read (sim.now == 0) across examples
+        HealthCheck.function_scoped_fixture,
+    ],
+)
+hyp_settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "fast"))
+
 
 @pytest.fixture
 def sim():
     """A fresh simulator."""
     return Simulator()
+
+
+@pytest.fixture(params=[True, False], ids=["fastpath", "legacy"])
+def engine_sim(request):
+    """A simulator on each scheduler path (flattened sleeps vs legacy
+    event objects) — property tests run against both."""
+    return Simulator(direct_resume=request.param)
 
 
 @pytest.fixture

@@ -83,6 +83,21 @@ class TestRecoveryDeterminism:
         assert run_once() == run_once()
 
 
+class TestBenchDeterminismStress:
+    def test_fig4_three_ways_byte_identical(self):
+        """The fig4 sweep run twice in-process and once across a
+        spawn-based worker pool must agree byte for byte on the
+        simulated half of the results document — the same contract the
+        golden gate enforces, exercised across process boundaries."""
+        from repro.benchrunner import run_bench, simulated_json
+
+        first = run_bench(fast=True, filter="fig4")
+        second = run_bench(fast=True, filter="fig4")
+        pooled = run_bench(fast=True, filter="fig4", workers=2)
+        assert simulated_json(first) == simulated_json(second)
+        assert simulated_json(first) == simulated_json(pooled)
+
+
 class TestReportDeterminism:
     def test_counters_identical_across_runs(self):
         def run_once():

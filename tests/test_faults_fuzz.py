@@ -1,0 +1,179 @@
+"""Fuzzed fault plans through the reliable transport.
+
+Hypothesis generates random (seeded, shrinkable) :class:`FaultPlan`\\ s
+and drives them through ``verify_payload_integrity`` and the dead-link
+exhaustion path.  The invariants:
+
+* every *recoverable* plan (finite outages, sub-certainty loss rates,
+  a generous retry budget) ends with every payload delivered intact,
+  exactly once — ``ok`` is True and the run terminates;
+* ``verify_payload_integrity`` never silently passes corrupt data:
+  whenever corruption was injected and the check still reports ok, the
+  firmware provably detected it (CRC errors) and recovered
+  (retransmits) — corrupt bytes cannot reach the buffer unnoticed;
+* a dead link yields exactly one ``SEND_END``/``PTL_NI_FAIL`` per
+  message — never zero (hang), never two (duplicate completion);
+* the same plan replayed gives bit-identical recovery behaviour (the
+  injector's RNG is fully seeded).
+
+The heavy tests build a two-node machine per example, so they run a
+fixed small example count on PRs and a deeper one when
+``HYPOTHESIS_PROFILE=nightly`` is set.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import (
+    ChunkAction,
+    FaultPlan,
+    LinkOutage,
+    OutageMode,
+    ScriptedFault,
+    verify_payload_integrity,
+)
+from repro.fw.firmware import ExhaustionPolicy
+from repro.hw.config import DEFAULT_CONFIG
+from repro.machine.builder import build_pair
+from repro.portals import EventKind, NIFailType
+from repro.sim import us
+
+pytestmark = pytest.mark.property
+
+_NIGHTLY = os.environ.get("HYPOTHESIS_PROFILE") == "nightly"
+_HEAVY_EXAMPLES = 40 if _NIGHTLY else 8
+
+#: quick retransmit clock + deep retry budget: every finite fault is
+#: recoverable in simulated microseconds
+RECOVER_FAST = DEFAULT_CONFIG.replace(
+    reliable_transport=True,
+    retransmit_timeout=us(15),
+    gobackn_backoff=us(5),
+    gobackn_backoff_max=us(25),
+)
+
+#: dead wire + tiny retry budget (the test_gobackn_exhaustion idiom)
+DEAD = FaultPlan(outages=(LinkOutage(start=0, end=None, mode=OutageMode.DROP),))
+FAST_EXHAUST = DEFAULT_CONFIG.replace(
+    reliable_transport=True,
+    gobackn_max_retries=2,
+    gobackn_backoff=us(5),
+    gobackn_backoff_max=us(15),
+    retransmit_timeout=us(15),
+)
+
+_SIZES = [1, 257, 4096]
+
+
+@st.composite
+def recoverable_plans(draw) -> FaultPlan:
+    """Plans whose faults are all finite / sub-certainty: go-back-N with
+    a deep retry budget must always recover from them."""
+    outages = []
+    for _ in range(draw(st.integers(0, 2))):
+        start = draw(st.integers(0, us(40)))
+        duration = draw(st.integers(us(1), us(30)))
+        mode = draw(st.sampled_from([OutageMode.STALL, OutageMode.DROP]))
+        outages.append(LinkOutage(start=start, end=start + duration, mode=mode))
+    script = tuple(
+        ScriptedFault(index=idx, action=draw(st.sampled_from(list(ChunkAction))))
+        for idx in draw(st.lists(st.integers(0, 40), max_size=3, unique=True))
+    )
+    return FaultPlan(
+        seed=draw(st.integers(0, 2**16)),
+        drop_prob=draw(st.sampled_from([0.0, 0.01, 0.05, 0.1])),
+        corrupt_prob=draw(st.sampled_from([0.0, 0.01, 0.05, 0.1])),
+        outages=tuple(outages),
+        script=script,
+    )
+
+
+@settings(max_examples=_HEAVY_EXAMPLES, deadline=None)
+@given(plan=recoverable_plans())
+def test_recoverable_plans_deliver_intact_exactly_once(plan):
+    check = verify_payload_integrity(plan, _SIZES, config=RECOVER_FAST)
+    assert check["checked"] == len(_SIZES)
+    assert check["ok"], f"corrupt delivery under {plan}: {check['mismatches']}"
+    assert check["ok"] == (not check["mismatches"])
+
+    injected = check["report"]["injected"]
+    recovery = check["report"]["recovery"]
+    # integrity can only hold *silently* if nothing was actually lost or
+    # corrupted on the wire; otherwise the firmware must show its work
+    if injected.get("chunks_corrupted", 0):
+        assert recovery.get("crc_errors", 0) >= 1, (
+            "corrupt chunks reached the buffer without a CRC detection"
+        )
+    if injected.get("chunks_dropped", 0):
+        assert (
+            recovery.get("retransmits", 0) + recovery.get("timeout_retransmits", 0)
+        ) >= 1, "dropped chunks were delivered without any retransmit"
+
+
+@settings(max_examples=_HEAVY_EXAMPLES, deadline=None)
+@given(plan=recoverable_plans())
+def test_same_plan_replays_bit_identically(plan):
+    first = verify_payload_integrity(plan, _SIZES, config=RECOVER_FAST)
+    second = verify_payload_integrity(plan, _SIZES, config=RECOVER_FAST)
+    assert first["ok"] == second["ok"]
+    assert first["mismatches"] == second["mismatches"]
+    assert first["report"]["injected"] == second["report"]["injected"]
+    assert first["report"]["recovery"] == second["report"]["recovery"]
+    assert first["machine"].now == second["machine"].now
+
+
+def _run_dead_link(messages: int, nbytes: int):
+    machine, na, nb = build_pair(
+        FAST_EXHAUST, policy=ExhaustionPolicy.GO_BACK_N, fault_plan=DEAD
+    )
+    pa, pb = na.create_process(), nb.create_process()
+    events = []
+
+    def sender(proc, target):
+        api = proc.api
+        eq = yield from api.PtlEQAlloc(128)
+        md = yield from api.PtlMDBind(proc.alloc(nbytes), eq=eq)
+        for _ in range(messages):
+            yield from api.PtlPut(md, target, 4, 0x1234, length=nbytes)
+        fails = 0
+        while fails < messages:
+            ev = yield from api.PtlEQWait(eq)
+            events.append(ev)
+            if (
+                ev.kind is EventKind.SEND_END
+                and ev.ni_fail_type is NIFailType.FAIL
+            ):
+                fails += 1
+        return fails
+
+    hs = pa.spawn(sender, pb.id)
+    machine.run()
+    assert hs.triggered, "sender hung waiting for failure events"
+    if not hs.ok:
+        raise hs.value
+    return machine, na, events
+
+
+@settings(max_examples=_HEAVY_EXAMPLES, deadline=None)
+@given(
+    messages=st.integers(1, 4),
+    nbytes=st.sampled_from([64, 2048, 8192]),
+)
+def test_dead_link_fails_each_message_exactly_once(messages, nbytes):
+    machine, na, events = _run_dead_link(messages, nbytes)
+    failures = [
+        ev
+        for ev in events
+        if ev.kind is EventKind.SEND_END and ev.ni_fail_type is NIFailType.FAIL
+    ]
+    assert len(failures) == messages
+    assert na.firmware.counters["gobackn_failures"] == messages
+    # quiesced: nothing (watchdogs, timers) left running after exhaustion
+    end = machine.now
+    machine.run()
+    assert machine.now == end

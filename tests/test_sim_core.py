@@ -162,7 +162,28 @@ class TestProcess:
 
     def test_yielding_non_event_fails_process(self, sim):
         def body():
-            yield 42  # type: ignore[misc]
+            yield "not an event"  # type: ignore[misc]
+
+        sim.process(body())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_yielding_int_sleeps(self, sim):
+        # a bare non-negative int is a flattened sleep: same semantics
+        # as yielding sim.timeout(n), without building the Timeout
+        log = []
+
+        def body():
+            got = yield 42
+            log.append((sim.now, got))
+
+        sim.process(body())
+        sim.run()
+        assert log == [(42, None)]
+
+    def test_yielding_negative_int_fails_process(self, sim):
+        def body():
+            yield -1
 
         sim.process(body())
         with pytest.raises(SimulationError):
@@ -332,6 +353,82 @@ class TestDefusal:
         ev.fail(RuntimeError("nobody consumed this"))
         with pytest.raises(SimulationError, match="unhandled event failure"):
             sim.run()
+
+
+@pytest.mark.parametrize("mode", [True, False], ids=["fastpath", "legacy"])
+class TestRunUntilBoundary:
+    """``until`` is inclusive and the clock is monotonic — on both
+    scheduler paths."""
+
+    def test_record_at_exactly_until_fires(self, mode):
+        sim = Simulator(direct_resume=mode)
+        fired = []
+
+        def body():
+            yield 400
+            fired.append(sim.now)
+
+        sim.process(body())
+        end = sim.run(until=400)
+        assert fired == [400]
+        assert end == 400 and sim.now == 400
+
+    def test_record_just_past_until_stays_on_heap(self, mode):
+        sim = Simulator(direct_resume=mode)
+        fired = []
+
+        def body():
+            yield 401
+            fired.append(sim.now)
+
+        sim.process(body())
+        sim.run(until=400)
+        assert fired == []
+        assert sim.now == 400
+        assert sim.peek() == 401
+        # resuming picks the record up exactly where it was left
+        sim.run()
+        assert fired == [401]
+
+    def test_past_horizon_never_rewinds_clock(self, mode):
+        sim = Simulator(direct_resume=mode)
+
+        def body():
+            yield 600
+
+        sim.process(body())
+        sim.run(until=500)
+        assert sim.now == 500
+        # horizon in the past, record still pending: clock must hold
+        assert sim.run(until=100) == 500
+        assert sim.now == 500
+        # same with an empty heap
+        sim.run()
+        assert sim.now == 600
+        assert sim.run(until=100) == 600
+
+    def test_defused_records_do_not_disturb_the_clock(self, mode):
+        sim = Simulator(direct_resume=mode)
+        ev = sim.event()
+        ev.fail(RuntimeError("expected"))
+        ev.defuse()
+        sim.timeout(300)
+        sim.run(until=200)  # pops the defused record at t=0
+        assert sim.now == 200
+        sim.run(until=400)
+        assert sim.now == 400
+
+    def test_zero_horizon_fires_time_zero_records(self, mode):
+        sim = Simulator(direct_resume=mode)
+        fired = []
+
+        def body():
+            yield 0
+            fired.append(sim.now)
+
+        sim.process(body())
+        sim.run(until=0)
+        assert fired == [0] and sim.now == 0
 
 
 class TestRun:
