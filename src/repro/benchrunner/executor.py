@@ -214,22 +214,47 @@ _ABLATIONS: Dict[str, Callable[[bool], Dict[str, float]]] = {
 # -- execution --------------------------------------------------------------
 
 
-def execute_shard(shard: Shard) -> ShardResult:
-    """Run one shard to completion in this process."""
-    from ..netpipe import run_series
+def execute_shard(shard: Shard, *, stats: bool = False) -> ShardResult:
+    """Run one shard to completion in this process.
+
+    ``stats=True`` runs figure shards with the metrics registry enabled
+    and attaches per-size utilization attribution rows.  The simulated
+    series is identical either way (metrics never schedule events), so
+    the gated ``figures`` half of the document is unaffected.
+    """
+    from ..netpipe import NetPipeRunner, run_series
 
     spec = SPECS[shard.spec]
     t0 = time.perf_counter()
     if spec.kind == "figure":
         assert spec.pattern is not None
-        series = run_series(
-            _make_module(shard.variant), spec.pattern, list(shard.sizes)
-        )
+        utilization = None
+        if stats:
+            from ..metrics import attribute_windows
+
+            runner = NetPipeRunner(_make_module(shard.variant), metrics=True)
+            series = runner.run(spec.pattern, list(shard.sizes))
+            utilization = [
+                {
+                    "nbytes": row.nbytes,
+                    "window_ps": row.window_ps,
+                    "utilization": {
+                        k: row.utilization[k] for k in sorted(row.utilization)
+                    },
+                    "saturating": row.saturating,
+                }
+                for row in attribute_windows(runner.machine.metrics, runner.windows)
+            ]
+        else:
+            series = run_series(
+                _make_module(shard.variant), spec.pattern, list(shard.sizes)
+            )
         result = ShardResult(
             shard_id=shard.shard_id,
             figure=shard.spec,
             variant=shard.variant,
             series=SeriesData.from_series(series),
+            utilization=utilization,
         )
     else:
         metrics = _ABLATIONS[shard.spec](shard.fast)
@@ -243,8 +268,9 @@ def execute_shard(shard: Shard) -> ShardResult:
     return result
 
 
-def _pool_worker(shard: Shard) -> ShardResult:  # pragma: no cover - subprocess
-    return execute_shard(shard)
+def _pool_worker(args: tuple) -> ShardResult:  # pragma: no cover - subprocess
+    shard, stats = args
+    return execute_shard(shard, stats=stats)
 
 
 def run_bench(
@@ -253,12 +279,15 @@ def run_bench(
     workers: int = 1,
     filter: Optional[str] = None,
     progress: Optional[Callable[[str], None]] = None,
+    stats: bool = False,
 ) -> Dict[str, Any]:
     """Run the discovered shard set; return the results document.
 
     ``workers <= 1`` runs every shard in-process (the reference serial
     path); otherwise shards fan out over a spawn-based pool.  Both paths
-    produce byte-identical ``figures`` content.
+    produce byte-identical ``figures`` content.  ``stats=True`` adds the
+    informational ``utilization`` appendix (figure shards run with
+    metrics enabled; simulated content is unchanged).
     """
     shards = discover_shards(fast=fast, filter=filter)
     if not shards:
@@ -268,7 +297,7 @@ def run_bench(
     if workers <= 1:
         results = []
         for shard in shards:
-            res = execute_shard(shard)
+            res = execute_shard(shard, stats=stats)
             results.append(res)
             if progress:
                 progress(f"{res.shard_id}: {res.wall_s:.2f}s")
@@ -276,7 +305,8 @@ def run_bench(
         ctx = multiprocessing.get_context("spawn")
         with ctx.Pool(processes=workers) as pool:
             results = []
-            for res in pool.imap(_pool_worker, shards, chunksize=1):
+            jobs = [(shard, stats) for shard in shards]
+            for res in pool.imap(_pool_worker, jobs, chunksize=1):
                 results.append(res)
                 if progress:
                     progress(f"{res.shard_id}: {res.wall_s:.2f}s")

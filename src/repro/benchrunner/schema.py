@@ -123,6 +123,9 @@ class ShardResult:
     series: Optional[SeriesData] = None
     metrics: Dict[str, float] = field(default_factory=dict)
     wall_s: float = 0.0
+    utilization: Optional[List[Dict[str, Any]]] = None
+    """Informational per-size attribution rows (``--stats`` runs only).
+    Lives outside the gated ``figures`` half — see :func:`merge_shards`."""
 
 
 def canonical_json(doc: Any) -> str:
@@ -185,7 +188,7 @@ def merge_shards(
                 series = data.to_series(variant)
                 var["metrics"].update(figure_metrics(fig_name, variant, series))
 
-    return {
+    doc: Dict[str, Any] = {
         "schema": SCHEMA_VERSION,
         "mode": mode,
         "figures": figures,
@@ -195,6 +198,20 @@ def merge_shards(
             "shards": {r.shard_id: round(r.wall_s, 3) for r in shard_results},
         },
     }
+    # informational utilization appendix (metrics-enabled runs only):
+    # top-level, outside the byte-compared ``figures`` half, exactly
+    # like ``wallclock``
+    utilization: Dict[str, Dict[str, List[Dict[str, Any]]]] = {}
+    for res in shard_results:
+        if res.utilization:
+            rows = utilization.setdefault(res.figure, {}).setdefault(res.variant, [])
+            rows.extend(res.utilization)
+    if utilization:
+        for fig in utilization.values():
+            for rows in fig.values():
+                rows.sort(key=lambda row: row["nbytes"])
+        doc["utilization"] = utilization
+    return doc
 
 
 def load_results(path: Path) -> Dict[str, Any]:

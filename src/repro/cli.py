@@ -14,9 +14,14 @@ Subcommands:
 * ``trace``    — run one traced put, print the measured per-stage table
   (and, for small puts, the reconciliation against the analytic
   breakdown), optionally writing a Perfetto-loadable Chrome trace;
+* ``stats``    — run one sweep with the metrics registry enabled, print
+  the per-size utilization attribution table (which stage saturates at
+  which size), reconcile the metrics layer against span aggregates, and
+  optionally export JSON / Prometheus text;
 * ``bench``    — run the full figure/ablation sweep fleet across a
   worker pool, write ``BENCH_results.json``, and optionally gate the
-  simulated metrics against the committed golden baselines.
+  simulated metrics against the committed golden baselines
+  (``--stats`` attaches an informational utilization appendix).
 """
 
 from __future__ import annotations
@@ -181,6 +186,78 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_stats(args) -> int:
+    from pathlib import Path
+
+    from .metrics import (
+        attribute_windows,
+        canonical_json,
+        format_attribution,
+        format_reconciliation,
+        metrics_document,
+        reconcile_with_spans,
+        saturating_by_decade,
+        to_prometheus_text,
+    )
+    from .netpipe import NetPipeRunner
+
+    module = _module(args.module, False)
+    sizes = (
+        decade_sizes(args.min_bytes, args.max_bytes)
+        if args.fast
+        else netpipe_sizes(args.min_bytes, args.max_bytes)
+    )
+    reconcile = not args.no_reconcile
+    runner = NetPipeRunner(
+        module, hops=args.hops, metrics=True, trace=reconcile
+    )
+    series = runner.run(args.pattern, sizes)
+    machine = runner.machine
+    rows = attribute_windows(machine.metrics, runner.windows)
+    print(f"# stats: module={series.module} pattern={series.pattern} "
+          f"hops={args.hops} sizes={len(sizes)}")
+    print(format_attribution(rows))
+    print()
+    print("# saturating stage per size decade:")
+    for decade, stage in saturating_by_decade(rows).items():
+        print(f"#   1e{decade} B: {stage}")
+    reconciliation = None
+    ok = True
+    if reconcile:
+        reconciliation = reconcile_with_spans(machine)
+        ok = all(r.ok for r in reconciliation)
+        print()
+        print(format_reconciliation(reconciliation))
+    perf = None
+    if args.with_perf:
+        from .perf import run_perf_smoke
+
+        perf = run_perf_smoke(reps=args.perf_reps)
+        print()
+        print(f"# perf: {perf.events_per_sec:,.0f} events/sec "
+              f"({perf.events:,} events in {perf.wall_s:.2f} s wall)")
+    doc = metrics_document(
+        machine.metrics,
+        machine=machine,
+        attribution=rows,
+        reconciliation=reconciliation,
+        perf=perf,
+        meta={
+            "module": series.module,
+            "pattern": series.pattern,
+            "hops": args.hops,
+            "sizes": sizes,
+        },
+    )
+    if args.json:
+        Path(args.json).write_text(canonical_json(doc), encoding="utf-8")
+        print(f"# wrote metrics JSON to {args.json}")
+    if args.prom:
+        Path(args.prom).write_text(to_prometheus_text(doc), encoding="utf-8")
+        print(f"# wrote Prometheus text to {args.prom}")
+    return 0 if ok else 1
+
+
 def cmd_bench(args) -> int:
     from pathlib import Path
 
@@ -233,6 +310,7 @@ def cmd_bench(args) -> int:
         workers=args.workers,
         filter=args.filter,
         progress=progress,
+        stats=args.stats,
     )
     save_results(results, Path(args.out))
     print(f"# wrote {args.out}")
@@ -343,6 +421,45 @@ def build_parser() -> argparse.ArgumentParser:
                            help="write Chrome trace-event JSON here")
     trace_cmd.set_defaults(func=cmd_trace)
 
+    stats_cmd = sub.add_parser(
+        "stats",
+        help="metrics-enabled sweep: utilization attribution + exporters",
+    )
+    stats_cmd.add_argument(
+        "--module", default="put", choices=["put", "get", "mpich1", "mpich2"]
+    )
+    stats_cmd.add_argument(
+        "--pattern", default="pingpong", choices=["pingpong", "stream", "bidir"]
+    )
+    stats_cmd.add_argument("--min-bytes", type=int, default=1)
+    stats_cmd.add_argument("--max-bytes", type=int, default=1 << 23)
+    stats_cmd.add_argument("--hops", type=int, default=1)
+    stats_cmd.add_argument(
+        "--fast", action="store_true",
+        help="powers of two only (the fig5 fast schedule)",
+    )
+    stats_cmd.add_argument(
+        "--no-reconcile", action="store_true",
+        help="skip the metrics-vs-spans reconciliation (no tracing run)",
+    )
+    stats_cmd.add_argument(
+        "--json", metavar="FILE", help="write the metrics JSON document here"
+    )
+    stats_cmd.add_argument(
+        "--prom", metavar="FILE",
+        help="write Prometheus text exposition here",
+    )
+    stats_cmd.add_argument(
+        "--with-perf", action="store_true",
+        help="also run the wall-clock perf smoke and embed events/sec "
+             "in the export",
+    )
+    stats_cmd.add_argument(
+        "--perf-reps", type=int, default=3,
+        help="repetitions for --with-perf (default 3)",
+    )
+    stats_cmd.set_defaults(func=cmd_stats)
+
     bench_cmd = sub.add_parser(
         "bench",
         help="parallel figure/ablation sweep fleet + golden-baseline gate",
@@ -377,6 +494,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--filter", metavar="SUBSTR",
         help="only run shards whose id contains SUBSTR (debugging; "
              "figure anchors then derive from a partial series)",
+    )
+    bench_cmd.add_argument(
+        "--stats", action="store_true",
+        help="run figure shards with metrics enabled and attach an "
+             "informational utilization appendix to the results document "
+             "(simulated metrics stay bit-identical)",
     )
     bench_cmd.add_argument("--list", action="store_true",
                            help="list shard ids and exit")

@@ -366,8 +366,10 @@ class Firmware:
             self._program_deposit(proc, cmd)
             self._span_end(span)
         elif isinstance(cmd, ReleasePendingCmd):
+            span = self._span("fw.release", pending_id=cmd.pending_id)
             yield from ppc.handler(cfg.fw_release_cmd)
             self._release_rx_pending(proc, cmd.pending_id)
+            self._span_end(span)
         elif isinstance(cmd, InitProcessCmd):
             yield from ppc.handler(cfg.fw_tx_cmd)
             proc.mailbox.results.post({"ok": True, "fw_pid": proc.fw_pid})

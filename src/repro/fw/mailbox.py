@@ -28,14 +28,20 @@ class CommandFifo:
     """
 
     def __init__(self, sim: Simulator, name: str = ""):
+        self.sim = sim
         self._chan = Channel(sim, name=name)
         self.head = 0
         self.tail = 0
+        self.m_depth = None
+        """Optional metrics :class:`~repro.metrics.Gauge` sampling the
+        posted-but-unconsumed depth on every post/consume."""
 
     def post(self, command: Any) -> None:
         """Host side: append ``command`` and bump the tail index."""
         self.tail += 1
         self._chan.put(command)
+        if self.m_depth is not None:
+            self.m_depth.sample(self.sim.now, self.tail - self.head)
 
     def get(self) -> Event:
         """Firmware side: event yielding the next command in order."""
@@ -44,6 +50,8 @@ class CommandFifo:
     def consumed(self) -> None:
         """Firmware side: advance the head index after handling."""
         self.head += 1
+        if self.m_depth is not None:
+            self.m_depth.sample(self.sim.now, self.tail - self.head)
 
     @property
     def depth(self) -> int:

@@ -100,6 +100,12 @@ class TxDmaEngine:
         self.busy_time = 0
         self.tracer = None
         """Optional machine-wide :class:`~repro.sim.SpanTracer`."""
+        self.m_busy = None
+        """Optional metrics :class:`~repro.metrics.Timeline` (chunk engine)."""
+        self.m_fetch = None
+        """Optional metrics timeline for the per-message HT header fetch."""
+        self.m_msg_bytes = None
+        """Optional metrics :class:`~repro.metrics.Histogram` of message sizes."""
         sim.process(self._run(), name=f"txdma:{node_id}")
 
     def submit(self, tx: Transmission) -> None:
@@ -114,13 +120,14 @@ class TxDmaEngine:
         sim = self.sim
         queue_get = self.queue.get
         fabric_send = self.fabric.send
-        counts = self.counters._counts
+        counts = self.counters.counts()
         per_packet = cfg.tx_dma_per_packet
         ht_read = cfg.ht_read_latency
         while True:
             tx: Transmission = yield queue_get()
             tx.started_at = sim.now
             tracer = self.tracer
+            m_busy = self.m_busy
             span = (
                 tracer.begin("txdma.fetch", node=self.node_id,
                              component="txdma", msg_id=tx.chunks[0].msg_id)
@@ -131,6 +138,8 @@ class TxDmaEngine:
             yield ht_read
             if tracer is not None:
                 tracer.end(span)
+            if self.m_fetch is not None:
+                self.m_fetch.add(sim.now - ht_read, sim.now)
             for chunk in tx.chunks:
                 cspan = (
                     tracer.begin("txdma.chunk", node=self.node_id,
@@ -142,6 +151,8 @@ class TxDmaEngine:
                 cost = npackets * per_packet
                 yield cost
                 self.busy_time += cost
+                if m_busy is not None:
+                    m_busy.add(sim.now - cost, sim.now)
                 # Blocks when the wire window (TX FIFO) is full: the
                 # transmit state machine "yields ... until there is more
                 # room in the FIFO".
@@ -151,6 +162,8 @@ class TxDmaEngine:
                 counts["packets"] += npackets
             tx.finished_at = sim.now
             counts["messages"] += 1
+            if self.m_msg_bytes is not None:
+                self.m_msg_bytes.observe(tx.total_bytes)
             tx.on_sent(tx)
 
 
@@ -177,6 +190,8 @@ class RxDmaEngine:
         self.busy_time = 0
         self.tracer = None
         """Optional machine-wide :class:`~repro.sim.SpanTracer`."""
+        self.m_busy = None
+        """Optional metrics :class:`~repro.metrics.Timeline` (header+deposit)."""
         self._plans: dict[int, DepositPlan] = {}
         self._plan_waiter: Optional[tuple[int, Event]] = None
         sim.process(self._run(), name=f"rxdma:{port.node_id}")
@@ -202,12 +217,13 @@ class RxDmaEngine:
         sim = self.sim
         rx_get = self.port.rx.get
         plans = self._plans
-        counts = self.counters._counts
+        counts = self.counters.counts()
         per_packet = cfg.rx_dma_per_packet
         deposit = self._deposit
         while True:
             chunk: WireChunk = yield rx_get()
             tracer = self.tracer
+            m_busy = self.m_busy
             if chunk.is_header:
                 span = (
                     tracer.begin("rxdma.header", node=self.port.node_id,
@@ -217,6 +233,8 @@ class RxDmaEngine:
                 cost = chunk.npackets * per_packet
                 yield cost
                 self.busy_time += cost
+                if m_busy is not None:
+                    m_busy.add(sim.now - cost, sim.now)
                 if tracer is not None:
                     tracer.end(span)
                 counts["headers"] += 1
@@ -242,6 +260,8 @@ class RxDmaEngine:
             cost = npackets * per_packet
             yield cost
             self.busy_time += cost
+            if m_busy is not None:
+                m_busy.add(sim.now - cost, sim.now)
             if tracer is not None:
                 tracer.end(span)
             counts["packets"] += npackets

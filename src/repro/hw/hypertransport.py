@@ -38,6 +38,10 @@ class HyperTransport:
         """Optional machine-wide :class:`~repro.sim.SpanTracer`."""
         self.trace_node = -1
         """Node id used for span attribution (set by the node builder)."""
+        self.m_to_nic = None
+        """Optional metrics :class:`~repro.metrics.Timeline` (DMA reads)."""
+        self.m_to_host = None
+        """Optional metrics :class:`~repro.metrics.Timeline` (DMA writes)."""
 
     def write_latency(self) -> int:
         """Posted-write latency (host->NIC command, NIC->host event), ps."""
@@ -60,9 +64,14 @@ class HyperTransport:
                          nbytes=nbytes)
             if tracer is not None else None
         )
-        yield from self.to_nic.use(self.read_latency() + self.payload_time(nbytes))
+        cost = self.read_latency() + self.payload_time(nbytes)
+        yield from self.to_nic.use(cost)
         if tracer is not None:
             tracer.end(span)
+        if self.m_to_nic is not None:
+            # Service time only — any queueing wait inside use() is not
+            # HT occupancy.
+            self.m_to_nic.add(self.sim.now - cost, self.sim.now)
 
     def dma_write(self, nbytes: int):
         """Coroutine: NIC writes ``nbytes`` to host memory (RX path)."""
@@ -72,6 +81,9 @@ class HyperTransport:
                          nbytes=nbytes)
             if tracer is not None else None
         )
-        yield from self.to_host.use(self.write_latency() + self.payload_time(nbytes))
+        cost = self.write_latency() + self.payload_time(nbytes)
+        yield from self.to_host.use(cost)
         if tracer is not None:
             tracer.end(span)
+        if self.m_to_host is not None:
+            self.m_to_host.add(self.sim.now - cost, self.sim.now)

@@ -108,6 +108,10 @@ class Opteron(CPU):
             cost = self.config.interrupt_overhead
             yield cost
             self.busy_time += cost
+            if self.m_busy is not None:
+                # This busy site bypasses execute()/charge(), so it must
+                # feed the metrics timeline itself.
+                self.m_busy.add(self.sim.now - cost, self.sim.now)
             if tracer is not None:
                 tracer.end(span)
             yield from handler()

@@ -44,6 +44,11 @@ class SramAllocator:
             raise ValueError("SRAM capacity must be positive")
         self.capacity_bytes = capacity_bytes
         self._pools: dict[str, SramPool] = {}
+        self.m_occupancy = None
+        """Optional metrics :class:`~repro.metrics.Gauge` of used bytes."""
+        self.m_now = None
+        """Clock callable for :attr:`m_occupancy` samples (the allocator
+        itself is simulator-agnostic; the node builder wires ``sim.now``)."""
 
     @property
     def used_bytes(self) -> int:
@@ -73,6 +78,8 @@ class SramAllocator:
                 f"{self.free_bytes} B of {self.capacity_bytes} B remain"
             )
         self._pools[name] = pool
+        if self.m_occupancy is not None and self.m_now is not None:
+            self.m_occupancy.sample(self.m_now(), self.used_bytes)
         return pool
 
     def pool(self, name: str) -> SramPool:

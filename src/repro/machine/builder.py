@@ -34,6 +34,7 @@ class Machine:
         policy: ExhaustionPolicy = ExhaustionPolicy.PANIC,
         seed: int = 0,
         trace: bool = False,
+        metrics: bool = False,
         fault_plan: Optional[FaultPlan] = None,
     ):
         self.sim = Simulator()
@@ -59,6 +60,14 @@ class Machine:
         # the fabric's pipes consult the machine tracer for wire spans;
         # None (the default) leaves the hot path untouched
         self.fabric.tracer = self.tracer
+        from ..metrics import MetricsRegistry
+
+        self.metrics: MetricsRegistry | None = (
+            MetricsRegistry(self.sim) if metrics else None
+        )
+        # pipes register wire instruments lazily on first send, so the
+        # registry must be attached before any traffic flows
+        self.fabric.metrics = self.metrics
 
     def node(self, node_id: int, *, os_type: Optional[OSType] = None) -> Node:
         """Boot (or fetch) the node at ``node_id``."""
@@ -73,6 +82,7 @@ class Machine:
             os_type=os_type or self.os_type,
             policy=self.policy,
             tracer=self.tracer,
+            metrics=self.metrics,
         )
         self.nodes[node_id] = node
         if self.injector is not None:
@@ -96,6 +106,7 @@ def build_pair(
     policy: ExhaustionPolicy = ExhaustionPolicy.PANIC,
     hops: int = 1,
     trace: bool = False,
+    metrics: bool = False,
     fault_plan: Optional[FaultPlan] = None,
 ) -> tuple[Machine, Node, Node]:
     """Two nodes ``hops`` apart on a line — the NetPIPE configuration.
@@ -112,6 +123,7 @@ def build_pair(
         os_type=os_type,
         policy=policy,
         trace=trace,
+        metrics=metrics,
         fault_plan=fault_plan,
     )
     a = machine.node(0)

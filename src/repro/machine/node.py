@@ -50,6 +50,7 @@ class Node:
         os_type: OSType = OSType.CATAMOUNT,
         policy: ExhaustionPolicy = ExhaustionPolicy.PANIC,
         tracer=None,
+        metrics=None,
     ):
         self.sim = sim
         self.config = config
@@ -70,9 +71,49 @@ class Node:
             self.seastar.rx.tracer = tracer
         self.seastar.ht.tracer = tracer
         self.seastar.ht.trace_node = node_id
+        # metrics instruments mirror the tracer distribution: every
+        # component holds None (the default, zero-cost) or an instrument
+        # from the machine-wide registry
+        if metrics is not None:
+            self._wire_metrics(metrics)
         self.ssnal = SSNAL(self.kernel)
         self._pids = itertools.count(1)
         self.processes: dict[int, HostProcess] = {}
+
+    #: message-size histogram edges (bytes): one bucket per size decade
+    #: of the NetPIPE sweeps, up to the 8 MB maximum
+    MSG_BYTES_EDGES = (64, 256, 1024, 4096, 16384, 65536, 262144, 1048576, 8388608)
+
+    def _wire_metrics(self, metrics) -> None:
+        """Attach registry instruments to every modeled component.
+
+        Names follow the ``node{N}.{component}.{what}`` convention the
+        attribution layer keys off (``.busy`` timelines become stages).
+        """
+        nid = self.node_id
+        ss = self.seastar
+        ss.tx.m_busy = metrics.timeline(f"node{nid}.txdma.busy")
+        ss.tx.m_fetch = metrics.timeline(f"node{nid}.txdma.fetch.busy")
+        ss.tx.m_msg_bytes = metrics.histogram(
+            f"node{nid}.txdma.msg_bytes", self.MSG_BYTES_EDGES
+        )
+        if ss.rx is not None:
+            ss.rx.m_busy = metrics.timeline(f"node{nid}.rxdma.busy")
+        ss.ht.m_to_nic = metrics.timeline(f"node{nid}.ht.to_nic.busy")
+        ss.ht.m_to_host = metrics.timeline(f"node{nid}.ht.to_host.busy")
+        ss.ppc.m_busy = metrics.timeline(f"node{nid}.ppc.busy")
+        self.opteron.m_busy = metrics.timeline(f"node{nid}.host.busy")
+        sram = ss.sram
+        sram.m_occupancy = metrics.gauge(f"node{nid}.sram.used_bytes")
+        sram.m_now = lambda: self.sim.now
+        # the firmware's boot-time pools were reserved before this gauge
+        # existed; seed the series with the current level
+        sram.m_occupancy.sample(self.sim.now, sram.used_bytes)
+        # depth of the kernel's generic command FIFO (the mailbox every
+        # non-accelerated Portals call crosses)
+        self.kernel.proc.mailbox.commands.m_depth = metrics.gauge(
+            f"node{nid}.mailbox.cmd_depth"
+        )
 
     def create_process(
         self,

@@ -1,0 +1,55 @@
+"""Machine-wide metrics: typed instruments, attribution, exporters.
+
+Three layers (see ``docs/observability.md`` for when to use which):
+
+* :mod:`repro.metrics.registry` — the instruments and the registry the
+  machine builder distributes to every modeled component
+  (``Machine(metrics=True)`` / ``build_pair(metrics=True)``);
+* :mod:`repro.metrics.attribution` — per-size utilization tables over
+  NetPIPE measurement windows and the saturating-stage verdicts that
+  reproduce the paper's bottleneck arguments;
+* :mod:`repro.metrics.export` — one JSON document plus Prometheus text,
+  with ``repro.perf`` wall-clock throughput in the same schema.
+
+Everything here is zero-cost when disabled: components hold ``None``
+instead of an instrument, and no instrument ever schedules a simulation
+event, so results are bit-identical with metrics on or off.
+"""
+
+from .attribution import (
+    ReconcileRow,
+    SizeAttribution,
+    attribute_windows,
+    format_attribution,
+    format_reconciliation,
+    reconcile_with_spans,
+    saturating_by_decade,
+)
+from .export import (
+    EXPORT_SCHEMA,
+    canonical_json,
+    machine_counters,
+    metrics_document,
+    to_prometheus_text,
+)
+from .registry import Gauge, Histogram, MetricCounter, MetricsRegistry, Timeline
+
+__all__ = [
+    "MetricCounter",
+    "Gauge",
+    "Timeline",
+    "Histogram",
+    "MetricsRegistry",
+    "SizeAttribution",
+    "ReconcileRow",
+    "attribute_windows",
+    "saturating_by_decade",
+    "format_attribution",
+    "reconcile_with_spans",
+    "format_reconciliation",
+    "EXPORT_SCHEMA",
+    "machine_counters",
+    "metrics_document",
+    "canonical_json",
+    "to_prometheus_text",
+]

@@ -1,0 +1,256 @@
+"""Bottleneck attribution: which component saturates at which size.
+
+The paper explains its headline curves by utilization reasoning — at
+small sizes the ~2 us host interrupt dominates the 5.39 us put latency;
+at large sizes the TX DMA engine's per-packet cost sets the
+1108.76 MB/s ceiling, with the half-bandwidth points falling where the
+per-message host/firmware overheads and the per-byte engine costs
+cross.  This module turns the metrics registry's busy timelines into
+exactly that argument: for each measurement window of a NetPIPE sweep
+it computes every stage's busy fraction and names the stage with the
+highest utilization.
+
+Stages are derived from timeline names: every registered ``*.busy``
+timeline is a stage, with the ``node{N}.`` prefix stripped so the two
+symmetric nodes of a pair fold into one column (the *max* across
+instances is reported — for ping-pong both nodes are equivalent; for
+streaming it picks the busy side, which is the saturating one).
+
+:func:`reconcile_with_spans` cross-checks the metrics layer against the
+PR 2 span layer on a run with both enabled: per component, total busy
+picoseconds from timelines must agree with the summed span durations.
+The host stage is excluded — application-level think time is
+deliberately unspanned — and stages with no activity on either side are
+skipped.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Iterable, List, Sequence, Tuple
+
+from .registry import MetricsRegistry, Timeline
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..machine.builder import Machine
+
+__all__ = [
+    "SizeAttribution",
+    "ReconcileRow",
+    "attribute_windows",
+    "saturating_by_decade",
+    "format_attribution",
+    "reconcile_with_spans",
+    "format_reconciliation",
+]
+
+
+@dataclass(frozen=True)
+class SizeAttribution:
+    """Per-stage utilization over one measurement window."""
+
+    nbytes: int
+    window_ps: int
+    utilization: Dict[str, float]
+    saturating: str
+
+    @property
+    def saturating_utilization(self) -> float:
+        """Busy fraction of the saturating stage."""
+        return self.utilization[self.saturating]
+
+
+@dataclass(frozen=True)
+class ReconcileRow:
+    """One metrics-vs-spans comparison for a component."""
+
+    component: str
+    node: int
+    metrics_ps: int
+    spans_ps: int
+    delta_frac: float
+    ok: bool
+
+
+def _stage_of(name: str) -> str | None:
+    """Map a timeline name to its attribution stage, or None.
+
+    ``node0.txdma.busy`` -> ``txdma``; ``node1.ht.to_nic.busy`` ->
+    ``ht.to_nic``; ``wire.0->1.busy`` -> ``wire``.  Only ``*.busy``
+    timelines participate.
+    """
+    if not name.endswith(".busy"):
+        return None
+    stem = name[: -len(".busy")]
+    head, _, rest = stem.partition(".")
+    if head.startswith("node") and head[4:].isdigit():
+        return rest or None
+    if head == "wire":
+        return "wire"
+    return stem
+
+
+def _stages(metrics: MetricsRegistry) -> Dict[str, List[Timeline]]:
+    """Group the registry's busy timelines by attribution stage,
+    skipping timelines that never recorded an interval."""
+    groups: Dict[str, List[Timeline]] = {}
+    for name, timeline in metrics.timelines().items():
+        stage = _stage_of(name)
+        if stage is None or not len(timeline):
+            continue
+        groups.setdefault(stage, []).append(timeline)
+    return groups
+
+
+def attribute_windows(
+    metrics: MetricsRegistry,
+    windows: Sequence[Tuple[int, int, int]],
+) -> List[SizeAttribution]:
+    """Per-stage utilization for each ``(nbytes, t0, t1)`` window.
+
+    The windows are the timed portions of a NetPIPE sweep (see
+    ``NetPipeRunner.windows``); utilization is exact busy overlap with
+    the window, so work straddling the window edge is pro-rated.
+    """
+    rows: List[SizeAttribution] = []
+    groups = _stages(metrics)
+    if not groups:
+        raise ValueError(
+            "no busy timelines registered — was the machine built with "
+            "metrics enabled?"
+        )
+    for nbytes, t0, t1 in windows:
+        util = {
+            stage: max(t.utilization(t0, t1) for t in timelines)
+            for stage, timelines in groups.items()
+        }
+        saturating = max(util, key=lambda s: util[s])
+        rows.append(SizeAttribution(nbytes, t1 - t0, util, saturating))
+    return rows
+
+
+def saturating_by_decade(rows: Iterable[SizeAttribution]) -> Dict[int, str]:
+    """Most-frequent saturating stage per log10 size decade.
+
+    Keys are decade exponents (0 for 1-9 B, 3 for 1000-9999 B, ...);
+    ties break toward the stage saturating at the larger sizes.
+    """
+    votes: Dict[int, Dict[str, int]] = {}
+    for row in rows:
+        decade = int(math.log10(row.nbytes)) if row.nbytes > 0 else 0
+        stage_votes = votes.setdefault(decade, {})
+        stage_votes[row.saturating] = stage_votes.get(row.saturating, 0) + 1
+    out: Dict[int, str] = {}
+    for decade, stage_votes in sorted(votes.items()):
+        out[decade] = max(stage_votes, key=lambda s: stage_votes[s])
+    return out
+
+
+def format_attribution(rows: Sequence[SizeAttribution]) -> str:
+    """Fixed-width utilization table; ``*`` marks the saturating stage."""
+    if not rows:
+        return "(no measurement windows)"
+    stages = sorted({stage for row in rows for stage in row.utilization})
+    header = f"{'bytes':>9}  " + "  ".join(f"{s:>12}" for s in stages)
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        cells = []
+        for stage in stages:
+            util = row.utilization.get(stage, 0.0)
+            mark = "*" if stage == row.saturating else " "
+            cells.append(f"{util * 100:11.2f}{mark}")
+        lines.append(f"{row.nbytes:>9}  " + "  ".join(cells))
+    lines.append("(cells: % of the measurement window the stage was busy;")
+    lines.append(" * = saturating stage at that size)")
+    return "\n".join(lines)
+
+
+#: per-component span names vs timeline suffixes used by the
+#: reconciliation pass.  ``host`` is deliberately absent: application
+#: think time (EQ polling loops and the like) is busy on the host
+#: timeline but intentionally outside any span.
+_RECONCILE_MAP: List[Tuple[str, Tuple[str, ...], Tuple[str, ...]]] = [
+    ("txdma", ("txdma.fetch", "txdma.chunk"), ("txdma.busy", "txdma.fetch.busy")),
+    ("rxdma", ("rxdma.header", "rxdma.deposit"), ("rxdma.busy",)),
+    ("fw", (), ("ppc.busy",)),  # span names matched by "fw." prefix
+    ("ht", ("ht.read", "ht.write"), ("ht.to_nic.busy", "ht.to_host.busy")),
+]
+
+
+def reconcile_with_spans(
+    machine: "Machine", tolerance: float = 0.05
+) -> List[ReconcileRow]:
+    """Cross-check timelines against span aggregates, per node.
+
+    Requires a machine built with both ``metrics=True`` and
+    ``trace=True``.  For each component the total busy picoseconds from
+    the metrics timelines must match the summed durations of that
+    component's spans within ``tolerance`` (the engines' spans wrap
+    exactly the costed work, so on an uncontended run the two layers
+    agree exactly; the tolerance absorbs unspanned one-off work such as
+    process-init commands).
+    """
+    if machine.metrics is None or machine.tracer is None:
+        raise ValueError("reconciliation needs metrics=True and trace=True")
+    metrics = machine.metrics
+    span_ps: Dict[Tuple[int, str], int] = {}
+    fw_ps: Dict[int, int] = {}
+    for span in machine.tracer.spans:
+        if span.t1 is None:
+            continue
+        key = (span.node, span.name)
+        span_ps[key] = span_ps.get(key, 0) + span.duration
+        if span.name.startswith("fw."):
+            fw_ps[span.node] = fw_ps.get(span.node, 0) + span.duration
+    rows: List[ReconcileRow] = []
+
+    def add(component: str, node: int, m_ps: int, s_ps: int) -> None:
+        if m_ps == 0 and s_ps == 0:
+            return
+        delta = abs(m_ps - s_ps) / max(m_ps, s_ps)
+        rows.append(
+            ReconcileRow(component, node, m_ps, s_ps, delta, delta <= tolerance)
+        )
+
+    for nid in sorted(machine.nodes):
+        for component, span_names, suffixes in _RECONCILE_MAP:
+            m_ps = 0
+            for suffix in suffixes:
+                timeline = metrics.get(f"node{nid}.{suffix}")
+                if timeline is not None:
+                    m_ps += timeline.busy_total()
+            if component == "fw":
+                s_ps = fw_ps.get(nid, 0)
+            else:
+                s_ps = sum(span_ps.get((nid, n), 0) for n in span_names)
+            add(component, nid, m_ps, s_ps)
+    # the wire is per (src, dst) pipe, not per node: compare the summed
+    # serialize spans against the summed pipe busy timelines
+    wire_m = sum(
+        t.busy_total()
+        for name, t in metrics.timelines().items()
+        if _stage_of(name) == "wire"
+    )
+    wire_s = sum(ps for (_, name), ps in span_ps.items() if name == "wire.serialize")
+    add("wire", -1, wire_m, wire_s)
+    return rows
+
+
+def format_reconciliation(rows: Sequence[ReconcileRow]) -> str:
+    """Fixed-width metrics-vs-spans table."""
+    if not rows:
+        return "(nothing to reconcile)"
+    header = (
+        f"{'component':<10} {'node':>4} {'metrics (ps)':>16} "
+        f"{'spans (ps)':>16} {'delta':>8}  ok"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        node = "-" if row.node < 0 else str(row.node)
+        lines.append(
+            f"{row.component:<10} {node:>4} {row.metrics_ps:>16} "
+            f"{row.spans_ps:>16} {row.delta_frac * 100:>7.2f}%  "
+            f"{'yes' if row.ok else 'NO'}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,172 @@
+"""Exporters: one JSON document, plus Prometheus text exposition.
+
+The JSON document is the canonical artifact (``repro stats --json``,
+the CI ``stats-smoke`` job, and the benchrunner utilization appendix
+all derive from it); the Prometheus text format is for scraping the
+same numbers into standard dashboards.  Host wall-clock throughput
+(``repro.perf``) lands in the same document under ``"perf"`` so
+simulated utilization and simulator events/sec live in one artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import TYPE_CHECKING, Any, Dict, Optional, Sequence
+
+from .attribution import ReconcileRow, SizeAttribution
+from .registry import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..machine.builder import Machine
+    from ..perf import PerfResult
+
+__all__ = [
+    "EXPORT_SCHEMA",
+    "machine_counters",
+    "metrics_document",
+    "canonical_json",
+    "to_prometheus_text",
+]
+
+EXPORT_SCHEMA = "repro-metrics/v1"
+
+_PROM_BAD = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def machine_counters(machine: "Machine") -> Dict[str, int]:
+    """Pre-existing component counters, flattened into registry naming.
+
+    The components have always kept their own :class:`Counters` (host
+    traps/interrupts, kernel puts, firmware events, DMA packet counts,
+    fabric chunk counts); the export folds them into the same
+    ``node{N}.{component}.{name}`` namespace as the registry so one
+    document covers everything.
+    """
+    out: Dict[str, int] = {}
+    for nid, node in sorted(machine.nodes.items()):
+        per_node = [
+            ("host", node.opteron.counters),
+            ("kernel", node.kernel.counters),
+            ("fw", node.firmware.counters),
+            ("txdma", node.seastar.tx.counters),
+        ]
+        if node.seastar.rx is not None:
+            per_node.append(("rxdma", node.seastar.rx.counters))
+        port = machine.fabric.ports.get(nid)
+        if port is not None:
+            per_node.append(("port", port.stats))
+        for component, counters in per_node:
+            for name, value in sorted(counters.snapshot().items()):
+                out[f"node{nid}.{component}.{name}"] = value
+    for name, value in sorted(machine.fabric.counters.snapshot().items()):
+        out[f"fabric.{name}"] = value
+    link = machine.fabric.link
+    out["link.packets_carried"] = link.packets_carried
+    out["link.retry_time_ps"] = link.retry_time_ps
+    return out
+
+
+def metrics_document(
+    registry: MetricsRegistry,
+    *,
+    machine: Optional["Machine"] = None,
+    attribution: Optional[Sequence[SizeAttribution]] = None,
+    reconciliation: Optional[Sequence[ReconcileRow]] = None,
+    perf: Optional["PerfResult"] = None,
+    meta: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Assemble the export document from a registry snapshot.
+
+    Optional sections: component counters collected from ``machine``,
+    the per-size ``attribution`` table, the metrics-vs-spans
+    ``reconciliation``, and a ``repro.perf`` wall-clock result.
+    """
+    doc: Dict[str, Any] = {"schema": EXPORT_SCHEMA}
+    if meta:
+        doc["meta"] = dict(meta)
+    doc.update(registry.snapshot())
+    if machine is not None:
+        merged = machine_counters(machine)
+        merged.update(doc["counters"])
+        doc["counters"] = merged
+    if attribution is not None:
+        doc["attribution"] = [
+            {
+                "nbytes": row.nbytes,
+                "window_ps": row.window_ps,
+                "utilization": {k: row.utilization[k] for k in sorted(row.utilization)},
+                "saturating": row.saturating,
+            }
+            for row in attribution
+        ]
+    if reconciliation is not None:
+        doc["reconciliation"] = [
+            {
+                "component": row.component,
+                "node": row.node,
+                "metrics_ps": row.metrics_ps,
+                "spans_ps": row.spans_ps,
+                "delta_frac": row.delta_frac,
+                "ok": row.ok,
+            }
+            for row in reconciliation
+        ]
+    if perf is not None:
+        doc["perf"] = perf.to_json()
+    return doc
+
+
+def canonical_json(doc: Dict[str, Any]) -> str:
+    """Stable serialization (sorted keys, LF, trailing newline)."""
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"
+
+
+def _prom_name(name: str) -> str:
+    return "repro_" + _PROM_BAD.sub("_", name)
+
+
+def to_prometheus_text(doc: Dict[str, Any]) -> str:
+    """Render an export document in Prometheus text exposition format.
+
+    Counters become ``counter`` samples; gauges expose their last and
+    time-weighted-mean values; timelines expose busy picoseconds
+    (counter) and whole-run utilization (gauge); histograms use the
+    cumulative ``_bucket``/``_sum``/``_count`` convention.  Wall-clock
+    perf (when present) exports as ``repro_perf_events_per_sec``.
+    """
+    lines: list[str] = []
+
+    def emit(name: str, kind: str, value: Any, labels: str = "") -> None:
+        lines.append(f"# TYPE {name} {kind}")
+        lines.append(f"{name}{labels} {value}")
+
+    for name, value in sorted(doc.get("counters", {}).items()):
+        emit(_prom_name(name), "counter", value)
+    for name, summary in sorted(doc.get("gauges", {}).items()):
+        if summary.get("samples", 0) == 0:
+            continue
+        base = _prom_name(name)
+        emit(base, "gauge", summary["last"])
+        emit(base + "_time_weighted_mean", "gauge", summary["time_weighted_mean"])
+    for name, summary in sorted(doc.get("timelines", {}).items()):
+        base = _prom_name(name)
+        emit(base + "_ps_total", "counter", summary["busy_ps"])
+        emit(base + "_utilization", "gauge", summary["utilization"])
+    for name, hist in sorted(doc.get("histograms", {}).items()):
+        base = _prom_name(name)
+        lines.append(f"# TYPE {base} histogram")
+        cumulative = 0
+        for edge, count in zip(hist["edges"], hist["counts"]):
+            cumulative += count
+            lines.append(f'{base}_bucket{{le="{edge}"}} {cumulative}')
+        cumulative += hist["counts"][-1]
+        lines.append(f'{base}_bucket{{le="+Inf"}} {cumulative}')
+        lines.append(f"{base}_sum {hist['sum']}")
+        lines.append(f"{base}_count {hist['count']}")
+    perf = doc.get("perf")
+    if perf is not None:
+        emit("repro_perf_events_per_sec", "gauge", perf["events_per_sec"])
+        emit("repro_perf_events_total", "counter", perf["events"])
+        emit("repro_perf_wall_seconds", "gauge", perf["wall_s"])
+    return "\n".join(lines) + "\n"

@@ -85,6 +85,8 @@ class _Pipe:
         "dst",
         "window",
         "hops",
+        "m_busy",
+        "m_hop_traversals",
         "_in_flight",
         "_rb_msg",
         "_rb_chunks",
@@ -97,6 +99,17 @@ class _Pipe:
         self.src = src
         self.dst = dst
         self.hops = fabric.router.hops(src, dst)
+        # pipes are created lazily at first send, after the builder has
+        # attached any metrics registry to the fabric
+        metrics = fabric.metrics
+        self.m_busy = (
+            metrics.timeline(f"wire.{src}->{dst}.busy")
+            if metrics is not None else None
+        )
+        self.m_hop_traversals = (
+            metrics.counter(f"wire.{src}->{dst}.hop_traversals")
+            if metrics is not None else None
+        )
         # store-and-forward reassembly state, used only when a fault
         # injector is attached (the end-to-end CRC verdict needs the
         # whole message before anything reaches the RX engine)
@@ -157,6 +170,9 @@ class _Pipe:
                 if tracer is not None else None
             )
             yield busy
+            if self.m_busy is not None:
+                self.m_busy.add(sim.now - busy, sim.now)
+                self.m_hop_traversals.incr(self.hops)
             if tracer is not None:
                 tracer.end(span)
             if injector is not None and not injector.chunk_fate(chunk):
@@ -173,8 +189,8 @@ class _Pipe:
         injector = fabric.injector
         in_flight_get = self._in_flight.get
         rx_put = port.rx.put
-        port_counts = port.stats._counts
-        fabric_counts = fabric.counters._counts
+        port_counts = port.stats.counts()
+        fabric_counts = fabric.counters.counts()
         while True:
             due, chunk = yield in_flight_get()
             tracer = fabric.tracer
@@ -289,6 +305,10 @@ class Fabric:
         self.tracer = None
         """Optional machine-wide :class:`~repro.sim.SpanTracer` consulted
         by the pipes for wire-stage spans (set by the machine builder)."""
+        self.metrics = None
+        """Optional :class:`~repro.metrics.MetricsRegistry`; when set (by
+        the machine builder, before any traffic) each pipe registers a
+        wire busy timeline and hop-traversal counter."""
 
     def attach(self, node_id: int) -> NetworkPort:
         """Create (or return) the port for ``node_id``."""
@@ -316,7 +336,7 @@ class Fabric:
                 raise KeyError(f"destination node {chunk.dst} is not attached")
             pipe = _Pipe(self, chunk.src, chunk.dst)
             self._pipes[(chunk.src, chunk.dst)] = pipe
-        counts = self.counters._counts
+        counts = self.counters.counts()
         counts["chunks_sent"] += 1
         counts["packets_sent"] += chunk.npackets
         return pipe.window.put(chunk)

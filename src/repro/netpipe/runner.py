@@ -103,6 +103,7 @@ class NetPipeRunner:
         repeats: int = 3,
         warmup: int = 1,
         trace: bool = False,
+        metrics: bool = False,
         fault_plan: "FaultPlan | None" = None,
     ):
         self.module = module
@@ -113,9 +114,14 @@ class NetPipeRunner:
         self.repeats = repeats
         self.warmup = warmup
         self.trace = trace
+        self.metrics = metrics
         self.fault_plan = fault_plan
         #: the machine of the most recent :meth:`run` (chaos reporting)
         self.machine = None
+        #: per-size measurement windows ``(nbytes, t0, t1)`` of the most
+        #: recent :meth:`run` — the timed portion only (warmup excluded),
+        #: which is what utilization attribution integrates over
+        self.windows: list[tuple[int, int, int]] = []
 
     def run(self, pattern: str, sizes: Optional[Sequence[int]] = None) -> Series:
         """Execute the sweep; returns the measured series."""
@@ -128,9 +134,11 @@ class NetPipeRunner:
             policy=self.policy,
             hops=self.hops,
             trace=self.trace,
+            metrics=self.metrics,
             fault_plan=self.fault_plan,
         )
         self.machine = machine
+        self.windows = []
         max_bytes = max(sizes)
         ep_a, ep_b = self.module.make_endpoints(machine, node_a, node_b, max_bytes)
         points: list[Measurement] = []
@@ -167,9 +175,9 @@ class NetPipeRunner:
                 for _ in range(reps):
                     yield from ep_a.send(n)
                     yield from ep_a.recv(n)
-                points.append(
-                    Measurement("pingpong", n, ep_a_now() - t0, reps, n * reps)
-                )
+                t1 = ep_a_now()
+                points.append(Measurement("pingpong", n, t1 - t0, reps, n * reps))
+                self.windows.append((n, t0, t1))
                 yield from ep_a.end_round()
 
         def side_b():
@@ -225,9 +233,9 @@ class NetPipeRunner:
                     else:
                         yield from ep_b.recv(n)
                     remaining -= 1
-                points.append(
-                    Measurement("stream", n, ep_b_now() - t0, count, n * count)
-                )
+                t1 = ep_b_now()
+                points.append(Measurement("stream", n, t1 - t0, count, n * count))
+                self.windows.append((n, t0, t1))
                 yield from ep_b.send(1)
                 yield from ep_b.end_round()
 
@@ -248,11 +256,11 @@ class NetPipeRunner:
                     for _ in range(reps):
                         yield from ep.exchange(n)
                     if record:
+                        t1 = now(ep)
                         points.append(
-                            Measurement(
-                                "bidir", n, now(ep) - t0, reps, 2 * n * reps
-                            )
+                            Measurement("bidir", n, t1 - t0, reps, 2 * n * reps)
                         )
+                        self.windows.append((n, t0, t1))
                     yield from ep.end_round()
 
             return body()

@@ -174,6 +174,19 @@ class Counters:
         """Add ``amount`` to counter ``name``."""
         self._counts[name] += amount
 
+    def counts(self) -> Counter[str]:
+        """The live mutable counter mapping, for hot-path increments.
+
+        Engine loops hoist this once (``counts = engine.counters.counts()``)
+        and bump keys directly (``counts["packets"] += n``) instead of
+        paying an attribute lookup plus method call per packet.  The
+        returned object is the counter's own storage: mutations are
+        immediately visible through :meth:`__getitem__`/:meth:`snapshot`,
+        and it is invalidated by :meth:`reset` with ``names=None`` only in
+        the sense that cleared keys restart from zero.
+        """
+        return self._counts
+
     def __getitem__(self, name: str) -> int:
         return self._counts[name]
 
@@ -226,9 +239,46 @@ class TimeSeries:
 
     @property
     def mean(self) -> float:
-        """Arithmetic mean of the values; raises ValueError when empty."""
+        """Arithmetic *sample* mean of the values; raises ValueError when empty.
+
+        For occupancy/depth series (mailbox FIFO depth, SRAM bytes in
+        use) this over-weights bursts of rapid samples — use
+        :meth:`time_weighted_mean` for those.
+        """
         self._require_samples()
         return sum(self.values) / len(self.values)
+
+    def integral(self, until: Optional[int] = None) -> float:
+        """Integrate the series as a step function, in value·ps.
+
+        Each sampled value is held from its own sample time until the
+        next sample; the last value is held until ``until`` (default:
+        the final sample time, i.e. the last value then contributes
+        nothing).  An empty series integrates to 0.0.
+        """
+        if not self.values:
+            return 0.0
+        end = self.times[-1] if until is None else until
+        total = 0.0
+        times, values = self.times, self.values
+        for i in range(len(values) - 1):
+            total += values[i] * (times[i + 1] - times[i])
+        total += values[-1] * (end - times[-1])
+        return total
+
+    def time_weighted_mean(self, until: Optional[int] = None) -> float:
+        """Step-function average of the series over its covered span.
+
+        The span runs from the first sample time to ``until`` (default:
+        the last sample time).  Raises ValueError when empty; a
+        single-sample (or zero-span) series averages to that value.
+        """
+        self._require_samples()
+        end = self.times[-1] if until is None else until
+        span = end - self.times[0]
+        if span <= 0:
+            return self.values[-1]
+        return self.integral(until=end) / span
 
     @property
     def max(self) -> float:

@@ -112,7 +112,7 @@ class CPU(Resource):
     is never preempted, matching run-to-completion firmware/kernel handlers.
     """
 
-    __slots__ = ("busy_time", "_last_grant", "clock_hz")
+    __slots__ = ("busy_time", "_last_grant", "clock_hz", "m_busy")
 
     #: Priority levels used across the stack.
     PRIO_INTERRUPT = -10
@@ -123,6 +123,10 @@ class CPU(Resource):
         super().__init__(sim, capacity=1, name=name)
         self.clock_hz = clock_hz
         self.busy_time = 0
+        # Optional metrics busy timeline (repro.metrics.Timeline), set by
+        # the machine builder when metrics are enabled.  Appends only —
+        # never schedules events — so enabling it cannot move sim time.
+        self.m_busy: Optional[Any] = None
 
     def execute(self, cost: int, priority: int = 0) -> Generator[Event, Any, None]:
         """Coroutine: acquire the CPU, burn ``cost`` ps, release."""
@@ -132,6 +136,8 @@ class CPU(Resource):
             if cost > 0:
                 yield cost
                 self.busy_time += cost
+                if self.m_busy is not None:
+                    self.m_busy.add(self.sim.now - cost, self.sim.now)
         finally:
             self.release(req)
 
@@ -145,6 +151,8 @@ class CPU(Resource):
         if cost > 0:
             yield cost
             self.busy_time += cost
+            if self.m_busy is not None:
+                self.m_busy.add(self.sim.now - cost, self.sim.now)
 
     def cycles(self, n: int) -> int:
         """Duration in ps of ``n`` clock cycles at this CPU's frequency."""

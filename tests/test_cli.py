@@ -94,6 +94,52 @@ class TestCommands:
         assert "nodes=64" in out and "route 0 -> 63" in out
 
 
+class TestStats:
+    def test_stats_parser_defaults(self):
+        args = build_parser().parse_args(["stats"])
+        assert args.module == "put" and args.pattern == "pingpong"
+        assert args.max_bytes == 1 << 23
+        assert not args.no_reconcile
+
+    def test_bench_stats_flag_parses(self):
+        args = build_parser().parse_args(["bench", "--fast", "--stats"])
+        assert args.stats
+
+    def test_stats_round_trip(self, capsys, tmp_path):
+        json_path = tmp_path / "stats.json"
+        prom_path = tmp_path / "stats.prom"
+        rc = main(
+            [
+                "stats",
+                "--fast",
+                "--max-bytes",
+                "4096",
+                "--json",
+                str(json_path),
+                "--prom",
+                str(prom_path),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "saturating stage" in out
+        assert "component" in out  # reconciliation table rendered
+        import json as jsonlib
+
+        doc = jsonlib.loads(json_path.read_text())
+        assert doc["schema"] == "repro-metrics/v1"
+        assert doc["attribution"]
+        assert all(row["ok"] for row in doc["reconciliation"])
+        assert "# TYPE" in prom_path.read_text()
+
+    def test_stats_no_reconcile(self, capsys):
+        rc = main(["stats", "--fast", "--max-bytes", "256", "--no-reconcile"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "saturating stage" in out
+        assert "spans (ps)" not in out
+
+
 class TestChaos:
     def test_chaos_smoke(self, capsys):
         rc = main(
