@@ -10,11 +10,11 @@ state.
 
 from __future__ import annotations
 
-import multiprocessing
 import time
 from typing import Any, Callable, Dict, List, Optional
 
 from .discovery import SPECS, Shard, discover_shards
+from .pool import PoolTask, run_pool
 from .schema import SeriesData, ShardResult, merge_shards
 
 __all__ = ["execute_shard", "run_bench"]
@@ -280,12 +280,19 @@ def run_bench(
     filter: Optional[str] = None,
     progress: Optional[Callable[[str], None]] = None,
     stats: bool = False,
+    shard_timeout_s: float = 1800.0,
+    checkpoint_dir: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Run the discovered shard set; return the results document.
 
     ``workers <= 1`` runs every shard in-process (the reference serial
-    path); otherwise shards fan out over a spawn-based pool.  Both paths
-    produce byte-identical ``figures`` content.  ``stats=True`` adds the
+    path); otherwise shards fan out over the self-healing pool
+    (:mod:`repro.benchrunner.pool`): hung shards are SIGKILLed after
+    ``shard_timeout_s`` and retried with backoff, crashed workers are
+    detected and their shards re-run, and ``checkpoint_dir`` lets an
+    interrupted sweep resume past its completed shards.  All paths
+    produce byte-identical ``figures`` content; survived trouble is
+    recorded under ``wallclock.degradations``.  ``stats=True`` adds the
     informational ``utilization`` appendix (figure shards run with
     metrics enabled; simulated content is unchanged).
     """
@@ -294,7 +301,9 @@ def run_bench(
         raise ValueError(f"no shards match filter {filter!r}")
     t0 = time.perf_counter()
     results: List[ShardResult]
-    if workers <= 1:
+    degradations: List[Dict[str, Any]] = []
+    resumed: List[str] = []
+    if workers <= 1 and checkpoint_dir is None:
         results = []
         for shard in shards:
             res = execute_shard(shard, stats=stats)
@@ -302,17 +311,27 @@ def run_bench(
             if progress:
                 progress(f"{res.shard_id}: {res.wall_s:.2f}s")
     else:
-        ctx = multiprocessing.get_context("spawn")
-        with ctx.Pool(processes=workers) as pool:
-            results = []
-            jobs = [(shard, stats) for shard in shards]
-            for res in pool.imap(_pool_worker, jobs, chunksize=1):
-                results.append(res)
-                if progress:
-                    progress(f"{res.shard_id}: {res.wall_s:.2f}s")
+        tasks = [
+            PoolTask(task_id=shard.shard_id, payload=(shard, stats))
+            for shard in shards
+        ]
+        outcome = run_pool(
+            tasks,
+            _pool_worker,
+            workers=workers,
+            timeout_s=shard_timeout_s,
+            checkpoint_dir=checkpoint_dir,
+            progress=progress,
+        )
+        if outcome.failed:
+            detail = "; ".join(
+                f"{tid}: {err}" for tid, err in sorted(outcome.failed.items())
+            )
+            raise RuntimeError(f"shards failed permanently: {detail}")
         # deterministic document order regardless of completion order
-        by_id = {r.shard_id: r for r in results}
-        results = [by_id[s.shard_id] for s in shards]
+        results = [outcome.results[s.shard_id] for s in shards]
+        degradations = outcome.degradations
+        resumed = outcome.resumed
     total = time.perf_counter() - t0
     titles = {name: spec.title for name, spec in SPECS.items()}
     return merge_shards(
@@ -321,4 +340,6 @@ def run_bench(
         workers=max(1, workers),
         total_wall_s=total,
         titles=titles,
+        degradations=degradations,
+        resumed=resumed,
     )

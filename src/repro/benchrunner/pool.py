@@ -1,0 +1,335 @@
+"""A self-healing worker pool: crash/hang-tolerant task execution.
+
+``multiprocessing.Pool`` wedges forever if a worker is SIGKILLed and has
+no per-task wall-clock timeout; a fault-space sweep that *injects*
+crashes cannot be run by an executor that dies of them.  This pool runs
+one spawned process per task attempt and supervises it:
+
+* **watchdog timeout** — a task that exceeds ``timeout_s`` wall-clock is
+  SIGKILLed and retried;
+* **crash detection** — a worker that dies without writing its result
+  (killed, segfaulted, OOM) is detected by exit and retried;
+* **bounded retry with exponential backoff** — each task gets
+  ``max_retries`` re-attempts, spaced ``backoff_s * 2**attempt`` apart;
+* **checkpoint/resume** — results travel through atomically-renamed
+  pickle files; pointing ``checkpoint_dir`` at a persistent directory
+  makes completed tasks survive a killed *parent* and be skipped on the
+  next invocation;
+* **degradation ledger** — every timeout/crash/retry is recorded and
+  returned, so a run that survived trouble says so in its summary.
+
+Determinism: a task's result depends only on its payload (each task is
+an independent seeded DES run), so timeouts, crashes, retries, resumes
+and completion order can't change the simulated content — the caller
+reassembles ``results`` by task id in its own canonical order.
+
+A worker that raises an ordinary exception is a *deterministic* failure:
+it is reported without retry (re-running identical code on an identical
+payload cannot help) and never checkpointed.
+
+Test hooks (used by the chaos-campaign CI smoke and the test suite):
+setting ``REPRO_POOL_TEST_KILL``/``REPRO_POOL_TEST_HANG`` to a substring
+of a task id makes the matching task's **first** attempt SIGKILL itself
+/ hang forever; retries run clean.  Both default unset, costing nothing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import re
+import signal
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = ["PoolTask", "PoolOutcome", "run_pool", "task_filename"]
+
+TEST_KILL_ENV = "REPRO_POOL_TEST_KILL"
+TEST_HANG_ENV = "REPRO_POOL_TEST_HANG"
+
+
+@dataclass(frozen=True)
+class PoolTask:
+    """One unit of work: an id and a picklable payload."""
+
+    task_id: str
+    payload: Any
+
+
+@dataclass
+class PoolOutcome:
+    """Everything a supervised run produced."""
+
+    results: Dict[str, Any] = field(default_factory=dict)
+    """task_id -> worker return value (completed tasks)."""
+
+    degradations: List[Dict[str, Any]] = field(default_factory=list)
+    """Timeout / crash / retry events, in occurrence order."""
+
+    resumed: List[str] = field(default_factory=list)
+    """Task ids satisfied from checkpoints instead of execution."""
+
+    failed: Dict[str, str] = field(default_factory=dict)
+    """task_id -> error for tasks that failed permanently."""
+
+
+def task_filename(task_id: str) -> str:
+    """Filesystem-safe, collision-free checkpoint name for a task id
+    (ids like ``fig3/put/d2`` contain separators)."""
+    digest = hashlib.sha256(task_id.encode("utf-8")).hexdigest()[:12]
+    safe = re.sub(r"[^A-Za-z0-9._-]+", "_", task_id)[:80]
+    return f"{safe}-{digest}.pkl"
+
+
+def _child_entry(
+    worker: Callable[[Any], Any],
+    payload: Any,
+    out_path: str,
+    task_id: str,
+    attempt: int,
+) -> None:  # pragma: no cover - runs in the spawned subprocess
+    kill_pat = os.environ.get(TEST_KILL_ENV)
+    if kill_pat and attempt == 0 and kill_pat in task_id:
+        os.kill(os.getpid(), signal.SIGKILL)
+    hang_pat = os.environ.get(TEST_HANG_ENV)
+    if hang_pat and attempt == 0 and hang_pat in task_id:
+        time.sleep(24 * 3600)
+    try:
+        doc: Dict[str, Any] = {"ok": True, "result": worker(payload)}
+    except BaseException as exc:  # noqa: BLE001 - report, not re-raise
+        doc = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+    tmp = f"{out_path}.{os.getpid()}.tmp"
+    with open(tmp, "wb") as fh:
+        pickle.dump(doc, fh)
+    os.replace(tmp, out_path)
+
+
+def _load_result(path: str) -> Optional[Dict[str, Any]]:
+    """Read a result file; None when absent or torn (crash mid-write is
+    impossible thanks to the atomic rename, but stay defensive)."""
+    try:
+        with open(path, "rb") as fh:
+            return pickle.load(fh)
+    except (OSError, pickle.UnpicklingError, EOFError):
+        return None
+
+
+@dataclass
+class _Attempt:
+    task: PoolTask
+    out_path: str
+    attempt: int = 0
+    not_before: float = 0.0
+    proc: Any = None
+    started: float = 0.0
+
+
+def run_pool(
+    tasks: List[PoolTask],
+    worker: Callable[[Any], Any],
+    *,
+    workers: int = 1,
+    timeout_s: float = 300.0,
+    max_retries: int = 2,
+    backoff_s: float = 0.25,
+    checkpoint_dir: Optional[str] = None,
+    progress: Optional[Callable[[str], None]] = None,
+    poll_s: float = 0.02,
+) -> PoolOutcome:
+    """Run ``worker(payload)`` for every task under supervision.
+
+    ``workers <= 1`` executes in-process (no subprocess per task, so no
+    crash/hang tolerance — but checkpoints are still written and
+    honoured, keeping ``--resume`` workflows uniform).  ``worker`` must
+    be a module-level callable and payloads/results picklable, because
+    parallel attempts run in spawned subprocesses.
+    """
+    if len({t.task_id for t in tasks}) != len(tasks):
+        raise ValueError("duplicate task ids in pool submission")
+    if timeout_s <= 0:
+        raise ValueError("timeout_s must be > 0")
+    if max_retries < 0:
+        raise ValueError("max_retries must be >= 0")
+
+    outcome = PoolOutcome()
+    own_dir = checkpoint_dir is None
+    outdir = checkpoint_dir or tempfile.mkdtemp(prefix="repro-pool-")
+    os.makedirs(outdir, exist_ok=True)
+
+    queue: List[_Attempt] = []
+    for task in tasks:
+        path = os.path.join(outdir, task_filename(task.task_id))
+        doc = _load_result(path) if not own_dir else None
+        if doc is not None and doc.get("ok"):
+            outcome.results[task.task_id] = doc["result"]
+            outcome.resumed.append(task.task_id)
+            if progress:
+                progress(f"{task.task_id}: resumed from checkpoint")
+            continue
+        queue.append(_Attempt(task=task, out_path=path))
+
+    if workers <= 1:
+        _run_inline(queue, worker, outcome, progress)
+    else:
+        _run_supervised(
+            queue,
+            worker,
+            outcome,
+            workers=workers,
+            timeout_s=timeout_s,
+            max_retries=max_retries,
+            backoff_s=backoff_s,
+            progress=progress,
+            poll_s=poll_s,
+        )
+
+    if own_dir:
+        import shutil
+
+        shutil.rmtree(outdir, ignore_errors=True)
+    return outcome
+
+
+def _checkpoint(state: _Attempt, doc: Dict[str, Any]) -> None:
+    tmp = f"{state.out_path}.{os.getpid()}.tmp"
+    with open(tmp, "wb") as fh:
+        pickle.dump(doc, fh)
+    os.replace(tmp, state.out_path)
+
+
+def _run_inline(
+    queue: List[_Attempt],
+    worker: Callable[[Any], Any],
+    outcome: PoolOutcome,
+    progress: Optional[Callable[[str], None]],
+) -> None:
+    for state in queue:
+        t0 = time.perf_counter()
+        try:
+            result = worker(state.task.payload)
+        except Exception as exc:  # deterministic failure: no retry
+            outcome.failed[state.task.task_id] = f"{type(exc).__name__}: {exc}"
+            continue
+        outcome.results[state.task.task_id] = result
+        _checkpoint(state, {"ok": True, "result": result})
+        if progress:
+            progress(f"{state.task.task_id}: {time.perf_counter() - t0:.2f}s")
+
+
+def _run_supervised(
+    queue: List[_Attempt],
+    worker: Callable[[Any], Any],
+    outcome: PoolOutcome,
+    *,
+    workers: int,
+    timeout_s: float,
+    max_retries: int,
+    backoff_s: float,
+    progress: Optional[Callable[[str], None]],
+    poll_s: float,
+) -> None:
+    import multiprocessing
+
+    ctx = multiprocessing.get_context("spawn")
+    waiting = list(queue)
+    running: List[_Attempt] = []
+
+    def launch(state: _Attempt) -> None:
+        # a stale result from a timed-out predecessor attempt must not
+        # be mistaken for this attempt's output
+        if os.path.exists(state.out_path):
+            os.unlink(state.out_path)
+        state.proc = ctx.Process(
+            target=_child_entry,
+            args=(
+                worker,
+                state.task.payload,
+                state.out_path,
+                state.task.task_id,
+                state.attempt,
+            ),
+            daemon=True,
+        )
+        state.started = time.monotonic()
+        state.proc.start()
+
+    def retire(state: _Attempt, event: str, detail: Dict[str, Any]) -> None:
+        """Record a degradation and either requeue or give up."""
+        record = {
+            "task": state.task.task_id,
+            "event": event,
+            "attempt": state.attempt,
+            **detail,
+        }
+        state.attempt += 1
+        if state.attempt > max_retries:
+            record["gave_up"] = True
+            outcome.failed[state.task.task_id] = (
+                f"{event} (gave up after {state.attempt} attempts)"
+            )
+        else:
+            delay = backoff_s * (2 ** (state.attempt - 1))
+            record["retry_in_s"] = round(delay, 3)
+            state.not_before = time.monotonic() + delay
+            state.proc = None
+            waiting.append(state)
+        outcome.degradations.append(record)
+        if progress:
+            progress(f"{state.task.task_id}: {event} (attempt {record['attempt']})")
+
+    while waiting or running:
+        now = time.monotonic()
+        # fill free slots with eligible (backoff-expired) tasks
+        idx = 0
+        while idx < len(waiting) and len(running) < workers:
+            if waiting[idx].not_before <= now:
+                state = waiting.pop(idx)
+                launch(state)
+                running.append(state)
+            else:
+                idx += 1
+
+        made_progress = False
+        for state in list(running):
+            assert state.proc is not None
+            if state.proc.is_alive():
+                if now - state.started > timeout_s:
+                    # hang: the watchdog kills the worker outright
+                    state.proc.kill()
+                    state.proc.join()
+                    running.remove(state)
+                    retire(
+                        state,
+                        "timeout",
+                        {"timeout_s": timeout_s},
+                    )
+                    made_progress = True
+                continue
+            state.proc.join()
+            exitcode = state.proc.exitcode
+            running.remove(state)
+            made_progress = True
+            doc = _load_result(state.out_path)
+            if doc is None:
+                # died without a result: SIGKILL, segfault, OOM, ...
+                retire(state, "crash", {"exitcode": exitcode})
+            elif doc.get("ok"):
+                outcome.results[state.task.task_id] = doc["result"]
+                if progress:
+                    wall = time.monotonic() - state.started
+                    progress(f"{state.task.task_id}: {wall:.2f}s")
+            else:
+                # a worker exception is deterministic: retrying the same
+                # payload through the same code cannot succeed
+                outcome.failed[state.task.task_id] = doc.get(
+                    "error", "worker error"
+                )
+                try:
+                    os.unlink(state.out_path)
+                except OSError:
+                    pass
+        if not made_progress:
+            time.sleep(poll_s)

@@ -39,6 +39,23 @@ def format_run_summary(results: Dict[str, Any]) -> str:
         slowest = sorted(shards.items(), key=lambda kv: -kv[1])[:5]
         for shard_id, secs in slowest:
             lines.append(f"  {shard_id:<24} {secs:>7.2f}s")
+    resumed = wall.get("resumed_shards", [])
+    if resumed:
+        lines.append(f"resumed from checkpoint: {len(resumed)} shard(s)")
+    degradations = wall.get("degradations", [])
+    if degradations:
+        lines.append(f"executor degradations survived: {len(degradations)}")
+        for event in degradations:
+            what = event.get("event", "?")
+            extra = ""
+            if "retry_in_s" in event:
+                extra = f", retried after {event['retry_in_s']}s backoff"
+            elif event.get("gave_up"):
+                extra = ", gave up"
+            lines.append(
+                f"  {event.get('task', '?'):<24} {what}"
+                f" (attempt {event.get('attempt', 0)}{extra})"
+            )
     return "\n".join(lines)
 
 

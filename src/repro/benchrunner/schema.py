@@ -154,6 +154,8 @@ def merge_shards(
     workers: int,
     total_wall_s: float,
     titles: Optional[Dict[str, str]] = None,
+    degradations: Optional[List[Dict[str, Any]]] = None,
+    resumed: Optional[List[str]] = None,
 ) -> Dict[str, Any]:
     """Fold per-shard results into one ``BENCH_results.json`` document.
 
@@ -198,6 +200,14 @@ def merge_shards(
             "shards": {r.shard_id: round(r.wall_s, 3) for r in shard_results},
         },
     }
+    # executor-health annotations (worker crashes/timeouts survived and
+    # shards satisfied from checkpoints).  Host-side history only, so
+    # they live in the informational ``wallclock`` half — a degraded run
+    # still byte-matches the golden ``figures``.
+    if degradations:
+        doc["wallclock"]["degradations"] = degradations
+    if resumed:
+        doc["wallclock"]["resumed_shards"] = sorted(resumed)
     # informational utilization appendix (metrics-enabled runs only):
     # top-level, outside the byte-compared ``figures`` half, exactly
     # like ``wallclock``

@@ -151,10 +151,76 @@ def cmd_chaos(args) -> int:
     check = verify_payload_integrity(plan, sizes, config=cfg)
     if check["ok"]:
         print(f"payload integrity: OK ({check['checked']} sizes byte-identical)")
-        return 0
-    for nbytes, offset in check["mismatches"]:
-        print(f"payload integrity: FAIL {nbytes}B first bad byte at {offset}")
-    return 1
+        rc = 0
+    else:
+        for nbytes, offset in check["mismatches"]:
+            print(f"payload integrity: FAIL {nbytes}B first bad byte at {offset}")
+        rc = 1
+    if args.json:
+        from pathlib import Path
+
+        from .faults.campaign import (
+            campaign_document,
+            clean_baseline_ps,
+            run_one_plan,
+            spec_for_plan,
+        )
+        from .metrics import canonical_json
+
+        spec = spec_for_plan(args.plan, plan, baseline_ps=clean_baseline_ps())
+        record = run_one_plan(spec)
+        doc = campaign_document(
+            [record],
+            meta={"kind": "chaos-plan", "plan": args.plan, "seed": args.seed},
+        )
+        Path(args.json).write_text(canonical_json(doc), encoding="utf-8")
+        print(f"# wrote campaign-format report to {args.json}")
+        if not record["ok"]:
+            rc = 1
+    return rc
+
+
+def cmd_chaos_campaign(args) -> int:
+    from pathlib import Path
+
+    from .faults.campaign import (
+        CampaignConfig,
+        fault_classes,
+        format_campaign_report,
+        run_campaign,
+    )
+    from .metrics import canonical_json
+
+    classes = (
+        tuple(c.strip() for c in args.classes.split(",") if c.strip())
+        if args.classes
+        else tuple(fault_classes())
+    )
+    try:
+        config = CampaignConfig(
+            runs=args.runs,
+            classes=classes,
+            seed=args.seed,
+            workers=args.workers,
+            shard_timeout_s=args.run_timeout,
+            checkpoint_dir=args.resume,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    progress = None if args.quiet else (lambda line: print(f"  {line}"))
+    if not args.quiet:
+        print(
+            f"# chaos campaign: {config.runs} runs, "
+            f"classes={','.join(config.classes)}, seed={config.seed}, "
+            f"workers={config.workers}"
+        )
+    doc = run_campaign(config, progress=progress)
+    print(format_campaign_report(doc))
+    if args.out:
+        Path(args.out).write_text(canonical_json(doc), encoding="utf-8")
+        print(f"# wrote campaign report to {args.out}")
+    camp = doc["campaign"]
+    return 0 if camp["total_passed"] == camp["total_runs"] else 1
 
 
 def cmd_trace(args) -> int:
@@ -311,6 +377,8 @@ def cmd_bench(args) -> int:
         filter=args.filter,
         progress=progress,
         stats=args.stats,
+        shard_timeout_s=args.shard_timeout,
+        checkpoint_dir=args.checkpoint,
     )
     save_results(results, Path(args.out))
     print(f"# wrote {args.out}")
@@ -409,7 +477,51 @@ def build_parser() -> argparse.ArgumentParser:
     chaos_cmd.add_argument("--hops", type=int, default=1)
     chaos_cmd.add_argument("--fast", action="store_true",
                            help="powers of two only")
+    chaos_cmd.add_argument(
+        "--json", metavar="FILE",
+        help="also judge the plan through the campaign invariants and "
+             "write a campaign-schema report here",
+    )
     chaos_cmd.set_defaults(func=cmd_chaos)
+
+    from .faults.campaign import FAULT_CLASSES
+
+    chaos_sub = chaos_cmd.add_subparsers(dest="chaos_command")
+    camp_cmd = chaos_sub.add_parser(
+        "campaign",
+        help="seeded fault-plan fleet with recovery SLO report",
+    )
+    camp_cmd.add_argument(
+        "--runs", type=int, default=21,
+        help="number of fault plans to generate and run (default 21)",
+    )
+    camp_cmd.add_argument(
+        "--classes", metavar="LIST",
+        help="comma-separated fault classes (default: all of "
+             f"{','.join(FAULT_CLASSES)})",
+    )
+    camp_cmd.add_argument("--seed", type=int, default=0)
+    camp_cmd.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (default 1 = in-process serial); >1 uses "
+             "the crash/hang-tolerant pool",
+    )
+    camp_cmd.add_argument(
+        "--resume", metavar="DIR",
+        help="checkpoint directory: completed runs found there are "
+             "skipped, new completions are written there",
+    )
+    camp_cmd.add_argument(
+        "--out", metavar="FILE",
+        help="write the campaign SLO report (repro-metrics/v1 JSON) here",
+    )
+    camp_cmd.add_argument(
+        "--run-timeout", type=float, default=300.0,
+        help="per-run watchdog timeout in seconds (default 300)",
+    )
+    camp_cmd.add_argument("--quiet", action="store_true",
+                          help="suppress per-run progress lines")
+    camp_cmd.set_defaults(func=cmd_chaos_campaign)
 
     trace_cmd = sub.add_parser(
         "trace", help="trace one put end to end; span table + Chrome trace"
@@ -500,6 +612,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="run figure shards with metrics enabled and attach an "
              "informational utilization appendix to the results document "
              "(simulated metrics stay bit-identical)",
+    )
+    bench_cmd.add_argument(
+        "--checkpoint", metavar="DIR",
+        help="checkpoint directory: completed shards found there are "
+             "skipped, new completions are written there (resumable runs)",
+    )
+    bench_cmd.add_argument(
+        "--shard-timeout", type=float, default=1800.0,
+        help="per-shard watchdog timeout in seconds for pooled runs "
+             "(default 1800)",
     )
     bench_cmd.add_argument("--list", action="store_true",
                            help="list shard ids and exit")

@@ -27,11 +27,22 @@ and every code path — and therefore every simulated timestamp — is
 bit-identical to a machine that never imported this package.
 """
 
+from .campaign import (
+    CampaignConfig,
+    campaign_document,
+    fault_classes,
+    format_campaign_report,
+    run_campaign,
+    run_one_plan,
+    spec_for_plan,
+)
 from .injector import FaultInjector
 from .plan import (
     ChunkAction,
     FaultPlan,
+    FirmwareCrash,
     LinkOutage,
+    NodeDeath,
     OutageMode,
     ScriptedFault,
     named_plan,
@@ -43,7 +54,9 @@ from .verify import verify_payload_integrity
 __all__ = [
     "FaultPlan",
     "FaultInjector",
+    "FirmwareCrash",
     "LinkOutage",
+    "NodeDeath",
     "OutageMode",
     "ChunkAction",
     "ScriptedFault",
@@ -52,4 +65,11 @@ __all__ = [
     "fault_report",
     "format_fault_report",
     "verify_payload_integrity",
+    "CampaignConfig",
+    "campaign_document",
+    "fault_classes",
+    "format_campaign_report",
+    "run_campaign",
+    "run_one_plan",
+    "spec_for_plan",
 ]

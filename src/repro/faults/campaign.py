@@ -1,0 +1,702 @@
+"""Seeded chaos campaigns: fault-plan fleets with recovery SLOs.
+
+A campaign generates ``N`` fault plans across the fault classes, runs
+each plan as an isolated two-node DES shard, verifies per-run recovery
+invariants, and aggregates the results into one SLO report (recovery
+time distributions, MTTR per fault class, invariant pass rates) exported
+through the ``repro-metrics/v1`` JSON path.
+
+Everything here is deterministic: plan generation is a pure function of
+``(seed, runs, classes)``, and every shard is an independent seeded DES
+run — so a campaign executed across a crash-tolerant worker pool is
+byte-identical to the same campaign executed serially.
+
+Fault classes and how each run is judged:
+
+* ``drop`` / ``corrupt`` / ``flap`` / ``squeeze`` / ``fw-crash`` — the
+  *recoverable* classes: the patterned payload-integrity exchange of
+  :func:`repro.faults.verify.verify_payload_integrity` must deliver
+  every byte intact, and the run must finish within a computed recovery
+  bound of the clean-run baseline.
+* ``kill`` / ``node-death`` — the *terminal* classes: a one-way acked
+  exchange counts per-message resolution at the initiator.  Every
+  message must resolve exactly once — either a Portals ``ACK`` event
+  (delivered) or a ``SEND_END`` flagged ``PTL_NI_FAIL`` (failed) —
+  within the retry/detection bound.  ``node-death`` additionally
+  requires the surviving firmware's heartbeat monitor to have declared
+  the dead peer within its detection bound.
+
+Portals semantics note: ``PTL_NI_FAIL`` means *not known to be
+delivered*.  A message whose payload arrived but whose ack died with the
+link may legitimately be reported failed; the invariant is exactly one
+terminal verdict per message at the initiator, not initiator/target
+agreement.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..hw.config import DEFAULT_CONFIG, SeaStarConfig
+from ..sim.units import us
+from .plan import FaultPlan, FirmwareCrash, LinkOutage, NodeDeath, OutageMode
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignRunSpec",
+    "FAULT_CLASSES",
+    "campaign_document",
+    "fault_classes",
+    "format_campaign_report",
+    "generate_specs",
+    "run_campaign",
+    "run_one_plan",
+    "spec_for_plan",
+]
+
+#: every fault class a campaign can draw from
+FAULT_CLASSES = (
+    "drop",
+    "corrupt",
+    "flap",
+    "kill",
+    "squeeze",
+    "node-death",
+    "fw-crash",
+)
+
+#: payload sizes for the integrity exchange (recoverable classes)
+INTEGRITY_SIZES = (1, 1024, 8192, 40_000)
+
+#: one-way acked exchange shape (terminal classes)
+DEATH_MESSAGES = 6
+DEATH_MSG_BYTES = 2048
+
+#: retry budget for terminal-class runs: low enough that a dead link
+#: exhausts in simulated milliseconds, high enough that transient loss
+#: in the same run still recovers
+DEATH_MAX_RETRIES = 6
+
+
+def fault_classes() -> List[str]:
+    """Class names accepted by ``repro chaos campaign --classes``."""
+    return list(FAULT_CLASSES)
+
+
+@dataclass(frozen=True)
+class CampaignRunSpec:
+    """One campaign run, fully described (picklable; workers get this)."""
+
+    run_id: str
+    fault_class: str
+    plan: FaultPlan
+    fail_at: Optional[int] = None
+    """Fault onset (ps) for the terminal classes; None otherwise."""
+
+    baseline_ps: Optional[int] = None
+    """Clean-run duration of the integrity exchange (recoverable
+    classes); recovery time is measured against this."""
+
+    max_retries: int = DEATH_MAX_RETRIES
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """What ``repro chaos campaign`` turns its flags into."""
+
+    runs: int = 21
+    classes: tuple = FAULT_CLASSES
+    seed: int = 0
+    workers: int = 1
+    shard_timeout_s: float = 300.0
+    max_retries: int = 2
+    """Worker-pool retry budget per shard (crash/hang recovery), not the
+    go-back-N retry budget."""
+
+    checkpoint_dir: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.runs < 1:
+            raise ValueError("campaign needs at least one run")
+        unknown = [c for c in self.classes if c not in FAULT_CLASSES]
+        if unknown:
+            raise ValueError(
+                f"unknown fault class(es) {unknown}; choose from "
+                f"{', '.join(FAULT_CLASSES)}"
+            )
+        if not self.classes:
+            raise ValueError("campaign needs at least one fault class")
+        if not isinstance(self.classes, tuple):
+            object.__setattr__(self, "classes", tuple(self.classes))
+
+
+# ---------------------------------------------------------------------------
+# Plan generation
+# ---------------------------------------------------------------------------
+
+
+def _make_plan(cls: str, rng: random.Random):
+    """One randomized-but-seeded plan of class ``cls``.
+
+    Returns ``(plan, fail_at)`` — ``fail_at`` is the fault onset for the
+    terminal classes.
+    """
+    seed = rng.randrange(1 << 31)
+    if cls == "drop":
+        return (
+            FaultPlan(
+                seed=seed,
+                drop_prob=rng.uniform(0.005, 0.04),
+                corrupt_prob=rng.uniform(0.0, 0.004),
+            ),
+            None,
+        )
+    if cls == "corrupt":
+        return FaultPlan(seed=seed, corrupt_prob=rng.uniform(0.005, 0.03)), None
+    if cls == "flap":
+        windows = []
+        start = us(rng.randrange(100, 300))
+        for _ in range(rng.randrange(1, 4)):
+            down = us(rng.randrange(50, 150))
+            mode = OutageMode.STALL if rng.random() < 0.5 else OutageMode.DROP
+            windows.append(LinkOutage(start=start, end=start + down, mode=mode))
+            start += down + us(rng.randrange(200, 400))
+        return FaultPlan(seed=seed, outages=tuple(windows)), None
+    if cls == "kill":
+        at = us(rng.randrange(200, 800))
+        return (
+            FaultPlan(
+                seed=seed,
+                outages=(LinkOutage(start=at, end=None, mode=OutageMode.DROP),),
+                # a dead link looks like a dead peer: arm the monitor so
+                # a Portals ACK lost to the kill still yields a verdict
+                peer_timeout=us(400),
+            ),
+            at,
+        )
+    if cls == "squeeze":
+        return (
+            FaultPlan(
+                seed=seed,
+                drop_prob=0.01,
+                control_pool_steal=rng.randrange(40, 61),
+                steal_start=us(100),
+                steal_end=us(rng.randrange(1000, 2500)),
+            ),
+            None,
+        )
+    if cls == "node-death":
+        at = us(rng.randrange(200, 800))
+        return FaultPlan(seed=seed, node_deaths=(NodeDeath(node=1, at=at),)), at
+    if cls == "fw-crash":
+        at = us(rng.randrange(200, 600))
+        return (
+            FaultPlan(
+                seed=seed,
+                fw_crashes=(
+                    FirmwareCrash(
+                        node=1,
+                        at=at,
+                        restart_after=us(rng.randrange(50, 200)),
+                    ),
+                ),
+            ),
+            None,
+        )
+    raise ValueError(f"unknown fault class {cls!r}")
+
+
+def generate_specs(config: CampaignConfig) -> List[CampaignRunSpec]:
+    """The campaign's run list — a pure function of the config.
+
+    Classes are assigned round-robin (coverage before volume); each
+    run's knobs come from its own derived RNG so inserting a run never
+    reshuffles the others.
+    """
+    specs: List[CampaignRunSpec] = []
+    for i in range(config.runs):
+        cls = config.classes[i % len(config.classes)]
+        rng = random.Random((config.seed << 20) ^ (i * 0x9E3779B1 & 0x7FFFFFFF))
+        plan, fail_at = _make_plan(cls, rng)
+        specs.append(
+            CampaignRunSpec(
+                run_id=f"run{i:03d}-{cls}",
+                fault_class=cls,
+                plan=plan,
+                fail_at=fail_at,
+            )
+        )
+    return specs
+
+
+# ---------------------------------------------------------------------------
+# Per-run execution + invariants
+# ---------------------------------------------------------------------------
+
+
+def _recovery_bound(plan: FaultPlan, cfg: SeaStarConfig) -> int:
+    """Generous upper bound (ps) on extra time a recoverable run may
+    spend over the clean baseline.  Deliberately loose — the SLO
+    distributions carry the information; the bound guards runaways."""
+    bound = us(2000)
+    for outage in plan.outages:
+        if outage.end is not None:
+            # traffic parked (STALL) or lost (DROP) for the window, plus
+            # the backoff that stacks on top of it
+            bound += 4 * (outage.end - outage.start)
+    for crash in plan.fw_crashes:
+        if crash.restart_after is not None:
+            bound += 4 * crash.restart_after
+    # retry/backoff amplification for probabilistic loss: dozens of
+    # retransmit rounds at the full backoff cap
+    bound += 40 * max(cfg.gobackn_backoff_max, cfg.retransmit_timeout)
+    return bound
+
+
+def _terminal_bounds(spec: CampaignRunSpec, cfg: SeaStarConfig):
+    """(mttr_bound, detect_bound) for the terminal classes (ps)."""
+    interval = max(1, (spec.fail_at or us(500)) // 2)
+    timeout = spec.plan.effective_peer_timeout()
+    if spec.fault_class == "node-death" and timeout is not None:
+        detect_bound = interval + timeout + timeout // 4 + us(500)
+        mttr_bound = DEATH_MESSAGES * interval + detect_bound + us(2000)
+        return mttr_bound, detect_bound
+    # kill: resolution is by retry exhaustion or the peer monitor's
+    # link-death sweep, whichever lands first; no detection SLO
+    per_attempt = cfg.retransmit_timeout + cfg.gobackn_backoff_max + us(100)
+    mttr_bound = (
+        (spec.max_retries + 3) * per_attempt
+        + DEATH_MESSAGES * interval
+        + us(2000)
+    )
+    return mttr_bound, None
+
+
+def _run_integrity(spec: CampaignRunSpec) -> Dict[str, Any]:
+    """A recoverable-class run: patterned exchange + byte comparison."""
+    from .verify import verify_payload_integrity
+
+    cfg = DEFAULT_CONFIG.replace(reliable_transport=True)
+    check = verify_payload_integrity(
+        spec.plan, list(INTEGRITY_SIZES), config=cfg
+    )
+    machine = check["machine"]
+    recovery_ps: Optional[int] = None
+    if spec.baseline_ps is not None:
+        recovery_ps = max(0, machine.now - spec.baseline_ps)
+    bound = _recovery_bound(spec.plan, cfg)
+    invariants = {
+        "payload_integrity": bool(check["ok"]),
+        "exactly_once": check["checked"] == len(INTEGRITY_SIZES)
+        and not check["mismatches"],
+        "bounded_recovery": recovery_ps is None or recovery_ps <= bound,
+    }
+    return {
+        "run_id": spec.run_id,
+        "class": spec.fault_class,
+        "workload": "integrity-exchange",
+        "invariants": invariants,
+        "ok": all(invariants.values()),
+        "recovery_ps": recovery_ps,
+        "mttr_ps": recovery_ps,
+        "detect_ps": None,
+        "recovery_bound_ps": bound,
+        "counters": dict(check["report"]["recovery"]),
+        "injected": dict(check["report"]["injected"]),
+    }
+
+
+def _run_death_exchange(spec: CampaignRunSpec) -> Dict[str, Any]:
+    """A terminal-class run: one-way acked puts, exactly-once verdicts."""
+    from ..fw.firmware import ExhaustionPolicy
+    from ..machine.builder import build_pair
+    from ..portals import (
+        PTL_ACK_REQ,
+        PTL_MD_THRESH_INF,
+        PTL_NID_ANY,
+        PTL_PID_ANY,
+        EventKind,
+        MDOptions,
+        NIFailType,
+        ProcessId,
+    )
+    from .report import fault_report
+
+    portal, bits = 4, 0x5151
+    any_id = ProcessId(PTL_NID_ANY, PTL_PID_ANY)
+    cfg = DEFAULT_CONFIG.replace(
+        reliable_transport=True, gobackn_max_retries=spec.max_retries
+    )
+    machine, na, nb = build_pair(
+        cfg, policy=ExhaustionPolicy.GO_BACK_N, fault_plan=spec.plan
+    )
+    pa, pb = na.create_process(), nb.create_process()
+    assert spec.fail_at is not None
+    interval = max(1, spec.fail_at // 2)
+    n = DEATH_MESSAGES
+    state: Dict[str, Any] = {
+        "acked": 0,
+        "failed": 0,
+        "violations": 0,
+        "resolved_at": None,
+        "sender_done": False,
+    }
+
+    def receiver(proc):
+        api = proc.api
+        eq = yield from api.PtlEQAlloc(256)
+        me = yield from api.PtlMEAttach(portal, any_id, bits)
+        buf = proc.alloc(DEATH_MSG_BYTES)
+        yield from api.PtlMDAttach(
+            me,
+            buf,
+            options=MDOptions.OP_PUT | MDOptions.TRUNCATE | MDOptions.MANAGE_REMOTE,
+            eq=eq,
+            threshold=PTL_MD_THRESH_INF,
+        )
+        # the target never "finishes": if its node dies mid-run the
+        # process parks on an event that never fires and the simulation
+        # still drains (PR 2 defusal semantics)
+        while True:
+            yield from api.PtlEQWait(eq)
+
+    def sender(proc, target):
+        api = proc.api
+        eq = yield from api.PtlEQAlloc(256)
+        buf = proc.alloc(DEATH_MSG_BYTES)
+        buf[:] = 0xA5
+        terminal = [0] * n
+        for i in range(n):
+            md = yield from api.PtlMDBind(
+                buf, eq=eq, threshold=PTL_MD_THRESH_INF, user_ptr=i
+            )
+            yield from api.PtlPut(
+                md,
+                target,
+                portal,
+                bits,
+                length=DEATH_MSG_BYTES,
+                ack_req=PTL_ACK_REQ,
+            )
+            if i < n - 1:
+                yield interval
+        while any(t == 0 for t in terminal):
+            ev = yield from api.PtlEQWait(eq)
+            if ev.kind is EventKind.ACK:
+                terminal[ev.md_user_ptr] += 1
+                state["acked"] += 1
+            elif (
+                ev.kind is EventKind.SEND_END
+                and ev.ni_fail_type is NIFailType.FAIL
+            ):
+                terminal[ev.md_user_ptr] += 1
+                state["failed"] += 1
+        state["violations"] = sum(1 for t in terminal if t > 1)
+        state["resolved_at"] = machine.now
+        state["sender_done"] = True
+
+    pb.spawn(receiver)
+    pa.spawn(sender, pb.id)
+    machine.run()
+
+    mttr_bound, detect_bound = _terminal_bounds(spec, cfg)
+    mttr_ps: Optional[int] = None
+    if state["resolved_at"] is not None:
+        mttr_ps = max(0, state["resolved_at"] - spec.fail_at)
+    detect_ps: Optional[int] = None
+    if spec.fault_class == "node-death":
+        declared = na.firmware.peer_death_times.get(1)
+        if declared is not None:
+            detect_ps = max(0, declared - spec.fail_at)
+    invariants = {
+        "exactly_once": bool(state["sender_done"])
+        and state["violations"] == 0
+        and state["acked"] + state["failed"] == n,
+        "bounded_recovery": mttr_ps is not None and mttr_ps <= mttr_bound,
+    }
+    if spec.fault_class == "node-death":
+        invariants["death_detected"] = (
+            detect_ps is not None
+            and detect_bound is not None
+            and detect_ps <= detect_bound
+        )
+    report = fault_report(machine)
+    return {
+        "run_id": spec.run_id,
+        "class": spec.fault_class,
+        "workload": "death-exchange",
+        "invariants": invariants,
+        "ok": all(invariants.values()),
+        "recovery_ps": mttr_ps,
+        "mttr_ps": mttr_ps,
+        "detect_ps": detect_ps,
+        "recovery_bound_ps": mttr_bound,
+        "delivered": state["acked"],
+        "failed": state["failed"],
+        "counters": dict(report["recovery"]),
+        "injected": dict(report["injected"]),
+    }
+
+
+def run_one_plan(spec: CampaignRunSpec) -> Dict[str, Any]:
+    """Execute one campaign run and judge its invariants.
+
+    Module-level and picklable-in/picklable-out, so the self-healing
+    worker pool can run it in a spawned subprocess.
+    """
+    if spec.fault_class in ("kill", "node-death"):
+        return _run_death_exchange(spec)
+    return _run_integrity(spec)
+
+
+def spec_for_plan(
+    name: str, plan: FaultPlan, *, baseline_ps: Optional[int] = None
+) -> CampaignRunSpec:
+    """A run spec that judges one arbitrary (e.g. named) plan.
+
+    Terminal plans — a node death, or a permanent DROP outage — get the
+    exactly-once death exchange; everything else gets the integrity
+    exchange.  This is what backs ``repro chaos --json``: a single-plan
+    run shares the campaign report schema.
+    """
+    if plan.node_deaths:
+        cls = "node-death"
+        fail_at: Optional[int] = min(d.at for d in plan.node_deaths)
+    else:
+        permanent = [
+            o
+            for o in plan.outages
+            if o.end is None and o.mode is OutageMode.DROP
+        ]
+        if permanent:
+            cls = "kill"
+            fail_at = min(o.start for o in permanent)
+        else:
+            cls = name
+            fail_at = None
+    return CampaignRunSpec(
+        run_id=f"plan-{name}",
+        fault_class=cls,
+        plan=plan,
+        fail_at=fail_at,
+        baseline_ps=baseline_ps,
+    )
+
+
+def clean_baseline_ps() -> int:
+    """Duration (ps) of the integrity exchange with no faults at all."""
+    from .verify import verify_payload_integrity
+
+    cfg = DEFAULT_CONFIG.replace(reliable_transport=True)
+    check = verify_payload_integrity(
+        FaultPlan.none(), list(INTEGRITY_SIZES), config=cfg
+    )
+    return check["machine"].now
+
+
+# ---------------------------------------------------------------------------
+# Aggregation: the SLO report
+# ---------------------------------------------------------------------------
+
+
+def _distribution(values: Sequence[int]) -> Optional[Dict[str, int]]:
+    """min/p50/p90/max/mean of an integer sample (deterministic)."""
+    if not values:
+        return None
+    ordered = sorted(values)
+
+    def pct(p: float) -> int:
+        idx = min(len(ordered) - 1, int(p * len(ordered)))
+        return ordered[idx]
+
+    return {
+        "count": len(ordered),
+        "min": ordered[0],
+        "p50": pct(0.50),
+        "p90": pct(0.90),
+        "max": ordered[-1],
+        "mean": sum(ordered) // len(ordered),
+    }
+
+
+def campaign_document(
+    runs: List[Dict[str, Any]], *, meta: Optional[Dict[str, Any]] = None
+) -> Dict[str, Any]:
+    """Fold per-run records into the ``repro-metrics/v1`` SLO report.
+
+    The document shape follows the metrics exporter: a ``schema`` tag,
+    optional ``meta``, aggregated ``counters`` (so the Prometheus
+    renderer works on it unchanged), and the campaign-specific
+    ``campaign`` section with per-class SLOs.
+    """
+    from ..metrics.export import EXPORT_SCHEMA
+
+    counters: Dict[str, int] = {}
+    by_class: Dict[str, List[Dict[str, Any]]] = {}
+    invariant_totals: Dict[str, Dict[str, int]] = {}
+    for run in runs:
+        by_class.setdefault(run["class"], []).append(run)
+        for key, value in run.get("counters", {}).items():
+            counters[f"recovery.{key}"] = counters.get(f"recovery.{key}", 0) + value
+        for key, value in run.get("injected", {}).items():
+            counters[f"injected.{key}"] = counters.get(f"injected.{key}", 0) + value
+        for name, passed in run["invariants"].items():
+            cell = invariant_totals.setdefault(name, {"pass": 0, "fail": 0})
+            cell["pass" if passed else "fail"] += 1
+
+    slo: Dict[str, Any] = {}
+    for cls in sorted(by_class):
+        rows = by_class[cls]
+        passed = sum(1 for r in rows if r["ok"])
+        slo[cls] = {
+            "runs": len(rows),
+            "passed": passed,
+            "invariant_pass_rate": round(passed / len(rows), 4),
+            "recovery_ps": _distribution(
+                [r["recovery_ps"] for r in rows if r["recovery_ps"] is not None]
+            ),
+            "mttr_ps": _distribution(
+                [r["mttr_ps"] for r in rows if r["mttr_ps"] is not None]
+            ),
+            "detect_ps": _distribution(
+                [r["detect_ps"] for r in rows if r["detect_ps"] is not None]
+            ),
+        }
+
+    doc: Dict[str, Any] = {
+        "schema": EXPORT_SCHEMA,
+        "meta": dict(meta or {}),
+        "counters": counters,
+        "campaign": {
+            "total_runs": len(runs),
+            "total_passed": sum(1 for r in runs if r["ok"]),
+            "invariants": invariant_totals,
+            "slo": slo,
+            "runs": sorted(runs, key=lambda r: r["run_id"]),
+        },
+    }
+    doc["meta"].setdefault("kind", "chaos-campaign")
+    return doc
+
+
+def format_campaign_report(doc: Dict[str, Any]) -> str:
+    """Human-readable tail of ``repro chaos campaign``."""
+    camp = doc["campaign"]
+    meta = doc.get("meta", {})
+    lines = ["=== chaos campaign report ==="]
+    lines.append(
+        f"runs: {camp['total_passed']}/{camp['total_runs']} passed "
+        f"(seed={meta.get('seed', '?')}, workers={meta.get('workers', 1)})"
+    )
+    lines.append("invariants:")
+    for name, cell in sorted(camp["invariants"].items()):
+        verdict = "OK" if cell["fail"] == 0 else "FAIL"
+        lines.append(
+            f"  {name:<20} {cell['pass']:>4} pass {cell['fail']:>4} fail  {verdict}"
+        )
+    lines.append("per-class SLO (times in us):")
+    header = (
+        f"  {'class':<12} {'runs':>5} {'passed':>7} "
+        f"{'mttr_p50':>9} {'mttr_p90':>9} {'mttr_max':>9} {'detect_p90':>11}"
+    )
+    lines.append(header)
+
+    def as_us(dist: Optional[Dict[str, int]], key: str) -> str:
+        if dist is None:
+            return "-"
+        return f"{dist[key] / 1e6:.1f}"
+
+    for cls, row in sorted(camp["slo"].items()):
+        mttr = row["mttr_ps"]
+        lines.append(
+            f"  {cls:<12} {row['runs']:>5} {row['passed']:>7} "
+            f"{as_us(mttr, 'p50'):>9} {as_us(mttr, 'p90'):>9} "
+            f"{as_us(mttr, 'max'):>9} {as_us(row['detect_ps'], 'p90'):>11}"
+        )
+    resumed = meta.get("resumed", [])
+    if resumed:
+        lines.append(f"resumed from checkpoint: {len(resumed)} run(s)")
+    degradations = meta.get("degradations", [])
+    if degradations:
+        lines.append(f"executor degradations survived: {len(degradations)}")
+        for event in degradations:
+            lines.append(
+                f"  {event.get('task', '?'):<16} {event.get('event', '?')}"
+                f" (attempt {event.get('attempt', 0)})"
+            )
+    failing = [r["run_id"] for r in camp["runs"] if not r["ok"]]
+    if failing:
+        lines.append(f"failing runs: {', '.join(failing)}")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Orchestration
+# ---------------------------------------------------------------------------
+
+
+def _campaign_task(spec: CampaignRunSpec) -> Dict[str, Any]:
+    """Worker-pool entry point (module-level for spawn pickling)."""
+    return run_one_plan(spec)
+
+
+def run_campaign(
+    config: CampaignConfig,
+    *,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, Any]:
+    """Run a whole campaign; returns the SLO report document.
+
+    ``workers > 1`` fans the runs across the crash/hang-tolerant pool of
+    :mod:`repro.benchrunner.pool`; the shard set, and therefore the
+    report's simulated content, is identical either way.  Pool
+    degradation events (worker crashes, watchdog kills, retries) land
+    under ``meta.degradations`` — informational, like the benchrunner's
+    ``wallclock`` half.
+    """
+    from ..benchrunner.pool import PoolTask, run_pool
+
+    specs = generate_specs(config)
+    baseline = clean_baseline_ps()
+    specs = [
+        CampaignRunSpec(
+            run_id=s.run_id,
+            fault_class=s.fault_class,
+            plan=s.plan,
+            fail_at=s.fail_at,
+            baseline_ps=baseline,
+            max_retries=s.max_retries,
+        )
+        for s in specs
+    ]
+    tasks = [PoolTask(task_id=s.run_id, payload=s) for s in specs]
+    outcome = run_pool(
+        tasks,
+        _campaign_task,
+        workers=config.workers,
+        timeout_s=config.shard_timeout_s,
+        max_retries=config.max_retries,
+        checkpoint_dir=config.checkpoint_dir,
+        progress=progress,
+    )
+    if outcome.failed:
+        detail = "; ".join(
+            f"{task_id}: {err}" for task_id, err in sorted(outcome.failed.items())
+        )
+        raise RuntimeError(f"campaign runs failed permanently: {detail}")
+    runs = [outcome.results[s.run_id] for s in specs]
+    meta: Dict[str, Any] = {
+        "kind": "chaos-campaign",
+        "runs": config.runs,
+        "classes": list(config.classes),
+        "seed": config.seed,
+        "baseline_ps": baseline,
+        "workers": config.workers,
+    }
+    if outcome.degradations:
+        meta["degradations"] = outcome.degradations
+    if outcome.resumed:
+        meta["resumed"] = sorted(outcome.resumed)
+    return campaign_document(runs, meta=meta)

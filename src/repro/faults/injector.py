@@ -18,7 +18,7 @@ import random
 from typing import TYPE_CHECKING, Optional
 
 from ..sim import Counters, Simulator
-from .plan import ChunkAction, FaultPlan, OutageMode
+from .plan import ChunkAction, FaultPlan, LinkOutage, OutageMode
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..fw.firmware import Firmware
@@ -49,8 +49,20 @@ class FaultInjector:
         self._stall_outages = tuple(
             o for o in plan.outages if o.mode is OutageMode.STALL
         )
-        self._drop_outages = tuple(
-            o for o in plan.outages if o.mode is OutageMode.DROP
+        # a whole-node death takes every link touching the node dark, in
+        # both directions, forever — synthesized as permanent DROP
+        # outages so the fabric needs no death-specific code
+        death_outages = []
+        for death in plan.node_deaths:
+            death_outages.append(
+                LinkOutage(start=death.at, src=death.node, mode=OutageMode.DROP)
+            )
+            death_outages.append(
+                LinkOutage(start=death.at, dst=death.node, mode=OutageMode.DROP)
+            )
+        self._drop_outages = (
+            tuple(o for o in plan.outages if o.mode is OutageMode.DROP)
+            + tuple(death_outages)
         )
 
     # ------------------------------------------------------------------
@@ -125,14 +137,65 @@ class FaultInjector:
     def attach_node(self, firmware: "Firmware") -> None:
         """Register a node's firmware with the injector.
 
-        Currently this starts the control-pool squeeze process, if the
-        plan asks for one.
+        Starts the control-pool squeeze process (if the plan asks for
+        one), schedules node deaths and firmware crashes landing on this
+        node, and arms the peer-death monitor on *every* firmware when
+        the plan contains a permanent death or sets ``peer_timeout``
+        explicitly (a permanent link kill is indistinguishable from a
+        dead peer to the survivor).
         """
-        if self.plan.control_pool_steal > 0:
+        plan = self.plan
+        if plan.control_pool_steal > 0:
             self.sim.process(
                 self._squeeze_control_pool(firmware),
                 name=f"fault:pool-squeeze:{firmware.node_id}",
             )
+        for death in plan.node_deaths:
+            if death.node == firmware.node_id:
+                self.sim.process(
+                    self._crash_firmware(
+                        firmware, at=death.at, restart_after=None, death=True
+                    ),
+                    name=f"fault:node-death:{firmware.node_id}",
+                )
+        for crash in plan.fw_crashes:
+            if crash.node == firmware.node_id:
+                self.sim.process(
+                    self._crash_firmware(
+                        firmware,
+                        at=crash.at,
+                        restart_after=crash.restart_after,
+                        death=False,
+                    ),
+                    name=f"fault:fw-crash:{firmware.node_id}",
+                )
+        timeout = plan.effective_peer_timeout()
+        if timeout is not None and (
+            plan.permanent_death_nodes() or plan.peer_timeout is not None
+        ):
+            # Armed for permanent deaths, and whenever the plan opts in
+            # explicitly — e.g. a permanent link kill looks like a dead
+            # peer from the survivor's side and needs the same sweep.
+            firmware.enable_peer_monitor(timeout)
+
+    def _crash_firmware(
+        self,
+        firmware: "Firmware",
+        *,
+        at: int,
+        restart_after: Optional[int],
+        death: bool,
+    ):
+        """Deliver one scheduled crash/death to a firmware."""
+        if at > 0:
+            yield at
+        firmware.crash(restart_after)
+        if death:
+            self.counters.incr("node_deaths")
+        elif restart_after is None:
+            self.counters.incr("fw_kills")
+        else:
+            self.counters.incr("fw_crash_restarts")
 
     def _squeeze_control_pool(self, firmware: "Firmware"):
         """Steal internal pendings for a window, then hand them back.

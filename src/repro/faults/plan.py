@@ -28,12 +28,18 @@ from ..sim.units import US, us
 __all__ = [
     "ChunkAction",
     "FaultPlan",
+    "FirmwareCrash",
     "LinkOutage",
+    "NodeDeath",
     "OutageMode",
     "ScriptedFault",
     "named_plan",
     "plan_names",
 ]
+
+#: liveness threshold used when a plan schedules a permanent death but
+#: does not set ``peer_timeout`` itself (see :class:`FaultPlan`)
+DEFAULT_PEER_TIMEOUT = us(400)
 
 
 class OutageMode(enum.Enum):
@@ -107,6 +113,58 @@ class ScriptedFault:
 
 
 @dataclass(frozen=True)
+class NodeDeath:
+    """Whole-node death: at ``at`` ps the node's firmware stops processing
+    forever and every link touching the node goes dark (the injector
+    synthesizes permanent DROP outages for both directions).  Surviving
+    peers detect the silence via the heartbeat monitor and fail their
+    outstanding traffic with ``PTL_NI_FAIL`` exactly once per message.
+    """
+
+    node: int
+    at: int
+
+    def __post_init__(self) -> None:
+        if self.node < 0:
+            raise ValueError("node death node id must be >= 0")
+        if self.at < 0:
+            raise ValueError("node death time must be >= 0")
+
+
+@dataclass(frozen=True)
+class FirmwareCrash:
+    """Firmware crash on one node at ``at`` ps.
+
+    ``restart_after`` of ``None`` means the PowerPC never comes back (the
+    peer-visible effect matches :class:`NodeDeath` except the wire stays
+    up, so traffic reaches the dead NIC and queues unprocessed).  A
+    positive value models the NIC watchdog rebooting the firmware after
+    that many ps: SRAM state survives, queued work drains after the
+    reboot, and the sender-side retransmit machinery rides out the gap.
+    """
+
+    node: int
+    at: int
+    restart_after: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.node < 0:
+            raise ValueError("firmware crash node id must be >= 0")
+        if self.at < 0:
+            raise ValueError("firmware crash time must be >= 0")
+        if self.restart_after is not None and self.restart_after <= 0:
+            raise ValueError(
+                "firmware crash restart_after must be > 0 (or None to "
+                "stay down)"
+            )
+
+    @property
+    def permanent(self) -> bool:
+        """True when the firmware never restarts."""
+        return self.restart_after is None
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """Everything that will go wrong, declared up front."""
 
@@ -139,6 +197,19 @@ class FaultPlan:
     """When the stolen pendings are returned; ``None`` holds them for the
     whole run."""
 
+    node_deaths: tuple[NodeDeath, ...] = ()
+    """Whole-node deaths: firmware halts forever + links go dark."""
+
+    fw_crashes: tuple[FirmwareCrash, ...] = ()
+    """Firmware crashes (with or without a watchdog restart)."""
+
+    peer_timeout: Optional[int] = None
+    """Liveness threshold (ps) for the firmware peer-death monitor: a
+    sender holding unacked reliable-transport traffic declares a peer
+    dead after this much SACK silence.  ``None`` uses
+    :data:`DEFAULT_PEER_TIMEOUT` when the plan contains a permanent
+    death, and leaves the monitor off otherwise."""
+
     def __post_init__(self) -> None:
         if not 0.0 <= self.drop_prob <= 1.0:
             raise ValueError("drop_prob must be in [0, 1]")
@@ -150,11 +221,23 @@ class FaultPlan:
             raise ValueError("steal_start must be >= 0")
         if self.steal_end is not None and self.steal_end <= self.steal_start:
             raise ValueError("steal_end must be > steal_start (or None)")
+        if self.peer_timeout is not None and self.peer_timeout <= 0:
+            raise ValueError("peer_timeout must be > 0 (or None for default)")
         # normalize lists passed by callers into hashable tuples
         if not isinstance(self.outages, tuple):
             object.__setattr__(self, "outages", tuple(self.outages))
         if not isinstance(self.script, tuple):
             object.__setattr__(self, "script", tuple(self.script))
+        if not isinstance(self.node_deaths, tuple):
+            object.__setattr__(self, "node_deaths", tuple(self.node_deaths))
+        if not isinstance(self.fw_crashes, tuple):
+            object.__setattr__(self, "fw_crashes", tuple(self.fw_crashes))
+        indices = [f.index for f in self.script]
+        if len(indices) != len(set(indices)):
+            raise ValueError(
+                "script contains duplicate chunk indices; one fate per "
+                "chunk only"
+            )
 
     @classmethod
     def none(cls) -> "FaultPlan":
@@ -169,7 +252,23 @@ class FaultPlan:
             and not self.outages
             and not self.script
             and self.control_pool_steal == 0
+            and not self.node_deaths
+            and not self.fw_crashes
         )
+
+    def permanent_death_nodes(self) -> frozenset[int]:
+        """Nodes that stop processing forever under this plan."""
+        dead = {d.node for d in self.node_deaths}
+        dead.update(c.node for c in self.fw_crashes if c.permanent)
+        return frozenset(dead)
+
+    def effective_peer_timeout(self) -> Optional[int]:
+        """The monitor threshold the injector should arm, if any."""
+        if self.peer_timeout is not None:
+            return self.peer_timeout
+        if self.permanent_death_nodes():
+            return DEFAULT_PEER_TIMEOUT
+        return None
 
 
 def _flap_windows(
@@ -219,10 +318,12 @@ _NAMED_PLANS: dict[str, Callable[[int], FaultPlan]] = {
         ),
     ),
     # the link dies at t=1 ms and never returns: exercises retry
-    # exhaustion and the PTL_NI_FAIL degrade path
+    # exhaustion, the PTL_NI_FAIL degrade path, and the peer monitor's
+    # sweep of delivered-but-unACKed traffic
     "link-kill": lambda seed: FaultPlan(
         seed=seed,
         outages=(LinkOutage(start=1000 * US, end=None, mode=OutageMode.DROP),),
+        peer_timeout=400 * US,
     ),
     # squeeze the firmware control pool to 4 pendings for 2 ms
     "control-overrun": lambda seed: FaultPlan(
@@ -231,6 +332,19 @@ _NAMED_PLANS: dict[str, Callable[[int], FaultPlan]] = {
         control_pool_steal=60,
         steal_start=us(100),
         steal_end=us(2100),
+    ),
+    # node 1 dies outright at t=1 ms: links dark, firmware halted; the
+    # survivor's heartbeat monitor must fail outstanding traffic
+    "node-death": lambda seed: FaultPlan(
+        seed=seed, node_deaths=(NodeDeath(node=1, at=1000 * US),)
+    ),
+    # node 1's firmware crashes at t=500 us and the NIC watchdog
+    # reboots it 150 us later; queued work drains, nothing is lost
+    "fw-crash": lambda seed: FaultPlan(
+        seed=seed,
+        fw_crashes=(
+            FirmwareCrash(node=1, at=us(500), restart_after=us(150)),
+        ),
     ),
 }
 

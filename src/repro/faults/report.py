@@ -34,6 +34,11 @@ _RECOVERY_KEYS = (
     "gobackn_recovered",
     "duplicates",
     "control_drops",
+    "fw_crashes",
+    "fw_restarts",
+    "peer_deaths_detected",
+    "peer_death_failures",
+    "dead_peer_sends",
 )
 
 

@@ -42,7 +42,7 @@ from ..portals.constants import EventKind, MsgType
 from ..portals.errors import NicPanic
 from ..portals.header import PortalsHeader, ProcessId
 from ..portals.matching import MatchStatus, commit_operation, match_request
-from ..sim import Channel, Counters, Simulator
+from ..sim import Channel, Counters, Event, Simulator
 from .commands import (
     FwEvent,
     FwEventKind,
@@ -97,6 +97,17 @@ class RetxRecord:
     failed: bool = False
     """Retries exhausted and SEND_FAILED surfaced; latched so the
     failure event fires exactly once per message."""
+
+    ack_pending: bool = False
+    """The initiator asked for a Portals ACK that has not arrived yet.
+
+    A cumulative SACK proves the *data* landed (``acked``), but the ACK
+    control message rides the same lossy wire back — a link that dies in
+    that window eats the host's only terminal event.  While this flag is
+    set the record still counts as live traffic for the peer monitor, so
+    a peer-death declaration can sweep it into a SEND_FAILED verdict
+    (Portals semantics: PTL_NI_FAIL means *not known to be delivered*,
+    which is exactly the truth here)."""
 
 
 class Firmware:
@@ -157,6 +168,18 @@ class Firmware:
         self._retx_scheduled: set[int] = set()
         # reliable transport: highest cumulatively-SACKed seq per dst node
         self._acked_through: dict[int, int] = {}
+
+        # crash / peer-death state (chaos machinery).  All of this stays
+        # empty/None on a healthy run, so the hot path only ever pays
+        # falsy attribute checks — the event schedule is untouched.
+        self._dead = False
+        self._crash_until: Optional[int] = None
+        self._peer_timeout: Optional[int] = None
+        self._peer_last_heard: dict[int, int] = {}
+        self._peer_watches: set[int] = set()
+        self._peer_dead: set[int] = set()
+        self.peer_death_times: dict[int, int] = {}
+        """When (ps) this firmware declared each peer dead."""
 
         self.work: Channel = Channel(sim, name=f"fwwork:{self.node_id}")
         seastar.attach_firmware(self._on_header)
@@ -304,6 +327,19 @@ class Firmware:
         cfg = self.config
         while True:
             item = yield self.work.get()
+            if self._dead:
+                # a dead firmware never touches another work item; park
+                # on an event nobody will trigger so further traffic just
+                # queues in the channel and the simulation still drains
+                yield Event(self.sim)
+            if self._crash_until is not None:
+                # watchdog reboot in progress: SRAM (sources, seq state,
+                # pendings) survives, queued work waits out the reset
+                delay = self._crash_until - self.sim.now
+                self._crash_until = None
+                self.counters.incr("fw_restarts")
+                if delay > 0:
+                    yield delay
             self.control.heartbeat += 1
             kind = item[0]
             if kind == "cmd":
@@ -325,6 +361,8 @@ class Firmware:
                 yield from self._handle_retransmit_flush(item[1])
             elif kind == "transport_error":
                 yield from self._handle_transport_error(item[1], item[2])
+            elif kind == "peer_dead":
+                yield from self._handle_peer_dead(item[1])
             else:  # pragma: no cover - defensive
                 raise RuntimeError(f"unknown firmware work item {kind!r}")
 
@@ -427,6 +465,19 @@ class Firmware:
         self._transmit_request(proc, lower, hdr, None, cmd.host_ctx)
 
     def _transmit_request(self, proc, lower, hdr, payload, host_ctx) -> None:
+        if self._peer_dead and lower.dest_node in self._peer_dead:
+            # the peer was already declared dead: fail fast instead of
+            # burning a source + the full retry/backoff budget
+            self.counters.incr("dead_peer_sends")
+            proc.event_sink(
+                FwEvent(
+                    kind=FwEventKind.SEND_FAILED,
+                    pending_id=lower.pending_id,
+                    header=hdr,
+                    host_ctx=host_ctx,
+                )
+            )
+            return
         src = self.control.attach_source(lower.dest_node)
         if src is None:
             self._tx_source_exhausted(proc, lower, hdr, payload, host_ctx)
@@ -452,6 +503,7 @@ class Firmware:
                 proc=proc,
                 lower=lower,
                 host_ctx=host_ctx,
+                ack_pending=bool(hdr.ack_req),
             )
             self._record_history(record)
             if reliable:
@@ -459,6 +511,8 @@ class Firmware:
                     self._ack_watchdog(record),
                     name=f"fw:watchdog:{self.node_id}:{lower.dest_node}:{hdr.wire_seq}",
                 )
+                if self._peer_timeout is not None:
+                    self._ensure_peer_watch(lower.dest_node)
         self._submit(proc, lower, hdr, payload)
 
     def _submit(self, proc, lower, hdr, payload) -> None:
@@ -623,6 +677,9 @@ class Firmware:
         span = self._span("fw.rx", msg_id=chunk.msg_id, op=hdr.op.value)
         yield from ppc.handler(cfg.fw_rx_header)
         self.counters.incr("rx_headers")
+        if self._peer_timeout is not None:
+            # any traffic from a peer proves it alive (SACKs included)
+            self._peer_last_heard[hdr.src.nid] = self.sim.now
         self._trace(
             "fw.rx_header", op=hdr.op.value, msg_id=chunk.msg_id,
             src=hdr.src.nid, nbytes=hdr.length,
@@ -930,6 +987,12 @@ class Firmware:
         if lower is None or lower.upper is None or lower.upper.host_ctx is None:
             self.counters.incr("orphan_acks")
             return
+        # The host's terminal event is here: the retransmit record no
+        # longer needs the peer monitor guarding its verdict.
+        for (node, _seq), record in self._tx_history.items():
+            if node == hdr.src.nid and record.lower is lower:
+                record.ack_pending = False
+                break
         proc = self.processes.get(lower.owner_pid)
         irq = 0 if proc.accelerated else cfg.fw_interrupt_raise
         yield from self.seastar.ppc.charge(cfg.fw_event_post + irq)
@@ -1048,6 +1111,7 @@ class Firmware:
             proc=proc,
             lower=lower,
             host_ctx=host_ctx,
+            ack_pending=bool(hdr.ack_req),
         )
         self._queue_retransmit(record)
 
@@ -1178,6 +1242,11 @@ class Firmware:
             yield self._backoff_delay(attempt, base)
             if record.acked or record.failed:
                 return
+            if self._dead:
+                # this firmware crashed for good; without the exit the
+                # watchdog would retransmit forever and the run would
+                # never drain
+                return
             if record.seq <= self._acked_through.get(record.dst_node, -1):
                 record.acked = True
                 return
@@ -1260,6 +1329,124 @@ class Firmware:
                     lower.state = "retransmit"
                 record.header.inline_data = None
                 self._submit(record.proc, lower, record.header, record.payload)
+
+    # ------------------------------------------------------------------
+    # Crash injection and peer-death detection (chaos campaigns)
+    # ------------------------------------------------------------------
+    def crash(self, restart_after: Optional[int] = None) -> None:
+        """Stop the embedded PowerPC at work-item granularity.
+
+        ``restart_after=None`` is permanent (node death): the main loop
+        parks forever on the next work item and arriving traffic queues
+        unprocessed.  A positive value models the NIC watchdog rebooting
+        the firmware after that many ps — SRAM state survives the reset,
+        so the go-back-N sequence space stays coherent and queued work
+        simply drains late.
+        """
+        self.counters.incr("fw_crashes")
+        if restart_after is None:
+            self._dead = True
+        else:
+            self._crash_until = self.sim.now + restart_after
+        self._trace("fw.crash", restart_after=restart_after)
+
+    def enable_peer_monitor(self, timeout_ps: int) -> None:
+        """Arm passive peer-liveness detection.
+
+        There is no explicit heartbeat message (a perpetual ticker would
+        keep the event heap alive forever and the simulation would never
+        drain): the reliable transport's SACK stream *is* the liveness
+        signal.  While this node holds unacked traffic for a peer, a
+        watch process polls; ``timeout_ps`` of SACK silence declares the
+        peer dead and fails every outstanding message exactly once.
+        """
+        if timeout_ps <= 0:
+            raise ValueError("peer monitor timeout must be > 0")
+        self._peer_timeout = timeout_ps
+
+    def _ensure_peer_watch(self, dst: int) -> None:
+        if dst in self._peer_watches or dst in self._peer_dead:
+            return
+        self._peer_watches.add(dst)
+        self._peer_last_heard.setdefault(dst, self.sim.now)
+        self.sim.process(
+            self._watch_peer(dst), name=f"fw:peerwatch:{self.node_id}:{dst}"
+        )
+
+    def _live_records_to(self, dst: int) -> bool:
+        """Any record toward ``dst`` still owed a terminal verdict?
+
+        Unacked data is live; so is SACKed data whose Portals ACK has
+        not come back (``ack_pending``) — losing that ACK to a dead link
+        must not strand the host without a terminal event.
+        """
+        for (node, _seq), record in self._tx_history.items():
+            if node != dst or record.failed:
+                continue
+            if not record.acked or record.ack_pending:
+                return True
+        return False
+
+    def _watch_peer(self, dst: int):
+        """Poll SACK recency while traffic to ``dst`` is outstanding.
+
+        Exits as soon as nothing is owed (so a run always drains) or the
+        peer is declared dead; new sends re-arm the watch.
+        """
+        timeout = self._peer_timeout
+        assert timeout is not None
+        poll = max(1, timeout // 4)
+        try:
+            while True:
+                yield poll
+                if self._dead or dst in self._peer_dead:
+                    return
+                if not self._live_records_to(dst):
+                    return
+                if self.sim.now - self._peer_last_heard.get(dst, 0) >= timeout:
+                    self.work.put(("peer_dead", dst))
+                    return
+        finally:
+            self._peer_watches.discard(dst)
+
+    def _handle_peer_dead(self, node: int):
+        """Declare ``node`` dead: fail all outstanding traffic to it.
+
+        Idempotent — records fully resolved (SACKed with the Portals ACK
+        in hand, or already failed) in the window between the watch
+        firing and this handler running are skipped, and the
+        ``acked``/``failed`` latches keep the host's view at exactly one
+        terminal event per message.  Records still awaiting an ACK are
+        swept even when the data was SACKed: the ACK died with the link.
+        """
+        cfg = self.config
+        yield from self.seastar.ppc.handler(cfg.fw_tx_cmd)
+        if node in self._peer_dead:
+            return
+        self._peer_dead.add(node)
+        self.peer_death_times[node] = self.sim.now
+        self.counters.incr("peer_deaths_detected")
+        self._trace("fw.peer_dead", peer=node)
+        for (dst, _seq), record in list(self._tx_history.items()):
+            if dst != node or record.failed:
+                continue
+            if record.acked and not record.ack_pending:
+                continue
+            # A SACKed record with ack_pending set lost its Portals ACK
+            # to the dead link: the data landed, but the initiator does
+            # not know it.  PTL_NI_FAIL ("not known to be delivered") is
+            # the honest exactly-once verdict.
+            record.failed = True
+            self.counters.incr("peer_death_failures")
+            yield from self.seastar.ppc.charge(cfg.fw_event_post)
+            record.proc.event_sink(
+                FwEvent(
+                    kind=FwEventKind.SEND_FAILED,
+                    pending_id=record.lower.pending_id if record.lower else -1,
+                    header=record.header,
+                    host_ctx=record.host_ctx,
+                )
+            )
 
     # ------------------------------------------------------------------
     # Generic deposit completion

@@ -1,0 +1,286 @@
+"""Chaos campaigns: spec generation, per-run invariants, SLO
+aggregation, the CLI, and the flagship acceptance property — a
+50-plan campaign through the crash/hang-tolerant pool is byte-identical
+to the same campaign run serially and undisturbed.
+"""
+
+import json
+
+import pytest
+
+from repro.faults.campaign import (
+    FAULT_CLASSES,
+    CampaignConfig,
+    CampaignRunSpec,
+    campaign_document,
+    clean_baseline_ps,
+    format_campaign_report,
+    generate_specs,
+    run_campaign,
+    run_one_plan,
+    spec_for_plan,
+)
+from repro.faults.plan import FaultPlan, named_plan
+from repro.metrics import canonical_json
+
+
+def _campaign_view(doc):
+    """The comparable half of a campaign report: everything except
+    ``meta`` (which carries workers/degradations and may differ)."""
+    return canonical_json(
+        {"counters": doc["counters"], "campaign": doc["campaign"]}
+    )
+
+
+class TestConfigAndSpecs:
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="at least one run"):
+            CampaignConfig(runs=0)
+        with pytest.raises(ValueError, match="unknown fault class"):
+            CampaignConfig(classes=("drop", "meteor"))
+        with pytest.raises(ValueError, match="at least one fault class"):
+            CampaignConfig(classes=())
+
+    def test_specs_are_deterministic(self):
+        config = CampaignConfig(runs=14, seed=9)
+        assert generate_specs(config) == generate_specs(config)
+
+    def test_specs_round_robin_all_classes(self):
+        config = CampaignConfig(runs=len(FAULT_CLASSES) * 2, seed=0)
+        specs = generate_specs(config)
+        by_class = {}
+        for s in specs:
+            by_class[s.fault_class] = by_class.get(s.fault_class, 0) + 1
+        assert by_class == {cls: 2 for cls in FAULT_CLASSES}
+
+    def test_different_seed_different_plans(self):
+        a = generate_specs(CampaignConfig(runs=3, seed=1))
+        b = generate_specs(CampaignConfig(runs=3, seed=2))
+        assert [s.plan for s in a] != [s.plan for s in b]
+
+    def test_terminal_classes_carry_fail_at(self):
+        specs = generate_specs(CampaignConfig(runs=len(FAULT_CLASSES)))
+        for s in specs:
+            if s.fault_class in ("kill", "node-death"):
+                assert s.fail_at is not None and s.fail_at > 0
+            else:
+                assert s.fail_at is None
+
+
+class TestSpecForPlan:
+    def test_node_death_plan_gets_death_exchange(self):
+        spec = spec_for_plan("node-death", named_plan("node-death"))
+        assert spec.fault_class == "node-death"
+        assert spec.fail_at == named_plan("node-death").node_deaths[0].at
+
+    def test_link_kill_plan_gets_death_exchange(self):
+        spec = spec_for_plan("link-kill", named_plan("link-kill"))
+        assert spec.fault_class == "kill"
+        assert spec.fail_at is not None
+
+    def test_recoverable_plan_keeps_its_name(self):
+        spec = spec_for_plan("drop-1pct", named_plan("drop-1pct"))
+        assert spec.fault_class == "drop-1pct"
+        assert spec.fail_at is None
+
+
+class TestSingleRuns:
+    """One run per workload family; full class coverage lives in the
+    acceptance campaign below."""
+
+    def test_recoverable_run_passes_invariants(self):
+        spec = CampaignRunSpec(
+            run_id="r0",
+            fault_class="drop",
+            plan=named_plan("drop-1pct", seed=5),
+            baseline_ps=clean_baseline_ps(),
+        )
+        record = run_one_plan(spec)
+        assert record["ok"], record
+        assert record["invariants"]["payload_integrity"]
+        assert record["recovery_ps"] is not None
+        assert record["recovery_ps"] <= record["recovery_bound_ps"]
+
+    def test_node_death_run_detects_and_resolves(self):
+        plan = named_plan("node-death", seed=5)
+        spec = CampaignRunSpec(
+            run_id="r1",
+            fault_class="node-death",
+            plan=plan,
+            fail_at=plan.node_deaths[0].at,
+        )
+        record = run_one_plan(spec)
+        assert record["ok"], record
+        assert record["invariants"]["death_detected"]
+        assert record["invariants"]["exactly_once"]
+        # some messages died with the node, some landed before it did
+        assert record["delivered"] + record["failed"] == 6
+        assert record["failed"] >= 1
+        assert record["detect_ps"] is not None
+        assert record["counters"]["peer_deaths_detected"] == 1
+
+
+class TestAggregation:
+    def _record(self, run_id, cls, ok=True, mttr=1000):
+        return {
+            "run_id": run_id,
+            "class": cls,
+            "invariants": {"exactly_once": ok},
+            "ok": ok,
+            "recovery_ps": mttr,
+            "mttr_ps": mttr,
+            "detect_ps": None,
+            "counters": {"retransmits": 2},
+            "injected": {"chunks_dropped": 3},
+        }
+
+    def test_document_aggregates_counters_and_slo(self):
+        runs = [
+            self._record("run000-drop", "drop", mttr=100),
+            self._record("run001-drop", "drop", mttr=300),
+            self._record("run002-kill", "kill", ok=False, mttr=900),
+        ]
+        doc = campaign_document(runs, meta={"seed": 4})
+        assert doc["schema"] == "repro-metrics/v1"
+        assert doc["counters"]["recovery.retransmits"] == 6
+        assert doc["counters"]["injected.chunks_dropped"] == 9
+        camp = doc["campaign"]
+        assert camp["total_runs"] == 3 and camp["total_passed"] == 2
+        assert camp["invariants"]["exactly_once"] == {"pass": 2, "fail": 1}
+        assert camp["slo"]["drop"]["passed"] == 2
+        assert camp["slo"]["drop"]["mttr_ps"]["min"] == 100
+        assert camp["slo"]["drop"]["mttr_ps"]["max"] == 300
+        assert camp["slo"]["kill"]["invariant_pass_rate"] == 0.0
+        # runs come back sorted for stable serialization
+        assert [r["run_id"] for r in camp["runs"]] == sorted(
+            r["run_id"] for r in runs
+        )
+
+    def test_report_renders(self):
+        doc = campaign_document(
+            [self._record("run000-drop", "drop")],
+            meta={"seed": 0, "workers": 1, "degradations": [
+                {"task": "run000-drop", "event": "crash", "attempt": 0}
+            ]},
+        )
+        text = format_campaign_report(doc)
+        assert "1/1 passed" in text
+        assert "exactly_once" in text
+        assert "executor degradations survived: 1" in text
+
+
+class TestAcceptanceCampaign:
+    """The PR's flagship property: >= 50 plans, every fault class, run
+    through the self-healing pool while the harness SIGKILLs one worker
+    attempt and hangs another — and the report's simulated content is
+    byte-identical to a serial, undisturbed run."""
+
+    RUNS = 50
+
+    def test_pool_campaign_byte_identical_under_kill_and_hang(
+        self, monkeypatch
+    ):
+        from repro.benchrunner.pool import TEST_HANG_ENV, TEST_KILL_ENV
+
+        config = CampaignConfig(runs=self.RUNS, seed=7, workers=1)
+        serial = run_campaign(config)
+        camp = serial["campaign"]
+        assert camp["total_runs"] == self.RUNS
+        assert camp["total_passed"] == self.RUNS, [
+            r["run_id"] for r in camp["runs"] if not r["ok"]
+        ]
+        assert set(camp["slo"]) == set(FAULT_CLASSES)
+
+        monkeypatch.setenv(TEST_KILL_ENV, "run001")
+        monkeypatch.setenv(TEST_HANG_ENV, "run004")
+        pooled_config = CampaignConfig(
+            runs=self.RUNS, seed=7, workers=2, shard_timeout_s=8.0
+        )
+        pooled = run_campaign(pooled_config)
+
+        assert _campaign_view(serial) == _campaign_view(pooled)
+        events = {
+            d["task"]: d["event"] for d in pooled["meta"]["degradations"]
+        }
+        assert events["run001-corrupt"] == "crash"
+        assert events["run004-squeeze"] == "timeout"
+
+
+class TestCampaignCli:
+    def test_campaign_subcommand(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "campaign.json"
+        rc = main([
+            "chaos", "campaign", "--runs", "3", "--seed", "2",
+            "--classes", "drop,fw-crash,node-death",
+            "--quiet", "--out", str(out),
+        ])
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        assert doc["schema"] == "repro-metrics/v1"
+        assert doc["meta"]["kind"] == "chaos-campaign"
+        assert doc["campaign"]["total_passed"] == 3
+        text = capsys.readouterr().out
+        assert "chaos campaign report" in text
+
+    def test_campaign_rejects_unknown_class(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["chaos", "campaign", "--classes", "meteor", "--quiet"])
+
+    def test_single_plan_json_shares_schema(self, tmp_path):
+        from repro.cli import main
+
+        out = tmp_path / "plan.json"
+        rc = main([
+            "chaos", "--plan", "fw-crash", "--fast",
+            "--max-bytes", "1024", "--json", str(out),
+        ])
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        assert doc["schema"] == "repro-metrics/v1"
+        assert doc["meta"]["kind"] == "chaos-plan"
+        run = doc["campaign"]["runs"][0]
+        assert run["run_id"] == "plan-fw-crash"
+        assert run["ok"]
+        assert doc["counters"]["recovery.fw_crashes"] == 1
+
+    def test_prometheus_renderer_accepts_campaign_doc(self):
+        from repro.metrics import to_prometheus_text
+
+        doc = campaign_document(
+            [
+                {
+                    "run_id": "r0",
+                    "class": "drop",
+                    "invariants": {"exactly_once": True},
+                    "ok": True,
+                    "recovery_ps": 5,
+                    "mttr_ps": 5,
+                    "detect_ps": None,
+                    "counters": {"retransmits": 2},
+                    "injected": {"chunks_dropped": 1},
+                }
+            ]
+        )
+        text = to_prometheus_text(doc)
+        assert "recovery" in text and "retransmits" in text
+
+
+class TestNoopPlanStaysFree:
+    def test_clean_machine_has_no_campaign_state(self):
+        from repro.hw.config import DEFAULT_CONFIG
+        from repro.machine.builder import build_pair
+
+        cfg = DEFAULT_CONFIG.replace(reliable_transport=True)
+        machine, na, nb = build_pair(cfg, fault_plan=FaultPlan.none())
+        assert machine.injector is None
+        for node in (na, nb):
+            fw = node.firmware
+            assert fw._peer_timeout is None
+            assert not fw._peer_watches
+            assert not fw._peer_dead
+            assert not fw.peer_death_times
+            assert not fw._dead and fw._crash_until is None

@@ -188,3 +188,159 @@ class TestLinkKill:
         assert hs.triggered and hs.ok
         assert len(failures) == 1
         assert na.firmware.counters["gobackn_failures"] >= 1
+
+
+def _total_wire_chunks(sizes):
+    """Chunk count of the clean integrity exchange: run it with a
+    scripted fault parked far past the workload and read the injector's
+    wire-order chunk counter."""
+    plan = FaultPlan(script=(ScriptedFault(10_000_000),))
+    result = verify_payload_integrity(plan, sizes)
+    assert result["ok"]
+    return result["machine"].injector._chunk_index
+
+
+class TestFinalChunkFaults:
+    """Faults on the very last wire chunks of the final message — where
+    there is no later traffic whose NAK/SACK could mask a recovery bug;
+    only the ack watchdog can notice."""
+
+    SIZES = [1, 1024, 4096]
+
+    @pytest.mark.parametrize("action", [ChunkAction.DROP, ChunkAction.CORRUPT])
+    @pytest.mark.parametrize("back", [1, 2])
+    def test_fault_on_trailing_chunk_still_delivers(self, action, back):
+        total = _total_wire_chunks(self.SIZES)
+        # the chunk sequence up to the faulted index is identical to the
+        # clean run (fates are decided in wire order), so total-back
+        # addresses the same chunk the clean run sent there
+        plan = FaultPlan(script=(ScriptedFault(total - back, action),))
+        result = verify_payload_integrity(plan, self.SIZES)
+        assert result["ok"], (action, back, result["mismatches"])
+        injected = result["report"]["injected"]
+        assert injected["scripted_faults"] == 1
+        recovery = result["report"]["recovery"]
+        # something end-to-end had to act: either the data was damaged
+        # (retransmit) or a trailing control chunk vanished (timeout
+        # retransmit resynchronizes the SACK stream)
+        assert (
+            recovery.get("retransmits", 0) > 0
+            or recovery.get("timeout_retransmits", 0) > 0
+            or recovery.get("retransmits_suppressed", 0) > 0
+        ), recovery
+
+
+class TestKillDuringRetransmit:
+    """A link kill landing while a retransmit is already in flight: the
+    in-flight repair dies with the link, and the sender must still reach
+    exactly one terminal verdict per message.
+
+    The plan arms the peer monitor (``peer_timeout``): a kill can land
+    *after* the data was SACKed but *before* the Portals ACK made it
+    back, and only the monitor's sweep can turn that lost ACK into a
+    verdict (retry exhaustion never fires — the transport is satisfied).
+    """
+
+    KILL_OFFSETS_US = [2, 5, 10, 20, 40, 80]
+
+    @staticmethod
+    def _run_kill(kill_at_us):
+        from repro.portals import PTL_ACK_REQ
+
+        plan = FaultPlan(
+            script=(ScriptedFault(2, ChunkAction.DROP),),
+            outages=(
+                LinkOutage(
+                    start=us(kill_at_us), end=None, mode=OutageMode.DROP
+                ),
+            ),
+            peer_timeout=us(200),
+        )
+        cfg = DEFAULT_CONFIG.replace(
+            reliable_transport=True,
+            gobackn_max_retries=3,
+            gobackn_backoff=us(5),
+            gobackn_backoff_max=us(20),
+            retransmit_timeout=us(20),
+        )
+        machine, na, nb = build_pair(cfg, policy=GO_BACK_N, fault_plan=plan)
+        pa, pb = na.create_process(), nb.create_process()
+        terminal = []
+
+        def receiver(proc):
+            from repro.portals import (
+                PTL_MD_THRESH_INF,
+                PTL_NID_ANY,
+                PTL_PID_ANY,
+                MDOptions,
+                ProcessId,
+            )
+
+            api = proc.api
+            eq = yield from api.PtlEQAlloc(64)
+            me = yield from api.PtlMEAttach(
+                4, ProcessId(PTL_NID_ANY, PTL_PID_ANY), 0x21
+            )
+            yield from api.PtlMDAttach(
+                me,
+                proc.alloc(40_000),
+                options=MDOptions.OP_PUT
+                | MDOptions.TRUNCATE
+                | MDOptions.MANAGE_REMOTE,
+                eq=eq,
+            )
+            while True:
+                yield from api.PtlEQWait(eq)
+
+        def sender(proc, target):
+            api = proc.api
+            eq = yield from api.PtlEQAlloc(64)
+            md = yield from api.PtlMDBind(proc.alloc(40_000), eq=eq)
+            yield from api.PtlPut(
+                md, target, 4, 0x21, length=40_000, ack_req=PTL_ACK_REQ
+            )
+            while not terminal:
+                ev = yield from api.PtlEQWait(eq)
+                if ev.kind is EventKind.ACK:
+                    terminal.append("acked")
+                elif (
+                    ev.kind is EventKind.SEND_END
+                    and ev.ni_fail_type is NIFailType.FAIL
+                ):
+                    terminal.append("failed")
+
+        pb.spawn(receiver)
+        pa.spawn(sender, pb.id)
+        machine.run()
+        return machine, na, terminal
+
+    @pytest.mark.parametrize("kill_at_us", KILL_OFFSETS_US)
+    def test_exactly_one_terminal_event(self, kill_at_us):
+        _machine, _na, terminal = self._run_kill(kill_at_us)
+        # never hangs, never double-reports — one verdict, whatever the
+        # kill timing did to the repair (or the returning ACK) in flight
+        assert len(terminal) == 1, (kill_at_us, terminal)
+
+    def test_sweep_covers_a_retransmit_in_flight(self):
+        """At least one kill offset in the sweep must land after a
+        retransmit began (otherwise the race above isn't exercised)."""
+        hits = 0
+        for kill_at_us in self.KILL_OFFSETS_US:
+            _machine, na, _terminal = self._run_kill(kill_at_us)
+            counters = na.firmware.counters
+            if (
+                counters["retransmits"] > 0
+                or counters["timeout_retransmits"] > 0
+            ):
+                hits += 1
+        assert hits >= 1
+
+    def test_sweep_covers_a_lost_ack(self):
+        """...and at least one offset must land in the ACK-loss window:
+        data delivered (SACKed) but the Portals ACK eaten by the kill,
+        so the verdict can only come from the peer monitor's sweep."""
+        assert any(
+            na.firmware.counters["peer_death_failures"] > 0
+            and terminal == ["failed"]
+            for _m, na, terminal in map(self._run_kill, self.KILL_OFFSETS_US)
+        )

@@ -6,12 +6,15 @@ from repro.faults import (
     ChunkAction,
     FaultInjector,
     FaultPlan,
+    FirmwareCrash,
     LinkOutage,
+    NodeDeath,
     OutageMode,
     ScriptedFault,
     named_plan,
     plan_names,
 )
+from repro.faults.plan import DEFAULT_PEER_TIMEOUT
 from repro.machine.builder import build_pair
 from repro.sim import Simulator, us
 
@@ -57,6 +60,75 @@ class TestPlanValidation:
         with pytest.raises(ValueError):
             ScriptedFault(-1)
         assert ScriptedFault(0).action is ChunkAction.DROP
+
+    def test_duplicate_script_indices_rejected(self):
+        with pytest.raises(ValueError, match="duplicate chunk indices"):
+            FaultPlan(
+                script=(
+                    ScriptedFault(3, ChunkAction.DROP),
+                    ScriptedFault(3, ChunkAction.CORRUPT),
+                )
+            )
+
+    def test_node_death_validated(self):
+        with pytest.raises(ValueError):
+            NodeDeath(node=-1, at=0)
+        with pytest.raises(ValueError):
+            NodeDeath(node=0, at=-1)
+        assert NodeDeath(node=1, at=us(5)).at == us(5)
+
+    def test_firmware_crash_validated(self):
+        with pytest.raises(ValueError):
+            FirmwareCrash(node=-1, at=0)
+        with pytest.raises(ValueError):
+            FirmwareCrash(node=0, at=-1)
+        with pytest.raises(ValueError):
+            FirmwareCrash(node=0, at=0, restart_after=0)
+        assert FirmwareCrash(node=0, at=0).permanent
+        assert not FirmwareCrash(node=0, at=0, restart_after=us(1)).permanent
+
+    def test_peer_timeout_validated(self):
+        with pytest.raises(ValueError):
+            FaultPlan(peer_timeout=0)
+        with pytest.raises(ValueError):
+            FaultPlan(peer_timeout=-5)
+
+    def test_death_knobs_defeat_noop(self):
+        assert not FaultPlan(node_deaths=(NodeDeath(0, 0),)).is_noop()
+        assert not FaultPlan(fw_crashes=(FirmwareCrash(0, 0),)).is_noop()
+
+    def test_death_lists_normalized_to_tuples(self):
+        plan = FaultPlan(
+            node_deaths=[NodeDeath(0, 0)], fw_crashes=[FirmwareCrash(1, 0)]
+        )
+        assert isinstance(plan.node_deaths, tuple)
+        assert isinstance(plan.fw_crashes, tuple)
+
+    def test_permanent_death_nodes(self):
+        plan = FaultPlan(
+            node_deaths=(NodeDeath(0, 0),),
+            fw_crashes=(
+                FirmwareCrash(1, 0),  # permanent: no restart
+                FirmwareCrash(2, 0, restart_after=us(1)),  # recovers
+            ),
+        )
+        assert plan.permanent_death_nodes() == frozenset({0, 1})
+
+    def test_effective_peer_timeout(self):
+        # explicit timeout wins
+        explicit = FaultPlan(
+            node_deaths=(NodeDeath(0, 0),), peer_timeout=us(77)
+        )
+        assert explicit.effective_peer_timeout() == us(77)
+        # permanent death defaults the monitor on
+        implicit = FaultPlan(node_deaths=(NodeDeath(0, 0),))
+        assert implicit.effective_peer_timeout() == DEFAULT_PEER_TIMEOUT
+        # a recovering crash needs no monitor
+        recovering = FaultPlan(
+            fw_crashes=(FirmwareCrash(0, 0, restart_after=us(1)),)
+        )
+        assert recovering.effective_peer_timeout() is None
+        assert FaultPlan(drop_prob=0.1).effective_peer_timeout() is None
 
 
 class TestOutageCoverage:

@@ -1,0 +1,180 @@
+"""Firmware crash/restart and heartbeat peer-death detection.
+
+The chaos campaign exercises these end to end; here each mechanism is
+pinned down in isolation: a crashed firmware queues (never loses) work,
+a dead peer is declared exactly once from the SACK-silence heartbeat,
+outstanding transmits toward it surface PTL_NI_FAIL exactly once, and
+sends attempted after the declaration fail fast.
+"""
+
+import pytest
+
+from repro.faults import FaultPlan, FirmwareCrash, NodeDeath, named_plan, \
+    verify_payload_integrity
+from repro.fw.firmware import ExhaustionPolicy
+from repro.hw.config import DEFAULT_CONFIG
+from repro.machine.builder import build_pair
+from repro.portals import (
+    PTL_ACK_REQ,
+    PTL_MD_THRESH_INF,
+    PTL_NID_ANY,
+    PTL_PID_ANY,
+    EventKind,
+    MDOptions,
+    NIFailType,
+    ProcessId,
+)
+from repro.sim import us
+
+GO_BACK_N = ExhaustionPolicy.GO_BACK_N
+PORTAL, BITS = 4, 0x7777
+
+
+def _receiver_forever(proc):
+    api = proc.api
+    eq = yield from api.PtlEQAlloc(256)
+    me = yield from api.PtlMEAttach(PORTAL, ProcessId(PTL_NID_ANY, PTL_PID_ANY), BITS)
+    buf = proc.alloc(8192)
+    yield from api.PtlMDAttach(
+        me,
+        buf,
+        options=MDOptions.OP_PUT | MDOptions.TRUNCATE | MDOptions.MANAGE_REMOTE,
+        eq=eq,
+        threshold=PTL_MD_THRESH_INF,
+    )
+    while True:
+        yield from api.PtlEQWait(eq)
+
+
+class TestFirmwareCrashRestart:
+    def test_crash_with_restart_loses_nothing(self):
+        """Mid-transfer firmware crash + watchdog reboot: queued work
+        drains after the restart delay and every payload arrives."""
+        plan = FaultPlan(
+            fw_crashes=(FirmwareCrash(node=1, at=us(30), restart_after=us(100)),)
+        )
+        result = verify_payload_integrity(plan, [1, 4096, 40_000])
+        assert result["ok"], result["mismatches"]
+        fw = result["machine"].nodes[1].firmware
+        assert fw.counters["fw_crashes"] == 1
+        assert fw.counters["fw_restarts"] == 1
+        assert result["report"]["injected"]["fw_crash_restarts"] == 1
+
+    def test_named_fw_crash_plan_recovers(self):
+        result = verify_payload_integrity(
+            named_plan("fw-crash"), [1, 1024, 40_000]
+        )
+        assert result["ok"], result["mismatches"]
+
+    def test_restart_delays_but_preserves_determinism(self):
+        plan = FaultPlan(
+            fw_crashes=(FirmwareCrash(node=1, at=us(30), restart_after=us(100)),)
+        )
+        from repro.faults import ScriptedFault
+
+        a = verify_payload_integrity(plan, [1, 40_000])
+        b = verify_payload_integrity(plan, [1, 40_000])
+        # injector live but never fires: the clean reference duration
+        clean = verify_payload_integrity(
+            FaultPlan(script=(ScriptedFault(10_000_000),)), [1, 40_000]
+        )
+        assert a["machine"].now == b["machine"].now
+        # the mid-run crash actually cost simulated time
+        assert a["machine"].now > clean["machine"].now
+
+    def test_enable_peer_monitor_validates_timeout(self):
+        _machine, na, _nb = build_pair()
+        with pytest.raises(ValueError, match="timeout"):
+            na.firmware.enable_peer_monitor(0)
+
+
+class TestNodeDeath:
+    def _run_death(self, *, late_send_at=None, n=4, death_at=us(300)):
+        plan = FaultPlan(node_deaths=(NodeDeath(node=1, at=death_at),))
+        cfg = DEFAULT_CONFIG.replace(
+            reliable_transport=True, gobackn_max_retries=4
+        )
+        machine, na, nb = build_pair(cfg, policy=GO_BACK_N, fault_plan=plan)
+        pa, pb = na.create_process(), nb.create_process()
+        state = {"acked": 0, "failed": 0, "violations": 0}
+
+        def sender(proc, target):
+            api = proc.api
+            eq = yield from api.PtlEQAlloc(256)
+            buf = proc.alloc(2048)
+            buf[:] = 0x5A
+            total = n + (1 if late_send_at is not None else 0)
+            terminal = [0] * total
+            for i in range(n):
+                md = yield from api.PtlMDBind(
+                    buf, eq=eq, threshold=PTL_MD_THRESH_INF, user_ptr=i
+                )
+                yield from api.PtlPut(
+                    md, target, PORTAL, BITS, length=2048, ack_req=PTL_ACK_REQ
+                )
+                if i < n - 1:
+                    yield us(150)
+            if late_send_at is not None:
+                # past the declaration (~death + timeout + poll slack)
+                yield late_send_at
+                md = yield from api.PtlMDBind(
+                    buf, eq=eq, threshold=PTL_MD_THRESH_INF, user_ptr=n
+                )
+                yield from api.PtlPut(
+                    md, target, PORTAL, BITS, length=2048, ack_req=PTL_ACK_REQ
+                )
+            while any(t == 0 for t in terminal):
+                ev = yield from api.PtlEQWait(eq)
+                if ev.kind is EventKind.ACK:
+                    terminal[ev.md_user_ptr] += 1
+                    state["acked"] += 1
+                elif (
+                    ev.kind is EventKind.SEND_END
+                    and ev.ni_fail_type is NIFailType.FAIL
+                ):
+                    terminal[ev.md_user_ptr] += 1
+                    state["failed"] += 1
+            state["violations"] = sum(1 for t in terminal if t > 1)
+
+        pb.spawn(_receiver_forever)
+        pa.spawn(sender, pb.id)
+        machine.run()
+        return machine, na, state
+
+    def test_survivor_declares_peer_dead_exactly_once(self):
+        machine, na, state = self._run_death()
+        fw = na.firmware
+        assert fw.counters["peer_deaths_detected"] == 1
+        declared = fw.peer_death_times.get(1)
+        assert declared is not None and declared >= us(300)
+        # declaration comes from SACK silence: last SACK heard + timeout
+        assert declared <= us(300) + us(400) + us(400) // 4 + us(200)
+
+    def test_every_message_resolves_exactly_once(self):
+        _machine, _na, state = self._run_death()
+        assert state["violations"] == 0
+        assert state["acked"] + state["failed"] == 4
+        # messages sent before the death landed; at least one after died
+        assert state["acked"] >= 1
+        assert state["failed"] >= 1
+
+    def test_send_after_declaration_fails_fast(self):
+        # the late put leaves after the peer is declared dead: it must
+        # fail immediately at the firmware, not burn the retry budget
+        machine, na, state = self._run_death(late_send_at=us(1500))
+        assert na.firmware.counters["dead_peer_sends"] >= 1
+        assert state["violations"] == 0
+        assert state["acked"] + state["failed"] == 5
+
+    def test_sim_drains_despite_parked_receiver(self):
+        # the dead node's firmware parks forever and the receiver never
+        # returns, yet machine.run() terminated (or we wouldn't be here)
+        machine, _na, _state = self._run_death()
+        assert machine.now > us(300)
+
+    def test_named_node_death_plan_wires_monitor_everywhere(self):
+        plan = named_plan("node-death")
+        cfg = DEFAULT_CONFIG.replace(reliable_transport=True)
+        _machine, na, nb = build_pair(cfg, policy=GO_BACK_N, fault_plan=plan)
+        assert na.firmware._peer_timeout == plan.effective_peer_timeout()
+        assert nb.firmware._peer_timeout == plan.effective_peer_timeout()

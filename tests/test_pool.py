@@ -1,0 +1,189 @@
+"""The self-healing worker pool: crash/hang tolerance, retry with
+backoff, checkpoint/resume, and its integration with ``run_bench``.
+
+Workers here are module-level so the spawn context can pickle them by
+reference.  Subprocess tests are kept small: the container may have a
+single core, so every spawned attempt pays a full interpreter start.
+"""
+
+import os
+import signal
+
+import pytest
+
+from repro.benchrunner.pool import (
+    TEST_HANG_ENV,
+    TEST_KILL_ENV,
+    PoolTask,
+    run_pool,
+    task_filename,
+)
+
+
+def _double(payload):
+    return {"value": payload * 2}
+
+
+def _boom(payload):
+    raise RuntimeError(f"boom on {payload}")
+
+
+def _suicide(payload):
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _tasks(n):
+    return [PoolTask(task_id=f"t{i}", payload=i) for i in range(n)]
+
+
+class TestValidation:
+    def test_duplicate_task_ids_rejected(self):
+        tasks = [PoolTask("a", 1), PoolTask("a", 2)]
+        with pytest.raises(ValueError, match="duplicate task ids"):
+            run_pool(tasks, _double)
+
+    def test_bad_timeout_rejected(self):
+        with pytest.raises(ValueError, match="timeout_s"):
+            run_pool(_tasks(1), _double, timeout_s=0)
+
+    def test_bad_retries_rejected(self):
+        with pytest.raises(ValueError, match="max_retries"):
+            run_pool(_tasks(1), _double, max_retries=-1)
+
+    def test_task_filename_safe_and_distinct(self):
+        a = task_filename("fig3/put/d2")
+        b = task_filename("fig3/put/d3")
+        assert "/" not in a and a != b
+        # same id always maps to the same file (resume depends on it)
+        assert a == task_filename("fig3/put/d2")
+
+
+class TestInlineMode:
+    def test_results_complete(self):
+        outcome = run_pool(_tasks(4), _double, workers=1)
+        assert outcome.results == {f"t{i}": {"value": i * 2} for i in range(4)}
+        assert not outcome.degradations
+        assert not outcome.failed
+
+    def test_worker_exception_fails_permanently(self):
+        outcome = run_pool(_tasks(2), _boom, workers=1)
+        assert not outcome.results
+        assert set(outcome.failed) == {"t0", "t1"}
+        assert "boom" in outcome.failed["t0"]
+
+    def test_checkpoint_then_resume_skips_execution(self, tmp_path):
+        ckpt = str(tmp_path / "ckpt")
+        first = run_pool(_tasks(3), _double, workers=1, checkpoint_dir=ckpt)
+        assert len(first.results) == 3 and not first.resumed
+        # rerun with a worker that would fail: checkpointed results must
+        # be served without running anything
+        second = run_pool(_tasks(3), _boom, workers=1, checkpoint_dir=ckpt)
+        assert second.results == first.results
+        assert sorted(second.resumed) == ["t0", "t1", "t2"]
+        assert not second.failed
+
+    def test_failed_runs_are_not_resumed(self, tmp_path):
+        ckpt = str(tmp_path / "ckpt")
+        bad = run_pool(_tasks(1), _boom, workers=1, checkpoint_dir=ckpt)
+        assert "t0" in bad.failed
+        good = run_pool(_tasks(1), _double, workers=1, checkpoint_dir=ckpt)
+        assert good.results["t0"] == {"value": 0}
+        assert not good.resumed
+
+
+class TestSupervised:
+    def test_sigkilled_worker_is_retried(self, monkeypatch):
+        monkeypatch.setenv(TEST_KILL_ENV, "t1")
+        outcome = run_pool(_tasks(3), _double, workers=2, timeout_s=60)
+        assert outcome.results == {f"t{i}": {"value": i * 2} for i in range(3)}
+        crashes = [d for d in outcome.degradations if d["event"] == "crash"]
+        assert len(crashes) == 1 and crashes[0]["task"] == "t1"
+        assert crashes[0]["retry_in_s"] > 0
+        assert not outcome.failed
+
+    def test_hung_worker_is_killed_by_watchdog(self, monkeypatch):
+        monkeypatch.setenv(TEST_HANG_ENV, "t0")
+        outcome = run_pool(_tasks(2), _double, workers=2, timeout_s=3)
+        assert outcome.results == {"t0": {"value": 0}, "t1": {"value": 2}}
+        timeouts = [d for d in outcome.degradations if d["event"] == "timeout"]
+        assert len(timeouts) == 1 and timeouts[0]["task"] == "t0"
+
+    def test_always_crashing_task_gives_up(self):
+        outcome = run_pool(
+            [PoolTask("doomed", 0)], _suicide, workers=2, max_retries=1,
+            backoff_s=0.05,
+        )
+        assert "doomed" in outcome.failed
+        assert "gave up" in outcome.failed["doomed"]
+        crashes = [d for d in outcome.degradations if d["event"] == "crash"]
+        assert len(crashes) == 2  # attempt 0 + 1 retry
+        assert crashes[-1].get("gave_up") is True
+
+    def test_worker_exception_not_retried(self):
+        outcome = run_pool([PoolTask("t0", 7)], _boom, workers=2)
+        assert "boom on 7" in outcome.failed["t0"]
+        assert not outcome.degradations  # deterministic: no retry events
+
+    def test_checkpoint_resume_across_pool_runs(self, tmp_path):
+        ckpt = str(tmp_path / "ckpt")
+        first = run_pool(_tasks(2), _double, workers=2, checkpoint_dir=ckpt)
+        assert len(first.results) == 2
+        second = run_pool(_tasks(2), _double, workers=2, checkpoint_dir=ckpt)
+        assert sorted(second.resumed) == ["t0", "t1"]
+        assert second.results == first.results
+
+
+class TestBenchIntegration:
+    """run_bench through the pool: byte-identical figures, annotated
+    wallclock."""
+
+    def test_pooled_bench_matches_serial_despite_worker_kill(self, monkeypatch):
+        from repro.benchrunner import run_bench
+        from repro.benchrunner.schema import simulated_json
+
+        serial = run_bench(fast=True, workers=1, filter="fig4/put/d0")
+        monkeypatch.setenv(TEST_KILL_ENV, "fig4/put/d0")
+        pooled = run_bench(
+            fast=True, workers=2, filter="fig4/put/d0", shard_timeout_s=120
+        )
+        assert simulated_json(serial) == simulated_json(pooled)
+        degs = pooled["wallclock"]["degradations"]
+        assert [d["event"] for d in degs] == ["crash"]
+
+    def test_bench_checkpoint_resume(self, tmp_path):
+        from repro.benchrunner import run_bench
+        from repro.benchrunner.schema import simulated_json
+
+        ckpt = str(tmp_path / "bench-ckpt")
+        first = run_bench(
+            fast=True, workers=1, filter="fig4/put/d0", checkpoint_dir=ckpt
+        )
+        second = run_bench(
+            fast=True, workers=1, filter="fig4/put/d0", checkpoint_dir=ckpt
+        )
+        assert simulated_json(first) == simulated_json(second)
+        assert second["wallclock"]["resumed_shards"]
+
+    def test_degradations_surface_in_run_summary(self):
+        from repro.benchrunner.report import format_run_summary
+
+        doc = {
+            "figures": {},
+            "wallclock": {
+                "workers": 2,
+                "total_s": 1.0,
+                "shards": {"s0": 0.5},
+                "resumed_shards": ["s1"],
+                "degradations": [
+                    {"task": "s0", "event": "crash", "attempt": 0,
+                     "retry_in_s": 0.25},
+                    {"task": "s2", "event": "timeout", "attempt": 1,
+                     "gave_up": True},
+                ],
+            },
+        }
+        text = format_run_summary(doc)
+        assert "resumed from checkpoint: 1 shard(s)" in text
+        assert "executor degradations survived: 2" in text
+        assert "retried after 0.25s backoff" in text
+        assert "gave up" in text
