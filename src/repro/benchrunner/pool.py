@@ -14,7 +14,12 @@ one spawned process per task attempt and supervises it:
 * **checkpoint/resume** — results travel through atomically-renamed
   pickle files; pointing ``checkpoint_dir`` at a persistent directory
   makes completed tasks survive a killed *parent* and be skipped on the
-  next invocation;
+  next invocation.  An atomically-renamed index file records each task
+  id's payload fingerprint, so a checkpoint written by a *different*
+  submission (other sizes, other flags — id collisions included) is
+  re-run instead of silently resumed, whatever ``--workers`` count
+  either run used.  Torn result files (a write that died mid-stream)
+  load as absent and the task simply runs again;
 * **degradation ledger** — every timeout/crash/retry is recorded and
   returned, so a run that survived trouble says so in its summary.
 
@@ -30,12 +35,16 @@ payload cannot help) and never checkpointed.
 Test hooks (used by the chaos-campaign CI smoke and the test suite):
 setting ``REPRO_POOL_TEST_KILL``/``REPRO_POOL_TEST_HANG`` to a substring
 of a task id makes the matching task's **first** attempt SIGKILL itself
-/ hang forever; retries run clean.  Both default unset, costing nothing.
+/ hang forever; ``REPRO_POOL_TEST_KILL_WRITE`` makes it SIGKILL itself
+halfway through writing its result file *at the final path* (bypassing
+the atomic rename), leaving the torn checkpoint the resume path must
+absorb.  Retries run clean.  All default unset, costing nothing.
 """
 
 from __future__ import annotations
 
 import hashlib
+import json
 import os
 import pickle
 import re
@@ -49,6 +58,11 @@ __all__ = ["PoolTask", "PoolOutcome", "run_pool", "task_filename"]
 
 TEST_KILL_ENV = "REPRO_POOL_TEST_KILL"
 TEST_HANG_ENV = "REPRO_POOL_TEST_HANG"
+TEST_KILL_WRITE_ENV = "REPRO_POOL_TEST_KILL_WRITE"
+
+#: checkpoint index: task id -> payload fingerprint of the submission
+#: that wrote (or will write) each per-task result file
+INDEX_FILENAME = "pool-index.json"
 
 
 @dataclass(frozen=True)
@@ -97,6 +111,16 @@ def _child_entry(
     hang_pat = os.environ.get(TEST_HANG_ENV)
     if hang_pat and attempt == 0 and hang_pat in task_id:
         time.sleep(24 * 3600)
+    kill_write_pat = os.environ.get(TEST_KILL_WRITE_ENV)
+    if kill_write_pat and attempt == 0 and kill_write_pat in task_id:
+        # SIGKILL mid-write, bypassing the atomic rename: leaves a torn
+        # result file at the final path, the worst case resume must absorb
+        blob = pickle.dumps({"ok": True, "result": None})
+        with open(out_path, "wb") as fh:
+            fh.write(blob[: max(1, len(blob) // 2)])
+            fh.flush()
+            os.fsync(fh.fileno())
+            os.kill(os.getpid(), signal.SIGKILL)
     try:
         doc: Dict[str, Any] = {"ok": True, "result": worker(payload)}
     except BaseException as exc:  # noqa: BLE001 - report, not re-raise
@@ -108,13 +132,55 @@ def _child_entry(
 
 
 def _load_result(path: str) -> Optional[Dict[str, Any]]:
-    """Read a result file; None when absent or torn (crash mid-write is
-    impossible thanks to the atomic rename, but stay defensive)."""
+    """Read a result file; None when absent, torn, or not a result dict.
+
+    The atomic rename makes a torn file impossible for *this* code, but
+    a crashed legacy writer, a truncating filesystem, or a hostile test
+    hook can still leave one — and a torn pickle raises far more than
+    ``UnpicklingError`` (``EOFError``, ``AttributeError``, ``ImportError``,
+    ``ValueError``, ...), so anything unreadable counts as absent and the
+    task simply runs again.
+    """
     try:
         with open(path, "rb") as fh:
-            return pickle.load(fh)
-    except (OSError, pickle.UnpicklingError, EOFError):
+            doc = pickle.load(fh)
+    except Exception:
         return None
+    return doc if isinstance(doc, dict) else None
+
+
+def _payload_fingerprint(payload: Any) -> str:
+    """Stable digest of a task payload, keying checkpoint validity."""
+    try:
+        blob = pickle.dumps(payload, protocol=4)
+    except Exception:
+        return "unpicklable"
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
+def _load_index(outdir: str) -> Dict[str, str]:
+    """Read the checkpoint index; empty when absent or unreadable."""
+    try:
+        with open(os.path.join(outdir, INDEX_FILENAME), "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError):
+        return {}
+    if not isinstance(doc, dict) or doc.get("version") != 1:
+        return {}
+    tasks = doc.get("tasks")
+    if not isinstance(tasks, dict):
+        return {}
+    return {str(k): str(v) for k, v in tasks.items()}
+
+
+def _write_index(outdir: str, entries: Dict[str, str]) -> None:
+    """Atomically rewrite the checkpoint index (same tmp+rename discipline
+    as the per-task result files — a killed parent can never tear it)."""
+    path = os.path.join(outdir, INDEX_FILENAME)
+    tmp = f"{path}.{os.getpid()}.tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump({"version": 1, "tasks": entries}, fh, sort_keys=True)
+    os.replace(tmp, path)
 
 
 @dataclass
@@ -159,17 +225,37 @@ def run_pool(
     outdir = checkpoint_dir or tempfile.mkdtemp(prefix="repro-pool-")
     os.makedirs(outdir, exist_ok=True)
 
+    index = _load_index(outdir) if not own_dir else {}
+    fingerprints = {t.task_id: _payload_fingerprint(t.payload) for t in tasks}
+
     queue: List[_Attempt] = []
     for task in tasks:
         path = os.path.join(outdir, task_filename(task.task_id))
-        doc = _load_result(path) if not own_dir else None
-        if doc is not None and doc.get("ok"):
+        doc = None
+        if not own_dir:
+            if index.get(task.task_id) == fingerprints[task.task_id]:
+                doc = _load_result(path)
+            elif os.path.exists(path):
+                # same id, different submission (or a pre-index legacy
+                # dir): the stored result answers a different question —
+                # drop it so no later resume can ever honour it either
+                os.unlink(path)
+        if doc is not None and doc.get("ok") and "result" in doc:
             outcome.results[task.task_id] = doc["result"]
             outcome.resumed.append(task.task_id)
             if progress:
                 progress(f"{task.task_id}: resumed from checkpoint")
             continue
         queue.append(_Attempt(task=task, out_path=path))
+
+    if not own_dir:
+        # record this submission's fingerprints (keeping entries for task
+        # ids it doesn't mention) *before* any result file is written, so
+        # a parent killed mid-run leaves index and results consistent
+        merged = dict(index)
+        merged.update(fingerprints)
+        if merged != index:
+            _write_index(outdir, merged)
 
     if workers <= 1:
         _run_inline(queue, worker, outcome, progress)

@@ -330,6 +330,7 @@ def cmd_bench(args) -> int:
     if args.perf or args.update_perf_baseline:
         from .perf import (
             DEFAULT_BASELINE_PATH,
+            check_regression,
             format_perf_report,
             load_baseline,
             run_perf_smoke,
@@ -340,12 +341,19 @@ def cmd_bench(args) -> int:
         if args.update_perf_baseline:
             save_baseline(result, DEFAULT_BASELINE_PATH)
             print(f"# wrote {DEFAULT_BASELINE_PATH}")
-        report = format_perf_report(result, load_baseline(DEFAULT_BASELINE_PATH))
+        baseline = load_baseline(DEFAULT_BASELINE_PATH)
+        report = format_perf_report(result, baseline)
         print(report)
         if args.perf_out:
             Path(args.perf_out).write_text(report + "\n", encoding="utf-8")
             print(f"# wrote perf report to {args.perf_out}")
-        # informational: wall-clock numbers never gate CI
+        if args.perf_gate:
+            # the gate's 30% allowance absorbs runner jitter; only a real
+            # hot-path deoptimization (integer-factor slowdowns) trips it
+            error = check_regression(result, baseline)
+            if error is not None:
+                print(error)
+                return 1
         return 0
 
     from .benchrunner import (
@@ -631,7 +639,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--perf", action="store_true",
         help="run the wall-clock perf smoke (fig5 fast sweep events/sec "
              "vs benchmarks/perf_baseline.json) instead of the fleet; "
-             "informational, always exits 0",
+             "informational unless --perf-gate is also given",
+    )
+    bench_cmd.add_argument(
+        "--perf-gate", action="store_true",
+        help="exit nonzero when the perf smoke regresses more than 30%% "
+             "events/sec against the committed baseline",
     )
     bench_cmd.add_argument(
         "--perf-reps", type=int, default=3,

@@ -33,7 +33,7 @@ from typing import Any, Callable, Optional
 import numpy as np
 
 from ..net.fabric import Fabric, NetworkPort
-from ..net.packet import WireChunk
+from ..net.packet import WireChunk, bulk_run_end
 from ..sim import Channel, Counters, Event, Simulator
 from .config import SeaStarConfig
 
@@ -140,7 +140,14 @@ class TxDmaEngine:
                 tracer.end(span)
             if self.m_fetch is not None:
                 self.m_fetch.add(sim.now - ht_read, sim.now)
-            for chunk in tx.chunks:
+            chunks = tx.chunks
+            n = len(chunks)
+            # A span tracer or busy timeline on this engine observes every
+            # chunk boundary, so the whole message runs chunk-exact.
+            may_bulk = sim.bulk_events and tracer is None and m_busy is None
+            i = 0
+            while i < n:
+                chunk = chunks[i]
                 cspan = (
                     tracer.begin("txdma.chunk", node=self.node_id,
                                  component="txdma", msg_id=chunk.msg_id,
@@ -153,18 +160,135 @@ class TxDmaEngine:
                 self.busy_time += cost
                 if m_busy is not None:
                     m_busy.add(sim.now - cost, sim.now)
+                if may_bulk and not chunk.is_header:
+                    # The previous chunk drained during this chunk's cost
+                    # sleep (the clean-pipe inequality _bulk_ready checks),
+                    # so the pipe is provably quiescent right now — the one
+                    # point where batching is sound.  The run-final chunk
+                    # always goes through the real pipeline so a trailing
+                    # odd-size chunk overlaps an in-transit predecessor
+                    # exactly as on the chunk-exact path.
+                    end = bulk_run_end(chunks, i)
+                    nbulk = end - 1 - i
+                    if nbulk >= 1:
+                        ready = self._bulk_ready(chunk, npackets, cost)
+                        if ready is not None:
+                            # one heap record stands in for nbulk full
+                            # release/transit/deposit cycles
+                            yield nbulk * cost
+                            self.busy_time += nbulk * cost
+                            self._bulk_commit(ready, chunks, i, end - 1, counts)
+                            sim.note_bulk(10 * nbulk - 1)
+                            i = end - 1
+                            chunk = chunks[i]
                 # Blocks when the wire window (TX FIFO) is full: the
                 # transmit state machine "yields ... until there is more
                 # room in the FIFO".
                 yield fabric_send(chunk)
                 if tracer is not None:
                     tracer.end(cspan)
-                counts["packets"] += npackets
+                counts["packets"] += chunk.npackets
+                i += 1
             tx.finished_at = sim.now
             counts["messages"] += 1
             if self.m_msg_bytes is not None:
                 self.m_msg_bytes.observe(tx.total_bytes)
             tx.on_sent(tx)
+
+    # -- bulk event batching --------------------------------------------------
+    def _bulk_ready(self, chunk: WireChunk, npackets: int, cost: int):
+        """Prove the (src, dst) pipe is unobserved, clean, and fast enough.
+
+        Returns ``(rx_engine, plan)`` when a run of ``npackets``-sized
+        chunks may be batched, else None.  The conditions mirror, one for
+        one, every way a per-chunk boundary could be observed or could
+        interleave with other traffic:
+
+        * no span tracer, metrics registry, or fault injector anywhere on
+          the path (engine-level observers are checked by the caller);
+        * no stochastic link retries (the RNG must be drawn per chunk);
+        * exactly two attached ports — a third node could share the wire
+          counters mid-run;
+        * the clean-pipe inequality: one chunk's TX cost covers its whole
+          serialize + flight + deposit transit, so the previous chunk has
+          provably drained by the time the next is released;
+        * serializer, in-flight window, arrival process, and RX engine all
+          parked empty on their stores;
+        * the receiver's :class:`DepositPlan` already programmed (a
+          head-of-line stall must run chunk-exact).
+        """
+        fabric = self.fabric
+        if (
+            fabric.tracer is not None
+            or fabric.metrics is not None
+            or fabric.injector is not None
+            or len(fabric.ports) != 2
+        ):
+            return None
+        cfg = self.config
+        if cfg.link_crc_retry_prob > 0.0:
+            return None
+        pipe = fabric._pipes.get((chunk.src, chunk.dst))
+        if pipe is None or pipe.hops < 1:
+            return None
+        link = fabric.link
+        transit = link.chunk_transit_time(npackets, pipe.hops)
+        if cost < transit + npackets * cfg.rx_dma_per_packet:
+            return None
+        window = pipe.window
+        if window._items or window._putters or not window._getters:
+            return None
+        in_flight = pipe._in_flight
+        if in_flight._items or in_flight._putters or not in_flight._getters:
+            return None
+        port = fabric.ports.get(chunk.dst)
+        if port is None:
+            return None
+        rx_engine = port.rx_engine
+        if (
+            rx_engine is None
+            or rx_engine.tracer is not None
+            or rx_engine.m_busy is not None
+            or rx_engine._plan_waiter is not None
+        ):
+            return None
+        rx_store = port.rx
+        if rx_store._items or rx_store._putters or not rx_store._getters:
+            return None
+        plan = rx_engine._plans.get(chunk.msg_id)
+        if plan is None:
+            return None
+        return rx_engine, plan
+
+    def _bulk_commit(self, ready, chunks: list[WireChunk], start: int,
+                     end: int, counts) -> None:
+        """Commit the side effects of ``chunks[start:end]`` released in bulk.
+
+        Every counter, busy-time, and deposit mutation the chunk-exact
+        path would have made across those release/transit/deposit cycles,
+        applied in one pass; the caller has already slept the batched TX
+        cost and verified via :meth:`_bulk_ready` that nothing else could
+        have touched the pipe in between.
+        """
+        nbulk = end - start
+        npackets = chunks[start].npackets
+        fabric = self.fabric
+        counts["packets"] += npackets * nbulk
+        fcounts = fabric.counters.counts()
+        fcounts["chunks_sent"] += nbulk
+        fcounts["packets_sent"] += npackets * nbulk
+        fcounts["chunks_delivered"] += nbulk
+        fabric.link.carry(npackets, nbulk)
+        port = fabric.ports[chunks[start].dst]
+        pcounts = port.stats.counts()
+        pcounts["chunks_received"] += nbulk
+        pcounts["packets_received"] += npackets * nbulk
+        rx_engine, plan = ready
+        rx_engine.busy_time += npackets * self.config.rx_dma_per_packet * nbulk
+        rx_engine.counters.counts()["packets"] += npackets * nbulk
+        deposit = rx_engine._deposit
+        for k in range(start, end):
+            deposit(plan, chunks[k])
 
 
 class RxDmaEngine:
@@ -194,6 +318,8 @@ class RxDmaEngine:
         """Optional metrics :class:`~repro.metrics.Timeline` (header+deposit)."""
         self._plans: dict[int, DepositPlan] = {}
         self._plan_waiter: Optional[tuple[int, Event]] = None
+        # the TX-side bulk gate reaches the receive engine through the port
+        port.rx_engine = self
         sim.process(self._run(), name=f"rxdma:{port.node_id}")
 
     # -- firmware interface ---------------------------------------------------

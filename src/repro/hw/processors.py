@@ -85,7 +85,13 @@ class Opteron(CPU):
         the event queue, exactly the paper's "processes all of the new
         events ... each time it is invoked".  Returns the handler process
         (an event) or None when coalesced away.
+
+        Accounting invariant (property-tested): every call increments
+        exactly one of ``interrupts`` / ``interrupts_coalesced``, so
+        ``interrupt_raises == interrupts + interrupts_coalesced`` holds
+        in every ordering of raises, grants, and handler deaths.
         """
+        self.counters.incr("interrupt_raises")
         if coalesce and self._interrupt_pending:
             self.counters.incr("interrupts_coalesced")
             return None
@@ -95,7 +101,16 @@ class Opteron(CPU):
 
     def _interrupt_body(self, handler):
         req = self.request(priority=CPU.PRIO_INTERRUPT)
-        yield req
+        try:
+            yield req
+        except BaseException:
+            # Killed (chaos machinery / Process.interrupt) before the CPU
+            # grant: no handler will ever start, so a latched pending flag
+            # would coalesce every future interrupt into this corpse.
+            # Unlatch and withdraw the queued CPU claim.
+            self._interrupt_pending = False
+            self.release(req)
+            raise
         # Handler is now committed to run; new interrupts must be delivered.
         self._interrupt_pending = False
         try:

@@ -36,8 +36,12 @@ class Machine:
         trace: bool = False,
         metrics: bool = False,
         fault_plan: Optional[FaultPlan] = None,
+        bulk_events: Optional[bool] = None,
     ):
-        self.sim = Simulator()
+        # bulk_events=None defers to BULK_EVENTS_DEFAULT; the DMA hot
+        # path additionally falls back to chunk-exact automatically when
+        # a tracer, metrics registry, or fault injector is attached
+        self.sim = Simulator(bulk_events=bulk_events)
         self.config = config
         self.topology = topology
         self.os_type = os_type
@@ -108,6 +112,7 @@ def build_pair(
     trace: bool = False,
     metrics: bool = False,
     fault_plan: Optional[FaultPlan] = None,
+    bulk_events: Optional[bool] = None,
 ) -> tuple[Machine, Node, Node]:
     """Two nodes ``hops`` apart on a line — the NetPIPE configuration.
 
@@ -125,6 +130,7 @@ def build_pair(
         trace=trace,
         metrics=metrics,
         fault_plan=fault_plan,
+        bulk_events=bulk_events,
     )
     a = machine.node(0)
     b = machine.node(hops if hops > 0 else 1)

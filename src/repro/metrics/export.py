@@ -126,21 +126,82 @@ def _prom_name(name: str) -> str:
     return "repro_" + _PROM_BAD.sub("_", name)
 
 
+def _prom_value(value: Any) -> str:
+    """Render a sample value per the exposition format.
+
+    Python's ``float`` spellings (``nan``/``inf``/``-inf``) are not valid
+    exposition values; Prometheus expects ``NaN``/``+Inf``/``-Inf``.
+    """
+    if isinstance(value, float):
+        if value != value:  # NaN never equals itself
+            return "NaN"
+        if value == float("inf"):
+            return "+Inf"
+        if value == float("-inf"):
+            return "-Inf"
+    return str(value)
+
+
+def _prom_label_value(value: Any) -> str:
+    """Escape a label value: ``\\`` -> ``\\\\``, ``"`` -> ``\\"``, LF -> ``\\n``.
+
+    Exactly the three escapes the exposition format defines; everything
+    else (UTF-8 included) passes through verbatim.
+    """
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _prom_labels(labels: Optional[Dict[str, Any]]) -> str:
+    """Render a label set (or "" when absent), escaping every value."""
+    if not labels:
+        return ""
+    body = ",".join(
+        f'{_PROM_BAD.sub("_", str(k))}="{_prom_label_value(v)}"'
+        for k, v in labels.items()
+    )
+    return "{" + body + "}"
+
+
+def _prom_le(edge: Any) -> str:
+    """Bucket boundary label: finite edges verbatim, infinities folded
+    to the canonical ``+Inf``/``-Inf`` spellings."""
+    if isinstance(edge, float) and (edge != edge or edge in (float("inf"), float("-inf"))):
+        return _prom_value(edge)
+    return str(edge)
+
+
 def to_prometheus_text(doc: Dict[str, Any]) -> str:
     """Render an export document in Prometheus text exposition format.
 
     Counters become ``counter`` samples; gauges expose their last and
-    time-weighted-mean values; timelines expose busy picoseconds
+    time-weighted-mean values (``NaN`` samples render as Prometheus
+    ``NaN``, not Python ``nan``); timelines expose busy picoseconds
     (counter) and whole-run utilization (gauge); histograms use the
-    cumulative ``_bucket``/``_sum``/``_count`` convention.  Wall-clock
+    cumulative ``_bucket``/``_sum``/``_count`` convention with a final
+    ``+Inf`` bucket equal to ``_count``.  Document ``meta`` exports as a
+    ``repro_meta_info`` gauge whose label values are escaped per the
+    exposition format (backslash, double quote, newline).  Wall-clock
     perf (when present) exports as ``repro_perf_events_per_sec``.
     """
     lines: list[str] = []
 
-    def emit(name: str, kind: str, value: Any, labels: str = "") -> None:
+    def emit(name: str, kind: str, value: Any,
+             labels: Optional[Dict[str, Any]] = None) -> None:
         lines.append(f"# TYPE {name} {kind}")
-        lines.append(f"{name}{labels} {value}")
+        lines.append(f"{name}{_prom_labels(labels)} {_prom_value(value)}")
 
+    meta = doc.get("meta")
+    if meta:
+        emit(
+            "repro_meta_info", "gauge", 1,
+            {k: v for k, v in sorted(meta.items())
+             if isinstance(v, (str, int, float, bool))},
+        )
     for name, value in sorted(doc.get("counters", {}).items()):
         emit(_prom_name(name), "counter", value)
     for name, summary in sorted(doc.get("gauges", {}).items()):
@@ -158,11 +219,16 @@ def to_prometheus_text(doc: Dict[str, Any]) -> str:
         lines.append(f"# TYPE {base} histogram")
         cumulative = 0
         for edge, count in zip(hist["edges"], hist["counts"]):
+            if isinstance(edge, float) and edge == float("inf"):
+                # an explicit +Inf edge would duplicate the final bucket;
+                # its count still lands there via the overflow slot below
+                continue
             cumulative += count
-            lines.append(f'{base}_bucket{{le="{edge}"}} {cumulative}')
-        cumulative += hist["counts"][-1]
-        lines.append(f'{base}_bucket{{le="+Inf"}} {cumulative}')
-        lines.append(f"{base}_sum {hist['sum']}")
+            lines.append(f'{base}_bucket{{le="{_prom_le(edge)}"}} {cumulative}')
+        # the counts vector has one more entry than edges: the overflow
+        # bucket, which closes the cumulative series as the +Inf sample
+        lines.append(f'{base}_bucket{{le="+Inf"}} {hist["count"]}')
+        lines.append(f"{base}_sum {_prom_value(hist['sum'])}")
         lines.append(f"{base}_count {hist['count']}")
     perf = doc.get("perf")
     if perf is not None:

@@ -25,7 +25,7 @@ model — dominate.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Optional
+from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from ..hw.config import SeaStarConfig
 from ..sim import Channel, Counters, Event, Simulator, Store
@@ -61,6 +61,12 @@ class NetworkPort:
     Receives ``(header_or_None, reason)`` where reason is ``"corrupt"``
     or ``"loss"``.  Wired to the node's firmware; unused (and never
     called) on a fabric without an injector."""
+
+    rx_engine: Any = None
+    """Back-reference to the node's :class:`~repro.hw.dma.RxDmaEngine`
+    (set by the engine itself at construction).  The TX-side bulk-event
+    fast path consults it to prove the receive side is quiescent and to
+    commit the receiver's share of a batched chunk train."""
 
 
 class _Pipe:

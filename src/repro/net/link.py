@@ -77,6 +77,25 @@ class LinkModel:
         self.retry_time_ps += penalty
         return penalty
 
+    def chunk_transit_time(self, npackets: int, hops: int) -> int:
+        """Closed-form wire transit for one clean chunk (no retries drawn).
+
+        Serialization at link rate plus per-hop fall-through — pure
+        arithmetic with no RNG consultation and no counter side effects,
+        so the TX bulk-event gate can evaluate the clean-pipe inequality
+        without perturbing fault-injection state.
+        """
+        return npackets * self.packet_time + hops * self.config.hop_latency
+
+    def carry(self, npackets: int, chunks: int = 1) -> None:
+        """Account ``chunks`` chunks of ``npackets`` packets carried.
+
+        The bulk-event fast path commits a whole batched train's link
+        traffic in one call; the chunk-exact path is equivalent to
+        ``carry(npackets)`` per chunk.
+        """
+        self.packets_carried += npackets * chunks
+
     def chunk_wire_time(self, npackets: int, hops: int) -> int:
         """Total wire time for a chunk: serialization + per-hop latency."""
         self.packets_carried += npackets

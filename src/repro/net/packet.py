@@ -18,7 +18,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
-__all__ = ["WireChunk", "chunk_message", "next_message_id"]
+__all__ = ["WireChunk", "chunk_message", "next_message_id", "bulk_run_end"]
 
 _msg_counter = itertools.count(1)
 
@@ -73,6 +73,24 @@ class WireChunk:
             raise ValueError("a chunk carries at least one packet")
         if self.seq == 0 and not self.is_header:
             raise ValueError("chunk 0 must be the header chunk")
+
+
+def bulk_run_end(chunks: list[WireChunk], start: int) -> int:
+    """Exclusive end of the identical-cost run beginning at ``start``.
+
+    A run is a maximal stretch of chunks sharing one ``npackets`` — the
+    unit whose per-chunk event trains the TX bulk path may coalesce,
+    since every chunk in it has the same closed-form DMA/wire/deposit
+    cost.  By construction (:func:`chunk_message`) payload chunks are
+    full-size except possibly the message's final one, so a run breaks
+    at most once, at the message tail.
+    """
+    npackets = chunks[start].npackets
+    end = start + 1
+    n = len(chunks)
+    while end < n and chunks[end].npackets == npackets:
+        end += 1
+    return end
 
 
 def chunk_message(

@@ -105,6 +105,7 @@ class NetPipeRunner:
         trace: bool = False,
         metrics: bool = False,
         fault_plan: "FaultPlan | None" = None,
+        bulk_events: Optional[bool] = None,
     ):
         self.module = module
         self.config = config
@@ -116,6 +117,7 @@ class NetPipeRunner:
         self.trace = trace
         self.metrics = metrics
         self.fault_plan = fault_plan
+        self.bulk_events = bulk_events
         #: the machine of the most recent :meth:`run` (chaos reporting)
         self.machine = None
         #: per-size measurement windows ``(nbytes, t0, t1)`` of the most
@@ -136,6 +138,7 @@ class NetPipeRunner:
             trace=self.trace,
             metrics=self.metrics,
             fault_plan=self.fault_plan,
+            bulk_events=self.bulk_events,
         )
         self.machine = machine
         self.windows = []

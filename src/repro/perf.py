@@ -15,9 +15,12 @@ clock — the smoke takes the best of N repetitions to suppress machine
 jitter.
 
 ``repro bench --perf`` prints the measurement and, when
-``benchmarks/perf_baseline.json`` exists, the speedup against it.  The
-report is informational: CI uploads it as an artifact but never fails on
-it, because shared runners are far too noisy for a wall-clock gate.
+``benchmarks/perf_baseline.json`` exists, the speedup against it.
+``--perf-gate`` additionally fails the run when events/sec regresses by
+more than :data:`GATE_REGRESSION_FRACTION` against the committed
+baseline — the threshold is deliberately loose (30%) so shared-runner
+jitter cannot trip it, while an accidental hot-path deoptimization
+(which shows up as an integer-factor slowdown) reliably does.
 """
 
 from __future__ import annotations
@@ -36,7 +39,13 @@ __all__ = [
     "load_baseline",
     "save_baseline",
     "format_perf_report",
+    "check_regression",
+    "GATE_REGRESSION_FRACTION",
 ]
+
+#: --perf-gate failure threshold: fraction of baseline events/sec the
+#: measurement may lose before the gate fails the run
+GATE_REGRESSION_FRACTION = 0.30
 
 #: committed reference point for the speedup line (repo-relative)
 DEFAULT_BASELINE_PATH = Path("benchmarks") / "perf_baseline.json"
@@ -117,6 +126,30 @@ def save_baseline(result: PerfResult, path: Path = DEFAULT_BASELINE_PATH) -> Non
     path.write_text(
         json.dumps(result.to_json(), indent=2, sort_keys=True) + "\n",
         encoding="utf-8",
+    )
+
+
+def check_regression(
+    result: PerfResult,
+    baseline: Optional[dict],
+    threshold: float = GATE_REGRESSION_FRACTION,
+) -> Optional[str]:
+    """Gate verdict: an error string on regression, else None.
+
+    A missing baseline (or one without a usable ``events_per_sec``)
+    passes — the gate only has meaning against a committed reference.
+    """
+    if not baseline:
+        return None
+    base_eps = float(baseline.get("events_per_sec", 0.0))
+    if base_eps <= 0.0:
+        return None
+    floor = base_eps * (1.0 - threshold)
+    if result.events_per_sec >= floor:
+        return None
+    return (
+        f"perf gate FAILED: {result.events_per_sec:,.1f} events/sec is below "
+        f"{floor:,.1f} (baseline {base_eps:,.1f} minus {threshold:.0%} allowance)"
     )
 
 

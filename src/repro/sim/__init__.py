@@ -7,6 +7,7 @@ processes exchanging events on a single integer-picosecond clock.
 
 from .channel import Channel, Store
 from .core import (
+    BULK_EVENTS_DEFAULT,
     DIRECT_RESUME_DEFAULT,
     AllOf,
     AnyOf,
@@ -50,6 +51,7 @@ __all__ = [
     "SimulationError",
     "Resolved",
     "DIRECT_RESUME_DEFAULT",
+    "BULK_EVENTS_DEFAULT",
     "Channel",
     "Store",
     "Resource",

@@ -24,9 +24,13 @@ Flattened sleeps (the hot path)
 A process may also yield a bare non-negative ``int`` — a pure delay in
 picoseconds, equivalent to ``yield sim.timeout(n)``.  By default
 (``Simulator(direct_resume=True)``) the kernel services it without
-constructing a Timeout at all: the heap gets a flattened 4-tuple record
-``(when, seq, None, process)`` and the run loop resumes the process
-directly when it pops.  This removes one Event object, one callbacks
+constructing a Timeout at all: the heap gets a flattened 5-slot record
+``[when, seq, None, process, value]`` and the run loop resumes the
+process directly when it pops.  Records are plain lists so spent sleep
+records can be recycled through a small arena (``_ARENA_MAX``) instead
+of being reallocated — the run loop returns each popped sleep record to
+the arena and the scheduler reuses it for the next sleep, cutting
+allocator churn on the hottest path in the repository.  This removes one Event object, one callbacks
 list, one bound-method callback and one dispatch per sleep — the
 dominant per-event cost of DMA/wire/CPU modeling — while allocating
 ``seq`` at exactly the point the Timeout would have been created, so
@@ -90,12 +94,25 @@ __all__ = [
     "Interrupt",
     "Resolved",
     "DIRECT_RESUME_DEFAULT",
+    "BULK_EVENTS_DEFAULT",
 ]
 
 #: module default for :class:`Simulator`'s ``direct_resume`` flag —
 #: whether int yields use flattened sleep records (fast path) or build
 #: legacy :class:`Timeout` events.  Both produce bit-identical runs.
 DIRECT_RESUME_DEFAULT = True
+
+#: module default for :class:`Simulator`'s ``bulk_events`` flag —
+#: whether model code (the DMA/fabric hot path) may coalesce provably
+#: independent per-chunk event trains into single bulk heap records.
+#: Both settings produce bit-identical simulated results; bulk mode only
+#: changes how many *heap records* it takes to compute them.
+BULK_EVENTS_DEFAULT = True
+
+#: upper bound on the recycled-sleep-record arena; enough to cover every
+#: simultaneously queued sleep in the benchmark fleet without pinning
+#: unbounded garbage on pathological workloads
+_ARENA_MAX = 512
 
 _heappush = heapq.heappush
 _heappop = heapq.heappop
@@ -212,7 +229,7 @@ class Event:
         self._value = value
         if delay == 0:
             sim = self.sim
-            _heappush(sim._heap, (sim.now, sim._seq, self))
+            _heappush(sim._heap, [sim.now, sim._seq, self])
             sim._seq += 1
         else:
             self.sim._schedule(self, delay)
@@ -228,7 +245,7 @@ class Event:
         self._value = exception
         if delay == 0:
             sim = self.sim
-            _heappush(sim._heap, (sim.now, sim._seq, self))
+            _heappush(sim._heap, [sim.now, sim._seq, self])
             sim._seq += 1
         else:
             self.sim._schedule(self, delay)
@@ -266,7 +283,7 @@ class Timeout(Event):
         self.delay = delay
         self._ok = True
         self._value = value
-        _heappush(sim._heap, (sim.now + delay, sim._seq, self))
+        _heappush(sim._heap, [sim.now + delay, sim._seq, self])
         sim._seq += 1
 
 
@@ -368,7 +385,16 @@ class Process(Event):
                     seq = sim._seq
                     self._waiting_on = _SLEEP
                     self._sleep_seq = seq
-                    _heappush(sim._heap, (sim.now + target, seq, None, self, None))
+                    arena = sim._arena
+                    if arena:
+                        rec = arena.pop()
+                        rec[0] = sim.now + target
+                        rec[1] = seq
+                        rec[3] = self
+                        rec[4] = None
+                        _heappush(sim._heap, rec)
+                    else:
+                        _heappush(sim._heap, [sim.now + target, seq, None, self, None])
                     sim._seq = seq + 1
                     return
                 target = Timeout(sim, target)
@@ -384,7 +410,16 @@ class Process(Event):
                 seq = sim._seq
                 self._waiting_on = _SLEEP
                 self._sleep_seq = seq
-                _heappush(sim._heap, (sim.now, seq, None, self, target.value))
+                arena = sim._arena
+                if arena:
+                    rec = arena.pop()
+                    rec[0] = sim.now
+                    rec[1] = seq
+                    rec[3] = self
+                    rec[4] = target.value
+                    _heappush(sim._heap, rec)
+                else:
+                    _heappush(sim._heap, [sim.now, seq, None, self, target.value])
                 sim._seq = seq + 1
                 return
             target = Event(sim).succeed(target.value)
@@ -509,11 +544,24 @@ class Simulator:
         assert proc.value == "done"
     """
 
-    __slots__ = ("now", "_heap", "_seq", "_active", "direct_resume")
+    __slots__ = (
+        "now",
+        "_heap",
+        "_seq",
+        "_active",
+        "direct_resume",
+        "bulk_events",
+        "_bulk_extra",
+        "_arena",
+    )
 
-    def __init__(self, direct_resume: Optional[bool] = None) -> None:
+    def __init__(
+        self,
+        direct_resume: Optional[bool] = None,
+        bulk_events: Optional[bool] = None,
+    ) -> None:
         self.now: int = 0
-        self._heap: list[tuple] = []
+        self._heap: list[list] = []
         self._seq: int = 0
         self._active: bool = False
         #: whether int yields use flattened sleep records (fast path) or
@@ -521,6 +569,16 @@ class Simulator:
         self.direct_resume: bool = (
             DIRECT_RESUME_DEFAULT if direct_resume is None else bool(direct_resume)
         )
+        #: whether model code may coalesce provably independent event
+        #: trains into bulk records (see :meth:`note_bulk`); both settings
+        #: are bit-identical in simulated results
+        self.bulk_events: bool = (
+            BULK_EVENTS_DEFAULT if bulk_events is None else bool(bulk_events)
+        )
+        # logical events represented by bulk records but never pushed
+        self._bulk_extra: int = 0
+        # free-list of spent flattened-sleep records, recycled by _step
+        self._arena: list[list] = []
 
     # -- factories ----------------------------------------------------------
     def event(self) -> Event:
@@ -547,8 +605,19 @@ class Simulator:
     def _schedule(self, event: Event, delay: int = 0) -> None:
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
-        heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+        heapq.heappush(self._heap, [self.now + delay, self._seq, event])
         self._seq += 1
+
+    def note_bulk(self, elided: int) -> None:
+        """Record ``elided`` logical events serviced by one bulk record.
+
+        Model code that coalesces a provably independent event train into
+        a single heap record (see ``bulk_events``) calls this with the
+        number of records it *didn't* push, so ``events_scheduled`` — the
+        denominator for events/sec reporting — counts the same logical
+        work whichever path ran.
+        """
+        self._bulk_extra += elided
 
     def step(self) -> None:
         """Process the single next record on the heap.
@@ -566,10 +635,18 @@ class Simulator:
         event = entry[2]
         if event is None:
             proc = entry[3]
-            if proc._sleep_seq == entry[1]:
+            seq = entry[1]
+            value = entry[4]
+            arena = self._arena
+            if len(arena) < _ARENA_MAX:
+                # drop object refs before pooling so the arena pins nothing
+                entry[3] = None
+                entry[4] = None
+                arena.append(entry)
+            if proc._sleep_seq == seq:
                 proc._sleep_seq = -1
                 proc._waiting_on = None
-                proc._step(entry[4])
+                proc._step(value)
             return
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
@@ -600,6 +677,8 @@ class Simulator:
         self._active = True
         heap = self._heap
         pop = _heappop
+        arena = self._arena
+        arena_append = arena.append
         try:
             if until is None:
                 while heap:
@@ -608,10 +687,16 @@ class Simulator:
                     event = entry[2]
                     if event is None:
                         proc = entry[3]
-                        if proc._sleep_seq == entry[1]:
+                        seq = entry[1]
+                        value = entry[4]
+                        if len(arena) < _ARENA_MAX:
+                            entry[3] = None
+                            entry[4] = None
+                            arena_append(entry)
+                        if proc._sleep_seq == seq:
                             proc._sleep_seq = -1
                             proc._waiting_on = None
-                            proc._step(entry[4])
+                            proc._step(value)
                         continue
                     callbacks = event.callbacks
                     event.callbacks = None
@@ -634,10 +719,16 @@ class Simulator:
                     event = entry[2]
                     if event is None:
                         proc = entry[3]
-                        if proc._sleep_seq == entry[1]:
+                        seq = entry[1]
+                        value = entry[4]
+                        if len(arena) < _ARENA_MAX:
+                            entry[3] = None
+                            entry[4] = None
+                            arena_append(entry)
+                        if proc._sleep_seq == seq:
                             proc._sleep_seq = -1
                             proc._waiting_on = None
-                            proc._step(entry[4])
+                            proc._step(value)
                         continue
                     callbacks = event.callbacks
                     event.callbacks = None
@@ -662,14 +753,17 @@ class Simulator:
 
     @property
     def events_scheduled(self) -> int:
-        """Total heap records scheduled so far (events + flattened sleeps).
+        """Total logical events scheduled so far.
 
+        Heap records actually pushed (events + flattened sleeps) plus the
+        logical events bulk records stood in for (:meth:`note_bulk`).
         Monotonic; the denominator for wall-clock events/sec reporting
         (:mod:`repro.perf`).  Identical whichever int-yield path is in
-        use, since flattened sleeps allocate the same ``seq`` a Timeout
-        would have.
+        use (flattened sleeps allocate the same ``seq`` a Timeout would
+        have) and whether or not bulk batching ran (``note_bulk`` restores
+        the elided count).
         """
-        return self._seq
+        return self._seq + self._bulk_extra
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Simulator t={self.now}ps queued={len(self._heap)}>"

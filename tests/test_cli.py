@@ -140,6 +140,37 @@ class TestStats:
         assert "spans (ps)" not in out
 
 
+class TestPerfGate:
+    def test_bench_perf_gate_flag_parses(self):
+        args = build_parser().parse_args(["bench", "--perf", "--perf-gate"])
+        assert args.perf and args.perf_gate
+
+    def test_regression_verdicts(self):
+        from repro.perf import (
+            GATE_REGRESSION_FRACTION,
+            PerfResult,
+            check_regression,
+        )
+
+        result = PerfResult(
+            sweep="s", events=10, wall_s=1.0, events_per_sec=100.0, reps=1
+        )
+        # no baseline, empty baseline, zero baseline: gate is meaningless
+        assert check_regression(result, None) is None
+        assert check_regression(result, {}) is None
+        assert check_regression(result, {"events_per_sec": 0.0}) is None
+        # within the 30% allowance: pass, including exactly at the floor
+        assert check_regression(result, {"events_per_sec": 120.0}) is None
+        floor_base = 100.0 / (1.0 - GATE_REGRESSION_FRACTION)
+        assert (
+            check_regression(result, {"events_per_sec": floor_base}) is None
+        )
+        # beyond it: a gate failure naming both numbers
+        error = check_regression(result, {"events_per_sec": 500.0})
+        assert error is not None and "perf gate FAILED" in error
+        assert "500.0" in error
+
+
 class TestChaos:
     def test_chaos_smoke(self, capsys):
         rc = main(

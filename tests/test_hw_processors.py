@@ -1,6 +1,17 @@
-"""Opteron and PowerPC models: traps, interrupts, coalescing."""
+"""Opteron and PowerPC models: traps, interrupts, coalescing.
+
+Interrupt accounting carries a property-tested invariant: every
+``raise_interrupt`` call increments exactly one of ``interrupts`` /
+``interrupts_coalesced``, so ``interrupt_raises`` equals their sum in
+every ordering of raises, CPU grants, holds, and handler deaths — on
+both scheduler paths.  A pending handler killed before its CPU grant
+must also unlatch the coalescing flag, or every later interrupt would
+coalesce into the corpse forever.
+"""
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.hw.config import SeaStarConfig
 from repro.hw.processors import Opteron, PowerPC440
@@ -139,6 +150,112 @@ class TestInterrupts:
         host.raise_interrupt(handler)
         sim.run()
         assert host.busy_time == config.interrupt_overhead + 500 * NS
+
+
+_irq_ops = st.one_of(
+    st.tuples(st.just("raise"), st.integers(0, 2000), st.booleans()),
+    st.tuples(st.just("advance"), st.integers(0, 3 * US)),
+    st.tuples(st.just("hold"), st.integers(1, 2 * US)),
+    st.tuples(st.just("kill"), st.integers(0, 5)),
+)
+
+
+class TestInterruptAccounting:
+    def test_killed_pending_interrupt_unlatches_coalescing(self):
+        """Regression: a handler killed before its CPU grant used to leave
+        ``_interrupt_pending`` latched True, silently coalescing every
+        future interrupt away."""
+        sim = Simulator()
+        host = Opteron(sim, SeaStarConfig())
+        runs = []
+
+        def handler():
+            runs.append(sim.now)
+            if False:
+                yield
+
+        def scenario():
+            # occupy the CPU so the interrupt body blocks pre-grant
+            req = host.request()
+            yield req
+            victim = host.raise_interrupt(handler)
+            yield sim.timeout(1)
+            victim.interrupt("chaos")
+            victim.defuse()  # the chaos owns the resulting failure
+            yield sim.timeout(1)
+            host.release(req)
+            # the next raise must be delivered, not coalesced
+            host.raise_interrupt(handler)
+
+        sim.process(scenario())
+        sim.run()
+        assert len(runs) == 1
+        assert host.counters["interrupts"] == 2
+        assert host.counters["interrupts_coalesced"] == 0
+        assert host.counters["interrupt_raises"] == 2
+
+    @pytest.mark.property
+    @pytest.mark.parametrize(
+        "direct_resume", [True, False], ids=["fastpath", "legacy"]
+    )
+    @given(ops=st.lists(_irq_ops, min_size=1, max_size=20))
+    def test_raises_conserved_in_every_ordering(self, direct_resume, ops):
+        sim = Simulator(direct_resume=direct_resume)
+        host = Opteron(sim, SeaStarConfig())
+        raises = 0
+        handled = []
+        spawned = []
+
+        def mk_handler(cost):
+            def handler():
+                if cost:
+                    yield from host.charge(cost)
+                handled.append(sim.now)
+            return handler
+
+        def driver():
+            nonlocal raises
+            for op in ops:
+                kind = op[0]
+                if kind == "raise":
+                    proc = host.raise_interrupt(
+                        mk_handler(op[1]), coalesce=op[2]
+                    )
+                    raises += 1
+                    if proc is not None:
+                        spawned.append(proc)
+                elif kind == "advance":
+                    if op[1]:
+                        yield sim.timeout(op[1])
+                elif kind == "hold":
+                    req = host.request()
+                    yield req
+                    yield sim.timeout(op[1])
+                    host.release(req)
+                else:  # kill: chaos takes out a blocked interrupt body
+                    victims = [
+                        p for p in spawned
+                        if p.is_alive and p._waiting_on is not None
+                    ]
+                    if victims:
+                        victim = victims[op[1] % len(victims)]
+                        victim.interrupt("chaos")
+                        victim.defuse()
+
+        sim.process(driver())
+        sim.run()
+        counts = host.counters
+        assert counts["interrupt_raises"] == raises
+        assert counts["interrupt_raises"] == (
+            counts["interrupts"] + counts["interrupts_coalesced"]
+        ), "conservation must hold in every ordering"
+
+        # whatever the chaos did, the mechanism must still be live:
+        # one more raise gets delivered, never coalesced into a corpse
+        before = len(handled)
+        host.raise_interrupt(mk_handler(0))
+        sim.run()
+        assert len(handled) == before + 1
 
 
 class TestPowerPC:

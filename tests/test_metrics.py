@@ -253,3 +253,105 @@ class TestMachineIntegration:
         reg = MetricsRegistry(Simulator())
         with pytest.raises(ValueError, match="metrics enabled"):
             attribute_windows(reg, [(1, 0, 10)])
+
+
+def _parse_prom_labels(block: str) -> dict:
+    """Tiny exposition-format label parser: the inverse of the exporter's
+    escaping, so a round-trip proves the escapes are correct."""
+    labels = {}
+    i = 0
+    while i < len(block):
+        eq = block.index("=", i)
+        key = block[i:eq]
+        assert block[eq + 1] == '"'
+        j = eq + 2
+        out = []
+        while block[j] != '"':
+            ch = block[j]
+            if ch == "\\":
+                esc = block[j + 1]
+                out.append({"\\": "\\", '"': '"', "n": "\n"}[esc])
+                j += 2
+            else:
+                out.append(ch)
+                j += 1
+        labels[key] = "".join(out)
+        i = j + 1
+        if i < len(block) and block[i] == ",":
+            i += 1
+    return labels
+
+
+class TestPrometheusExposition:
+    """The text exporter against hostile values: label escaping must
+    round-trip, NaN must spell ``NaN``, and every histogram must close
+    with a ``+Inf`` bucket equal to ``_count``."""
+
+    def test_hostile_label_values_round_trip(self):
+        hostile = {
+            "path": 'C:\\temp\\"quoted"',
+            "multiline": "line one\nline two",
+            "trailing_backslash": "ends with \\",
+            "literal_backslash_n": "not a newline: \\n",
+            "plain": "ok",
+        }
+        doc = {"schema": EXPORT_SCHEMA, "meta": hostile}
+        text = to_prometheus_text(doc)
+        line = next(
+            ln for ln in text.splitlines()
+            if ln.startswith("repro_meta_info{")
+        )
+        # one physical line: the newline inside a value must be escaped
+        block = line[len("repro_meta_info{"): line.rindex("}")]
+        assert _parse_prom_labels(block) == hostile
+
+    def test_nan_and_inf_render_canonically(self):
+        doc = {
+            "schema": EXPORT_SCHEMA,
+            "gauges": {
+                "weird": {
+                    "samples": 3,
+                    "last": float("nan"),
+                    "time_weighted_mean": float("inf"),
+                },
+            },
+        }
+        text = to_prometheus_text(doc)
+        assert "repro_weird NaN" in text
+        assert "repro_weird_time_weighted_mean +Inf" in text
+        # Python float spellings are not legal exposition values
+        assert "nan" not in text and "inf" not in text
+
+    def test_histogram_closes_with_inf_bucket(self):
+        doc = {
+            "schema": EXPORT_SCHEMA,
+            "histograms": {
+                "lat": {
+                    "edges": [1.0, 2.0],
+                    "counts": [1, 2, 3],  # overflow slot included
+                    "count": 6,
+                    "sum": 11.5,
+                },
+            },
+        }
+        text = to_prometheus_text(doc)
+        assert 'repro_lat_bucket{le="1.0"} 1' in text
+        assert 'repro_lat_bucket{le="2.0"} 3' in text
+        assert 'repro_lat_bucket{le="+Inf"} 6' in text
+        assert "repro_lat_count 6" in text
+
+    def test_explicit_inf_edge_not_duplicated(self):
+        doc = {
+            "schema": EXPORT_SCHEMA,
+            "histograms": {
+                "lat": {
+                    "edges": [1.0, float("inf")],
+                    "counts": [1, 2, 0],
+                    "count": 3,
+                    "sum": 2.5,
+                },
+            },
+        }
+        text = to_prometheus_text(doc)
+        assert text.count('le="+Inf"') == 1
+        assert 'repro_lat_bucket{le="+Inf"} 3' in text

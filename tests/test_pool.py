@@ -12,8 +12,10 @@ import signal
 import pytest
 
 from repro.benchrunner.pool import (
+    INDEX_FILENAME,
     TEST_HANG_ENV,
     TEST_KILL_ENV,
+    TEST_KILL_WRITE_ENV,
     PoolTask,
     run_pool,
     task_filename,
@@ -131,6 +133,96 @@ class TestSupervised:
         second = run_pool(_tasks(2), _double, workers=2, checkpoint_dir=ckpt)
         assert sorted(second.resumed) == ["t0", "t1"]
         assert second.results == first.results
+
+
+class TestCheckpointIntegrity:
+    """Resume must never double-run or silently skip: torn result files,
+    index-less legacy dirs, payload drift under stable task ids, and
+    differing ``workers`` counts all have to resolve to a re-run, while
+    genuinely matching checkpoints keep being served."""
+
+    def test_sigkill_during_result_write_is_retried(self, tmp_path, monkeypatch):
+        # the torn-write hook bypasses the atomic rename and dies halfway
+        # through writing the *final* result path; resume must treat the
+        # torn file as absent (any unpickle error, not just a short read)
+        # and the retry must overwrite it with a complete record
+        ckpt = str(tmp_path / "ckpt")
+        monkeypatch.setenv(TEST_KILL_WRITE_ENV, "t0")
+        outcome = run_pool(
+            _tasks(2), _double, workers=2, timeout_s=60, checkpoint_dir=ckpt
+        )
+        assert outcome.results == {"t0": {"value": 0}, "t1": {"value": 2}}
+        crashes = [d for d in outcome.degradations if d["event"] == "crash"]
+        assert len(crashes) == 1 and crashes[0]["task"] == "t0"
+        assert not outcome.failed
+        # and a fresh run resumes the healed checkpoint without executing
+        monkeypatch.delenv(TEST_KILL_WRITE_ENV)
+        again = run_pool(_tasks(2), _boom, workers=1, checkpoint_dir=ckpt)
+        assert again.results == outcome.results
+        assert sorted(again.resumed) == ["t0", "t1"]
+
+    def test_torn_file_without_index_entry_is_not_resumed(self, tmp_path):
+        # a killed-mid-write parent can leave a result file with no index:
+        # the fingerprint check fails closed and the task re-runs
+        ckpt = tmp_path / "ckpt"
+        ckpt.mkdir()
+        (ckpt / task_filename("t0")).write_bytes(b"\x80\x04 torn")
+        outcome = run_pool(_tasks(1), _double, workers=1, checkpoint_dir=str(ckpt))
+        assert outcome.results == {"t0": {"value": 0}}
+        assert not outcome.resumed
+
+    def test_payload_change_invalidates_checkpoint(self, tmp_path):
+        # same task ids, different payloads (e.g. --fast vs full sweep):
+        # resuming the old results would silently answer the wrong question
+        ckpt = str(tmp_path / "ckpt")
+        first = run_pool(
+            [PoolTask("shard", 1)], _double, workers=1, checkpoint_dir=ckpt
+        )
+        assert first.results == {"shard": {"value": 2}}
+        second = run_pool(
+            [PoolTask("shard", 5)], _double, workers=1, checkpoint_dir=ckpt
+        )
+        assert second.results == {"shard": {"value": 10}}
+        assert not second.resumed
+        # and the refreshed checkpoint now serves the *new* payload
+        third = run_pool(
+            [PoolTask("shard", 5)], _boom, workers=1, checkpoint_dir=ckpt
+        )
+        assert third.results == {"shard": {"value": 10}}
+        assert third.resumed == ["shard"]
+
+    def test_resume_across_different_worker_counts(self, tmp_path):
+        ckpt = str(tmp_path / "ckpt")
+        first = run_pool(_tasks(3), _double, workers=2, checkpoint_dir=ckpt)
+        assert len(first.results) == 3
+        # inline resume of a supervised run, and vice versa
+        inline = run_pool(_tasks(3), _boom, workers=1, checkpoint_dir=ckpt)
+        assert inline.results == first.results
+        assert sorted(inline.resumed) == ["t0", "t1", "t2"]
+        wide = run_pool(_tasks(3), _boom, workers=4, checkpoint_dir=ckpt)
+        assert wide.results == first.results
+        assert sorted(wide.resumed) == ["t0", "t1", "t2"]
+
+    def test_index_file_is_atomic_json(self, tmp_path):
+        # the index itself goes through tmp+rename: after any run the
+        # directory holds a complete, parseable index and no tmp litter
+        import json
+
+        ckpt = tmp_path / "ckpt"
+        run_pool(_tasks(2), _double, workers=1, checkpoint_dir=str(ckpt))
+        doc = json.loads((ckpt / INDEX_FILENAME).read_text(encoding="utf-8"))
+        assert doc["version"] == 1
+        assert sorted(doc["tasks"]) == ["t0", "t1"]
+        assert not list(ckpt.glob("*.tmp"))
+
+    def test_corrupt_index_forces_rerun_not_crash(self, tmp_path):
+        ckpt = tmp_path / "ckpt"
+        first = run_pool(_tasks(1), _double, workers=1, checkpoint_dir=str(ckpt))
+        assert first.results == {"t0": {"value": 0}}
+        (ckpt / INDEX_FILENAME).write_text("{not json", encoding="utf-8")
+        second = run_pool(_tasks(1), _double, workers=1, checkpoint_dir=str(ckpt))
+        assert second.results == first.results
+        assert not second.resumed  # unverifiable checkpoint: fail closed
 
 
 class TestBenchIntegration:

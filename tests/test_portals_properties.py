@@ -14,7 +14,11 @@ Hypothesis and checked against small pure-Python oracles:
   always equals the number of posts;
 * engine identity: the same random process program produces the same
   trace (times and values) on the flattened-sleep fast path and the
-  legacy event-object path (``Simulator(direct_resume=...)``).
+  legacy event-object path (``Simulator(direct_resume=...)``);
+* bulk-event identity: a NetPIPE sweep under any mix of tracing,
+  metrics, and fault plans produces identical measurements, counters,
+  spans, and logical event counts with ``bulk_events`` on and off — and
+  with no observer attached the bulk path demonstrably engages.
 
 Profiles live in ``tests/conftest.py``: the default ``fast`` profile is
 small and derandomized for PR CI; set ``HYPOTHESIS_PROFILE=nightly`` for
@@ -366,6 +370,92 @@ def test_both_engine_paths_produce_identical_traces(program):
     fast = _run_program(True, program)
     legacy = _run_program(False, program)
     assert fast == legacy
+
+
+# ---------------------------------------------------------------------------
+# bulk-event identity: vectorized chunk trains must be invisible
+# ---------------------------------------------------------------------------
+
+# sizes straddling the bulk threshold: single-chunk small messages, and
+# multi-chunk transfers where the TX engine can coalesce chunk trains
+_BULK_SIZES = [1, 4096, 65536, 262144]
+
+
+def _sweep_fingerprint(bulk, sizes, trace, metrics, plan_name):
+    """Run a pingpong sweep; return (comparable-state, machine)."""
+    from repro.faults.plan import named_plan
+    from repro.fw.firmware import ExhaustionPolicy
+    from repro.metrics.export import machine_counters
+    from repro.netpipe import NetPipeRunner, PortalsPutModule
+
+    plan = named_plan(plan_name) if plan_name else None
+    runner = NetPipeRunner(
+        PortalsPutModule(),
+        repeats=1,
+        warmup=1,
+        trace=trace,
+        metrics=metrics,
+        fault_plan=plan,
+        policy=(
+            ExhaustionPolicy.GO_BACK_N if plan else ExhaustionPolicy.PANIC
+        ),
+        bulk_events=bulk,
+    )
+    series = runner.run("pingpong", sizes)
+    machine = runner.machine
+    state = {
+        "points": series.points,
+        "now": machine.sim.now,
+        "events": machine.sim.events_scheduled,
+        "counters": machine_counters(machine),
+    }
+    if trace:
+        # msg_ids come from a process-global allocator, so back-to-back
+        # runs shift them uniformly; compare up to first-seen renaming
+        remap: dict = {}
+        state["spans"] = [
+            (
+                s.name, s.node, s.component, s.t0, s.t1,
+                None if s.msg_id is None
+                else remap.setdefault(s.msg_id, len(remap)),
+            )
+            for s in machine.tracer.spans
+        ]
+    if metrics:
+        state["metrics"] = machine.metrics.snapshot()
+    return state, machine
+
+
+@given(
+    sizes=st.lists(
+        st.sampled_from(_BULK_SIZES), min_size=1, max_size=2, unique=True
+    ),
+    trace=st.booleans(),
+    metrics=st.booleans(),
+    plan_name=st.sampled_from([None, "fw-crash"]),
+)
+def test_bulk_events_invisible_under_any_observer_mix(
+    sizes, trace, metrics, plan_name
+):
+    fast, fast_machine = _sweep_fingerprint(
+        True, sizes, trace, metrics, plan_name
+    )
+    exact, exact_machine = _sweep_fingerprint(
+        False, sizes, trace, metrics, plan_name
+    )
+    assert fast == exact
+
+    # bulk=False must never elide anything...
+    assert exact_machine.sim._bulk_extra == 0
+    # ...and with no observer attached, a multi-chunk sweep must actually
+    # engage the bulk path (guards against the gate silently always
+    # falling back to chunk-exact)
+    if not trace and not metrics and plan_name is None and max(sizes) >= 65536:
+        assert fast_machine.sim._bulk_extra > 0
+        assert fast_machine.sim._seq < exact_machine.sim._seq
+    # observers force chunk-exact: identical raw heap traffic
+    if trace or metrics or plan_name is not None:
+        assert fast_machine.sim._bulk_extra == 0
 
 
 @given(
