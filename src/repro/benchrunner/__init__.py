@@ -16,7 +16,7 @@ from .compare import (
     update_golden,
 )
 from .discovery import SPECS, Shard, SweepSpec, discover_shards, spec_sizes
-from .executor import execute_shard, run_bench
+from .executor import execute_shard, run_bench, shard_cache_request
 from .report import format_compare_table, format_run_summary, parse_report_file
 from .schema import (
     SCHEMA_VERSION,
@@ -52,6 +52,7 @@ __all__ = [
     "parse_report_file",
     "run_bench",
     "save_results",
+    "shard_cache_request",
     "simulated_json",
     "simulated_view",
     "spec_sizes",

@@ -17,7 +17,7 @@ from .discovery import SPECS, Shard, discover_shards
 from .pool import PoolTask, run_pool
 from .schema import SeriesData, ShardResult, merge_shards
 
-__all__ = ["execute_shard", "run_bench"]
+__all__ = ["execute_shard", "run_bench", "shard_cache_request"]
 
 
 def _make_module(variant: str) -> Any:
@@ -273,6 +273,26 @@ def _pool_worker(args: tuple) -> ShardResult:  # pragma: no cover - subprocess
     return execute_shard(shard, stats=stats)
 
 
+def shard_cache_request(shard: Shard, *, stats: bool) -> Dict[str, Any]:
+    """The canonical cache request describing one shard's simulated
+    content.
+
+    Everything that can change the result is here (spec, variant, the
+    exact size list, fast-mode flag, whether the metrics appendix runs);
+    everything that cannot (worker count, checkpoint dirs, timeouts) is
+    deliberately absent, so any execution strategy shares one key.
+    """
+    return {
+        "kind": "bench-shard",
+        "spec": shard.spec,
+        "variant": shard.variant,
+        "chunk": shard.chunk,
+        "sizes": list(shard.sizes),
+        "fast": shard.fast,
+        "stats": stats,
+    }
+
+
 def run_bench(
     *,
     fast: bool = False,
@@ -282,6 +302,7 @@ def run_bench(
     stats: bool = False,
     shard_timeout_s: float = 1800.0,
     checkpoint_dir: Optional[str] = None,
+    cache_dir: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Run the discovered shard set; return the results document.
 
@@ -295,25 +316,57 @@ def run_bench(
     recorded under ``wallclock.degradations``.  ``stats=True`` adds the
     informational ``utilization`` appendix (figure shards run with
     metrics enabled; simulated content is unchanged).
+
+    ``cache_dir`` points at a content-addressed result store
+    (:mod:`repro.cache`): shards whose key — canonical hash of the
+    shard request plus the code version — is already stored are served
+    from it without any simulation (and, pooled, without spawning a
+    worker); misses simulate as usual and are stored afterwards.
+    Hit/miss accounting lands under ``wallclock.cache``.  Cold, hot, or
+    disabled, the gated ``figures`` half is byte-identical.
     """
     shards = discover_shards(fast=fast, filter=filter)
     if not shards:
         raise ValueError(f"no shards match filter {filter!r}")
     t0 = time.perf_counter()
-    results: List[ShardResult]
     degradations: List[Dict[str, Any]] = []
     resumed: List[str] = []
-    if workers <= 1 and checkpoint_dir is None:
-        results = []
+
+    cache = None
+    cache_doc: Optional[Dict[str, Any]] = None
+    keys: Dict[str, str] = {}
+    by_id: Dict[str, ShardResult] = {}
+    pending: List[Shard] = shards
+    if cache_dir is not None:
+        from ..cache import ResultCache, cache_key, code_version
+
+        cache = ResultCache(cache_dir)
+        code = code_version()
+        pending = []
         for shard in shards:
+            key = cache_key(shard_cache_request(shard, stats=stats), code=code)
+            keys[shard.shard_id] = key
+            t_load = time.perf_counter()
+            artifact = cache.get(key)
+            if artifact is None:
+                pending.append(shard)
+                continue
+            res = ShardResult.from_jsonable(artifact["result"])
+            res.wall_s = time.perf_counter() - t_load
+            by_id[shard.shard_id] = res
+            if progress:
+                progress(f"{shard.shard_id}: cache hit ({key[:12]})")
+
+    if workers <= 1 and checkpoint_dir is None:
+        for shard in pending:
             res = execute_shard(shard, stats=stats)
-            results.append(res)
+            by_id[shard.shard_id] = res
             if progress:
                 progress(f"{res.shard_id}: {res.wall_s:.2f}s")
-    else:
+    elif pending:
         tasks = [
             PoolTask(task_id=shard.shard_id, payload=(shard, stats))
-            for shard in shards
+            for shard in pending
         ]
         outcome = run_pool(
             tasks,
@@ -328,10 +381,28 @@ def run_bench(
                 f"{tid}: {err}" for tid, err in sorted(outcome.failed.items())
             )
             raise RuntimeError(f"shards failed permanently: {detail}")
-        # deterministic document order regardless of completion order
-        results = [outcome.results[s.shard_id] for s in shards]
+        by_id.update(outcome.results)
         degradations = outcome.degradations
         resumed = outcome.resumed
+
+    if cache is not None:
+        for shard in pending:
+            res = by_id[shard.shard_id]
+            cache.put(
+                keys[shard.shard_id],
+                res.to_jsonable(),
+                request=shard_cache_request(shard, stats=stats),
+                kind="bench-shard",
+                wall_s=res.wall_s,
+                workers=max(1, workers),
+            )
+        cache_doc = cache.stats.to_jsonable()
+        cache_doc["cached_shards"] = sorted(
+            s.shard_id for s in shards if s not in pending
+        )
+
+    # deterministic document order regardless of completion order
+    results = [by_id[s.shard_id] for s in shards]
     total = time.perf_counter() - t0
     titles = {name: spec.title for name, spec in SPECS.items()}
     return merge_shards(
@@ -342,4 +413,5 @@ def run_bench(
         titles=titles,
         degradations=degradations,
         resumed=resumed,
+        cache=cache_doc,
     )

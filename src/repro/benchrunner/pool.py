@@ -54,7 +54,13 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
-__all__ = ["PoolTask", "PoolOutcome", "run_pool", "task_filename"]
+__all__ = [
+    "PoolTask",
+    "PoolOutcome",
+    "run_pool",
+    "task_filename",
+    "atomic_write_bytes",
+]
 
 TEST_KILL_ENV = "REPRO_POOL_TEST_KILL"
 TEST_HANG_ENV = "REPRO_POOL_TEST_HANG"
@@ -63,6 +69,20 @@ TEST_KILL_WRITE_ENV = "REPRO_POOL_TEST_KILL_WRITE"
 #: checkpoint index: task id -> payload fingerprint of the submission
 #: that wrote (or will write) each per-task result file
 INDEX_FILENAME = "pool-index.json"
+
+
+def atomic_write_bytes(path: str, blob: bytes) -> None:
+    """Write ``blob`` to ``path`` so a reader never sees a torn file.
+
+    The bytes land in a pid-suffixed sibling first and are renamed into
+    place; a writer killed mid-stream leaves only the temp file behind.
+    This is the one write discipline every durable artifact in the repo
+    uses (pool checkpoints, the checkpoint index, the result cache).
+    """
+    tmp = f"{path}.{os.getpid()}.tmp"
+    with open(tmp, "wb") as fh:
+        fh.write(blob)
+    os.replace(tmp, path)
 
 
 @dataclass(frozen=True)
@@ -125,10 +145,7 @@ def _child_entry(
         doc: Dict[str, Any] = {"ok": True, "result": worker(payload)}
     except BaseException as exc:  # noqa: BLE001 - report, not re-raise
         doc = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
-    tmp = f"{out_path}.{os.getpid()}.tmp"
-    with open(tmp, "wb") as fh:
-        pickle.dump(doc, fh)
-    os.replace(tmp, out_path)
+    atomic_write_bytes(out_path, pickle.dumps(doc))
 
 
 def _load_result(path: str) -> Optional[Dict[str, Any]]:
@@ -177,10 +194,8 @@ def _write_index(outdir: str, entries: Dict[str, str]) -> None:
     """Atomically rewrite the checkpoint index (same tmp+rename discipline
     as the per-task result files — a killed parent can never tear it)."""
     path = os.path.join(outdir, INDEX_FILENAME)
-    tmp = f"{path}.{os.getpid()}.tmp"
-    with open(tmp, "w", encoding="utf-8") as fh:
-        json.dump({"version": 1, "tasks": entries}, fh, sort_keys=True)
-    os.replace(tmp, path)
+    blob = json.dumps({"version": 1, "tasks": entries}, sort_keys=True)
+    atomic_write_bytes(path, blob.encode("utf-8"))
 
 
 @dataclass
@@ -280,10 +295,7 @@ def run_pool(
 
 
 def _checkpoint(state: _Attempt, doc: Dict[str, Any]) -> None:
-    tmp = f"{state.out_path}.{os.getpid()}.tmp"
-    with open(tmp, "wb") as fh:
-        pickle.dump(doc, fh)
-    os.replace(tmp, state.out_path)
+    atomic_write_bytes(state.out_path, pickle.dumps(doc))
 
 
 def _run_inline(

@@ -39,6 +39,14 @@ def format_run_summary(results: Dict[str, Any]) -> str:
         slowest = sorted(shards.items(), key=lambda kv: -kv[1])[:5]
         for shard_id, secs in slowest:
             lines.append(f"  {shard_id:<24} {secs:>7.2f}s")
+    cache = wall.get("cache")
+    if cache:
+        lines.append(
+            f"result cache: {cache.get('hits', 0)} hit(s), "
+            f"{cache.get('misses', 0)} miss(es), "
+            f"{cache.get('stores', 0)} store(s), "
+            f"{cache.get('hit_rate', 0.0) * 100:.0f}% hit rate"
+        )
     resumed = wall.get("resumed_shards", [])
     if resumed:
         lines.append(f"resumed from checkpoint: {len(resumed)} shard(s)")

@@ -127,6 +127,38 @@ class ShardResult:
     """Informational per-size attribution rows (``--stats`` runs only).
     Lives outside the gated ``figures`` half — see :func:`merge_shards`."""
 
+    def to_jsonable(self) -> Dict[str, Any]:
+        """The cacheable form: simulated content only, no host wall-clock.
+
+        Integers round-trip exactly and ``json`` floats serialize via
+        ``repr`` (shortest exact form), so a result reloaded from its
+        JSON spelling merges into a document byte-identical to the
+        freshly simulated one — the property the result cache rests on.
+        """
+        doc: Dict[str, Any] = {
+            "shard_id": self.shard_id,
+            "figure": self.figure,
+            "variant": self.variant,
+            "metrics": dict(self.metrics),
+        }
+        if self.series is not None:
+            doc["series"] = self.series.to_jsonable()
+        if self.utilization is not None:
+            doc["utilization"] = self.utilization
+        return doc
+
+    @classmethod
+    def from_jsonable(cls, doc: Dict[str, Any]) -> "ShardResult":
+        series = doc.get("series")
+        return cls(
+            shard_id=doc["shard_id"],
+            figure=doc["figure"],
+            variant=doc["variant"],
+            series=SeriesData.from_jsonable(series) if series is not None else None,
+            metrics=dict(doc.get("metrics", {})),
+            utilization=doc.get("utilization"),
+        )
+
 
 def canonical_json(doc: Any) -> str:
     """The one true serialization: sorted keys, 2-space indent, LF."""
@@ -156,6 +188,7 @@ def merge_shards(
     titles: Optional[Dict[str, str]] = None,
     degradations: Optional[List[Dict[str, Any]]] = None,
     resumed: Optional[List[str]] = None,
+    cache: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Fold per-shard results into one ``BENCH_results.json`` document.
 
@@ -208,6 +241,12 @@ def merge_shards(
         doc["wallclock"]["degradations"] = degradations
     if resumed:
         doc["wallclock"]["resumed_shards"] = sorted(resumed)
+    # result-cache accounting: which shards were served from the
+    # content-addressed store vs simulated.  Host-side history, so it
+    # lives in the informational ``wallclock`` half — a fully-cached run
+    # still byte-matches the golden ``figures``.
+    if cache is not None:
+        doc["wallclock"]["cache"] = cache
     # informational utilization appendix (metrics-enabled runs only):
     # top-level, outside the byte-compared ``figures`` half, exactly
     # like ``wallclock``

@@ -1,0 +1,28 @@
+"""repro.cache — a content-addressed store for simulated results.
+
+Determinism makes every simulated result in this repo perfectly
+memoizable: the same (request, code version) pair always produces the
+same bytes, so a result computed once never needs computing again.
+:mod:`repro.cache.key` turns a request into a canonical content
+address; :mod:`repro.cache.store` keeps the artifacts — result plus
+provenance record — durable under torn writes.
+
+Consumers: ``repro bench --cache DIR`` (shard-level memoization with
+hit/miss stats in the results document) and ``repro serve`` (the
+request-level memo behind the batch queue).  The CI ``cache-incremental``
+job persists a store across runs keyed on the code-version hash, so
+only pushes that change the simulator re-simulate.
+"""
+
+from .key import cache_key, canonical_blob, code_version
+from .store import ARTIFACT_SCHEMA, CacheStats, ResultCache, provenance_record
+
+__all__ = [
+    "cache_key",
+    "canonical_blob",
+    "code_version",
+    "ARTIFACT_SCHEMA",
+    "CacheStats",
+    "ResultCache",
+    "provenance_record",
+]

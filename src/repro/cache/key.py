@@ -1,0 +1,108 @@
+"""Canonical cache keys for simulated results.
+
+Every simulated quantity in this repo is a pure function of its inputs
+(the determinism discipline: bit-identical goldens, byte-identical
+parallel execution at any worker count), so a result is fully described
+by the canonical hash of
+
+* the **request** — figure/sweep config, sizes, seed, fault plan,
+  backend flags — expressed as a plain JSON document, and
+* the **code version** — a digest over every ``src/repro/**/*.py``
+  source file, so any change to the simulator invalidates every key.
+
+Canonicalization rules: requests must be JSON-serializable (dicts,
+lists/tuples, strings, ints, floats, bools, None), dict insertion order
+never matters (keys are sorted), and tuples equal their list spellings.
+Anything else is a ``TypeError`` — a key that silently depended on
+``repr()`` of a live object would not be stable across processes.
+
+The key deliberately excludes everything that cannot change a simulated
+result: worker counts, checkpoint directories, wall-clock, hostnames.
+That is what makes a cache warmed by ``--workers 1`` serve a
+``--workers 8`` run (and vice versa) at a 100% hit rate.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+__all__ = ["canonical_blob", "cache_key", "code_version"]
+
+#: cache-key schema tag, folded into every digest so a future change to
+#: the key derivation can never collide with today's artifacts
+KEY_SCHEMA = "repro-cache-key/1"
+
+
+def canonical_blob(doc: Any) -> bytes:
+    """The one true byte encoding of a request document.
+
+    Sorted keys, compact separators, UTF-8 — equal documents (up to dict
+    ordering and tuple/list spelling) produce equal bytes.
+    """
+    try:
+        text = json.dumps(
+            doc,
+            sort_keys=True,
+            separators=(",", ":"),
+            ensure_ascii=False,
+            allow_nan=False,
+        )
+    except (TypeError, ValueError) as exc:
+        raise TypeError(f"request is not canonicalizable: {exc}") from None
+    return text.encode("utf-8")
+
+
+def _package_root() -> Path:
+    """The ``src/repro`` package directory this module was loaded from."""
+    return Path(__file__).resolve().parent.parent
+
+
+_CODE_VERSION_CACHE: Dict[str, str] = {}
+
+
+def code_version(root: Optional[Path] = None) -> str:
+    """Digest of every ``*.py`` file under the package tree.
+
+    Any source change — an engine fix, a new cost model, a schema tweak
+    — yields a new digest, so stale cached results are structurally
+    unreachable rather than policed by TTLs.  The walk is sorted by
+    relative path and hashes path and content both (a rename with
+    identical bytes still invalidates).  Memoized per process: the tree
+    cannot change under a running interpreter's feet in any way that
+    matters (the loaded modules wouldn't see it either).
+    """
+    base = Path(root) if root is not None else _package_root()
+    cache_id = str(base)
+    cached = _CODE_VERSION_CACHE.get(cache_id)
+    if cached is not None:
+        return cached
+    digest = hashlib.sha256(KEY_SCHEMA.encode("utf-8"))
+    for path in sorted(base.rglob("*.py")):
+        if "__pycache__" in path.parts:
+            continue
+        digest.update(path.relative_to(base).as_posix().encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(path.read_bytes())
+        digest.update(b"\x00")
+    version = digest.hexdigest()
+    _CODE_VERSION_CACHE[cache_id] = version
+    return version
+
+
+def cache_key(request: Dict[str, Any], *, code: Optional[str] = None) -> str:
+    """The content address of the result ``request`` describes.
+
+    ``code`` defaults to :func:`code_version` of the running tree; tests
+    (and anything replaying a foreign store) can pin it explicitly.
+    """
+    if not isinstance(request, dict):
+        raise TypeError("request must be a dict")
+    envelope = {
+        "schema": KEY_SCHEMA,
+        "code": code if code is not None else code_version(),
+        "request": request,
+    }
+    return hashlib.sha256(canonical_blob(envelope)).hexdigest()

@@ -387,6 +387,7 @@ def cmd_bench(args) -> int:
         stats=args.stats,
         shard_timeout_s=args.shard_timeout,
         checkpoint_dir=args.checkpoint,
+        cache_dir=args.cache,
     )
     save_results(results, Path(args.out))
     print(f"# wrote {args.out}")
@@ -407,6 +408,34 @@ def cmd_bench(args) -> int:
             Path(args.diff_file).write_text(table + "\n", encoding="utf-8")
             print(f"# wrote diff table to {args.diff_file}")
         return 0 if report.ok else 1
+    return 0
+
+
+def cmd_serve(args) -> int:
+    from .serve import ReproServer
+
+    server = ReproServer(
+        host=args.host,
+        port=args.port,
+        cache_dir=args.cache,
+        workers=args.workers,
+        batch_window_s=args.batch_window_ms / 1000.0,
+        max_batch=args.max_batch,
+        task_timeout_s=args.task_timeout,
+        verbose=args.verbose,
+    )
+    server.start()
+    cache_note = args.cache if args.cache else "disabled"
+    print(
+        f"# repro serve listening on http://{args.host}:{server.port}/v1/ "
+        f"(workers={args.workers}, cache={cache_note})"
+    )
+    print("#   POST /v1/sweep|trace|chaos|stats|query|batch, "
+          "GET /v1/health|stats; Ctrl-C to stop")
+    try:
+        server.serve_forever()
+    finally:
+        server.stop()
     return 0
 
 
@@ -622,6 +651,13 @@ def build_parser() -> argparse.ArgumentParser:
              "(simulated metrics stay bit-identical)",
     )
     bench_cmd.add_argument(
+        "--cache", metavar="DIR",
+        help="content-addressed result store: shards already present "
+             "(same config, sizes, flags, and code version) are served "
+             "from it without simulating; misses are stored after the "
+             "run (hit/miss stats land in the wallclock half)",
+    )
+    bench_cmd.add_argument(
         "--checkpoint", metavar="DIR",
         help="checkpoint directory: completed shards found there are "
              "skipped, new completions are written there (resumable runs)",
@@ -660,6 +696,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="rewrite benchmarks/perf_baseline.json from this measurement",
     )
     bench_cmd.set_defaults(func=cmd_bench)
+
+    serve_cmd = sub.add_parser(
+        "serve",
+        help="simulation service: HTTP API with batch queue + result cache",
+    )
+    serve_cmd.add_argument("--host", default="127.0.0.1")
+    serve_cmd.add_argument(
+        "--port", type=int, default=8737,
+        help="listen port (default 8737; 0 picks an ephemeral port)",
+    )
+    serve_cmd.add_argument(
+        "--cache", metavar="DIR",
+        help="content-addressed result store (shared with bench --cache); "
+             "omit to simulate every request",
+    )
+    serve_cmd.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for cache-miss batches (default 1 = "
+             "in-process); >1 shards across the self-healing pool",
+    )
+    serve_cmd.add_argument(
+        "--batch-window-ms", type=float, default=50.0,
+        help="how long the dispatcher collects a batch (default 50 ms)",
+    )
+    serve_cmd.add_argument(
+        "--max-batch", type=int, default=32,
+        help="largest request batch per dispatch cycle (default 32)",
+    )
+    serve_cmd.add_argument(
+        "--task-timeout", type=float, default=600.0,
+        help="per-request watchdog timeout for pooled execution "
+             "(default 600 s)",
+    )
+    serve_cmd.add_argument("--verbose", action="store_true",
+                           help="log every HTTP request")
+    serve_cmd.set_defaults(func=cmd_serve)
     return parser
 
 

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
 import numpy as np
@@ -38,10 +38,10 @@ from ..hw.config import SeaStarConfig
 from ..hw.dma import DepositPlan, Transmission
 from ..hw.seastar import SeaStar
 from ..net.packet import WireChunk, chunk_message
-from ..portals.constants import EventKind, MsgType
+from ..portals.constants import MsgType
 from ..portals.errors import NicPanic
 from ..portals.header import PortalsHeader, ProcessId
-from ..portals.matching import MatchStatus, commit_operation, match_request
+from ..portals.matching import commit_operation, match_request
 from ..sim import Channel, Counters, Event, Simulator
 from .commands import (
     FwEvent,

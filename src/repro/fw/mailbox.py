@@ -12,7 +12,7 @@ the paper).
 
 from __future__ import annotations
 
-from typing import Any, Generator, Optional
+from typing import Any, Generator
 
 from ..sim import Channel, Counters, Event, Simulator
 

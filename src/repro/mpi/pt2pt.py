@@ -32,7 +32,7 @@ necessary — so envelope ordering is preserved.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Generator, Optional
 
 import numpy as np

@@ -25,10 +25,8 @@ from __future__ import annotations
 
 import enum
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Optional
-
-import numpy as np
 
 from ..fw.commands import (
     FwEvent,

@@ -36,7 +36,6 @@ from .errors import (
     PtlMDInUse,
     PtlProcessInvalid,
 )
-from .events import PortalsEvent
 from .header import ProcessId
 from .md import MemoryDescriptor
 from .me import MatchEntry

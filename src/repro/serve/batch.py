@@ -1,0 +1,256 @@
+"""The batch queue: memoized, deduplicated, pool-sharded execution.
+
+Requests from any number of front-end threads funnel into one queue.  A
+single dispatcher thread drains it in small batches (up to
+``max_batch`` requests or ``batch_window_s`` of quiet, whichever first)
+and, per batch:
+
+1. serves every request whose key is already in the content-addressed
+   store — a **hit** costs one JSON read, no simulation, no worker;
+2. deduplicates the rest by key — identical questions asked
+   concurrently simulate **once** and fan the answer back out;
+3. executes the unique misses: inline for a single miss (or when the
+   service runs single-worker), otherwise sharded across the
+   self-healing worker pool (:func:`repro.benchrunner.pool.run_pool`),
+   inheriting its crash/hang tolerance and retry-with-backoff;
+4. stores each fresh result (with its provenance record) back into the
+   same store ``repro bench --cache`` reads, then wakes the waiters.
+
+Every response carries ``cache: hit|miss``, the content address, and
+the artifact's provenance record, so a caller can always answer "where
+did this number come from and under what code version".
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..cache import ResultCache, cache_key, code_version, provenance_record
+from ..benchrunner.pool import PoolTask, run_pool
+from .api import execute_payload, normalize_request
+
+__all__ = ["BatchQueue", "QueueStats", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """A request that failed during execution (HTTP 500)."""
+
+
+@dataclass
+class QueueStats:
+    """Dispatcher accounting, exposed at ``/v1/stats``."""
+
+    requests: int = 0
+    batches: int = 0
+    deduplicated: int = 0
+    executed: int = 0
+    errors: int = 0
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        return {
+            "requests": self.requests,
+            "batches": self.batches,
+            "deduplicated": self.deduplicated,
+            "executed": self.executed,
+            "errors": self.errors,
+        }
+
+
+@dataclass
+class _Pending:
+    request: Dict[str, Any]
+    key: str
+    done: threading.Event = field(default_factory=threading.Event)
+    response: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+
+
+class BatchQueue:
+    """The service's execution core (usable with or without HTTP)."""
+
+    def __init__(
+        self,
+        cache: Optional[ResultCache] = None,
+        *,
+        workers: int = 1,
+        batch_window_s: float = 0.05,
+        max_batch: int = 32,
+        task_timeout_s: float = 600.0,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.cache = cache
+        self.workers = workers
+        self.batch_window_s = batch_window_s
+        self.max_batch = max_batch
+        self.task_timeout_s = task_timeout_s
+        self.stats = QueueStats()
+        self._code = code_version()
+        self._queue: "queue.Queue[_Pending]" = queue.Queue()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-serve-dispatch", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    # -- the front door ------------------------------------------------------
+
+    def submit(
+        self, doc: Any, *, timeout_s: Optional[float] = None
+    ) -> Dict[str, Any]:
+        """Normalize, enqueue, and wait for one request's response.
+
+        Raises :class:`~repro.serve.api.RequestError` on malformed input
+        and :class:`ServiceError` on execution failure or timeout.
+        Thread-safe; any number of callers may block here concurrently.
+        """
+        request = normalize_request(doc)
+        pending = _Pending(request=request, key=cache_key(request, code=self._code))
+        self._queue.put(pending)
+        if not pending.done.wait(timeout=timeout_s):
+            raise ServiceError("request timed out in the batch queue")
+        if pending.error is not None:
+            raise ServiceError(pending.error)
+        assert pending.response is not None
+        return pending.response
+
+    # -- the dispatcher ------------------------------------------------------
+
+    def _loop(self) -> None:  # pragma: no cover - exercised via submit()
+        while not self._stop.is_set():
+            try:
+                first = self._queue.get(timeout=0.05)
+            except queue.Empty:
+                continue
+            batch = [first]
+            deadline = time.monotonic() + self.batch_window_s
+            while len(batch) < self.max_batch:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                try:
+                    batch.append(self._queue.get(timeout=remaining))
+                except queue.Empty:
+                    break
+            try:
+                self._process(batch)
+            except BaseException as exc:  # noqa: BLE001 - wake the waiters
+                for pending in batch:
+                    if not pending.done.is_set():
+                        pending.error = f"{type(exc).__name__}: {exc}"
+                        pending.done.set()
+
+    def _respond_hit(self, pending: _Pending, artifact: Dict[str, Any]) -> None:
+        pending.response = {
+            "cache": "hit",
+            "key": pending.key,
+            "result": artifact["result"],
+            "provenance": artifact["provenance"],
+        }
+        pending.done.set()
+
+    def _process(self, batch: List[_Pending]) -> None:
+        self.stats.batches += 1
+        self.stats.requests += len(batch)
+
+        # 1. cache hits answer immediately
+        waiting: List[_Pending] = []
+        for pending in batch:
+            if self.cache is not None:
+                artifact = self.cache.get(pending.key)
+                if artifact is not None:
+                    self._respond_hit(pending, artifact)
+                    continue
+            waiting.append(pending)
+        if not waiting:
+            return
+
+        # 2. dedup concurrent identical questions
+        unique: Dict[str, _Pending] = {}
+        for pending in waiting:
+            if pending.key in unique:
+                self.stats.deduplicated += 1
+            else:
+                unique[pending.key] = pending
+
+        # 3. execute the unique misses
+        outputs: Dict[str, Dict[str, Any]] = {}
+        failures: Dict[str, str] = {}
+        if self.workers > 1 and len(unique) > 1:
+            tasks = [
+                PoolTask(task_id=key, payload=pending.request)
+                for key, pending in unique.items()
+            ]
+            outcome = run_pool(
+                tasks,
+                execute_payload,
+                workers=self.workers,
+                timeout_s=self.task_timeout_s,
+            )
+            outputs = outcome.results
+            failures = dict(outcome.failed)
+        else:
+            for key, pending in unique.items():
+                try:
+                    outputs[key] = execute_payload(pending.request)
+                except Exception as exc:  # noqa: BLE001 - report per-request
+                    failures[key] = f"{type(exc).__name__}: {exc}"
+        self.stats.executed += len(outputs)
+        self.stats.errors += len(failures)
+
+        # 4. store fresh results, then wake every waiter on each key
+        artifacts: Dict[str, Dict[str, Any]] = {}
+        for key, output in outputs.items():
+            request = unique[key].request
+            if self.cache is not None:
+                artifacts[key] = self.cache.put(
+                    key,
+                    output["result"],
+                    request=request,
+                    kind=request["kind"],
+                    wall_s=output["wall_s"],
+                    workers=self.workers,
+                    code=self._code,
+                )
+            else:
+                artifacts[key] = {
+                    "result": output["result"],
+                    "provenance": provenance_record(
+                        request,
+                        kind=request["kind"],
+                        wall_s=output["wall_s"],
+                        workers=self.workers,
+                        code=self._code,
+                    ),
+                }
+        for pending in waiting:
+            if pending.key in artifacts:
+                artifact = artifacts[pending.key]
+                pending.response = {
+                    "cache": "miss",
+                    "key": pending.key,
+                    "result": artifact["result"],
+                    "provenance": artifact["provenance"],
+                }
+            else:
+                pending.error = failures.get(pending.key, "execution failed")
+            pending.done.set()

@@ -1,0 +1,246 @@
+"""The HTTP front end: ``repro serve``.
+
+Stdlib only (:mod:`http.server`), threaded: each connection gets a
+handler thread that blocks in :meth:`BatchQueue.submit` while the
+dispatcher batches, memoizes, and shards the actual work.  Endpoints:
+
+* ``GET  /v1/health`` — liveness + the code/package versions keys are
+  derived from;
+* ``GET  /v1/stats``  — queue + cache accounting (requests, batches,
+  dedups, hits/misses/stores);
+* ``POST /v1/query``  — one request document (``{"kind": ...}``);
+* ``POST /v1/sweep|trace|chaos|stats`` — same, with ``kind`` implied
+  by the path;
+* ``POST /v1/batch``  — ``{"requests": [...]}``; items succeed or fail
+  independently.
+
+Responses: ``200 {"ok": true, "response": {cache, key, result,
+provenance}}``, ``400`` on validation errors, ``500`` on execution
+failures, ``404``/``405`` elsewhere.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Optional, Tuple
+
+from .. import __version__
+from ..cache import ResultCache, code_version
+from .api import KINDS, RequestError
+from .batch import BatchQueue, ServiceError
+
+__all__ = ["ReproServer"]
+
+#: request bodies larger than this are rejected outright (a canonical
+#: request is a few hundred bytes; this is pure abuse protection)
+MAX_BODY_BYTES = 1 << 20
+
+
+class _Handler(BaseHTTPRequestHandler):
+    # set per-server via type(); never instantiated unbound
+    repro_server: "ReproServer"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ------------------------------------------------------------
+
+    def log_message(self, format: str, *args: Any) -> None:
+        if self.repro_server.verbose:  # pragma: no cover - log formatting
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, doc: Dict[str, Any]) -> None:
+        blob = json.dumps(doc, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(blob)))
+        self.end_headers()
+        self.wfile.write(blob)
+
+    def _read_body(self) -> Any:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise RequestError("request body required")
+        if length > MAX_BODY_BYTES:
+            raise RequestError(f"request body exceeds {MAX_BODY_BYTES} bytes")
+        try:
+            return json.loads(self.rfile.read(length).decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise RequestError(f"request body is not JSON: {exc}") from None
+
+    # -- routes --------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        server = self.repro_server
+        if self.path == "/v1/health":
+            self._send_json(
+                200,
+                {
+                    "ok": True,
+                    "schema": "repro-serve/1",
+                    "package_version": __version__,
+                    "code_version": code_version(),
+                },
+            )
+        elif self.path == "/v1/stats":
+            cache = server.cache
+            self._send_json(
+                200,
+                {
+                    "ok": True,
+                    "queue": server.queue.stats.to_jsonable(),
+                    "cache": cache.stats.to_jsonable() if cache else None,
+                    "workers": server.queue.workers,
+                },
+            )
+        else:
+            self._send_json(404, {"ok": False, "error": f"no route {self.path}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        server = self.repro_server
+        try:
+            doc = self._read_body()
+        except RequestError as exc:
+            self._send_json(400, {"ok": False, "error": str(exc)})
+            return
+        if self.path == "/v1/batch":
+            self._post_batch(doc)
+            return
+        if self.path == "/v1/query":
+            pass  # kind comes from the body
+        elif self.path.startswith("/v1/") and self.path[4:] in KINDS:
+            if isinstance(doc, dict):
+                doc = {**doc, "kind": self.path[4:]}
+        else:
+            self._send_json(404, {"ok": False, "error": f"no route {self.path}"})
+            return
+        status, response = server.handle(doc)
+        self._send_json(status, response)
+
+    def _post_batch(self, doc: Any) -> None:
+        requests = doc.get("requests") if isinstance(doc, dict) else None
+        if not isinstance(requests, list) or not requests:
+            self._send_json(
+                400,
+                {"ok": False, "error": "batch body must be {'requests': [...]}"},
+            )
+            return
+        responses: List[Dict[str, Any]] = []
+        threads: List[threading.Thread] = []
+        slots: List[Optional[Tuple[int, Dict[str, Any]]]] = [None] * len(requests)
+
+        def run(i: int, item: Any) -> None:
+            slots[i] = self.repro_server.handle(item)
+
+        # one waiter thread per item so the whole batch lands in the same
+        # dispatcher window and dedups/shards together
+        for i, item in enumerate(requests):
+            t = threading.Thread(target=run, args=(i, item), daemon=True)
+            t.start()
+            threads.append(t)
+        for t in threads:
+            t.join()
+        ok = True
+        for slot in slots:
+            assert slot is not None
+            status, response = slot
+            ok = ok and status == 200
+            responses.append(response)
+        self._send_json(200 if ok else 207, {"ok": ok, "responses": responses})
+
+
+class ReproServer:
+    """The simulation service: batch queue + cache + HTTP listener.
+
+    ``port=0`` binds an ephemeral port (see :attr:`port` after
+    :meth:`start`).  ``cache_dir=None`` disables memoization — every
+    request simulates — but provenance records are still attached.
+    """
+
+    def __init__(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        cache_dir: Optional[str] = None,
+        workers: int = 1,
+        batch_window_s: float = 0.05,
+        max_batch: int = 32,
+        task_timeout_s: float = 600.0,
+        request_timeout_s: float = 600.0,
+        verbose: bool = False,
+    ) -> None:
+        self.host = host
+        self._requested_port = port
+        self.request_timeout_s = request_timeout_s
+        self.verbose = verbose
+        self.cache = ResultCache(cache_dir) if cache_dir is not None else None
+        self.queue = BatchQueue(
+            self.cache,
+            workers=workers,
+            batch_window_s=batch_window_s,
+            max_batch=max_batch,
+            task_timeout_s=task_timeout_s,
+        )
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    # -- request handling (usable without sockets) ---------------------------
+
+    def handle(self, doc: Any) -> Tuple[int, Dict[str, Any]]:
+        """Process one request document; returns (status, response)."""
+        try:
+            response = self.queue.submit(doc, timeout_s=self.request_timeout_s)
+        except RequestError as exc:
+            return 400, {"ok": False, "error": str(exc)}
+        except ServiceError as exc:
+            return 500, {"ok": False, "error": str(exc)}
+        return 200, {"ok": True, "response": response}
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound port (only meaningful after :meth:`start`)."""
+        if self._httpd is None:
+            return self._requested_port
+        return int(self._httpd.server_address[1])
+
+    def start(self) -> None:
+        """Bind, start the dispatcher, and serve in a background thread."""
+        if self._httpd is not None:
+            return
+        handler = type("BoundHandler", (_Handler,), {"repro_server": self})
+        self._httpd = ThreadingHTTPServer(
+            (self.host, self._requested_port), handler
+        )
+        self._httpd.daemon_threads = True
+        self.queue.start()
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-serve-http",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self.queue.stop()
+
+    def serve_forever(self) -> None:  # pragma: no cover - interactive entry
+        """Foreground entry for the CLI: blocks until interrupted."""
+        self.start()
+        assert self._thread is not None
+        try:
+            while self._thread.is_alive():
+                self._thread.join(timeout=1.0)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.stop()

@@ -1,0 +1,311 @@
+"""The content-addressed result cache: key canonicalization, the
+torn-write-safe store, and its integration with ``run_bench``.
+
+The load-bearing properties:
+
+* keys are **stable** across everything that cannot change a simulated
+  result (dict ordering, tuple/list spelling, worker counts) and
+  **distinct** across everything that can (seed, sizes, fault plan,
+  code version);
+* unreadable artifacts — torn JSON from a SIGKILLed writer included —
+  load as plain misses, never wrong answers;
+* ``bench --cache`` is byte-identical cold, hot, and disabled, and a
+  warm re-run performs zero simulation work.
+"""
+
+import json
+import multiprocessing
+import os
+
+import pytest
+
+from repro.benchrunner import (
+    discover_shards,
+    run_bench,
+    shard_cache_request,
+    simulated_json,
+)
+from repro.benchrunner.pool import TEST_KILL_WRITE_ENV
+from repro.cache import ResultCache, cache_key, canonical_blob, code_version
+
+
+# -- key canonicalization ----------------------------------------------------
+
+
+class TestCacheKey:
+    def test_stable_across_dict_ordering(self):
+        a = {"kind": "sweep", "module": "put", "sizes": [1, 1024], "hops": 1}
+        b = {"hops": 1, "sizes": [1, 1024], "module": "put", "kind": "sweep"}
+        assert cache_key(a, code="c") == cache_key(b, code="c")
+
+    def test_stable_across_tuple_list_spelling(self):
+        a = {"kind": "sweep", "sizes": (1, 1024)}
+        b = {"kind": "sweep", "sizes": [1, 1024]}
+        assert cache_key(a, code="c") == cache_key(b, code="c")
+
+    def test_nested_dicts_sorted_too(self):
+        a = {"kind": "x", "cfg": {"alpha": 1, "beta": 2}}
+        b = {"cfg": {"beta": 2, "alpha": 1}, "kind": "x"}
+        assert canonical_blob(a) == canonical_blob(b)
+
+    def test_distinct_across_seed(self):
+        a = {"kind": "chaos", "plan": "drop-1pct", "seed": 0}
+        b = {"kind": "chaos", "plan": "drop-1pct", "seed": 1}
+        assert cache_key(a, code="c") != cache_key(b, code="c")
+
+    def test_distinct_across_sizes(self):
+        a = {"kind": "sweep", "sizes": [1, 1024]}
+        b = {"kind": "sweep", "sizes": [1, 2048]}
+        assert cache_key(a, code="c") != cache_key(b, code="c")
+
+    def test_distinct_across_fault_plan(self):
+        a = {"kind": "chaos", "plan": "drop-1pct", "seed": 0}
+        b = {"kind": "chaos", "plan": "flap-mid", "seed": 0}
+        assert cache_key(a, code="c") != cache_key(b, code="c")
+
+    def test_distinct_across_code_version(self):
+        req = {"kind": "sweep", "sizes": [1]}
+        assert cache_key(req, code="aaaa") != cache_key(req, code="bbbb")
+
+    def test_unserializable_request_rejected(self):
+        with pytest.raises(TypeError):
+            cache_key({"kind": "x", "bad": object()}, code="c")
+        with pytest.raises(TypeError):
+            cache_key({"kind": "x", "bad": float("nan")}, code="c")
+
+    def test_shard_requests_exclude_execution_strategy(self):
+        """Worker counts / checkpoints / timeouts never fragment keys:
+        the shard request is a pure description of simulated content."""
+        shard = discover_shards(fast=True, filter="fig4/put/d0")[0]
+        req = shard_cache_request(shard, stats=False)
+        assert set(req) == {
+            "kind", "spec", "variant", "chunk", "sizes", "fast", "stats"
+        }
+
+    def test_shard_requests_distinct_across_stats_flag(self):
+        shard = discover_shards(fast=True, filter="fig4/put/d0")[0]
+        plain = shard_cache_request(shard, stats=False)
+        stats = shard_cache_request(shard, stats=True)
+        assert cache_key(plain, code="c") != cache_key(stats, code="c")
+
+
+class TestCodeVersion:
+    def test_same_tree_same_digest(self, tmp_path):
+        (tmp_path / "a.py").write_text("x = 1\n")
+        assert code_version(tmp_path) == code_version(tmp_path)
+
+    def test_content_change_changes_digest(self, tmp_path):
+        a = tmp_path / "t1"
+        b = tmp_path / "t2"
+        for root, body in [(a, "x = 1\n"), (b, "x = 2\n")]:
+            root.mkdir()
+            (root / "mod.py").write_text(body)
+        assert code_version(a) != code_version(b)
+
+    def test_rename_changes_digest(self, tmp_path):
+        a = tmp_path / "t1"
+        b = tmp_path / "t2"
+        a.mkdir(), b.mkdir()
+        (a / "one.py").write_text("x = 1\n")
+        (b / "two.py").write_text("x = 1\n")
+        assert code_version(a) != code_version(b)
+
+    def test_pycache_ignored(self, tmp_path):
+        (tmp_path / "a.py").write_text("x = 1\n")
+        before = code_version(tmp_path)
+        from repro.cache.key import _CODE_VERSION_CACHE
+
+        _CODE_VERSION_CACHE.clear()
+        pyc = tmp_path / "__pycache__"
+        pyc.mkdir()
+        (pyc / "a.cpython-311.py").write_text("junk\n")
+        assert code_version(tmp_path) == before
+
+    def test_running_tree_digest_is_memoized(self):
+        assert code_version() == code_version()
+
+
+# -- the store ---------------------------------------------------------------
+
+
+class TestStore:
+    def test_round_trip_with_provenance(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key({"kind": "x", "n": 1}, code="c")
+        written = cache.put(
+            key,
+            {"value": [1, 2, 3]},
+            request={"kind": "x", "n": 1},
+            kind="x",
+            wall_s=0.25,
+            workers=4,
+            code="c",
+        )
+        loaded = cache.get(key)
+        assert loaded == written
+        assert loaded["result"] == {"value": [1, 2, 3]}
+        prov = loaded["provenance"]
+        assert prov["request"] == {"kind": "x", "n": 1}
+        assert prov["code_version"] == "c"
+        assert prov["wall_s"] == 0.25
+        assert prov["workers"] == 4
+        assert prov["package_version"]
+        assert prov["created_unix"] > 0
+        assert cache.stats.hits == 1 and cache.stats.stores == 1
+
+    def test_absent_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get(cache_key({"kind": "x"}, code="c")) is None
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.0
+
+    def test_torn_file_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key({"kind": "x"}, code="c")
+        cache.put(key, {"v": 1}, request={"kind": "x"}, kind="x", wall_s=0.0)
+        path = cache.path_for(key)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+        assert cache.get(key) is None
+
+    def test_foreign_and_mismatched_files_are_misses(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key({"kind": "x"}, code="c")
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True)
+        path.write_text("not json at all")
+        assert cache.get(key) is None
+        path.write_text(json.dumps({"schema": "other/1", "result": 1}))
+        assert cache.get(key) is None
+        # right schema, wrong key inside (a mis-filed artifact)
+        path.write_text(
+            json.dumps(
+                {
+                    "schema": "repro-cache/1",
+                    "key": "0" * 64,
+                    "result": 1,
+                    "provenance": {},
+                }
+            )
+        )
+        assert cache.get(key) is None
+
+    def test_malformed_key_rejected(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        with pytest.raises(ValueError, match="malformed"):
+            cache.path_for("../../etc/passwd")
+
+    def test_contains_does_not_touch_stats(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key({"kind": "x"}, code="c")
+        assert not cache.contains(key)
+        cache.put(key, 1, request={"kind": "x"}, kind="x", wall_s=0.0)
+        assert cache.contains(key)
+        assert cache.stats.hits == 0 and cache.stats.misses == 0
+
+
+def _put_then_die(root: str, key: str) -> None:
+    """Spawned child: the kill-write hook SIGKILLs us mid-write."""
+    cache = ResultCache(root)
+    cache.put(key, {"v": 1}, request={"kind": "x"}, kind="x", wall_s=0.0)
+
+
+class TestKillDuringWrite:
+    def test_sigkill_mid_write_leaves_a_miss(self, tmp_path, monkeypatch):
+        """A writer SIGKILLed halfway through (at the final path,
+        bypassing the atomic rename — the pool's worst-case hook) leaves
+        a torn artifact the read path must absorb as a miss."""
+        cache = ResultCache(tmp_path)
+        key = cache_key({"kind": "x", "n": 1}, code="c")
+        monkeypatch.setenv(TEST_KILL_WRITE_ENV, key[:16])
+        ctx = multiprocessing.get_context("spawn")
+        proc = ctx.Process(target=_put_then_die, args=(str(tmp_path), key))
+        proc.start()
+        proc.join(timeout=60)
+        assert proc.exitcode == -9  # died by SIGKILL, mid-write
+        path = cache.path_for(key)
+        assert path.exists() and path.stat().st_size > 0  # torn, not absent
+        monkeypatch.delenv(TEST_KILL_WRITE_ENV)
+        assert cache.get(key) is None
+        assert cache.stats.misses == 1
+        # and the torn artifact is simply overwritten by the next put
+        cache.put(key, {"v": 2}, request={"kind": "x", "n": 1}, kind="x", wall_s=0.0)
+        assert cache.get(key)["result"] == {"v": 2}
+
+
+# -- run_bench integration ---------------------------------------------------
+
+
+FILTER = "fig4/put"  # 4 shards: enough to exercise every path, fast
+
+
+class TestBenchCache:
+    def test_cold_hot_disabled_byte_identical(self, tmp_path):
+        cold = run_bench(fast=True, filter=FILTER, cache_dir=str(tmp_path))
+        hot = run_bench(fast=True, filter=FILTER, cache_dir=str(tmp_path))
+        off = run_bench(fast=True, filter=FILTER)
+        assert (
+            simulated_json(cold) == simulated_json(hot) == simulated_json(off)
+        )
+        assert "cache" not in off["wallclock"]
+
+    def test_warm_rerun_is_zero_simulation_work(self, tmp_path):
+        cold = run_bench(fast=True, filter=FILTER, cache_dir=str(tmp_path))
+        n = len(discover_shards(fast=True, filter=FILTER))
+        assert cold["wallclock"]["cache"]["misses"] == n
+        assert cold["wallclock"]["cache"]["stores"] == n
+        hot = run_bench(fast=True, filter=FILTER, cache_dir=str(tmp_path))
+        stats = hot["wallclock"]["cache"]
+        assert stats["hits"] == n and stats["misses"] == 0
+        assert stats["stores"] == 0  # nothing simulated, nothing written
+        assert stats["hit_rate"] == 1.0
+        assert len(stats["cached_shards"]) == n
+
+    def test_worker_count_never_fragments_keys(self, tmp_path):
+        """A store warmed serially serves a pooled run at 100% hits (and
+        vice versa): execution strategy is not part of the key."""
+        serial = run_bench(fast=True, filter=FILTER, cache_dir=str(tmp_path))
+        pooled = run_bench(
+            fast=True, filter=FILTER, cache_dir=str(tmp_path), workers=2
+        )
+        assert pooled["wallclock"]["cache"]["misses"] == 0
+        assert simulated_json(serial) == simulated_json(pooled)
+
+    def test_torn_artifact_re_simulates_that_shard_only(self, tmp_path):
+        cold = run_bench(fast=True, filter=FILTER, cache_dir=str(tmp_path))
+        n = cold["wallclock"]["cache"]["misses"]
+        # tear one stored artifact mid-file
+        objects = sorted((tmp_path / "objects").rglob("*.json"))
+        blob = objects[0].read_bytes()
+        objects[0].write_bytes(blob[: len(blob) // 2])
+        rerun = run_bench(fast=True, filter=FILTER, cache_dir=str(tmp_path))
+        stats = rerun["wallclock"]["cache"]
+        assert stats["misses"] == 1 and stats["hits"] == n - 1
+        assert stats["stores"] == 1  # the torn entry was re-simulated + rewritten
+        assert simulated_json(rerun) == simulated_json(cold)
+
+    def test_stats_flag_keys_separately_and_stays_identical(self, tmp_path):
+        plain = run_bench(fast=True, filter=FILTER, cache_dir=str(tmp_path))
+        withstats = run_bench(
+            fast=True, filter=FILTER, cache_dir=str(tmp_path), stats=True
+        )
+        # different question (utilization appendix) -> all misses
+        assert withstats["wallclock"]["cache"]["misses"] > 0
+        assert "utilization" in withstats
+        # but the gated figures half is the same bytes either way
+        assert simulated_json(plain) == simulated_json(withstats)
+        # and a warm stats re-run serves the appendix from cache too
+        again = run_bench(
+            fast=True, filter=FILTER, cache_dir=str(tmp_path), stats=True
+        )
+        assert again["wallclock"]["cache"]["misses"] == 0
+        assert again["utilization"] == withstats["utilization"]
+
+    def test_summary_reports_cache_line(self, tmp_path):
+        from repro.benchrunner import format_run_summary
+
+        run_bench(fast=True, filter=FILTER, cache_dir=str(tmp_path))
+        hot = run_bench(fast=True, filter=FILTER, cache_dir=str(tmp_path))
+        summary = format_run_summary(hot)
+        assert "result cache:" in summary
+        assert "100% hit rate" in summary
