@@ -33,6 +33,9 @@ class SweepSpec:
     max_bytes: int = 0  # figures only
     perturbation: int = 3  # full-mode size schedule perturbation
     extra_sizes: Tuple[int, ...] = ()  # always measured, even in fast mode
+    #: the sweep can run under the conservative parallel DES driver
+    #: (repro.sim.parallel); ``--partitions N`` applies only to these
+    partitionable: bool = False
 
 
 #: the registry, in report order.
@@ -100,6 +103,12 @@ SPECS: Dict[str, SweepSpec] = {
             kind="ablation",
         ),
         SweepSpec(
+            name="redstorm_plane",
+            title="Red Storm whole-plane traffic: neighbor, incast, tree",
+            kind="ablation",
+            partitionable=True,
+        ),
+        SweepSpec(
             name="inline_overheads",
             title="Inline: NULL-trap and interrupt costs",
             kind="ablation",
@@ -122,6 +131,11 @@ class Shard:
     chunk: int = 0  # decade index; -1 for unsharded (ablation) specs
     sizes: Tuple[int, ...] = ()
     fast: bool = False
+    #: parallel-DES partition count (partitionable specs only).  An
+    #: execution strategy, not simulated content: results are
+    #: byte-identical for every value, so it is absent from the cache
+    #: request (see executor.shard_cache_request).
+    partitions: int = 1
 
     @property
     def shard_id(self) -> str:
@@ -146,12 +160,18 @@ def _decade(nbytes: int) -> int:
     return int(math.floor(math.log10(nbytes))) if nbytes >= 10 else 0
 
 
-def discover_shards(*, fast: bool = False, filter: Optional[str] = None) -> List[Shard]:
+def discover_shards(
+    *,
+    fast: bool = False,
+    filter: Optional[str] = None,
+    partitions: int = 1,
+) -> List[Shard]:
     """Expand the registry into the shard list a run executes.
 
     ``filter`` keeps only shard ids containing the substring (debug aid;
     note that figure-level anchors are then derived from a partial
-    series).
+    series).  ``partitions`` > 1 runs partitionable specs under the
+    conservative parallel DES driver; all other shards are unaffected.
     """
     shards: List[Shard] = []
     for spec in SPECS.values():
@@ -172,7 +192,15 @@ def discover_shards(*, fast: bool = False, filter: Optional[str] = None) -> List
                         )
                     )
         else:
-            shards.append(Shard(spec=spec.name, variant="default", chunk=-1, fast=fast))
+            shards.append(
+                Shard(
+                    spec=spec.name,
+                    variant="default",
+                    chunk=-1,
+                    fast=fast,
+                    partitions=max(1, partitions) if spec.partitionable else 1,
+                )
+            )
     if filter:
         shards = [s for s in shards if filter in s.shard_id]
     return shards

@@ -142,6 +142,55 @@ def _run_redstorm_distance(fast: bool) -> Dict[str, float]:
     return out
 
 
+#: per-scenario message payloads for the whole-plane Red Storm sweep
+_PLANE_MSG_BYTES = {"neighbor": 2048, "incast": 4096, "tree": 8192}
+
+
+def plane_dims(fast: bool) -> tuple:
+    """Plane sweep topology: >= 1k nodes even in fast mode."""
+    return (16, 8, 8) if fast else (27, 16, 24)
+
+
+def _run_redstorm_plane(fast: bool, partitions: int = 1) -> Dict[str, float]:
+    """Whole-plane traffic over a Red Storm-shaped machine.
+
+    Three canonical patterns — nearest-neighbor exchange, incast onto
+    node 0, binomial broadcast tree — over >= 1k simulated nodes
+    ((16, 8, 8) fast, full Red Storm (27, 16, 24) otherwise), mesh in
+    x/y and torus in z.  ``partitions`` > 1 runs each scenario under the
+    conservative parallel DES driver (repro.sim.parallel); the metrics
+    are byte-identical for every partition count — that is the
+    exactness contract the differential harness enforces — so the
+    partition count never appears in the metric set.
+
+    The pool transport spawns one process per partition, which
+    daemonic pool workers are forbidden to do; inside one (run_bench
+    routes partitioned shards around the pool, so only a partitions=1
+    shard should ever land here) we degrade to the in-process memory
+    transport, which runs the identical round protocol.
+    """
+    import multiprocessing
+
+    from ..sim.parallel import (
+        PlaneScenario,
+        result_metrics,
+        run_scenario,
+    )
+
+    dims = plane_dims(fast)
+    transport = "pool"
+    if multiprocessing.current_process().daemon:  # pragma: no cover - defensive
+        transport = "memory"
+    out: Dict[str, float] = {}
+    for name in ("neighbor", "incast", "tree"):
+        scenario = PlaneScenario(
+            name=name, dims=dims, msg_bytes=_PLANE_MSG_BYTES[name]
+        )
+        run = run_scenario(scenario, partitions, transport=transport)
+        out.update(result_metrics(run["result"]))
+    return out
+
+
 def _run_inline_overheads(fast: bool) -> Dict[str, float]:
     from ..hw.config import SeaStarConfig
     from ..hw.processors import Opteron
@@ -206,6 +255,7 @@ _ABLATIONS: Dict[str, Callable[[bool], Dict[str, float]]] = {
     "ablation_interrupt_cost": _run_ablation_interrupt_cost,
     "ablation_crc": _run_ablation_crc,
     "redstorm_distance": _run_redstorm_distance,
+    "redstorm_plane": _run_redstorm_plane,
     "inline_overheads": _run_inline_overheads,
     "inline_sram": _run_inline_sram,
 }
@@ -257,7 +307,11 @@ def execute_shard(shard: Shard, *, stats: bool = False) -> ShardResult:
             utilization=utilization,
         )
     else:
-        metrics = _ABLATIONS[shard.spec](shard.fast)
+        if shard.spec == "redstorm_plane":
+            # the one spec that threads the parallel-DES partition count
+            metrics = _run_redstorm_plane(shard.fast, partitions=shard.partitions)
+        else:
+            metrics = _ABLATIONS[shard.spec](shard.fast)
         result = ShardResult(
             shard_id=shard.shard_id,
             figure=shard.spec,
@@ -279,8 +333,10 @@ def shard_cache_request(shard: Shard, *, stats: bool) -> Dict[str, Any]:
 
     Everything that can change the result is here (spec, variant, the
     exact size list, fast-mode flag, whether the metrics appendix runs);
-    everything that cannot (worker count, checkpoint dirs, timeouts) is
-    deliberately absent, so any execution strategy shares one key.
+    everything that cannot (worker count, checkpoint dirs, timeouts,
+    the parallel-DES partition count — partitioned results are
+    byte-identical to serial by the exactness contract) is deliberately
+    absent, so any execution strategy shares one key.
     """
     return {
         "kind": "bench-shard",
@@ -303,6 +359,7 @@ def run_bench(
     shard_timeout_s: float = 1800.0,
     checkpoint_dir: Optional[str] = None,
     cache_dir: Optional[str] = None,
+    partitions: int = 1,
 ) -> Dict[str, Any]:
     """Run the discovered shard set; return the results document.
 
@@ -324,8 +381,17 @@ def run_bench(
     worker); misses simulate as usual and are stored afterwards.
     Hit/miss accounting lands under ``wallclock.cache``.  Cold, hot, or
     disabled, the gated ``figures`` half is byte-identical.
+
+    ``partitions`` > 1 runs partitionable sweeps (redstorm_plane) under
+    the conservative parallel DES driver.  The pool transport spawns
+    one process per partition, and daemonic pool workers may not spawn
+    children, so when shards fan out (``workers`` > 1) the partitioned
+    shards run in the parent process alongside the pool — they bring
+    their own parallelism.  Results are byte-identical for every
+    partition count (asserted by tests/test_parallel_sim.py), so a
+    cached serial result legitimately serves a partitioned request.
     """
-    shards = discover_shards(fast=fast, filter=filter)
+    shards = discover_shards(fast=fast, filter=filter, partitions=partitions)
     if not shards:
         raise ValueError(f"no shards match filter {filter!r}")
     t0 = time.perf_counter()
@@ -364,26 +430,39 @@ def run_bench(
             if progress:
                 progress(f"{res.shard_id}: {res.wall_s:.2f}s")
     elif pending:
-        tasks = [
-            PoolTask(task_id=shard.shard_id, payload=(shard, stats))
-            for shard in pending
-        ]
-        outcome = run_pool(
-            tasks,
-            _pool_worker,
-            workers=workers,
-            timeout_s=shard_timeout_s,
-            checkpoint_dir=checkpoint_dir,
-            progress=progress,
-        )
-        if outcome.failed:
-            detail = "; ".join(
-                f"{tid}: {err}" for tid, err in sorted(outcome.failed.items())
+        # partitioned shards spawn their own per-partition processes,
+        # which a daemonic pool worker cannot; run them in the parent
+        inparent = [s for s in pending if s.partitions > 1]
+        pooled = [s for s in pending if s.partitions <= 1]
+        for shard in inparent:
+            res = execute_shard(shard, stats=stats)
+            by_id[shard.shard_id] = res
+            if progress:
+                progress(
+                    f"{res.shard_id}: {res.wall_s:.2f}s "
+                    f"({shard.partitions} partitions, in-parent)"
+                )
+        if pooled:
+            tasks = [
+                PoolTask(task_id=shard.shard_id, payload=(shard, stats))
+                for shard in pooled
+            ]
+            outcome = run_pool(
+                tasks,
+                _pool_worker,
+                workers=workers,
+                timeout_s=shard_timeout_s,
+                checkpoint_dir=checkpoint_dir,
+                progress=progress,
             )
-            raise RuntimeError(f"shards failed permanently: {detail}")
-        by_id.update(outcome.results)
-        degradations = outcome.degradations
-        resumed = outcome.resumed
+            if outcome.failed:
+                detail = "; ".join(
+                    f"{tid}: {err}" for tid, err in sorted(outcome.failed.items())
+                )
+                raise RuntimeError(f"shards failed permanently: {detail}")
+            by_id.update(outcome.results)
+            degradations = outcome.degradations
+            resumed = outcome.resumed
 
     if cache is not None:
         for shard in pending:

@@ -333,13 +333,18 @@ def cmd_bench(args) -> int:
             check_regression,
             format_perf_report,
             load_baseline,
+            measure_plane_scaling,
             run_perf_smoke,
             save_baseline,
         )
 
         result = run_perf_smoke(reps=args.perf_reps)
         if args.update_perf_baseline:
-            save_baseline(result, DEFAULT_BASELINE_PATH)
+            save_baseline(
+                result,
+                DEFAULT_BASELINE_PATH,
+                plane_scaling=measure_plane_scaling(),
+            )
             print(f"# wrote {DEFAULT_BASELINE_PATH}")
         baseline = load_baseline(DEFAULT_BASELINE_PATH)
         report = format_perf_report(result, baseline)
@@ -374,10 +379,13 @@ def cmd_bench(args) -> int:
 
     progress = None if args.quiet else (lambda line: print(f"  {line}"))
     if not args.quiet:
-        shards = discover_shards(fast=args.fast, filter=args.filter)
+        shards = discover_shards(
+            fast=args.fast, filter=args.filter, partitions=args.partitions
+        )
+        part_note = f", partitions={args.partitions}" if args.partitions > 1 else ""
         print(
             f"# repro bench: {len(shards)} shards, workers={args.workers}, "
-            f"mode={'fast' if args.fast else 'full'}"
+            f"mode={'fast' if args.fast else 'full'}{part_note}"
         )
     results = run_bench(
         fast=args.fast,
@@ -388,6 +396,7 @@ def cmd_bench(args) -> int:
         shard_timeout_s=args.shard_timeout,
         checkpoint_dir=args.checkpoint,
         cache_dir=args.cache,
+        partitions=args.partitions,
     )
     save_results(results, Path(args.out))
     print(f"# wrote {args.out}")
@@ -616,6 +625,12 @@ def build_parser() -> argparse.ArgumentParser:
     bench_cmd.add_argument(
         "--workers", type=int, default=1,
         help="worker processes for the sweep pool (default 1 = serial)",
+    )
+    bench_cmd.add_argument(
+        "--partitions", type=int, default=1,
+        help="parallel-DES partition count for partitionable sweeps "
+             "(redstorm_plane); every value produces byte-identical "
+             "results — the differential harness enforces it",
     )
     bench_cmd.add_argument(
         "--fast", action="store_true",

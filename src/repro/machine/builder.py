@@ -7,6 +7,7 @@ costs nothing until nodes are actually booted.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Optional
 
 from ..faults.injector import FaultInjector
@@ -19,7 +20,79 @@ from ..oskern.kernel import OSType
 from ..sim import Simulator
 from .node import Node
 
-__all__ = ["Machine", "build_pair", "build_redstorm"]
+__all__ = [
+    "Machine",
+    "PartitionPlan",
+    "build_pair",
+    "build_redstorm",
+    "partition_nodes",
+]
+
+
+@dataclass(frozen=True)
+class PartitionPlan:
+    """A slab decomposition of a :class:`Torus3D` for parallel DES.
+
+    Partitions are contiguous half-open coordinate ranges along one
+    axis; every partition is a union of full coordinate planes, so the
+    minimum cross-partition route cost depends only on the axis ranges
+    (see :func:`repro.net.routing.slab_cut_hops`).  ``nodes[i]`` lists
+    the node ids owned by partition ``i``; every node appears in exactly
+    one partition.
+    """
+
+    axis: int
+    ranges: tuple[tuple[int, int], ...]
+    nodes: tuple[tuple[int, ...], ...]
+
+    @property
+    def nparts(self) -> int:
+        return len(self.ranges)
+
+    def owner_of(self, topo: Torus3D, node: int) -> int:
+        """Partition index owning ``node`` (O(nparts))."""
+        c = topo.coord(node)
+        v = (c.x, c.y, c.z)[self.axis]
+        for idx, (lo, hi) in enumerate(self.ranges):
+            if lo <= v < hi:
+                return idx
+        raise ValueError(f"node {node} outside every slab range")
+
+
+def partition_nodes(
+    topo: Torus3D, nparts: int, axis: Optional[int] = None
+) -> PartitionPlan:
+    """Split a topology into ``nparts`` balanced slabs for parallel DES.
+
+    The slab axis defaults to the largest dimension (most room to cut).
+    Slab extents differ by at most one plane.  ``nparts`` is clamped to
+    the axis extent — a partition must own at least one full plane, or
+    its cross-partition lookahead would be undefined.
+    """
+    if nparts < 1:
+        raise ValueError("nparts must be >= 1")
+    if axis is None:
+        axis = max(range(3), key=lambda a: topo.dims[a])
+    if axis not in (0, 1, 2):
+        raise ValueError(f"axis must be 0, 1 or 2, got {axis}")
+    extent = topo.dims[axis]
+    eff = min(nparts, extent)
+    ranges = tuple(((extent * k) // eff, (extent * (k + 1)) // eff) for k in range(eff))
+    buckets: list[list[int]] = [[] for _ in range(eff)]
+    # node ids are x-fastest; walking them in order keeps each bucket
+    # sorted without a per-bucket sort afterwards
+    for node in range(topo.num_nodes):
+        c = topo.coord(node)
+        v = (c.x, c.y, c.z)[axis]
+        for idx, (lo, hi) in enumerate(ranges):
+            if lo <= v < hi:
+                buckets[idx].append(node)
+                break
+    return PartitionPlan(
+        axis=axis,
+        ranges=ranges,
+        nodes=tuple(tuple(b) for b in buckets),
+    )
 
 
 class Machine:

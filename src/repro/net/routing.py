@@ -10,9 +10,19 @@ would.  Dimension-ordered (x, then y, then z) routing fills the tables.
 
 from __future__ import annotations
 
+from typing import Iterable, Sequence
+
 from .topology import Coord, Torus3D
 
-__all__ = ["RouteTable", "Router", "build_route_tables", "route_path"]
+__all__ = [
+    "RouteTable",
+    "Router",
+    "build_route_tables",
+    "route_path",
+    "axis_span_hops",
+    "slab_cut_hops",
+    "min_cut_hops",
+]
 
 
 class RouteTable:
@@ -147,3 +157,88 @@ class Router:
             cached = len(self.path(src, dst)) - 1
             self._hops_cache[key] = cached
         return cached
+
+
+# -- partition-cut geometry --------------------------------------------------
+# The conservative parallel driver (repro.sim.parallel) partitions a
+# machine into slabs of full coordinate planes along one axis and needs,
+# for every partition pair, the minimum dimension-ordered-route hop count
+# any cross-partition message can take: that minimum times the per-hop
+# link latency is the lookahead that lets partitions advance safely.
+# Dimension-ordered routes are minimal (len(path)-1 == topo.distance;
+# tests/test_net_routing.py asserts this on the full Red Storm geometry),
+# so the cut cost reduces to coordinate distance along the slab axis —
+# two full planes always contain a node pair agreeing on every other
+# axis.
+
+
+def axis_span_hops(
+    topo: Torus3D, axis: int, coords_a: Iterable[int], coords_b: Iterable[int]
+) -> int:
+    """Minimum per-axis hop distance between two sets of coordinate values.
+
+    Honors the axis's wrap flag exactly as :meth:`Torus3D.distance` does.
+    Coordinate sets are small (bounded by the axis extent), so the exact
+    min over the cross product is cheap and closed-form-free.
+    """
+    if axis not in (0, 1, 2):
+        raise ValueError(f"axis must be 0, 1 or 2, got {axis}")
+    size = topo.dims[axis]
+    wrap = topo.wrap[axis] and size > 1
+    best: int | None = None
+    for a in coords_a:
+        for b in coords_b:
+            d = abs(a - b)
+            if wrap:
+                d = min(d, size - d)
+            if best is None or d < best:
+                best = d
+    if best is None:
+        raise ValueError("coordinate sets must be non-empty")
+    return best
+
+
+def slab_cut_hops(
+    topo: Torus3D, axis: int, ranges: Sequence[tuple[int, int]]
+) -> list[list[int]]:
+    """Pairwise minimum route hops between axis-aligned slab partitions.
+
+    ``ranges`` holds half-open ``[lo, hi)`` coordinate intervals along
+    ``axis``; each slab is the set of full planes at those coordinates.
+    Returns the symmetric matrix ``H`` with ``H[i][j]`` the minimum hop
+    count of any dimension-ordered route from slab ``i`` to slab ``j``
+    (0 on the diagonal).
+    """
+    spans = [list(range(lo, hi)) for lo, hi in ranges]
+    for (lo, hi), span in zip(ranges, spans):
+        if not span:
+            raise ValueError(f"empty slab range [{lo}, {hi})")
+    n = len(spans)
+    out = [[0] * n for _ in range(n)]
+    for i in range(n):
+        for j in range(i + 1, n):
+            hops = axis_span_hops(topo, axis, spans[i], spans[j])
+            out[i][j] = hops
+            out[j][i] = hops
+    return out
+
+
+def min_cut_hops(
+    topo: Torus3D, nodes_a: Iterable[int], nodes_b: Iterable[int]
+) -> int:
+    """Exact minimum route hops between two arbitrary node sets.
+
+    Brute force over the cross product via :meth:`Torus3D.distance` —
+    quadratic, so only for small topologies; the property suite uses it
+    to cross-check :func:`slab_cut_hops` on random tori.
+    """
+    best: int | None = None
+    nodes_b = list(nodes_b)
+    for a in nodes_a:
+        for b in nodes_b:
+            d = topo.distance(a, b)
+            if best is None or d < best:
+                best = d
+    if best is None:
+        raise ValueError("node sets must be non-empty")
+    return best

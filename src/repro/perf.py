@@ -35,6 +35,7 @@ __all__ = [
     "PerfResult",
     "DEFAULT_BASELINE_PATH",
     "measure_sweep",
+    "measure_plane_scaling",
     "run_perf_smoke",
     "load_baseline",
     "save_baseline",
@@ -83,6 +84,39 @@ def measure_sweep() -> tuple[int, float]:
     return runner.machine.sim.events_scheduled, wall
 
 
+#: the plane-scaling workload: >= 1k nodes, the fast-mode plane dims
+_PLANE_DIMS = (16, 8, 8)
+
+
+def measure_plane_scaling(partitions: tuple = (1, 2, 4)) -> dict:
+    """Single-process vs partitioned events/sec for the >= 1k-node plane.
+
+    Strictly informational — never gated.  The conservative driver pays
+    real synchronization cost (round barriers, exchange files, process
+    spawns) to prove byte-identity, so partitioned wall clock on a small
+    fast-mode plane is expected to *lose* to serial; the number is
+    recorded so the crossover is visible as scenarios grow.
+    """
+    from .sim.parallel import PlaneScenario, run_scenario
+
+    scenario = PlaneScenario(name="neighbor", dims=_PLANE_DIMS, msg_bytes=2048)
+    out: dict = {"scenario": "neighbor", "dims": list(_PLANE_DIMS)}
+    for nparts in partitions:
+        t0 = time.perf_counter()
+        run = run_scenario(
+            scenario, nparts, transport="pool" if nparts > 1 else "memory"
+        )
+        wall = time.perf_counter() - t0
+        events = run["info"]["events_scheduled"]
+        out[f"p{nparts}"] = {
+            "partitions": run["info"]["partitions"],
+            "events": events,
+            "wall_s": round(wall, 4),
+            "events_per_sec": round(events / wall, 1),
+        }
+    return out
+
+
 def run_perf_smoke(reps: int = 3) -> PerfResult:
     """Measure the sweep ``reps`` times and keep the fastest wall clock.
 
@@ -120,11 +154,28 @@ def load_baseline(path: Path = DEFAULT_BASELINE_PATH) -> Optional[dict]:
     return json.loads(path.read_text(encoding="utf-8"))
 
 
-def save_baseline(result: PerfResult, path: Path = DEFAULT_BASELINE_PATH) -> None:
-    """Rewrite the committed baseline from ``result``."""
+def save_baseline(
+    result: PerfResult,
+    path: Path = DEFAULT_BASELINE_PATH,
+    *,
+    plane_scaling: Optional[dict] = None,
+) -> None:
+    """Rewrite the committed baseline from ``result``.
+
+    ``plane_scaling`` (informational, never gated) is written when
+    given, else carried over from the existing baseline so an update
+    of the gated sweep numbers does not silently drop it.
+    """
+    doc = result.to_json()
+    if plane_scaling is None:
+        existing = load_baseline(path)
+        if existing:
+            plane_scaling = existing.get("plane_scaling")
+    if plane_scaling is not None:
+        doc["plane_scaling"] = plane_scaling
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(
-        json.dumps(result.to_json(), indent=2, sort_keys=True) + "\n",
+        json.dumps(doc, indent=2, sort_keys=True) + "\n",
         encoding="utf-8",
     )
 
@@ -180,4 +231,15 @@ def format_perf_report(
                 f"note: event count differs from baseline "
                 f"({result.events:,} vs {base_events:,})"
             )
+        plane = baseline.get("plane_scaling")
+        if plane:
+            parts = [
+                f"{key[1:]}p {val['events_per_sec']:,.0f} ev/s"
+                for key, val in sorted(plane.items())
+                if key.startswith("p") and isinstance(val, dict)
+            ]
+            if parts:
+                lines.append(
+                    "plane scaling (informational): " + ", ".join(parts)
+                )
     return "\n".join(lines)

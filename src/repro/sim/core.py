@@ -747,6 +747,28 @@ class Simulator:
             self._active = False
         return self.now
 
+    def schedule_at(self, when: int, value: Any = None) -> Event:
+        """Schedule an already-succeeded event at absolute time ``when``.
+
+        The relative-delay API (:meth:`timeout`, ``Event.succeed(delay=)``)
+        covers model code, which always reasons forward from ``now``.  The
+        partition-parallel driver (:mod:`repro.sim.parallel`) instead
+        *imports* cross-partition arrivals carrying absolute timestamps
+        assigned by another simulator; this is the one sanctioned way to
+        re-anchor such a record on this heap.  ``when`` must not precede
+        the current clock — a violation here is a causality bug, not a
+        modeling choice, so it raises instead of clamping.
+        """
+        if when < self.now:
+            raise ValueError(
+                f"cannot schedule at {when} ps: clock already at {self.now} ps"
+            )
+        ev = Event(self)
+        ev._ok = True
+        ev._value = value
+        self._schedule(ev, when - self.now)
+        return ev
+
     def peek(self) -> Optional[int]:
         """Time of the next scheduled event, or None if the heap is empty."""
         return self._heap[0][0] if self._heap else None

@@ -1,0 +1,46 @@
+"""Conservative parallel DES for whole-plane Red Storm traffic.
+
+``scenario`` defines the plane traffic model (nearest-neighbor exchange,
+incast/hotspot, binomial collective tree) over a :class:`Torus3D`;
+``engine`` partitions the machine into axis-aligned slabs and runs one
+:class:`~repro.sim.core.Simulator` per slab under a null-message /
+lookahead-window protocol.  Partitioned results are byte-identical to
+the serial run — see the exactness contract in ``engine``'s docstring
+and docs/architecture.md.
+"""
+
+from .engine import (
+    INF,
+    CausalityError,
+    PartitionRunner,
+    lookahead_closure,
+    lookahead_matrix,
+    run_scenario,
+)
+from .scenario import (
+    SCENARIO_NAMES,
+    PlanePartition,
+    PlaneScenario,
+    initial_sends,
+    result_document,
+    result_metrics,
+    trace_digest,
+    tree_children,
+)
+
+__all__ = [
+    "SCENARIO_NAMES",
+    "PlaneScenario",
+    "PlanePartition",
+    "initial_sends",
+    "result_document",
+    "result_metrics",
+    "trace_digest",
+    "tree_children",
+    "CausalityError",
+    "PartitionRunner",
+    "lookahead_matrix",
+    "lookahead_closure",
+    "run_scenario",
+    "INF",
+]

@@ -4,7 +4,16 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.net import Router, Torus3D, build_route_tables, route_path
+from repro.net import (
+    Coord,
+    Router,
+    Torus3D,
+    axis_span_hops,
+    build_route_tables,
+    min_cut_hops,
+    route_path,
+    slab_cut_hops,
+)
 
 
 class TestRouteTables:
@@ -94,3 +103,77 @@ class TestPaths:
         router = Router(topo)
         assert router.hops(0, 21) == router.hops(0, 21)
         assert (0, 21) in router._hops_cache
+
+
+class TestRedStormRouting:
+    """Dimension-ordered routing on the full Red Storm geometry.
+
+    The parallel DES driver's lookahead assumes routes are minimal
+    (path hops == coordinate distance) and that z wraps while x/y do
+    not; these walk the actual per-node tables at scale — both the
+    calibrated 27x16x24 arrangement and the 27x20x24 build-out.
+    """
+
+    @pytest.mark.parametrize("dims", [(27, 16, 24), (27, 20, 24)])
+    def test_paths_minimal_on_full_geometry(self, dims):
+        topo = Torus3D(dims, wrap=(False, False, True))
+        router = Router(topo)
+        corner = topo.node_id(Coord(dims[0] - 1, dims[1] - 1, dims[2] - 1))
+        center = topo.node_id(Coord(dims[0] // 2, dims[1] // 2, dims[2] // 2))
+        probes = [0, 1, corner, center, topo.node_id(Coord(0, 0, dims[2] - 1))]
+        for src in probes:
+            for dst in probes:
+                assert router.hops(src, dst) == topo.distance(src, dst)
+
+    def test_z_route_uses_wraparound(self):
+        topo = Torus3D((27, 20, 24), wrap=(False, False, True))
+        router = Router(topo)
+        lo = topo.node_id(Coord(13, 10, 0))
+        hi = topo.node_id(Coord(13, 10, 23))
+        # one hop backwards through the torus link, not 23 forwards
+        assert router.path(lo, hi) == [lo, hi]
+
+    def test_x_route_cannot_wrap(self):
+        topo = Torus3D((27, 20, 24), wrap=(False, False, True))
+        router = Router(topo)
+        lo = topo.node_id(Coord(0, 10, 12))
+        hi = topo.node_id(Coord(26, 10, 12))
+        assert router.hops(lo, hi) == 26
+
+
+class TestSlabCutHops:
+    """Cut geometry feeding the parallel driver's lookahead matrix."""
+
+    def test_adjacent_slabs_one_hop(self):
+        topo = Torus3D((27, 16, 24), wrap=(False, False, True))
+        ranges = [(0, 9), (9, 18), (18, 27)]
+        hops = slab_cut_hops(topo, 0, ranges)
+        assert hops[0][1] == hops[1][2] == 1
+        assert hops[0][2] == 10  # x is mesh: 8..17 lie between
+        assert hops == [list(r) for r in zip(*hops)]  # symmetric
+
+    def test_z_extreme_slabs_touch_through_torus(self):
+        # cut along z: the first and last slabs are adjacent via wrap
+        topo = Torus3D((27, 16, 24), wrap=(False, False, True))
+        ranges = [(0, 6), (6, 12), (12, 18), (18, 24)]
+        hops = slab_cut_hops(topo, 2, ranges)
+        assert hops[0][3] == 1  # z=0 and z=23 share a torus link
+        assert hops[0][2] == 7  # interior pair still pays the span
+
+    def test_matches_brute_force_on_redstorm_slabs(self):
+        # spot-check the closed form against node-level distance at the
+        # full 27x20x24 scale (brute force over slab boundary planes)
+        topo = Torus3D((27, 20, 24), wrap=(False, False, True))
+        ranges = [(0, 7), (7, 14), (14, 20)]
+        hops = slab_cut_hops(topo, 1, ranges)
+        for i, j in [(0, 1), (0, 2), (1, 2)]:
+            plane_i = [topo.node_id(Coord(0, y, 0)) for y in range(*ranges[i])]
+            plane_j = [topo.node_id(Coord(0, y, 0)) for y in range(*ranges[j])]
+            assert hops[i][j] == min_cut_hops(topo, plane_i, plane_j)
+
+    def test_axis_span_honors_wrap_flag(self):
+        topo = Torus3D((27, 16, 24), wrap=(False, False, True))
+        assert axis_span_hops(topo, 2, [0], [23]) == 1   # torus
+        assert axis_span_hops(topo, 0, [0], [26]) == 26  # mesh
+        with pytest.raises(ValueError):
+            axis_span_hops(topo, 0, [], [1])

@@ -119,3 +119,56 @@ class TestDistances:
         # the full 27x16x24 Red Storm arrangement
         topo = Torus3D((27, 16, 24), wrap=(False, False, True))
         assert topo.num_nodes == 10368
+
+
+class TestRedStormGeometry:
+    """Full-plane Red Storm geometry the partition-cut logic rests on.
+
+    Two shapes matter: the repo's calibrated 27x16x24 arrangement and
+    the 27x20x24 full-machine build-out — both mesh in x/y, torus only
+    in z (section 5.1).  The parallel DES driver's lookahead is derived
+    from per-axis coordinate distance, so the wraparound asymmetry must
+    hold exactly at scale.
+    """
+
+    DIMS = [(27, 16, 24), (27, 20, 24)]
+
+    @pytest.mark.parametrize("dims", DIMS)
+    def test_node_count_and_diameter(self, dims):
+        topo = Torus3D(dims, wrap=(False, False, True))
+        assert topo.num_nodes == dims[0] * dims[1] * dims[2]
+        # mesh axes contribute extent-1, the z torus only extent/2
+        assert topo.diameter() == (dims[0] - 1) + (dims[1] - 1) + dims[2] // 2
+
+    @pytest.mark.parametrize("dims", DIMS)
+    def test_z_wraparound_edges_exist(self, dims):
+        topo = Torus3D(dims, wrap=(False, False, True))
+        lo = topo.node_id(Coord(5, 5, 0))
+        hi = topo.node_id(Coord(5, 5, dims[2] - 1))
+        # one hop through the z wraparound link, both directions
+        assert topo.distance(lo, hi) == 1
+        assert topo.neighbors(lo)["z-"] == hi
+        assert topo.neighbors(hi)["z+"] == lo
+
+    @pytest.mark.parametrize("dims", DIMS)
+    def test_xy_mesh_edges_do_not_wrap(self, dims):
+        topo = Torus3D(dims, wrap=(False, False, True))
+        x_lo = topo.node_id(Coord(0, 5, 5))
+        x_hi = topo.node_id(Coord(dims[0] - 1, 5, 5))
+        y_lo = topo.node_id(Coord(5, 0, 5))
+        y_hi = topo.node_id(Coord(5, dims[1] - 1, 5))
+        assert topo.distance(x_lo, x_hi) == dims[0] - 1
+        assert topo.distance(y_lo, y_hi) == dims[1] - 1
+        assert "x-" not in topo.neighbors(x_lo)
+        assert "x+" not in topo.neighbors(x_hi)
+        assert "y-" not in topo.neighbors(y_lo)
+        assert "y+" not in topo.neighbors(y_hi)
+
+    def test_z_torus_halves_z_distance(self):
+        # the asymmetry the slab-cut math must honor: along z, extreme
+        # planes are 1 apart; along x/y they are extent-1 apart
+        topo = Torus3D((27, 20, 24), wrap=(False, False, True))
+        a = topo.node_id(Coord(0, 0, 0))
+        assert topo.distance(a, topo.node_id(Coord(0, 0, 23))) == 1
+        assert topo.distance(a, topo.node_id(Coord(0, 0, 12))) == 12
+        assert topo.distance(a, topo.node_id(Coord(26, 0, 0))) == 26
