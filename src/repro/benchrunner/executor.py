@@ -397,6 +397,7 @@ def run_bench(
     t0 = time.perf_counter()
     degradations: List[Dict[str, Any]] = []
     resumed: List[str] = []
+    pool_counters: Optional[Dict[str, int]] = None
 
     cache = None
     cache_doc: Optional[Dict[str, Any]] = None
@@ -463,6 +464,7 @@ def run_bench(
             by_id.update(outcome.results)
             degradations = outcome.degradations
             resumed = outcome.resumed
+            pool_counters = outcome.counters()
 
     if cache is not None:
         for shard in pending:
@@ -493,4 +495,5 @@ def run_bench(
         degradations=degradations,
         resumed=resumed,
         cache=cache_doc,
+        pool=pool_counters,
     )

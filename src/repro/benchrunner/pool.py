@@ -109,6 +109,47 @@ class PoolOutcome:
     failed: Dict[str, str] = field(default_factory=dict)
     """task_id -> error for tasks that failed permanently."""
 
+    lifecycle: List[Dict[str, Any]] = field(default_factory=list)
+    """Structured spawn/complete/timeout/crash/retry/checkpoint/resume
+    records with wall-clock timestamps, in occurrence order.  Always
+    recorded: one dict append per *process attempt* is noise next to the
+    spawn itself, and post-mortems need the timeline unconditionally."""
+
+    def record(self, event: str, task_id: str, **fields: Any) -> None:
+        entry: Dict[str, Any] = {
+            "t_unix": round(time.time(), 6),
+            "event": event,
+            "task": task_id,
+        }
+        entry.update(fields)
+        self.lifecycle.append(entry)
+
+    def counters(self) -> Dict[str, int]:
+        """Monotonic ``pool.*`` counters for the repro-metrics/v1 export."""
+        counts = {
+            "pool.spawns": 0,
+            "pool.completions": 0,
+            "pool.hang_kills": 0,
+            "pool.crashes": 0,
+            "pool.retries": 0,
+            "pool.checkpoints": 0,
+            "pool.resumed": len(self.resumed),
+            "pool.failures": len(self.failed),
+        }
+        by_event = {
+            "spawn": "pool.spawns",
+            "complete": "pool.completions",
+            "timeout": "pool.hang_kills",
+            "crash": "pool.crashes",
+            "retry": "pool.retries",
+            "checkpoint": "pool.checkpoints",
+        }
+        for entry in self.lifecycle:
+            key = by_event.get(entry["event"])
+            if key is not None:
+                counts[key] += 1
+        return counts
+
 
 def task_filename(task_id: str) -> str:
     """Filesystem-safe, collision-free checkpoint name for a task id
@@ -258,6 +299,7 @@ def run_pool(
         if doc is not None and doc.get("ok") and "result" in doc:
             outcome.results[task.task_id] = doc["result"]
             outcome.resumed.append(task.task_id)
+            outcome.record("resume", task.task_id)
             if progress:
                 progress(f"{task.task_id}: resumed from checkpoint")
             continue
@@ -273,7 +315,7 @@ def run_pool(
             _write_index(outdir, merged)
 
     if workers <= 1:
-        _run_inline(queue, worker, outcome, progress)
+        _run_inline(queue, worker, outcome, progress, persistent=not own_dir)
     else:
         _run_supervised(
             queue,
@@ -285,6 +327,7 @@ def run_pool(
             backoff_s=backoff_s,
             progress=progress,
             poll_s=poll_s,
+            persistent=not own_dir,
         )
 
     if own_dir:
@@ -303,6 +346,8 @@ def _run_inline(
     worker: Callable[[Any], Any],
     outcome: PoolOutcome,
     progress: Optional[Callable[[str], None]],
+    *,
+    persistent: bool = False,
 ) -> None:
     for state in queue:
         t0 = time.perf_counter()
@@ -310,11 +355,18 @@ def _run_inline(
             result = worker(state.task.payload)
         except Exception as exc:  # deterministic failure: no retry
             outcome.failed[state.task.task_id] = f"{type(exc).__name__}: {exc}"
+            outcome.record(
+                "fail", state.task.task_id, error=f"{type(exc).__name__}: {exc}"
+            )
             continue
         outcome.results[state.task.task_id] = result
         _checkpoint(state, {"ok": True, "result": result})
+        wall = time.perf_counter() - t0
+        outcome.record("complete", state.task.task_id, wall_s=round(wall, 6))
+        if persistent:
+            outcome.record("checkpoint", state.task.task_id)
         if progress:
-            progress(f"{state.task.task_id}: {time.perf_counter() - t0:.2f}s")
+            progress(f"{state.task.task_id}: {wall:.2f}s")
 
 
 def _run_supervised(
@@ -328,6 +380,7 @@ def _run_supervised(
     backoff_s: float,
     progress: Optional[Callable[[str], None]],
     poll_s: float,
+    persistent: bool = False,
 ) -> None:
     import multiprocessing
 
@@ -353,6 +406,9 @@ def _run_supervised(
         )
         state.started = time.monotonic()
         state.proc.start()
+        outcome.record(
+            "spawn", state.task.task_id, attempt=state.attempt, pid=state.proc.pid
+        )
 
     def retire(state: _Attempt, event: str, detail: Dict[str, Any]) -> None:
         """Record a degradation and either requeue or give up."""
@@ -362,11 +418,15 @@ def _run_supervised(
             "attempt": state.attempt,
             **detail,
         }
+        outcome.record(event, state.task.task_id, attempt=state.attempt, **detail)
         state.attempt += 1
         if state.attempt > max_retries:
             record["gave_up"] = True
             outcome.failed[state.task.task_id] = (
                 f"{event} (gave up after {state.attempt} attempts)"
+            )
+            outcome.record(
+                "fail", state.task.task_id, attempt=state.attempt, cause=event
             )
         else:
             delay = backoff_s * (2 ** (state.attempt - 1))
@@ -374,6 +434,12 @@ def _run_supervised(
             state.not_before = time.monotonic() + delay
             state.proc = None
             waiting.append(state)
+            outcome.record(
+                "retry",
+                state.task.task_id,
+                attempt=state.attempt,
+                delay_s=round(delay, 3),
+            )
         outcome.degradations.append(record)
         if progress:
             progress(f"{state.task.task_id}: {event} (attempt {record['attempt']})")
@@ -416,14 +482,24 @@ def _run_supervised(
                 retire(state, "crash", {"exitcode": exitcode})
             elif doc.get("ok"):
                 outcome.results[state.task.task_id] = doc["result"]
+                wall = time.monotonic() - state.started
+                outcome.record(
+                    "complete",
+                    state.task.task_id,
+                    attempt=state.attempt,
+                    wall_s=round(wall, 6),
+                )
+                if persistent:
+                    outcome.record("checkpoint", state.task.task_id)
                 if progress:
-                    wall = time.monotonic() - state.started
                     progress(f"{state.task.task_id}: {wall:.2f}s")
             else:
                 # a worker exception is deterministic: retrying the same
                 # payload through the same code cannot succeed
-                outcome.failed[state.task.task_id] = doc.get(
-                    "error", "worker error"
+                error = doc.get("error", "worker error")
+                outcome.failed[state.task.task_id] = error
+                outcome.record(
+                    "fail", state.task.task_id, attempt=state.attempt, error=error
                 )
                 try:
                     os.unlink(state.out_path)

@@ -189,6 +189,7 @@ def merge_shards(
     degradations: Optional[List[Dict[str, Any]]] = None,
     resumed: Optional[List[str]] = None,
     cache: Optional[Dict[str, Any]] = None,
+    pool: Optional[Dict[str, int]] = None,
 ) -> Dict[str, Any]:
     """Fold per-shard results into one ``BENCH_results.json`` document.
 
@@ -241,6 +242,10 @@ def merge_shards(
         doc["wallclock"]["degradations"] = degradations
     if resumed:
         doc["wallclock"]["resumed_shards"] = sorted(resumed)
+    # monotonic pool.* lifecycle counters (spawns, crashes, hang-kills,
+    # retries, ...) so exports and CI can assert on executor health
+    if pool is not None:
+        doc["wallclock"]["pool"] = pool
     # result-cache accounting: which shards were served from the
     # content-addressed store vs simulated.  Host-side history, so it
     # lives in the informational ``wallclock`` half — a fully-cached run

@@ -223,7 +223,48 @@ def cmd_chaos_campaign(args) -> int:
     return 0 if camp["total_passed"] == camp["total_runs"] else 1
 
 
+def _cmd_trace_parallel(args) -> int:
+    """``repro trace --parallel N``: merged per-partition round trace."""
+    from .sim.parallel import PlaneScenario, run_scenario
+    from .telemetry import export_parallel_trace, format_straggler_report
+    from .trace import validate_chrome_trace
+
+    if args.parallel < 2:
+        raise SystemExit("--parallel needs at least 2 partitions")
+    msg_bytes = {"neighbor": 2048, "incast": 4096, "tree": 8192}[args.scenario]
+    scenario = PlaneScenario(
+        name=args.scenario, dims=tuple(args.dims), msg_bytes=msg_bytes
+    )
+    run = run_scenario(
+        scenario, args.parallel, transport=args.transport, telemetry=True
+    )
+    info = run["info"]
+    telemetry = info.get("telemetry")
+    if not telemetry:
+        raise SystemExit(
+            "run produced no round telemetry (did the partition count "
+            "clamp to 1 for these dims?)"
+        )
+    print(
+        f"# parallel trace: scenario={args.scenario} "
+        f"dims={'x'.join(str(d) for d in args.dims)} "
+        f"partitions={info['partitions']} transport={info['transport']} "
+        f"wall={info['wall_s']}s"
+    )
+    print(format_straggler_report(telemetry["straggler"]))
+    if args.out:
+        doc = export_parallel_trace(telemetry["partitions"], path=args.out)
+        validate_chrome_trace(doc)
+        print(
+            f"# wrote {len(doc['traceEvents'])} trace events "
+            f"({info['partitions']} partition tracks) to {args.out}"
+        )
+    return 0
+
+
 def cmd_trace(args) -> int:
+    if args.parallel is not None:
+        return _cmd_trace_parallel(args)
     from .trace import (
         aggregate_stages,
         export_chrome_trace,
@@ -315,6 +356,17 @@ def cmd_stats(args) -> int:
             "sizes": sizes,
         },
     )
+    if args.telemetry:
+        from .telemetry import format_straggler_report, telemetry_probe
+
+        probe = telemetry_probe()
+        doc["counters"].update(probe["counters"])
+        print()
+        print(
+            "# fleet telemetry probe "
+            "(2-partition pool-transport neighbor plane):"
+        )
+        print(format_straggler_report(probe["straggler"]))
     if args.json:
         Path(args.json).write_text(canonical_json(doc), encoding="utf-8")
         print(f"# wrote metrics JSON to {args.json}")
@@ -577,6 +629,27 @@ def build_parser() -> argparse.ArgumentParser:
     trace_cmd.add_argument("--hops", type=int, default=1)
     trace_cmd.add_argument("--out", metavar="FILE",
                            help="write Chrome trace-event JSON here")
+    trace_cmd.add_argument(
+        "--parallel", type=int, metavar="N",
+        help="instead of a single put, run an N-partition parallel-DES "
+             "plane with round telemetry and merge the per-partition "
+             "publish/collect/absorb/advance spans into one Perfetto "
+             "trace (one process track per partition)",
+    )
+    trace_cmd.add_argument(
+        "--scenario", default="neighbor",
+        choices=["neighbor", "incast", "tree"],
+        help="traffic pattern for --parallel (default neighbor)",
+    )
+    trace_cmd.add_argument(
+        "--dims", type=int, nargs=3, default=(8, 4, 2),
+        metavar=("X", "Y", "Z"),
+        help="plane mesh dims for --parallel (default 8 4 2)",
+    )
+    trace_cmd.add_argument(
+        "--transport", default="memory", choices=["memory", "pool"],
+        help="round-exchange transport for --parallel (default memory)",
+    )
     trace_cmd.set_defaults(func=cmd_trace)
 
     stats_cmd = sub.add_parser(
@@ -615,6 +688,12 @@ def build_parser() -> argparse.ArgumentParser:
     stats_cmd.add_argument(
         "--perf-reps", type=int, default=3,
         help="repetitions for --with-perf (default 3)",
+    )
+    stats_cmd.add_argument(
+        "--telemetry", action="store_true",
+        help="also run a small partitioned pool-transport plane probe "
+             "and fold the parallel.*/pool.* fleet counters into the "
+             "export",
     )
     stats_cmd.set_defaults(func=cmd_stats)
 

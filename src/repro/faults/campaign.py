@@ -522,18 +522,27 @@ def _distribution(values: Sequence[int]) -> Optional[Dict[str, int]]:
 
 
 def campaign_document(
-    runs: List[Dict[str, Any]], *, meta: Optional[Dict[str, Any]] = None
+    runs: List[Dict[str, Any]],
+    *,
+    meta: Optional[Dict[str, Any]] = None,
+    pool_counters: Optional[Dict[str, int]] = None,
 ) -> Dict[str, Any]:
     """Fold per-run records into the ``repro-metrics/v1`` SLO report.
 
     The document shape follows the metrics exporter: a ``schema`` tag,
     optional ``meta``, aggregated ``counters`` (so the Prometheus
     renderer works on it unchanged), and the campaign-specific
-    ``campaign`` section with per-class SLOs.
+    ``campaign`` section with per-class SLOs.  ``pool_counters`` merges
+    the executor's monotonic ``pool.*`` lifecycle counters (spawns,
+    crashes, hang-kills, retries, ...) into ``counters``, so a campaign
+    that *survived* injected worker kills exports the evidence — the
+    chaos-campaign CI job asserts on it.
     """
     from ..metrics.export import EXPORT_SCHEMA
 
     counters: Dict[str, int] = {}
+    if pool_counters:
+        counters.update(pool_counters)
     by_class: Dict[str, List[Dict[str, Any]]] = {}
     invariant_totals: Dict[str, Dict[str, int]] = {}
     for run in runs:
@@ -699,4 +708,4 @@ def run_campaign(
         meta["degradations"] = outcome.degradations
     if outcome.resumed:
         meta["resumed"] = sorted(outcome.resumed)
-    return campaign_document(runs, meta=meta)
+    return campaign_document(runs, meta=meta, pool_counters=outcome.counters())

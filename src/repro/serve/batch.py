@@ -31,6 +31,8 @@ from typing import Any, Dict, List, Optional
 
 from ..cache import ResultCache, cache_key, code_version, provenance_record
 from ..benchrunner.pool import PoolTask, run_pool
+from ..telemetry.recorder import default_flight_dir
+from ..telemetry.serve import ServeTelemetry
 from .api import execute_payload, normalize_request
 
 __all__ = ["BatchQueue", "QueueStats", "ServiceError"]
@@ -67,6 +69,8 @@ class _Pending:
     done: threading.Event = field(default_factory=threading.Event)
     response: Optional[Dict[str, Any]] = None
     error: Optional[str] = None
+    normalize_s: float = 0.0
+    t_enqueue: float = 0.0
 
 
 class BatchQueue:
@@ -91,6 +95,7 @@ class BatchQueue:
         self.max_batch = max_batch
         self.task_timeout_s = task_timeout_s
         self.stats = QueueStats()
+        self.telemetry = ServeTelemetry()
         self._code = code_version()
         self._queue: "queue.Queue[_Pending]" = queue.Queue()
         self._stop = threading.Event()
@@ -112,6 +117,10 @@ class BatchQueue:
             self._thread.join(timeout=5.0)
             self._thread = None
 
+    def depth(self) -> int:
+        """Requests currently enqueued (approximate, by Queue.qsize)."""
+        return self._queue.qsize()
+
     # -- the front door ------------------------------------------------------
 
     def submit(
@@ -123,9 +132,13 @@ class BatchQueue:
         and :class:`ServiceError` on execution failure or timeout.
         Thread-safe; any number of callers may block here concurrently.
         """
+        t_norm = time.perf_counter()
         request = normalize_request(doc)
         pending = _Pending(request=request, key=cache_key(request, code=self._code))
+        pending.normalize_s = time.perf_counter() - t_norm
+        pending.t_enqueue = time.perf_counter()
         self._queue.put(pending)
+        self.telemetry.queue_depth.sample(self._queue.qsize())
         if not pending.done.wait(timeout=timeout_s):
             raise ServiceError("request timed out in the batch queue")
         if pending.error is not None:
@@ -154,9 +167,19 @@ class BatchQueue:
             try:
                 self._process(batch)
             except BaseException as exc:  # noqa: BLE001 - wake the waiters
+                detail = f"{type(exc).__name__}: {exc}"
+                self.telemetry.recorder.record("dispatcher-error", error=detail)
+                flight = default_flight_dir()
+                if flight is not None:
+                    self.telemetry.recorder.dump(
+                        flight,
+                        reason="invariant-failure",
+                        role="serve-dispatch",
+                        detail=detail,
+                    )
                 for pending in batch:
                     if not pending.done.is_set():
-                        pending.error = f"{type(exc).__name__}: {exc}"
+                        pending.error = detail
                         pending.done.set()
 
     def _respond_hit(self, pending: _Pending, artifact: Dict[str, Any]) -> None:
@@ -168,17 +191,54 @@ class BatchQueue:
         }
         pending.done.set()
 
+    def _span(
+        self,
+        pending: _Pending,
+        *,
+        cache: str,
+        queue_wait_s: float,
+        lookup_s: float,
+        execute_s: float = 0.0,
+        store_s: float = 0.0,
+    ) -> None:
+        """One per-request span record in the telemetry ring."""
+        self.telemetry.record_request(
+            req_kind=pending.request.get("kind"),
+            key=pending.key[:12],
+            cache=cache,
+            normalize_s=round(pending.normalize_s, 6),
+            queue_wait_s=round(queue_wait_s, 6),
+            lookup_s=round(lookup_s, 6),
+            execute_s=round(execute_s, 6),
+            store_s=round(store_s, 6),
+        )
+
     def _process(self, batch: List[_Pending]) -> None:
+        t_start = time.perf_counter()
+        self.telemetry.batch_size.sample(len(batch))
+        self.telemetry.queue_depth.sample(self._queue.qsize())
         self.stats.batches += 1
         self.stats.requests += len(batch)
+        queue_wait = {
+            id(p): (t_start - p.t_enqueue) if p.t_enqueue else 0.0 for p in batch
+        }
+        lookup_s: Dict[int, float] = {}
 
         # 1. cache hits answer immediately
         waiting: List[_Pending] = []
         for pending in batch:
             if self.cache is not None:
+                t_lookup = time.perf_counter()
                 artifact = self.cache.get(pending.key)
+                lookup_s[id(pending)] = time.perf_counter() - t_lookup
                 if artifact is not None:
                     self._respond_hit(pending, artifact)
+                    self._span(
+                        pending,
+                        cache="hit",
+                        queue_wait_s=queue_wait[id(pending)],
+                        lookup_s=lookup_s[id(pending)],
+                    )
                     continue
             waiting.append(pending)
         if not waiting:
@@ -219,8 +279,10 @@ class BatchQueue:
 
         # 4. store fresh results, then wake every waiter on each key
         artifacts: Dict[str, Dict[str, Any]] = {}
+        store_s: Dict[str, float] = {}
         for key, output in outputs.items():
             request = unique[key].request
+            t_store = time.perf_counter()
             if self.cache is not None:
                 artifacts[key] = self.cache.put(
                     key,
@@ -242,6 +304,7 @@ class BatchQueue:
                         code=self._code,
                     ),
                 }
+            store_s[key] = time.perf_counter() - t_store
         for pending in waiting:
             if pending.key in artifacts:
                 artifact = artifacts[pending.key]
@@ -253,4 +316,12 @@ class BatchQueue:
                 }
             else:
                 pending.error = failures.get(pending.key, "execution failed")
+            self._span(
+                pending,
+                cache="miss" if pending.key in artifacts else "error",
+                queue_wait_s=queue_wait[id(pending)],
+                lookup_s=lookup_s.get(id(pending), 0.0),
+                execute_s=outputs.get(pending.key, {}).get("wall_s", 0.0),
+                store_s=store_s.get(pending.key, 0.0),
+            )
             pending.done.set()

@@ -7,7 +7,11 @@ dispatcher batches, memoizes, and shards the actual work.  Endpoints:
 * ``GET  /v1/health`` — liveness + the code/package versions keys are
   derived from;
 * ``GET  /v1/stats``  — queue + cache accounting (requests, batches,
-  dedups, hits/misses/stores);
+  dedups, hits/misses/stores, hit rate) plus the dispatcher's
+  queue-depth and batch-size gauges and the most recent per-request
+  spans (normalize → cache lookup → execute → store timings);
+* ``GET  /v1/metrics`` — the same instruments as a ``repro-metrics/v1``
+  document rendered in Prometheus text exposition format;
 * ``POST /v1/query``  — one request document (``{"kind": ...}``);
 * ``POST /v1/sweep|trace|chaos|stats`` — same, with ``kind`` implied
   by the path;
@@ -28,6 +32,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from .. import __version__
 from ..cache import ResultCache, code_version
+from ..telemetry.serve import serve_metrics_document
 from .api import KINDS, RequestError
 from .batch import BatchQueue, ServiceError
 
@@ -53,6 +58,14 @@ class _Handler(BaseHTTPRequestHandler):
         blob = json.dumps(doc, sort_keys=True).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(blob)))
+        self.end_headers()
+        self.wfile.write(blob)
+
+    def _send_text(self, status: int, text: str) -> None:
+        blob = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "text/plain; charset=utf-8")
         self.send_header("Content-Length", str(len(blob)))
         self.end_headers()
         self.wfile.write(blob)
@@ -84,15 +97,25 @@ class _Handler(BaseHTTPRequestHandler):
             )
         elif self.path == "/v1/stats":
             cache = server.cache
+            telemetry = server.queue.telemetry
+            queue_doc = server.queue.stats.to_jsonable()
+            queue_doc["depth"] = server.queue.depth()
+            queue_doc["queue_depth"] = telemetry.queue_depth.summary()
+            queue_doc["batch_sizes"] = telemetry.batch_size.summary()
             self._send_json(
                 200,
                 {
                     "ok": True,
-                    "queue": server.queue.stats.to_jsonable(),
+                    "queue": queue_doc,
                     "cache": cache.stats.to_jsonable() if cache else None,
                     "workers": server.queue.workers,
+                    "recent_requests": telemetry.recent_requests(10),
                 },
             )
+        elif self.path == "/v1/metrics":
+            from ..metrics.export import to_prometheus_text
+
+            self._send_text(200, to_prometheus_text(server.metrics_document()))
         else:
             self._send_json(404, {"ok": False, "error": f"no route {self.path}"})
 
@@ -186,6 +209,15 @@ class ReproServer:
         self._thread: Optional[threading.Thread] = None
 
     # -- request handling (usable without sockets) ---------------------------
+
+    def metrics_document(self) -> Dict[str, Any]:
+        """The serve tier's instruments as a ``repro-metrics/v1`` doc."""
+        return serve_metrics_document(
+            self.queue.stats.to_jsonable(),
+            self.queue.telemetry,
+            cache_stats=self.cache.stats.to_jsonable() if self.cache else None,
+            workers=self.queue.workers,
+        )
 
     def handle(self, doc: Any) -> Tuple[int, Dict[str, Any]]:
         """Process one request document; returns (status, response)."""

@@ -77,6 +77,8 @@ from ...hw.config import DEFAULT_CONFIG, SeaStarConfig
 from ...machine.builder import PartitionPlan, partition_nodes
 from ...net.link import LinkModel
 from ...net.routing import slab_cut_hops
+from ...telemetry.recorder import default_flight_dir, dump_flight
+from ...telemetry.rounds import RoundRecorder, doc_tail_events, straggler_report
 from ..core import Simulator
 from .scenario import Chunk, MsgKey, PlanePartition, PlaneScenario, result_document
 
@@ -209,11 +211,18 @@ class DirExchange:
     renames into place) and a *re*written file — a respawned partition
     republishing after a crash — carries byte-identical content by
     determinism, so late reads and re-reads are both safe.
+
+    Polling is accounted, not silent: ``poll_wait_s`` accumulates the
+    wall-clock time this side spent sleeping on missing peer files (and
+    ``polls`` the number of sleeps), which feeds the straggler report's
+    transport-wait attribution and the wedged-run diagnostics.
     """
 
     def __init__(self, path: str, deadline_s: float = DEFAULT_EXCHANGE_DEADLINE_S):
         self.path = path
         self.deadline_s = deadline_s
+        self.poll_wait_s = 0.0
+        self.polls = 0
         os.makedirs(path, exist_ok=True)
 
     def _filename(self, round_no: int, part: int) -> str:
@@ -242,9 +251,14 @@ class DirExchange:
             if time.monotonic() > deadline:
                 raise RuntimeError(
                     f"exchange wedged: round {round_no} missing partitions "
-                    f"{sorted(missing)} after {self.deadline_s}s"
+                    f"{sorted(missing)} after {self.deadline_s}s "
+                    f"({self.poll_wait_s:.1f}s cumulative poll-wait over "
+                    f"{self.polls} polls)"
                 )
+            slept = time.monotonic()
             time.sleep(0.005)
+            self.poll_wait_s += time.monotonic() - slept
+            self.polls += 1
         return [doc for doc in docs if doc is not None]
 
 
@@ -322,9 +336,14 @@ class PartitionRunner:
             "exports": exports,
         }
 
-    def absorb(self, docs: List[Dict[str, Any]]) -> None:
-        """Import every chunk destined to this partition, checked."""
+    def absorb(self, docs: List[Dict[str, Any]]) -> int:
+        """Import every chunk destined to this partition, checked.
+
+        Returns the number of chunks imported (a telemetry fact; callers
+        that don't record simply ignore it).
+        """
         mine = str(self.idx)
+        imported = 0
         for doc in docs:
             for raw in doc["exports"].get(mine, ()):
                 rec = _chunk_from_jsonable(raw)
@@ -335,6 +354,8 @@ class PartitionRunner:
                         f"{doc['part']})"
                     )
                 self.model.import_chunk(rec)
+                imported += 1
+        return imported
 
     def advance(self, horizon: float) -> None:
         """Simulate strictly below ``horizon`` (all of it when ``INF``)."""
@@ -364,34 +385,120 @@ def _merge_delivered(
     return merged
 
 
+def _causality_flight_dump(
+    flight_dir: str, role: str, recorder: Optional[RoundRecorder], exc: BaseException
+) -> None:
+    """Dump the recorder's round tail plus the failure event itself."""
+    events: List[Dict[str, Any]] = recorder.tail_events() if recorder else []
+    events.append(
+        {
+            "t_unix": round(time.time(), 6),
+            "kind": "causality-error",
+            "detail": str(exc),
+        }
+    )
+    dump_flight(
+        flight_dir,
+        reason="causality-error",
+        role=role,
+        events=events,
+        detail=str(exc),
+    )
+
+
 def _run_rounds_memory(
     scenario: PlaneScenario,
     plan: PartitionPlan,
     config: SeaStarConfig,
+    *,
+    telemetry: bool = False,
+    flight_dir: Optional[str] = None,
 ) -> Tuple[Dict[MsgKey, Tuple[int, int, int]], Dict[str, Any]]:
     runners = [
         PartitionRunner(scenario, plan, i, config=config)
         for i in range(plan.nparts)
     ]
+    recording = telemetry or flight_dir is not None
+    recorders = [RoundRecorder(i) for i in range(plan.nparts)] if recording else None
     lookahead = lookahead_matrix(scenario, plan, config)
     closure = lookahead_closure(lookahead)
     rounds = 0
     while True:
-        docs = [r.publish_doc(rounds) for r in runners]
-        nprime = _nprimes(docs, plan.nparts)
-        for r in runners:
-            r.absorb(docs)
-        if all(v == INF for v in nprime):
-            break
-        horizons = _horizons(nprime, closure, lookahead)
+        if recorders is None:
+            docs = [r.publish_doc(rounds) for r in runners]
+            nprime = _nprimes(docs, plan.nparts)
+            for r in runners:
+                r.absorb(docs)
+            if all(v == INF for v in nprime):
+                break
+            horizons = _horizons(nprime, closure, lookahead)
+            for i, r in enumerate(runners):
+                r.advance(horizons[i])
+            rounds += 1
+            continue
+        # instrumented round: identical protocol, with per-phase timing
+        # recorded host-side (never into the simulated clock)
+        docs = []
+        t0s: List[float] = []
+        publish_s: List[float] = []
         for i, r in enumerate(runners):
-            r.advance(horizons[i])
+            t0 = recorders[i].offset()
+            docs.append(r.publish_doc(rounds))
+            t0s.append(t0)
+            publish_s.append(recorders[i].offset() - t0)
+        nprime = _nprimes(docs, plan.nparts)
+        imports: List[int] = []
+        absorb_s: List[float] = []
+        for i, r in enumerate(runners):
+            ta = recorders[i].offset()
+            try:
+                imports.append(r.absorb(docs))
+            except CausalityError as exc:
+                if flight_dir is not None:
+                    _causality_flight_dump(
+                        flight_dir, f"memory-part{i:02d}", recorders[i], exc
+                    )
+                raise
+            absorb_s.append(recorders[i].offset() - ta)
+        done = all(v == INF for v in nprime)
+        horizons = (
+            [INF] * plan.nparts if done else _horizons(nprime, closure, lookahead)
+        )
+        advance_s = [0.0] * plan.nparts
+        if not done:
+            for i, r in enumerate(runners):
+                tv = recorders[i].offset()
+                r.advance(horizons[i])
+                advance_s[i] = recorders[i].offset() - tv
+        for i, r in enumerate(runners):
+            recorders[i].record_round(
+                round_no=rounds,
+                t0_s=t0s[i],
+                publish_s=publish_s[i],
+                collect_s=0.0,
+                absorb_s=absorb_s[i],
+                advance_s=advance_s[i],
+                poll_wait_s=0.0,
+                horizon_ps=None if horizons[i] == INF else int(horizons[i]),
+                nprime_ps=None if nprime[i] == INF else int(nprime[i]),
+                exports=sum(len(v) for v in docs[i]["exports"].values()),
+                imports=imports[i],
+                events=r.sim.events_scheduled,
+            )
+        if done:
+            break
         rounds += 1
     delivered = _merge_delivered([r.model.delivered for r in runners])
-    info = {
+    info: Dict[str, Any] = {
         "rounds": rounds,
         "events_scheduled": sum(r.sim.events_scheduled for r in runners),
     }
+    if telemetry and recorders is not None:
+        parts = [rec.to_jsonable() for rec in recorders]
+        info["telemetry"] = {
+            "partitions": parts,
+            "straggler": straggler_report(parts),
+        }
     return delivered, info
 
 
@@ -404,24 +511,67 @@ def _partition_main(payload: Tuple[Any, ...]) -> Dict[str, Any]:
     republishes byte-identical round files before producing the same
     partition result.
     """
-    scenario, nparts, idx, axis, exchange_dir, deadline_s, config = payload
+    (
+        scenario,
+        nparts,
+        idx,
+        axis,
+        exchange_dir,
+        deadline_s,
+        config,
+        telemetry,
+        flight_dir,
+    ) = payload
     plan = partition_nodes(scenario.topology(), nparts, axis)
     runner = PartitionRunner(scenario, plan, idx, config=config)
+    recording = telemetry or flight_dir is not None
+    rec = RoundRecorder(idx) if recording else None
     lookahead = lookahead_matrix(scenario, plan, config)
     closure = lookahead_closure(lookahead)
     exchange = DirExchange(exchange_dir, deadline_s=deadline_s)
     rounds = 0
     while True:
-        exchange.publish(rounds, idx, runner.publish_doc(rounds))
+        t0 = rec.offset() if rec is not None else 0.0
+        doc = runner.publish_doc(rounds)
+        exchange.publish(rounds, idx, doc)
+        t1 = rec.offset() if rec is not None else 0.0
+        wait0 = exchange.poll_wait_s
         docs = exchange.collect(rounds, plan.nparts)
+        t2 = rec.offset() if rec is not None else 0.0
         nprime = _nprimes(docs, plan.nparts)
-        runner.absorb(docs)
-        if all(v == INF for v in nprime):
+        try:
+            imports = runner.absorb(docs)
+        except CausalityError as exc:
+            if flight_dir is not None:
+                _causality_flight_dump(flight_dir, f"part{idx:02d}", rec, exc)
+            raise
+        t3 = rec.offset() if rec is not None else 0.0
+        done = all(v == INF for v in nprime)
+        if not done:
+            horizon = _horizons(nprime, closure, lookahead)[idx]
+            runner.advance(horizon)
+        else:
+            horizon = INF
+        if rec is not None:
+            t4 = rec.offset()
+            rec.record_round(
+                round_no=rounds,
+                t0_s=t0,
+                publish_s=t1 - t0,
+                collect_s=t2 - t1,
+                absorb_s=t3 - t2,
+                advance_s=t4 - t3,
+                poll_wait_s=exchange.poll_wait_s - wait0,
+                horizon_ps=None if horizon == INF else int(horizon),
+                nprime_ps=None if nprime[idx] == INF else int(nprime[idx]),
+                exports=sum(len(v) for v in doc["exports"].values()),
+                imports=imports,
+                events=runner.sim.events_scheduled,
+            )
+        if done:
             break
-        horizons = _horizons(nprime, closure, lookahead)
-        runner.advance(horizons[idx])
         rounds += 1
-    return {
+    result = {
         "part": idx,
         "rounds": rounds,
         "events_scheduled": runner.sim.events_scheduled,
@@ -430,6 +580,11 @@ def _partition_main(payload: Tuple[Any, ...]) -> Dict[str, Any]:
             for k, v in sorted(runner.model.delivered.items())
         ],
     }
+    if rec is not None:
+        result["telemetry"] = rec.to_jsonable()
+        result["poll_wait_s"] = round(exchange.poll_wait_s, 6)
+        result["polls"] = exchange.polls
+    return result
 
 
 def _run_rounds_pool(
@@ -441,6 +596,8 @@ def _run_rounds_pool(
     deadline_s: float,
     pool_timeout_s: float,
     progress: Optional[Callable[[str], None]],
+    telemetry: bool = False,
+    flight_dir: Optional[str] = None,
 ) -> Tuple[Dict[MsgKey, Tuple[int, int, int]], Dict[str, Any]]:
     from ...benchrunner.pool import PoolTask, run_pool
 
@@ -457,6 +614,8 @@ def _run_rounds_pool(
                 exdir,
                 deadline_s,
                 config,
+                telemetry,
+                flight_dir,
             ),
         )
         for idx in range(plan.nparts)
@@ -477,6 +636,32 @@ def _run_rounds_pool(
             import shutil
 
             shutil.rmtree(exdir, ignore_errors=True)
+    # flight dumps never live in exdir (removed above when owned): the
+    # parent-side post-mortem interleaves pool lifecycle events with the
+    # round tails the surviving workers returned
+    if flight_dir is not None and (outcome.degradations or outcome.failed):
+        events_log: List[Dict[str, Any]] = [
+            {
+                "t_unix": ev["t_unix"],
+                "kind": f"pool.{ev['event']}",
+                **{k: v for k, v in ev.items() if k not in ("t_unix", "event")},
+            }
+            for ev in outcome.lifecycle
+        ]
+        for task in tasks:
+            doc = outcome.results.get(task.task_id)
+            if doc and doc.get("telemetry"):
+                events_log.extend(doc_tail_events(doc["telemetry"]))
+        detail = "; ".join(
+            f"{d['task']}: {d['event']}" for d in outcome.degradations
+        ) or "; ".join(f"{tid}: {err}" for tid, err in sorted(outcome.failed.items()))
+        dump_flight(
+            flight_dir,
+            reason="worker-crash",
+            role="pool-parent",
+            events=events_log,
+            detail=detail,
+        )
     if outcome.failed:
         detail = "; ".join(
             f"{tid}: {err}" for tid, err in sorted(outcome.failed.items())
@@ -496,9 +681,25 @@ def _run_rounds_pool(
     info: Dict[str, Any] = {
         "rounds": rounds,
         "events_scheduled": events,
+        "pool": outcome.counters(),
     }
     if outcome.degradations:
         info["degradations"] = outcome.degradations
+    if telemetry:
+        part_docs = [
+            outcome.results[task.task_id].get("telemetry") for task in tasks
+        ]
+        info["telemetry"] = {
+            "partitions": part_docs,
+            "straggler": straggler_report(part_docs),
+        }
+        info["poll_wait_s"] = round(
+            sum(
+                outcome.results[task.task_id].get("poll_wait_s", 0.0)
+                for task in tasks
+            ),
+            6,
+        )
     return delivered, info
 
 
@@ -513,6 +714,8 @@ def run_scenario(
     exchange_deadline_s: float = DEFAULT_EXCHANGE_DEADLINE_S,
     pool_timeout_s: float = 600.0,
     progress: Optional[Callable[[str], None]] = None,
+    telemetry: bool = False,
+    flight_dir: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Run one plane scenario, serial or partitioned.
 
@@ -522,12 +725,21 @@ def run_scenario(
     events scheduled, wall clock, pool degradations) that legitimately
     vary — the documented relaxation of the exactness contract.
 
+    ``telemetry=True`` records per-partition round phase timing into
+    ``info["telemetry"]`` (partitions + straggler report); it is
+    host-side only, so the ``result`` half is bit-identical either way.
+    ``flight_dir`` (default: ``$REPRO_FLIGHT_DIR``) enables post-mortem
+    flight dumps on ``CausalityError`` or worker crash; it must not be
+    the exchange directory, which is transient.
+
     ``nparts`` is clamped to the slab axis extent (a partition owns at
     least one full coordinate plane); the effective count is reported in
     ``info["partitions"]``.
     """
     if transport not in ("memory", "pool"):
         raise ValueError(f"unknown transport {transport!r}")
+    if flight_dir is None:
+        flight_dir = default_flight_dir()
     topo = scenario.topology()
     plan = partition_nodes(topo, nparts, axis)
     t0 = time.perf_counter()
@@ -544,7 +756,9 @@ def run_scenario(
             "events_scheduled": sim.events_scheduled,
         }
     elif transport == "memory":
-        delivered, info = _run_rounds_memory(scenario, plan, config)
+        delivered, info = _run_rounds_memory(
+            scenario, plan, config, telemetry=telemetry, flight_dir=flight_dir
+        )
     else:
         delivered, info = _run_rounds_pool(
             scenario,
@@ -554,6 +768,8 @@ def run_scenario(
             deadline_s=exchange_deadline_s,
             pool_timeout_s=pool_timeout_s,
             progress=progress,
+            telemetry=telemetry,
+            flight_dir=flight_dir,
         )
     info["partitions"] = plan.nparts
     info["transport"] = transport if plan.nparts > 1 else "serial"

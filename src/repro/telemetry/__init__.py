@@ -1,0 +1,52 @@
+"""Fleet-wide observability for the parallel DES engine, pool, and serve tiers.
+
+Everything in this package is host-side: recorders sample wall-clock time and
+plain Python state, never the simulated clock, so enabling telemetry cannot
+perturb the gated ``result`` half of any document.  The exports are:
+
+* :class:`FlightRecorder` / :func:`dump_flight` -- bounded ring buffer of
+  recent events per process, dumped to a ``repro-flight/1`` JSON artifact on
+  ``CausalityError``, worker crash, or invariant failure.
+* :class:`RoundRecorder`, :func:`straggler_report`, :func:`round_counters` --
+  per-partition round phase timing for the conservative parallel engine.
+* :func:`export_parallel_trace` -- merged multi-process Chrome/Perfetto trace
+  with one process track per partition.
+* :class:`ServeTelemetry`, :func:`serve_metrics_document` -- request spans and
+  queue gauges for ``repro serve``.
+* :func:`telemetry_probe` -- small instrumented partitioned run backing
+  ``repro stats --telemetry``.
+"""
+
+from .recorder import (
+    FLIGHT_DIR_ENV,
+    FLIGHT_SCHEMA,
+    FlightRecorder,
+    default_flight_dir,
+    dump_flight,
+)
+from .rounds import (
+    RoundRecorder,
+    format_straggler_report,
+    round_counters,
+    straggler_report,
+)
+from .perfetto import export_parallel_trace
+from .serve import HostSeries, ServeTelemetry, serve_metrics_document
+from .probe import telemetry_probe
+
+__all__ = [
+    "FLIGHT_DIR_ENV",
+    "FLIGHT_SCHEMA",
+    "FlightRecorder",
+    "HostSeries",
+    "RoundRecorder",
+    "ServeTelemetry",
+    "default_flight_dir",
+    "dump_flight",
+    "export_parallel_trace",
+    "format_straggler_report",
+    "round_counters",
+    "serve_metrics_document",
+    "straggler_report",
+    "telemetry_probe",
+]

@@ -1,0 +1,59 @@
+"""Small instrumented partitioned run backing ``repro stats --telemetry``.
+
+``repro stats`` exports one ``repro-metrics/v1`` document per invocation; the
+``--telemetry`` flag additionally runs a tiny partitioned plane scenario with
+round telemetry enabled and folds the resulting ``parallel.*`` round counters
+and ``pool.*`` lifecycle counters into that document, so a single export shows
+the simulation-side instruments *and* the fleet-side ones.
+
+The engine import is deferred to call time: ``repro.telemetry`` is imported by
+``sim/parallel/engine.py`` for the recorders, so a module-level import here
+would cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+__all__ = ["telemetry_probe"]
+
+
+def telemetry_probe(
+    *,
+    partitions: int = 2,
+    transport: str = "pool",
+    scenario: str = "neighbor",
+    dims: Tuple[int, int, int] = (6, 2, 2),
+    msg_bytes: int = 2048,
+    flight_dir: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Run a small telemetry-enabled partitioned scenario and summarize it.
+
+    Returns ``{"counters", "straggler", "partitions", "info"}`` where
+    ``counters`` merges the ``parallel.*`` round counters with any ``pool.*``
+    lifecycle counters the transport produced.
+    """
+    from ..sim.parallel.engine import run_scenario
+    from ..sim.parallel.scenario import PlaneScenario
+    from .rounds import round_counters, straggler_report
+
+    plane = PlaneScenario(name=scenario, dims=dims, msg_bytes=msg_bytes)
+    run = run_scenario(
+        plane,
+        partitions,
+        transport=transport,
+        telemetry=True,
+        flight_dir=flight_dir,
+    )
+    info = run["info"]
+    telemetry = info.get("telemetry") or {}
+    parts = telemetry.get("partitions", [])
+    counters: Dict[str, int] = round_counters(parts)
+    for key, value in sorted(info.get("pool", {}).items()):
+        counters[key] = int(value)
+    return {
+        "counters": counters,
+        "straggler": telemetry.get("straggler") or straggler_report(parts),
+        "partitions": parts,
+        "info": info,
+    }

@@ -1,0 +1,132 @@
+"""Post-mortem flight recorder: bounded event ring + ``repro-flight/1`` dumps.
+
+Each process that opts into telemetry keeps a :class:`FlightRecorder` -- a
+``deque``-backed ring buffer of small event dicts stamped with host wall-clock
+time.  Recording is a plain append (no I/O, no locks, no simulated events), so
+the recorder is cheap enough to leave on for every instrumented run.  When
+something goes wrong -- a ``CausalityError`` in a partition, a SIGKILLed pool
+worker, an invariant failure in the serve dispatcher -- the last ``capacity``
+events are dumped to a JSON artifact for replayable post-mortems.
+
+Artifact schema (``repro-flight/1``)::
+
+    {
+      "schema": "repro-flight/1",
+      "reason": "causality-error" | "worker-crash" | "invariant-failure" | "manual",
+      "role": "part01" | "pool-parent" | "memory-driver" | "serve" | ...,
+      "pid": 12345,
+      "created_unix": 1754600000.123456,
+      "detail": "human-readable one-liner (optional)",
+      "events": [ {"t_unix": ..., "kind": ..., ...}, ... ]   # oldest first
+    }
+
+Dumps never go into transient exchange directories (those are removed when the
+run finishes); callers pass an explicit ``flight_dir`` or set the
+``REPRO_FLIGHT_DIR`` environment variable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import time
+from collections import deque
+from typing import Any, Deque, Dict, Iterable, List, Optional
+
+FLIGHT_SCHEMA = "repro-flight/1"
+FLIGHT_DIR_ENV = "REPRO_FLIGHT_DIR"
+DEFAULT_CAPACITY = 256
+
+_ROLE_SAFE = re.compile(r"[^A-Za-z0-9_.-]+")
+
+
+def default_flight_dir() -> Optional[str]:
+    """Flight-dump directory from the environment, or None when disabled."""
+    value = os.environ.get(FLIGHT_DIR_ENV, "").strip()
+    return value or None
+
+
+def _atomic_write_bytes(path: str, data: bytes) -> None:
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+def dump_flight(
+    flight_dir: str,
+    *,
+    reason: str,
+    role: str,
+    events: Iterable[Dict[str, Any]],
+    detail: Optional[str] = None,
+) -> str:
+    """Write a ``repro-flight/1`` artifact and return its path.
+
+    Events are sorted by ``t_unix`` (stable for ties) so merged streams --
+    e.g. pool lifecycle events interleaved with worker round events -- read
+    chronologically.  The filename embeds role and pid so concurrent dumpers
+    in one directory never clobber each other.
+    """
+    os.makedirs(flight_dir, exist_ok=True)
+    safe_role = _ROLE_SAFE.sub("-", role) or "process"
+    path = os.path.join(flight_dir, f"flight-{safe_role}-{os.getpid()}.json")
+    ordered = sorted(events, key=lambda ev: ev.get("t_unix", 0.0))
+    doc: Dict[str, Any] = {
+        "schema": FLIGHT_SCHEMA,
+        "reason": reason,
+        "role": role,
+        "pid": os.getpid(),
+        "created_unix": round(time.time(), 6),
+        "events": ordered,
+    }
+    if detail is not None:
+        doc["detail"] = detail
+    payload = json.dumps(doc, sort_keys=True, indent=1).encode("utf-8")
+    _atomic_write_bytes(path, payload)
+    return path
+
+
+class FlightRecorder:
+    """Bounded ring buffer of recent telemetry events for one process."""
+
+    __slots__ = ("capacity", "_events", "recorded")
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError("flight recorder capacity must be >= 1")
+        self.capacity = capacity
+        self._events: Deque[Dict[str, Any]] = deque(maxlen=capacity)
+        self.recorded = 0  # total ever recorded, beyond the retained window
+
+    def record(self, kind: str, **fields: Any) -> None:
+        event: Dict[str, Any] = {"t_unix": round(time.time(), 6), "kind": kind}
+        event.update(fields)
+        self._events.append(event)
+        self.recorded += 1
+
+    def extend(self, events: Iterable[Dict[str, Any]]) -> None:
+        for event in events:
+            self._events.append(event)
+            self.recorded += 1
+
+    def events(self) -> List[Dict[str, Any]]:
+        return list(self._events)
+
+    def dump(
+        self,
+        flight_dir: str,
+        *,
+        reason: str,
+        role: str,
+        detail: Optional[str] = None,
+        extra_events: Iterable[Dict[str, Any]] = (),
+    ) -> str:
+        events = self.events()
+        events.extend(extra_events)
+        return dump_flight(
+            flight_dir, reason=reason, role=role, events=events, detail=detail
+        )

@@ -1,0 +1,259 @@
+"""Per-partition round telemetry for the conservative parallel DES engine.
+
+Each partition (whether an in-process runner on the memory transport or a
+spawned pool worker on the round-file transport) owns a :class:`RoundRecorder`.
+The engine driver times the four phases of every synchronous round --
+``publish`` (serialize next-event time + exports), ``collect`` (gather peer
+docs; on the file transport this includes poll-wait), ``absorb`` (import and
+causality-check peer chunks), ``advance`` (simulate up to the safe horizon) --
+and records one dict per round together with the safe horizon ``H_i``, the
+import-adjusted lookahead bound ``N'``, export/import counts, and cumulative
+scheduled-event totals.  All timestamps are host-side (``time.perf_counter``
+offsets against a ``time.time`` base), so recording cannot perturb the
+simulated figures.
+
+:func:`straggler_report` merges the per-partition docs into an attribution of
+wall clock to the slowest partition per round and to transport (file-poll)
+wait vs. simulate time.  On the pool transport partitions run concurrently, so
+per-round wall is the max across partitions; on the memory transport they run
+round-robin in one process and the same max is reported as attribution rather
+than exact wall clock.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+PHASES = ("publish", "collect", "absorb", "advance")
+FLIGHT_TAIL_ROUNDS = 32
+
+
+class RoundRecorder:
+    """Accumulates one record per synchronous round for a single partition."""
+
+    __slots__ = ("part", "base_unix", "base_mono", "rounds")
+
+    def __init__(self, part: int) -> None:
+        self.part = part
+        self.base_unix = round(time.time(), 6)
+        self.base_mono = time.perf_counter()
+        self.rounds: List[Dict[str, Any]] = []
+
+    def offset(self) -> float:
+        """Seconds since this recorder was created (monotonic)."""
+        return time.perf_counter() - self.base_mono
+
+    def record_round(
+        self,
+        *,
+        round_no: int,
+        t0_s: float,
+        publish_s: float,
+        collect_s: float,
+        absorb_s: float,
+        advance_s: float,
+        poll_wait_s: float,
+        horizon_ps: Optional[int],
+        nprime_ps: Optional[int],
+        exports: int,
+        imports: int,
+        events: int,
+    ) -> None:
+        self.rounds.append(
+            {
+                "round": round_no,
+                "t0_s": round(t0_s, 6),
+                "publish_s": round(publish_s, 6),
+                "collect_s": round(collect_s, 6),
+                "absorb_s": round(absorb_s, 6),
+                "advance_s": round(advance_s, 6),
+                "poll_wait_s": round(poll_wait_s, 6),
+                "horizon_ps": horizon_ps,
+                "nprime_ps": nprime_ps,
+                "exports": exports,
+                "imports": imports,
+                "events": events,
+            }
+        )
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        totals = {f"{phase}_s": 0.0 for phase in PHASES}
+        totals["poll_wait_s"] = 0.0
+        exports = imports = 0
+        for rec in self.rounds:
+            for phase in PHASES:
+                totals[f"{phase}_s"] += rec[f"{phase}_s"]
+            totals["poll_wait_s"] += rec["poll_wait_s"]
+            exports += rec["exports"]
+            imports += rec["imports"]
+        return {
+            "part": self.part,
+            "base_unix": self.base_unix,
+            "rounds": list(self.rounds),
+            "totals": {
+                **{key: round(value, 6) for key, value in totals.items()},
+                "rounds": len(self.rounds),
+                "exports": exports,
+                "imports": imports,
+                "events": self.rounds[-1]["events"] if self.rounds else 0,
+            },
+        }
+
+    def tail_events(self, n: int = FLIGHT_TAIL_ROUNDS) -> List[Dict[str, Any]]:
+        """Last ``n`` rounds as flight-recorder events (oldest first)."""
+        return _tail_events(self.part, self.base_unix, self.rounds, n)
+
+
+def doc_tail_events(
+    doc: Dict[str, Any], n: int = FLIGHT_TAIL_ROUNDS
+) -> List[Dict[str, Any]]:
+    """Flight events from a serialized :meth:`RoundRecorder.to_jsonable` doc."""
+    return _tail_events(doc["part"], doc["base_unix"], doc["rounds"], n)
+
+
+def _tail_events(
+    part: int, base_unix: float, rounds: Sequence[Dict[str, Any]], n: int
+) -> List[Dict[str, Any]]:
+    out = []
+    for rec in rounds[-n:] if n else rounds:
+        event = {
+            "t_unix": round(base_unix + rec["t0_s"], 6),
+            "kind": "round",
+            "part": part,
+        }
+        event.update(rec)
+        out.append(event)
+    return out
+
+
+def _round_duration(rec: Dict[str, Any]) -> float:
+    return sum(rec[f"{phase}_s"] for phase in PHASES)
+
+
+def straggler_report(partitions: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+    """Attribute per-round wall clock to the slowest partition and transport.
+
+    ``partitions`` holds :meth:`RoundRecorder.to_jsonable` docs (missing
+    entries are skipped).  Returns a JSON-able report with per-round
+    stragglers, per-partition totals, and a simulate vs. transport-wait
+    split for the straggling partition of every round.
+    """
+    docs = [doc for doc in partitions if doc]
+    if not docs:
+        return {"rounds": 0, "partitions": 0, "by_partition": [], "worst_rounds": []}
+
+    nrounds = max(len(doc["rounds"]) for doc in docs)
+    wall_s = 0.0
+    simulate_s = 0.0
+    transport_wait_s = 0.0
+    straggler_rounds = {doc["part"]: 0 for doc in docs}
+    worst: List[Dict[str, Any]] = []
+    for rnd in range(nrounds):
+        best_part = None
+        best_dur = -1.0
+        best_rec: Optional[Dict[str, Any]] = None
+        for doc in docs:
+            if rnd >= len(doc["rounds"]):
+                continue
+            rec = doc["rounds"][rnd]
+            dur = _round_duration(rec)
+            if dur > best_dur:
+                best_dur = dur
+                best_part = doc["part"]
+                best_rec = rec
+        if best_rec is None or best_part is None:
+            continue
+        wall_s += best_dur
+        simulate_s += best_rec["advance_s"]
+        transport_wait_s += best_rec["poll_wait_s"]
+        straggler_rounds[best_part] += 1
+        worst.append(
+            {
+                "round": rnd,
+                "part": best_part,
+                "wall_s": round(best_dur, 6),
+                "advance_s": best_rec["advance_s"],
+                "poll_wait_s": best_rec["poll_wait_s"],
+            }
+        )
+
+    worst.sort(key=lambda item: -item["wall_s"])
+    by_partition = []
+    for doc in docs:
+        totals = dict(doc["totals"])
+        totals["part"] = doc["part"]
+        totals["straggler_rounds"] = straggler_rounds[doc["part"]]
+        by_partition.append(totals)
+    by_partition.sort(key=lambda item: item["part"])
+    slowest = max(
+        by_partition,
+        key=lambda item: (item["straggler_rounds"], item["advance_s"]),
+    )
+    return {
+        "rounds": nrounds,
+        "partitions": len(docs),
+        "wall_s": round(wall_s, 6),
+        "simulate_s": round(simulate_s, 6),
+        "transport_wait_s": round(transport_wait_s, 6),
+        "slowest_partition": slowest["part"],
+        "by_partition": by_partition,
+        "worst_rounds": worst[:5],
+    }
+
+
+def round_counters(partitions: Sequence[Dict[str, Any]]) -> Dict[str, int]:
+    """Monotonic ``parallel.*`` counters for the repro-metrics/v1 export."""
+    docs = [doc for doc in partitions if doc]
+    counters = {
+        "parallel.partitions": len(docs),
+        "parallel.rounds": 0,
+        "parallel.exports": 0,
+        "parallel.imports": 0,
+        "parallel.events": 0,
+    }
+    for doc in docs:
+        totals = doc["totals"]
+        counters["parallel.rounds"] = max(counters["parallel.rounds"], totals["rounds"])
+        counters["parallel.exports"] += totals["exports"]
+        counters["parallel.imports"] += totals["imports"]
+        counters["parallel.events"] += totals["events"]
+    return counters
+
+
+def format_straggler_report(report: Dict[str, Any]) -> str:
+    """Human-readable straggler table for the CLI."""
+    lines = []
+    lines.append(
+        "parallel rounds: {rounds}  partitions: {partitions}  "
+        "wall {wall:.3f}s = simulate {sim:.3f}s + transport-wait {wait:.3f}s "
+        "(straggler-attributed)".format(
+            rounds=report.get("rounds", 0),
+            partitions=report.get("partitions", 0),
+            wall=report.get("wall_s", 0.0),
+            sim=report.get("simulate_s", 0.0),
+            wait=report.get("transport_wait_s", 0.0),
+        )
+    )
+    rows = report.get("by_partition", [])
+    if rows:
+        lines.append(
+            "  part  rounds  straggled  advance_s  poll_wait_s  exports  imports"
+        )
+        for row in rows:
+            marker = " *" if row["part"] == report.get("slowest_partition") else "  "
+            lines.append(
+                "  p{part:02d}{marker}  {rounds:5d}  {straggled:8d}  "
+                "{advance:9.3f}  {wait:11.3f}  {exports:7d}  {imports:7d}".format(
+                    part=row["part"],
+                    marker=marker,
+                    rounds=row["rounds"],
+                    straggled=row["straggler_rounds"],
+                    advance=row["advance_s"],
+                    wait=row["poll_wait_s"],
+                    exports=row["exports"],
+                    imports=row["imports"],
+                )
+            )
+        lines.append("  (* = slowest partition by straggled rounds)")
+    return "\n".join(lines)

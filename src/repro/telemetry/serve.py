@@ -1,0 +1,147 @@
+"""Host-side instrumentation for the ``repro serve`` front end.
+
+The simulation-side :class:`repro.metrics.registry.MetricsRegistry` samples
+gauges on the *simulated* clock and therefore needs a ``Simulator``; the serve
+tier has none, so this module provides :class:`HostSeries` -- a bounded
+wall-clock step-function series whose ``summary()`` emits the same keys the
+Prometheus renderer expects (``samples`` / ``last`` / ``min`` / ``max`` /
+``time_weighted_mean``).  :class:`ServeTelemetry` bundles the two gauges the
+dispatcher samples (queue depth and batch size) with a flight-recorder ring of
+per-request spans, and :func:`serve_metrics_document` folds everything into a
+``repro-metrics/v1`` document renderable by
+:func:`repro.metrics.export.to_prometheus_text`.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from ..metrics.export import EXPORT_SCHEMA
+from .recorder import FlightRecorder
+
+__all__ = ["HostSeries", "ServeTelemetry", "serve_metrics_document"]
+
+DEFAULT_WINDOW = 512
+
+
+class HostSeries:
+    """Bounded (host-time, value) samples treated as a step function.
+
+    ``count`` / ``total`` / ``vmin`` / ``vmax`` cover every sample ever taken;
+    the time-weighted mean is computed over the retained window only (the
+    series is bounded so long-lived servers don't grow without bound).
+    """
+
+    __slots__ = ("name", "_samples", "count", "total", "vmin", "vmax")
+
+    def __init__(self, name: str, window: int = DEFAULT_WINDOW) -> None:
+        self.name = name
+        self._samples: Deque[Tuple[float, float]] = deque(maxlen=window)
+        self.count = 0
+        self.total = 0.0
+        self.vmin = float("inf")
+        self.vmax = float("-inf")
+
+    def sample(self, value: float) -> None:
+        self._samples.append((time.perf_counter(), float(value)))
+        self.count += 1
+        self.total += value
+        self.vmin = min(self.vmin, value)
+        self.vmax = max(self.vmax, value)
+
+    def _time_weighted_mean(self) -> float:
+        samples = list(self._samples)
+        if not samples:
+            return 0.0
+        if len(samples) == 1:
+            return samples[0][1]
+        weighted = 0.0
+        for (t0, value), (t1, _) in zip(samples, samples[1:]):
+            weighted += value * (t1 - t0)
+        elapsed = samples[-1][0] - samples[0][0]
+        if elapsed <= 0.0:
+            return samples[-1][1]
+        return weighted / elapsed
+
+    def summary(self) -> Dict[str, Any]:
+        if self.count == 0:
+            return {"samples": 0}
+        return {
+            "samples": self.count,
+            "last": self._samples[-1][1],
+            "min": self.vmin,
+            "max": self.vmax,
+            "mean": self.total / self.count,
+            "time_weighted_mean": round(self._time_weighted_mean(), 9),
+        }
+
+
+def _point_summary(value: float) -> Dict[str, Any]:
+    """Single-observation gauge summary (e.g. a ratio sampled at export)."""
+    return {
+        "samples": 1,
+        "last": value,
+        "min": value,
+        "max": value,
+        "mean": value,
+        "time_weighted_mean": value,
+    }
+
+
+class ServeTelemetry:
+    """Dispatcher-side gauges plus a ring of per-request spans."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        self.queue_depth = HostSeries("serve.queue.depth")
+        self.batch_size = HostSeries("serve.batch.size")
+        self.recorder = FlightRecorder(capacity)
+
+    def record_request(self, **fields: Any) -> None:
+        self.recorder.record("request", **fields)
+
+    def recent_requests(self, n: int = 10) -> List[Dict[str, Any]]:
+        requests = [ev for ev in self.recorder.events() if ev["kind"] == "request"]
+        return requests[-n:]
+
+
+def serve_metrics_document(
+    queue_stats: Dict[str, int],
+    telemetry: ServeTelemetry,
+    *,
+    cache_stats: Optional[Dict[str, Any]] = None,
+    workers: int = 1,
+) -> Dict[str, Any]:
+    """Build a ``repro-metrics/v1`` document for the serve tier.
+
+    ``queue_stats`` is ``QueueStats.to_jsonable()`` and ``cache_stats`` is
+    ``CacheStats.to_jsonable()`` (passed as plain dicts so this module does
+    not import the serve/cache packages).
+    """
+    counters: Dict[str, int] = {
+        f"serve.{key}": int(value)
+        for key, value in sorted(queue_stats.items())
+        if isinstance(value, (int, float)) and key != "hit_rate"
+    }
+    gauges: Dict[str, Any] = {
+        "serve.queue.depth": telemetry.queue_depth.summary(),
+        "serve.batch.size": telemetry.batch_size.summary(),
+        "serve.workers": _point_summary(float(workers)),
+    }
+    if cache_stats:
+        for key in ("hits", "misses", "stores", "evictions"):
+            if key in cache_stats:
+                counters[f"serve.cache.{key}"] = int(cache_stats[key])
+        if "hit_rate" in cache_stats:
+            gauges["serve.cache.hit_rate"] = _point_summary(
+                float(cache_stats["hit_rate"])
+            )
+    return {
+        "schema": EXPORT_SCHEMA,
+        "meta": {"kind": "repro-serve", "workers": workers},
+        "counters": counters,
+        "gauges": gauges,
+        "timelines": {},
+        "histograms": {},
+    }

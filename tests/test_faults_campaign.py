@@ -26,10 +26,14 @@ from repro.metrics import canonical_json
 
 def _campaign_view(doc):
     """The comparable half of a campaign report: everything except
-    ``meta`` (which carries workers/degradations and may differ)."""
-    return canonical_json(
-        {"counters": doc["counters"], "campaign": doc["campaign"]}
-    )
+    ``meta`` (which carries workers/degradations and may differ) and
+    the host-side ``pool.*`` lifecycle counters (spawns/crashes/retries
+    are facts about *executing* the campaign, not about the simulated
+    faults, so an injected worker kill legitimately changes them)."""
+    counters = {
+        k: v for k, v in doc["counters"].items() if not k.startswith("pool.")
+    }
+    return canonical_json({"counters": counters, "campaign": doc["campaign"]})
 
 
 class TestConfigAndSpecs:
@@ -204,6 +208,12 @@ class TestAcceptanceCampaign:
         }
         assert events["run001-corrupt"] == "crash"
         assert events["run004-squeeze"] == "timeout"
+        # ...and the same degradations as monotonic counters, so chaos
+        # CI can gate on them without scraping logs
+        assert pooled["counters"]["pool.crashes"] >= 1
+        assert pooled["counters"]["pool.hang_kills"] >= 1
+        assert pooled["counters"]["pool.retries"] >= 2
+        assert serial["counters"]["pool.crashes"] == 0
 
 
 class TestCampaignCli:
